@@ -1,0 +1,63 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks regenerate every figure of the paper at a reduced scale so the
+whole suite completes in minutes (the paper's own scale is 200k
+subscriptions × 100k events on five machines).  Scale is adjustable
+through environment variables:
+
+    REPRO_BENCH_SUBSCRIPTIONS (default 220)
+    REPRO_BENCH_EVENTS        (default 70)
+    REPRO_BENCH_POINTS        (default 5)
+
+For a full-scale offline run use the CLI instead:
+``python -m repro.experiments.run --scale paper``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.context import ExperimentContext
+
+
+def _env_int(name: str, default: int) -> int:
+    value = os.environ.get(name)
+    return int(value) if value else default
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """The benchmark-scale experiment configuration."""
+    return ExperimentConfig(
+        seed=42,
+        subscription_count=_env_int("REPRO_BENCH_SUBSCRIPTIONS", 220),
+        event_count=_env_int("REPRO_BENCH_EVENTS", 70),
+        grid_points=_env_int("REPRO_BENCH_POINTS", 5),
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_context(bench_config) -> ExperimentContext:
+    """Shared workload/schedules across all benchmarks."""
+    return ExperimentContext(bench_config)
+
+
+@pytest.fixture(scope="session")
+def bench_workload(bench_context):
+    """The auction workload behind the benchmark context."""
+    return bench_context.workload
+
+
+@pytest.fixture(scope="session")
+def bench_events(bench_context):
+    """The benchmark event batch."""
+    return bench_context.events
+
+
+@pytest.fixture(scope="session")
+def bench_subscriptions(bench_context):
+    """The benchmark subscription set."""
+    return bench_context.subscriptions

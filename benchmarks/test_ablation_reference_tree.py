@@ -1,0 +1,52 @@
+"""Ablation: Δ≈sel/Δ≈eff reference point (Sect. 3.1/3.3).
+
+The paper compares candidate prunings against the *originally registered*
+subscription so that accumulated degradation is charged to later
+prunings; the alternative — comparing against the current (already
+pruned) tree — makes a chain of small degradations look cheap.  This
+ablation runs both policies and reports the expected network load after
+the same number of prunings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import PruningEngine
+from repro.core.heuristics import Dimension
+from repro.matching.counting import CountingMatcher
+
+
+def _matching_fraction(subscriptions, events):
+    matcher = CountingMatcher()
+    for subscription in subscriptions:
+        matcher.register(subscription)
+    matcher.rebuild()
+    matches = sum(len(matcher.match(event)) for event in events)
+    return matches / (len(events) * len(subscriptions))
+
+
+@pytest.mark.parametrize("reference_mode", ["original", "current"])
+def test_reference_tree_ablation(benchmark, bench_context, reference_mode):
+    subscriptions = bench_context.subscriptions[:120]
+    events = bench_context.events.events[:50]
+    estimator = bench_context.estimator
+    steps = sum(max(0, s.leaf_count - 1) for s in subscriptions) * 6 // 10
+
+    def run():
+        engine = PruningEngine(
+            subscriptions,
+            estimator,
+            Dimension.NETWORK,
+            reference_mode=reference_mode,
+        )
+        engine.run(max_steps=steps)
+        return list(engine.pruned_subscriptions().values())
+
+    pruned = benchmark.pedantic(run, iterations=1, rounds=1)
+    fraction = _matching_fraction(pruned, events)
+    benchmark.extra_info["reference_mode"] = reference_mode
+    benchmark.extra_info["matching_fraction"] = fraction
+    print("\nreference=%s: matching fraction after %d prunings = %.5f"
+          % (reference_mode, steps, fraction))
+    assert 0.0 <= fraction <= 1.0

@@ -1,0 +1,59 @@
+"""Ablation: the lexicographic tie-breaking orders of Sect. 3.4.
+
+The paper breaks heuristic ties with the other two dimensions in a fixed
+order.  This ablation runs network-based pruning with and without the
+secondary/tertiary keys and compares the expected network load at
+mid-sweep — quantifying what the tie-break order buys.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import PruningEngine
+from repro.core.heuristics import Dimension
+from repro.matching.counting import CountingMatcher
+
+
+def _matching_fraction(subscriptions, events):
+    matcher = CountingMatcher()
+    for subscription in subscriptions:
+        matcher.register(subscription)
+    matcher.rebuild()
+    matches = sum(len(matcher.match(event)) for event in events)
+    return matches / (len(events) * len(subscriptions))
+
+
+def _run_engine(subscriptions, estimator, order, steps):
+    engine = PruningEngine(subscriptions, estimator, Dimension.NETWORK)
+    if order is not None:
+        engine.set_tiebreak_order(order)
+    engine.run(max_steps=steps)
+    return list(engine.pruned_subscriptions().values())
+
+
+@pytest.mark.parametrize(
+    "label,order",
+    [
+        ("paper-tiebreak", None),
+        ("primary-only", ("sel", "sel", "sel")),
+    ],
+)
+def test_tiebreak_ablation(benchmark, bench_context, label, order):
+    subscriptions = bench_context.subscriptions[:120]
+    events = bench_context.events.events[:50]
+    estimator = bench_context.estimator
+    steps = sum(max(0, s.leaf_count - 1) for s in subscriptions) // 2
+
+    pruned = benchmark.pedantic(
+        _run_engine,
+        args=(subscriptions, estimator, order, steps),
+        iterations=1,
+        rounds=1,
+    )
+    fraction = _matching_fraction(pruned, events)
+    benchmark.extra_info["variant"] = label
+    benchmark.extra_info["matching_fraction_at_half_sweep"] = fraction
+    print("\n%s: matching fraction after %d prunings = %.5f"
+          % (label, steps, fraction))
+    assert 0.0 <= fraction <= 1.0

@@ -1,0 +1,114 @@
+"""Baseline comparison: pruning vs covering vs merging (Sect. 2.3).
+
+The paper positions pruning against the two established routing
+optimizations, both restricted to conjunctive subscriptions.  This
+benchmark builds a purely conjunctive workload (the specific-item class
+only) and compares, for each optimizer,
+
+* the routing-table size achieved (predicate/subscription associations),
+* the forwarding load it causes (probability an event is forwarded), and
+* the optimizer's own runtime.
+
+Covering is exact but only helps where subset relations exist; merging
+and pruning trade table size for extra forwarding.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.covering import CoveringTable
+from repro.baselines.merging import GreedyMerger
+from repro.core.engine import PruningEngine
+from repro.core.heuristics import Dimension
+from repro.subscriptions.metrics import count_leaves
+from repro.workloads.auction import (
+    AuctionWorkload,
+    AuctionWorkloadConfig,
+    SubscriptionClassMix,
+)
+
+
+@pytest.fixture(scope="module")
+def conjunctive_setup():
+    config = AuctionWorkloadConfig(
+        seed=77, class_mix=SubscriptionClassMix(1.0, 0.0, 0.0)
+    )
+    workload = AuctionWorkload(config)
+    subscriptions = workload.generate_subscriptions(150)
+    events = workload.generate_events(120).events
+    return workload, subscriptions, events
+
+
+def _forwarding_fraction(trees, events):
+    matched = 0
+    for event in events:
+        if any(tree.evaluate(event) for tree in trees):
+            matched += 1
+    return matched / len(events)
+
+
+def _report(benchmark, label, associations, forwarding):
+    benchmark.extra_info["optimizer"] = label
+    benchmark.extra_info["associations"] = associations
+    benchmark.extra_info["forwarding_fraction"] = forwarding
+    print("\n%s: associations=%d forwarding_fraction=%.4f"
+          % (label, associations, forwarding))
+
+
+def test_pruning_optimizer(benchmark, conjunctive_setup):
+    workload, subscriptions, events = conjunctive_setup
+    estimator = workload.estimator()
+    target = sum(s.leaf_count for s in subscriptions) * 6 // 10
+
+    def run():
+        engine = PruningEngine(subscriptions, estimator, Dimension.NETWORK)
+        while engine.association_count > target:
+            if engine.step() is None:
+                break
+        return list(engine.pruned_subscriptions().values())
+
+    pruned = benchmark.pedantic(run, iterations=1, rounds=1)
+    associations = sum(count_leaves(s.tree) for s in pruned)
+    _report(
+        benchmark,
+        "pruning",
+        associations,
+        _forwarding_fraction([s.tree for s in pruned], events),
+    )
+    assert associations <= target + 16
+
+
+def test_covering_optimizer(benchmark, conjunctive_setup):
+    _workload, subscriptions, events = conjunctive_setup
+
+    def run():
+        table = CoveringTable()
+        for subscription in subscriptions:
+            table.register(subscription)
+        return table.forwarding_set
+
+    active = benchmark.pedantic(run, iterations=1, rounds=1)
+    associations = sum(s.leaf_count for s in active)
+    forwarding = _forwarding_fraction([s.tree for s in active], events)
+    # covering is exact: forwarding equals the un-optimized fraction
+    baseline = _forwarding_fraction([s.tree for s in subscriptions], events)
+    _report(benchmark, "covering", associations, forwarding)
+    assert forwarding == pytest.approx(baseline)
+
+
+def test_merging_optimizer(benchmark, conjunctive_setup):
+    workload, subscriptions, events = conjunctive_setup
+    estimator = workload.estimator()
+
+    def run():
+        merger = GreedyMerger(estimator, max_merger_selectivity=0.3)
+        return merger.merge(subscriptions, target_count=len(subscriptions) // 2)
+
+    merged = benchmark.pedantic(run, iterations=1, rounds=1)
+    associations = sum(s.leaf_count for s in merged)
+    forwarding = _forwarding_fraction([s.tree for s in merged], events)
+    baseline = _forwarding_fraction([s.tree for s in subscriptions], events)
+    _report(benchmark, "merging", associations, forwarding)
+    # merging may only add forwarding, never lose it
+    assert forwarding >= baseline - 1e-12

@@ -1,0 +1,43 @@
+"""Regenerate Fig. 1(a), 1(b), 1(c): the centralized setting.
+
+Each benchmark runs the full three-heuristic sweep for the single-broker
+setting and rebuilds one figure.  The rendered table/plot is printed (run
+pytest with ``-s`` to see it) and the series is attached to the benchmark
+record as ``extra_info`` so saved benchmark JSON carries the data.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.heuristics import Dimension
+from repro.experiments.centralized import CentralizedExperiment
+from repro.experiments.figures import centralized_figures, render_figure
+
+
+def _run_and_build(bench_context, figure_id):
+    results = CentralizedExperiment(bench_context).run_all()
+    return centralized_figures(results)[figure_id]
+
+
+@pytest.mark.parametrize("figure_id", ["1a", "1b", "1c"])
+def test_fig1_centralized(benchmark, bench_context, figure_id):
+    figure = benchmark.pedantic(
+        _run_and_build, args=(bench_context, figure_id), iterations=1, rounds=1
+    )
+    benchmark.extra_info["figure"] = figure.figure_id
+    benchmark.extra_info["xs"] = figure.xs
+    benchmark.extra_info["series"] = figure.series
+    print()
+    print(render_figure(figure))
+
+    series = figure.series
+    assert set(series) == {"sel", "eff", "mem"}
+    if figure_id == "1b":
+        # paper: mem degrades matching earliest, sel the least (mid-sweep)
+        mid = len(figure.xs) // 2
+        assert series["sel"][mid] <= series["mem"][mid] + 1e-12
+    if figure_id == "1c":
+        # paper: mem reduces associations at least as much as the others
+        mid = len(figure.xs) // 2
+        assert series["mem"][mid] >= series["sel"][mid] - 1e-9

@@ -1,0 +1,40 @@
+"""Regenerate Fig. 1(d), 1(e), 1(f): the five-broker line setting.
+
+Same structure as the centralized benchmarks: a full three-heuristic
+sweep over the distributed network per figure, with the delivery
+invariant enforced by the experiment itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.distributed import DistributedExperiment
+from repro.experiments.figures import distributed_figures, render_figure
+
+
+def _run_and_build(bench_context, figure_id):
+    results = DistributedExperiment(bench_context).run_all()
+    return distributed_figures(results)[figure_id]
+
+
+@pytest.mark.parametrize("figure_id", ["1d", "1e", "1f"])
+def test_fig1_distributed(benchmark, bench_context, figure_id):
+    figure = benchmark.pedantic(
+        _run_and_build, args=(bench_context, figure_id), iterations=1, rounds=1
+    )
+    benchmark.extra_info["figure"] = figure.figure_id
+    benchmark.extra_info["xs"] = figure.xs
+    benchmark.extra_info["series"] = figure.series
+    print()
+    print(render_figure(figure))
+
+    series = figure.series
+    assert set(series) == {"sel", "eff", "mem"}
+    if figure_id == "1e":
+        # paper: network-based pruning adds the least load at every point
+        for sel_value, mem_value in zip(series["sel"], series["mem"]):
+            assert sel_value <= mem_value + 1e-9
+        assert series["sel"][0] == 0.0
+    if figure_id == "1f":
+        assert series["mem"][-1] >= series["sel"][-1] - 1e-9

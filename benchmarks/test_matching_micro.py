@@ -1,0 +1,92 @@
+"""Micro-benchmarks of the filtering substrate.
+
+These are real pytest-benchmark loops (many rounds), unlike the figure
+benchmarks: counting vs naive matching throughput, index rebuild cost,
+and the cost of matching under heavy pruning.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.heuristics import Dimension
+from repro.matching.counting import CountingMatcher
+from repro.matching.naive import NaiveMatcher
+
+
+@pytest.fixture(scope="module")
+def matchers(bench_subscriptions):
+    counting = CountingMatcher()
+    naive = NaiveMatcher()
+    for subscription in bench_subscriptions:
+        counting.register(subscription)
+        naive.register(subscription)
+    counting.rebuild()
+    return counting, naive
+
+
+def test_counting_matcher_throughput(benchmark, matchers, bench_events):
+    counting, _naive = matchers
+    events = bench_events.events[:50]
+
+    def run():
+        total = 0
+        for event in events:
+            total += len(counting.match(event))
+        return total
+
+    matches = benchmark(run)
+    benchmark.extra_info["matches"] = matches
+    benchmark.extra_info["events"] = len(events)
+
+
+def test_naive_matcher_throughput(benchmark, matchers, bench_events):
+    _counting, naive = matchers
+    events = bench_events.events[:50]
+
+    def run():
+        total = 0
+        for event in events:
+            total += len(naive.match(event))
+        return total
+
+    matches = benchmark(run)
+    benchmark.extra_info["matches"] = matches
+
+
+def test_counting_and_naive_agree(matchers, bench_events):
+    counting, naive = matchers
+    for event in bench_events.events[:50]:
+        assert sorted(counting.match(event)) == sorted(naive.match(event))
+
+
+def test_index_rebuild_cost(benchmark, bench_subscriptions):
+    def rebuild():
+        matcher = CountingMatcher()
+        for subscription in bench_subscriptions:
+            matcher.register(subscription)
+        matcher.rebuild()
+        return matcher.entry_count
+
+    entries = benchmark(rebuild)
+    benchmark.extra_info["entries"] = entries
+
+
+def test_matching_fully_pruned_tables(benchmark, bench_context):
+    """Matching cost at 100% pruning (every table entry is one predicate)."""
+    schedule = bench_context.schedule(Dimension.NETWORK)
+    pruned = schedule.replay(schedule.total)
+    matcher = CountingMatcher()
+    for subscription in pruned.values():
+        matcher.register(subscription)
+    matcher.rebuild()
+    events = bench_context.events.events[:50]
+
+    def run():
+        total = 0
+        for event in events:
+            total += len(matcher.match(event))
+        return total
+
+    matches = benchmark(run)
+    benchmark.extra_info["matches"] = matches

@@ -1,0 +1,67 @@
+"""Micro-benchmarks of the pruning engine itself.
+
+The paper's optimization runs *offline* relative to event routing, but
+its cost still matters operationally: these benchmarks time engine
+construction (heuristic evaluation of every candidate), individual
+pruning steps, and full schedule construction per dimension.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import PruningEngine
+from repro.core.heuristics import Dimension
+from repro.core.planner import PruningSchedule
+
+
+@pytest.mark.parametrize("dimension", list(Dimension), ids=lambda d: d.value)
+def test_engine_construction(benchmark, bench_subscriptions, bench_context, dimension):
+    subscriptions = bench_subscriptions[:150]
+    estimator = bench_context.estimator
+
+    def build():
+        return PruningEngine(subscriptions, estimator, dimension)
+
+    engine = benchmark(build)
+    benchmark.extra_info["queued_options"] = engine.total_prunings
+
+
+def test_pruning_step_throughput(benchmark, bench_subscriptions, bench_context):
+    subscriptions = bench_subscriptions[:150]
+    estimator = bench_context.estimator
+
+    def setup():
+        return (PruningEngine(subscriptions, estimator, Dimension.NETWORK),), {}
+
+    def run_steps(engine):
+        return len(engine.run(max_steps=50))
+
+    steps = benchmark.pedantic(run_steps, setup=setup, rounds=5)
+    assert steps > 0
+
+
+@pytest.mark.parametrize("dimension", list(Dimension), ids=lambda d: d.value)
+def test_schedule_build_to_exhaustion(
+    benchmark, bench_subscriptions, bench_context, dimension
+):
+    subscriptions = bench_subscriptions[:100]
+    estimator = bench_context.estimator
+
+    def build():
+        return PruningSchedule.build(subscriptions, estimator, dimension)
+
+    schedule = benchmark.pedantic(build, rounds=2, iterations=1)
+    benchmark.extra_info["total_prunings"] = schedule.total
+    assert schedule.total > 0
+
+
+def test_schedule_replay(benchmark, bench_context):
+    schedule = bench_context.schedule(Dimension.NETWORK)
+    half = schedule.prefix_count(0.5)
+
+    def replay():
+        return len(schedule.replay(half))
+
+    count = benchmark(replay)
+    assert count == len(bench_context.subscriptions)

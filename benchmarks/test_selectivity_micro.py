@@ -1,0 +1,47 @@
+"""Micro-benchmarks of selectivity estimation and tree codecs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.subscriptions.serialize import decode_node, encode_node
+
+
+def test_estimate_throughput(benchmark, bench_subscriptions, bench_context):
+    estimator = bench_context.estimator
+    trees = [subscription.tree for subscription in bench_subscriptions[:100]]
+
+    def run():
+        total = 0.0
+        for tree in trees:
+            total += estimator.estimate(tree).avg
+        return total
+
+    total = benchmark(run)
+    benchmark.extra_info["mean_estimated_selectivity"] = total / len(trees)
+
+
+def test_measure_throughput(benchmark, bench_subscriptions, bench_context):
+    estimator = bench_context.estimator
+    trees = [s.tree for s in bench_subscriptions[:20]]
+    events = bench_context.events.events[:40]
+
+    def run():
+        return sum(estimator.measure(tree, events) for tree in trees)
+
+    benchmark(run)
+
+
+def test_binary_codec_roundtrip(benchmark, bench_subscriptions):
+    trees = [subscription.tree for subscription in bench_subscriptions[:100]]
+
+    def run():
+        total = 0
+        for tree in trees:
+            blob = encode_node(tree)
+            total += len(blob)
+            decode_node(blob)
+        return total
+
+    total_bytes = benchmark(run)
+    benchmark.extra_info["mean_wire_bytes"] = total_bytes / len(trees)

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Auction alerts: a centralized broker under memory pressure.
+
+Scenario (the paper's motivating application): an online book-auction
+site lets users register Boolean alert subscriptions; a single broker
+filters every auction event against all of them.  The routing table grows
+past its budget, so the operator prunes it — and must pick a dimension.
+
+This example generates the paper's auction workload, prunes the table by
+25% of its possible prunings with each dimension, and reports the
+resulting table size, filtering time, and false-alert overhead, showing
+the trade-off surface of Sect. 4.
+
+Run:  python examples/auction_alerts.py
+"""
+
+import time
+
+from repro import (
+    AuctionWorkload,
+    AuctionWorkloadConfig,
+    CountingMatcher,
+    Dimension,
+    PruningSchedule,
+)
+
+SUBSCRIPTIONS = 600
+EVENTS = 250
+PRUNE_PROPORTION = 0.25
+
+
+def measure(subscriptions, events):
+    """(seconds/event, alerts, associations) for a routing table."""
+    matcher = CountingMatcher()
+    matcher.register_all(subscriptions)
+    matcher.rebuild()
+    matcher.statistics.reset()
+    started = time.perf_counter()
+    alerts = 0
+    for event in events:
+        alerts += len(matcher.match(event))
+    elapsed = time.perf_counter() - started
+    return elapsed / len(events), alerts, matcher.association_count
+
+
+def main() -> None:
+    workload = AuctionWorkload(AuctionWorkloadConfig(seed=2026))
+    subscriptions = workload.generate_subscriptions(SUBSCRIPTIONS)
+    events = list(workload.generate_events(EVENTS))
+    estimator = workload.estimator()
+
+    seconds, alerts, associations = measure(subscriptions, events)
+    print("un-optimized table: %d subs, %d associations" % (
+        len(subscriptions), associations))
+    print("  %.3f ms/event, %d alerts delivered" % (seconds * 1e3, alerts))
+
+    print("\npruning %.0f%% of possible prunings with each dimension:"
+          % (PRUNE_PROPORTION * 100))
+    print("%-12s %14s %12s %16s" % (
+        "dimension", "associations", "ms/event", "extra alerts"))
+    for dimension in Dimension:
+        schedule = PruningSchedule.build(subscriptions, estimator, dimension)
+        pruned = schedule.replay(schedule.prefix_count(PRUNE_PROPORTION))
+        p_seconds, p_alerts, p_associations = measure(
+            list(pruned.values()), events)
+        print("%-12s %14d %12.3f %16d" % (
+            dimension.value, p_associations, p_seconds * 1e3,
+            p_alerts - alerts))
+
+    print(
+        "\nReading the table: memory-based pruning shrinks the table most,\n"
+        "network-based pruning adds the fewest false alerts (they are\n"
+        "discarded by exact post-filtering before reaching users), and\n"
+        "throughput-based pruning keeps per-event filtering cheapest early\n"
+        "in the sweep — exactly the paper's Fig. 1(a)-(c) trade-off."
+    )
+
+
+if __name__ == "__main__":
+    main()

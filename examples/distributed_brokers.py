@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Distributed routing: five brokers in a line, pruned routing tables.
+
+Reproduces the paper's distributed setting as a runnable scenario:
+subscribers attach to five brokers connected in a line; publishers emit
+auction events at every broker; each broker prunes the routing entries it
+holds for *remote* subscribers.  The example verifies the delivery
+guarantee (clients receive exactly the events their original subscription
+matches, at any pruning level) and reports the network-load price.
+
+Run:  python examples/distributed_brokers.py
+"""
+
+import itertools
+
+from repro import (
+    AuctionWorkload,
+    AuctionWorkloadConfig,
+    BrokerNetwork,
+    Dimension,
+    PruningSchedule,
+    line_topology,
+)
+
+SUBSCRIPTIONS = 300
+EVENTS = 200
+BROKERS = 5
+
+
+def deliveries_signature(network, broker_ids, events):
+    signature = []
+    for index, event in enumerate(events):
+        result = network.publish(broker_ids[index % len(broker_ids)], event)
+        signature.append(frozenset(
+            (d.client, d.subscription_id) for d in result.deliveries))
+    return signature
+
+
+def main() -> None:
+    workload = AuctionWorkload(AuctionWorkloadConfig(seed=7))
+    subscriptions = workload.generate_subscriptions(SUBSCRIPTIONS)
+    events = list(workload.generate_events(EVENTS))
+
+    network = BrokerNetwork(line_topology(BROKERS))
+    broker_ids = network.topology.broker_ids
+    for index, subscription in enumerate(subscriptions):
+        home = broker_ids[index % BROKERS]
+        network.subscribe(home, "%s-user%d" % (home, index % 4),
+                          subscription.tree, subscription_id=subscription.id)
+
+    report = network.report()
+    print("subscription forwarding: %d messages, %.1f KiB"
+          % (report.subscription_messages, report.subscription_bytes / 1024))
+
+    baseline = deliveries_signature(network, broker_ids, events)
+    base_report = network.report()
+    print("\nun-optimized routing of %d events:" % EVENTS)
+    print("  %d broker-to-broker event messages (%.2f per event)"
+          % (base_report.event_messages, base_report.messages_per_event))
+    print("  %d notifications delivered" % base_report.deliveries)
+    print("  %.2f ms per event (filtering + modelled 10 Mbps transmission)"
+          % (base_report.seconds_per_event * 1e3))
+
+    estimator = workload.estimator()
+    schedule = PruningSchedule.build(subscriptions, estimator, Dimension.NETWORK)
+    for proportion in (0.5, 0.75, 1.0):
+        pruned = schedule.replay(schedule.prefix_count(proportion))
+        per_broker = {
+            broker_id: {
+                entry.subscription_id: pruned[entry.subscription_id].tree
+                for entry in network.brokers[broker_id].non_local_entries()
+            }
+            for broker_id in broker_ids
+        }
+        network.apply_pruned_tables(per_broker)
+        network.reset_statistics()
+        signature = deliveries_signature(network, broker_ids, events)
+        assert signature == baseline, "delivery invariant violated!"
+        pruned_report = network.report()
+        increase = (pruned_report.event_messages
+                    / max(1, base_report.event_messages) - 1.0)
+        print("\nnetwork-based pruning at %.0f%% of prunings:" % (proportion * 100))
+        print("  routing tables: %d associations (non-local), %+.0f%% network load"
+              % (network.non_local_association_count, increase * 100))
+        print("  %.2f ms per event; deliveries unchanged ✓"
+              % (pruned_report.seconds_per_event * 1e3))
+
+    print("\nEvery client received exactly the same notifications at every "
+          "pruning level:\nexact post-filtering at the home broker absorbs "
+          "all false forwarding.")
+
+
+if __name__ == "__main__":
+    main()

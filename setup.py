@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+All metadata lives in pyproject.toml; this file exists so that offline
+environments without the `wheel` package can still `pip install -e .`
+through the legacy `setup.py develop` code path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,134 @@
+"""repro — dimension-based subscription pruning for publish/subscribe.
+
+A complete reproduction of Bittner & Hinze, *Dimension-Based Subscription
+Pruning for Publish/Subscribe Systems* (ICDCS Workshops 2006): the Boolean
+subscription model, the counting-based filtering engine, selectivity
+estimation, the three pruning dimensions (network load, memory usage,
+system throughput), a broker-network substrate, the auction workload, and
+the experiment harness regenerating all six figures of the paper's
+evaluation.
+
+Quickstart
+----------
+>>> from repro import P, And, Or, Subscription, CountingMatcher, Event
+>>> matcher = CountingMatcher()
+>>> matcher.register(Subscription(1, And(
+...     P("category") == "fiction", P("price") <= 20.0)))
+>>> matcher.match(Event({"category": "fiction", "price": 8.0}))
+[1]
+
+See README.md for the architecture overview and DESIGN.md for the mapping
+from paper sections to modules.
+"""
+
+from repro.core.adaptive import AdaptivePruner, SystemConditions
+from repro.core.engine import PruningEngine, PruningRecord
+from repro.core.heuristics import DIMENSION_ORDERS, Dimension, HeuristicVector
+from repro.core.ops import PruningOp, apply_pruning, enumerate_prunings, is_prunable
+from repro.core.planner import PruningSchedule
+from repro.errors import (
+    ExperimentError,
+    MatchingError,
+    PruningError,
+    ReproError,
+    RoutingError,
+    SelectivityError,
+    SubscriptionError,
+    TopologyError,
+    WorkloadError,
+)
+from repro.events import Event, EventBatch
+from repro.experiments.centralized import CentralizedExperiment
+from repro.experiments.config import ExperimentConfig, config_for_scale
+from repro.experiments.context import ExperimentContext
+from repro.experiments.distributed import DistributedExperiment
+from repro.matching.counting import CountingMatcher
+from repro.matching.naive import NaiveMatcher
+from repro.matching.stats import MatchStatistics
+from repro.routing.broker import Broker, Interface
+from repro.routing.metrics import CostModel
+from repro.routing.network import BrokerNetwork
+from repro.routing.topology import (
+    Topology,
+    line_topology,
+    star_topology,
+    tree_topology,
+)
+from repro.selectivity.estimator import SelectivityEstimate, SelectivityEstimator
+from repro.selectivity.statistics import (
+    CategoricalStatistics,
+    ContinuousStatistics,
+    EmpiricalStatistics,
+    EventStatistics,
+)
+from repro.subscriptions.builder import And, Not, Or, P, attr
+from repro.subscriptions.normalize import normalize
+from repro.subscriptions.predicates import Operator, Predicate
+from repro.subscriptions.subscription import Subscription
+from repro.workloads.auction import (
+    AuctionWorkload,
+    AuctionWorkloadConfig,
+    SubscriptionClassMix,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptivePruner",
+    "And",
+    "AuctionWorkload",
+    "AuctionWorkloadConfig",
+    "Broker",
+    "BrokerNetwork",
+    "CategoricalStatistics",
+    "CentralizedExperiment",
+    "ContinuousStatistics",
+    "CostModel",
+    "CountingMatcher",
+    "DIMENSION_ORDERS",
+    "Dimension",
+    "DistributedExperiment",
+    "EmpiricalStatistics",
+    "Event",
+    "EventBatch",
+    "EventStatistics",
+    "ExperimentConfig",
+    "ExperimentContext",
+    "ExperimentError",
+    "HeuristicVector",
+    "Interface",
+    "MatchStatistics",
+    "MatchingError",
+    "NaiveMatcher",
+    "Not",
+    "Operator",
+    "Or",
+    "P",
+    "Predicate",
+    "PruningEngine",
+    "PruningError",
+    "PruningOp",
+    "PruningRecord",
+    "PruningSchedule",
+    "ReproError",
+    "RoutingError",
+    "SelectivityError",
+    "SelectivityEstimate",
+    "SelectivityEstimator",
+    "Subscription",
+    "SubscriptionClassMix",
+    "SubscriptionError",
+    "SystemConditions",
+    "Topology",
+    "TopologyError",
+    "WorkloadError",
+    "attr",
+    "apply_pruning",
+    "config_for_scale",
+    "enumerate_prunings",
+    "is_prunable",
+    "line_topology",
+    "normalize",
+    "star_topology",
+    "tree_topology",
+]

@@ -1,0 +1,33 @@
+"""Comparator routing optimizations from the paper's related work (§2.3).
+
+Subscription *covering* and subscription *merging* are the two established
+alternatives to pruning.  Both are restricted to conjunctive subscriptions
+and rely on relationships between subscriptions — exactly the limitation
+the paper contrasts pruning against.  They are implemented here as
+baselines for the ablation benchmarks:
+
+* :mod:`repro.baselines.covering` — suppress routing entries that are
+  covered by a more general registered subscription (Siena/REBECA style);
+* :mod:`repro.baselines.merging` — greedily replace groups of similar
+  conjunctions by a widened merger (imperfect merging with a selectivity
+  budget).
+"""
+
+from repro.baselines.combined import (
+    CoveringWithPruning,
+    PruneMergeResult,
+    prune_to_merge,
+)
+from repro.baselines.covering import CoveringTable, covers, predicate_implies
+from repro.baselines.merging import GreedyMerger, merge_pair
+
+__all__ = [
+    "CoveringTable",
+    "CoveringWithPruning",
+    "GreedyMerger",
+    "PruneMergeResult",
+    "covers",
+    "merge_pair",
+    "predicate_implies",
+    "prune_to_merge",
+]

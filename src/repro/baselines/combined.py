@@ -1,0 +1,105 @@
+"""Combinations of pruning with the classical optimizations (Sect. 2.3).
+
+The paper points out two bridges between pruning and the related work:
+
+* "We can use pruning as an extension of covering" — covering first
+  removes the entries that are subsumed exactly; pruning then generalizes
+  the remaining maximal entries.  :class:`CoveringWithPruning` implements
+  that pipeline.
+* "We can use subscription pruning to solve the merging problem" (via the
+  authors' TR [5]) — pruning drives subscriptions toward more general
+  trees; whenever two routing entries become *identical*, they merge into
+  one for free.  :func:`prune_to_merge` implements this pruning-based
+  merging with a per-step selectivity budget.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Tuple
+
+from repro.baselines.covering import CoveringTable
+from repro.core.engine import PruningEngine
+from repro.core.heuristics import Dimension
+from repro.errors import PruningError
+from repro.selectivity.estimator import SelectivityEstimator
+from repro.subscriptions.nodes import Node
+from repro.subscriptions.subscription import Subscription
+
+
+class CoveringWithPruning:
+    """Covering first, pruning on the surviving maximal subscriptions.
+
+    Covering is free (no extra traffic) but only applies to exact subset
+    relations between conjunctive subscriptions; pruning then takes the
+    table the rest of the way to a target size, paying with generality.
+    """
+
+    def __init__(
+        self,
+        estimator: SelectivityEstimator,
+        dimension: Dimension = Dimension.NETWORK,
+    ) -> None:
+        self.estimator = estimator
+        self.dimension = dimension
+
+    def optimize(
+        self, subscriptions: List[Subscription], target_associations: int
+    ) -> Tuple[List[Subscription], Dict[str, int]]:
+        """Optimize down to ``target_associations`` table entries' leaves.
+
+        Returns the optimized table and a step report:
+        ``{"covered": suppressed_by_covering, "prunings": ops_executed}``.
+        """
+        if target_associations < 0:
+            raise PruningError("target_associations must be non-negative")
+        table = CoveringTable()
+        for subscription in subscriptions:
+            table.register(subscription)
+        active = table.forwarding_set
+        report = {"covered": table.suppressed_count, "prunings": 0}
+
+        engine = PruningEngine(active, self.estimator, self.dimension)
+        while engine.association_count > target_associations:
+            record = engine.step()
+            if record is None:
+                break
+            report["prunings"] += 1
+        return list(engine.pruned_subscriptions().values()), report
+
+
+class PruneMergeResult(NamedTuple):
+    """Outcome of pruning-based merging."""
+
+    table: List[Subscription]      #: merged routing entries (one per tree)
+    groups: Dict[Node, List[int]]  #: pruned tree → original subscription ids
+    prunings: int                  #: pruning operations executed
+
+
+def prune_to_merge(
+    subscriptions: List[Subscription],
+    estimator: SelectivityEstimator,
+    max_step_degradation: float = 0.05,
+    dimension: Dimension = Dimension.NETWORK,
+) -> PruneMergeResult:
+    """Merge subscriptions by pruning them toward common generalizations.
+
+    Prunes with the given dimension while every step's Δ≈sel stays within
+    ``max_step_degradation``, then collapses identical trees into a single
+    routing entry each.  The result covers the input set: every original
+    subscription's tree was only generalized, and its group's
+    representative *is* its pruned tree.
+    """
+    if not 0.0 <= max_step_degradation <= 1.0:
+        raise PruningError("max_step_degradation must be within [0, 1]")
+    engine = PruningEngine(subscriptions, estimator, dimension)
+    executed = engine.run(
+        stop_before=lambda vector: vector.sel > max_step_degradation
+    )
+    groups: Dict[Node, List[int]] = {}
+    for sub_id, pruned in sorted(engine.pruned_subscriptions().items()):
+        groups.setdefault(pruned.tree, []).append(sub_id)
+    table = [
+        Subscription(min(ids), tree)
+        for tree, ids in sorted(groups.items(), key=lambda item: min(item[1]))
+    ]
+    return PruneMergeResult(table=table, groups=groups, prunings=len(executed))

@@ -1,0 +1,184 @@
+"""Subscription covering for conjunctive subscriptions.
+
+A subscription ``g`` covers ``s`` when every event fulfilling ``s`` also
+fulfils ``g``.  Routing tables then only need the *maximal* (uncovered)
+subscriptions: forwarding for ``g`` implies forwarding for everything it
+covers.  Covering is exact — unlike pruning it adds no false forwarding —
+but it only helps when such subset relationships exist, and deciding it
+for arbitrary Boolean expressions is intractable, which is why systems
+(SIENA, REBECA, PADRES) restrict it to conjunctions.  This implementation
+does the same and is the paper's §2.3 comparison point.
+
+The predicate implication test is sound but deliberately incomplete
+(unknown operator pairs report non-implication), which keeps covering
+conservative: it may miss an optimization, never a delivery.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import MatchingError
+from repro.events import Event
+from repro.subscriptions.nodes import AndNode, Node, PredicateLeaf
+from repro.subscriptions.predicates import Operator, Predicate
+from repro.subscriptions.subscription import Subscription
+
+
+def _is_numeric(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def predicate_implies(specific: Predicate, general: Predicate) -> bool:
+    """Sound check that ``specific`` ⟹ ``general`` (same attribute).
+
+    >>> from repro.subscriptions.predicates import Operator, Predicate
+    >>> predicate_implies(Predicate("p", Operator.LE, 10),
+    ...                   Predicate("p", Operator.LE, 20))
+    True
+    """
+    if specific.attribute != general.attribute:
+        return False
+    if specific == general:
+        return True
+    s_op, g_op = specific.operator, general.operator
+    s_val, g_val = specific.value, general.value
+
+    if s_op is Operator.EQ:
+        # A point value implies anything it satisfies.
+        return general.test(s_val)
+    if s_op is Operator.IN_SET:
+        return all(general.test(member) for member in s_val)
+
+    if s_op in (Operator.LE, Operator.LT) and g_op in (Operator.LE, Operator.LT):
+        if not (_is_numeric(s_val) and _is_numeric(g_val)) and not (
+            isinstance(s_val, str) and isinstance(g_val, str)
+        ):
+            return False
+        if s_op is Operator.LE and g_op is Operator.LT:
+            return s_val < g_val
+        return s_val <= g_val
+    if s_op in (Operator.GE, Operator.GT) and g_op in (Operator.GE, Operator.GT):
+        if not (_is_numeric(s_val) and _is_numeric(g_val)) and not (
+            isinstance(s_val, str) and isinstance(g_val, str)
+        ):
+            return False
+        if s_op is Operator.GE and g_op is Operator.GT:
+            return s_val > g_val
+        return s_val >= g_val
+
+    if s_op is Operator.NOT_IN_SET and g_op is Operator.NOT_IN_SET:
+        return g_val <= s_val  # excluding more implies excluding less
+    if s_op is Operator.NE and g_op is Operator.NE:
+        return s_val == g_val
+    if s_op is Operator.NOT_IN_SET and g_op is Operator.NE:
+        return g_val in s_val
+
+    if s_op is Operator.PREFIX and g_op is Operator.PREFIX:
+        return isinstance(s_val, str) and s_val.startswith(g_val)
+    if s_op is Operator.PREFIX and g_op is Operator.CONTAINS:
+        return isinstance(s_val, str) and g_val in s_val
+    if s_op is Operator.CONTAINS and g_op is Operator.CONTAINS:
+        return isinstance(s_val, str) and g_val in s_val
+
+    return False
+
+
+def _conjunction_predicates(tree: Node) -> Optional[List[Predicate]]:
+    """The predicate list of a flat conjunction (or single predicate);
+    ``None`` for non-conjunctive trees."""
+    if isinstance(tree, PredicateLeaf):
+        return [tree.predicate]
+    if isinstance(tree, AndNode) and all(
+        isinstance(child, PredicateLeaf) for child in tree.children
+    ):
+        return [child.predicate for child in tree.children]
+    return None
+
+
+def covers(general: Subscription, specific: Subscription) -> bool:
+    """Whether conjunctive ``general`` covers conjunctive ``specific``.
+
+    Non-conjunctive inputs are never reported as covering/covered
+    (conservative, like the systems this models).
+    """
+    general_predicates = _conjunction_predicates(general.tree)
+    specific_predicates = _conjunction_predicates(specific.tree)
+    if general_predicates is None or specific_predicates is None:
+        return False
+    by_attribute: Dict[str, List[Predicate]] = {}
+    for predicate in specific_predicates:
+        by_attribute.setdefault(predicate.attribute, []).append(predicate)
+    for g_predicate in general_predicates:
+        candidates = by_attribute.get(g_predicate.attribute, [])
+        if not any(
+            predicate_implies(s_predicate, g_predicate)
+            for s_predicate in candidates
+        ):
+            return False
+    return True
+
+
+class CoveringTable:
+    """A routing table that suppresses covered subscriptions.
+
+    Only *maximal* subscriptions (not covered by any other registered one)
+    are forwarded/matched; covered entries are remembered so removing a
+    coverer re-activates them.
+    """
+
+    def __init__(self) -> None:
+        self._subscriptions: Dict[int, Subscription] = {}
+        self._active: Optional[Set[int]] = None
+
+    def register(self, subscription: Subscription) -> None:
+        """Add a subscription."""
+        if subscription.id in self._subscriptions:
+            raise MatchingError(
+                "subscription id %d already registered" % subscription.id
+            )
+        self._subscriptions[subscription.id] = subscription
+        self._active = None
+
+    def unregister(self, subscription_id: int) -> None:
+        """Remove a subscription (re-activating entries it covered)."""
+        if subscription_id not in self._subscriptions:
+            raise MatchingError("subscription id %d unknown" % subscription_id)
+        del self._subscriptions[subscription_id]
+        self._active = None
+
+    def _activate(self) -> Set[int]:
+        if self._active is not None:
+            return self._active
+        ids = sorted(self._subscriptions)
+        active: Set[int] = set(ids)
+        for covered_id in ids:
+            covered = self._subscriptions[covered_id]
+            for coverer_id in ids:
+                if coverer_id == covered_id or coverer_id not in active:
+                    continue
+                if covers(self._subscriptions[coverer_id], covered):
+                    active.discard(covered_id)
+                    break
+        self._active = active
+        return active
+
+    @property
+    def forwarding_set(self) -> List[Subscription]:
+        """The maximal subscriptions actually kept in the routing table."""
+        active = self._activate()
+        return [self._subscriptions[sub_id] for sub_id in sorted(active)]
+
+    @property
+    def suppressed_count(self) -> int:
+        """How many registered subscriptions are covered by others."""
+        return len(self._subscriptions) - len(self._activate())
+
+    @property
+    def association_count(self) -> int:
+        """Predicate/subscription associations of the active table."""
+        return sum(sub.leaf_count for sub in self.forwarding_set)
+
+    def match(self, event: Event) -> bool:
+        """Would this table forward ``event``? (any active entry matches)"""
+        return any(sub.tree.evaluate(event) for sub in self.forwarding_set)

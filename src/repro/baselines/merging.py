@@ -1,0 +1,181 @@
+"""Greedy subscription merging for conjunctive subscriptions.
+
+Merging replaces several similar subscriptions by one more general
+*merger* covering all of them — trading routing-table size for extra
+forwarded events, like pruning, but only where subscriptions overlap.
+Finding optimal mergers is NP-hard (the paper cites Crespo et al.), so
+practical systems merge greedily; this implementation does the same:
+
+1. group conjunctions by their attribute signature;
+2. within a group, repeatedly merge the pair whose merger has the lowest
+   estimated selectivity (least added traffic);
+3. stop when the table hits a target size or no merge stays within the
+   per-merge selectivity budget.
+
+The merger of two conjunctions keeps the attributes present in both, with
+each attribute's predicate *widened* to imply both inputs; attributes
+present in only one input are dropped (a generalization, exactly like a
+pruning step).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import MatchingError
+from repro.selectivity.estimator import SelectivityEstimator
+from repro.subscriptions.builder import And
+from repro.subscriptions.nodes import AndNode, Node, PredicateLeaf
+from repro.subscriptions.normalize import normalize
+from repro.subscriptions.predicates import Operator, Predicate
+from repro.subscriptions.subscription import Subscription
+
+_LOWER_OPS = (Operator.GE, Operator.GT)
+_UPPER_OPS = (Operator.LE, Operator.LT)
+
+
+def _conjunction_by_attribute(tree: Node) -> Optional[Dict[str, Predicate]]:
+    """attribute → predicate map of a flat conjunction with at most one
+    predicate per attribute; ``None`` when the tree does not qualify."""
+    if isinstance(tree, PredicateLeaf):
+        return {tree.predicate.attribute: tree.predicate}
+    if not isinstance(tree, AndNode):
+        return None
+    result: Dict[str, Predicate] = {}
+    for child in tree.children:
+        if not isinstance(child, PredicateLeaf):
+            return None
+        predicate = child.predicate
+        if predicate.attribute in result:
+            return None
+        result[predicate.attribute] = predicate
+    return result
+
+
+def _widen(left: Predicate, right: Predicate) -> Optional[Predicate]:
+    """A predicate implied by both inputs, or ``None`` to drop the attribute."""
+    if left == right:
+        return left
+    attribute = left.attribute
+    ops = (left.operator, right.operator)
+    values = (left.value, right.value)
+    if all(op in (Operator.EQ, Operator.IN_SET) for op in ops):
+        members = set()
+        for op, value in zip(ops, values):
+            if op is Operator.EQ:
+                members.add(value)
+            else:
+                members.update(value)
+        return Predicate(attribute, Operator.IN_SET, frozenset(members))
+    if all(op in _UPPER_OPS for op in ops):
+        # keep the looser upper bound; LE is looser than LT at equal values
+        if values[0] == values[1]:
+            return Predicate(attribute, Operator.LE, values[0])
+        index = 0 if values[0] > values[1] else 1
+        return Predicate(attribute, ops[index], values[index])
+    if all(op in _LOWER_OPS for op in ops):
+        if values[0] == values[1]:
+            return Predicate(attribute, Operator.GE, values[0])
+        index = 0 if values[0] < values[1] else 1
+        return Predicate(attribute, ops[index], values[index])
+    if all(op is Operator.PREFIX for op in ops):
+        shorter, longer = sorted(values, key=len)
+        if longer.startswith(shorter):
+            return Predicate(attribute, Operator.PREFIX, shorter)
+        return None
+    return None
+
+
+def merge_pair(left: Subscription, right: Subscription) -> Optional[Node]:
+    """The widened merger tree of two conjunctive subscriptions.
+
+    Returns ``None`` when either input is non-conjunctive or the merger
+    would degenerate to constant true (no shared attribute survives).
+    """
+    left_map = _conjunction_by_attribute(left.tree)
+    right_map = _conjunction_by_attribute(right.tree)
+    if left_map is None or right_map is None:
+        return None
+    kept: List[Predicate] = []
+    for attribute in sorted(set(left_map) & set(right_map)):
+        widened = _widen(left_map[attribute], right_map[attribute])
+        if widened is not None:
+            kept.append(widened)
+    if not kept:
+        return None
+    return normalize(And(*[PredicateLeaf(predicate) for predicate in kept]))
+
+
+class GreedyMerger:
+    """Greedy selectivity-bounded merging over a set of subscriptions.
+
+    Parameters
+    ----------
+    estimator:
+        Used to score mergers (lower estimated average selectivity first).
+    max_merger_selectivity:
+        Mergers whose estimated average selectivity exceeds this budget
+        are not considered (bounds added traffic per merge).
+    """
+
+    def __init__(
+        self,
+        estimator: SelectivityEstimator,
+        max_merger_selectivity: float = 0.25,
+    ) -> None:
+        if not 0.0 < max_merger_selectivity <= 1.0:
+            raise MatchingError("max_merger_selectivity must be in (0, 1]")
+        self.estimator = estimator
+        self.max_merger_selectivity = max_merger_selectivity
+
+    def merge(
+        self, subscriptions: List[Subscription], target_count: int
+    ) -> List[Subscription]:
+        """Merge down toward ``target_count`` table entries.
+
+        Returns the resulting table: mergers get fresh ids above the
+        maximum input id; unmergeable subscriptions pass through.  The
+        result always covers the input set (no lost events).
+        """
+        if target_count < 1:
+            raise MatchingError("target_count must be positive")
+        table: Dict[int, Subscription] = {sub.id: sub for sub in subscriptions}
+        next_id = max(table, default=0) + 1
+
+        groups: Dict[Tuple[str, ...], List[int]] = {}
+        for sub in subscriptions:
+            mapping = _conjunction_by_attribute(sub.tree)
+            if mapping is not None:
+                groups.setdefault(tuple(sorted(mapping)), []).append(sub.id)
+
+        group_lists = sorted(
+            (ids for ids in groups.values() if len(ids) >= 2),
+            key=lambda ids: (-len(ids), ids[0]),
+        )
+        for ids in group_lists:
+            pool = list(ids)
+            while len(table) > target_count and len(pool) >= 2:
+                best: Optional[Tuple[float, int, int, Node]] = None
+                for i in range(len(pool)):
+                    for j in range(i + 1, len(pool)):
+                        merged = merge_pair(table[pool[i]], table[pool[j]])
+                        if merged is None:
+                            continue
+                        selectivity = self.estimator.estimate(merged).avg
+                        if selectivity > self.max_merger_selectivity:
+                            continue
+                        if best is None or selectivity < best[0]:
+                            best = (selectivity, i, j, merged)
+                if best is None:
+                    break
+                _selectivity, i, j, merged_tree = best
+                merger = Subscription(next_id, merged_tree)
+                next_id += 1
+                for index in sorted((i, j), reverse=True):
+                    del table[pool[index]]
+                    del pool[index]
+                table[merger.id] = merger
+                pool.append(merger.id)
+            if len(table) <= target_count:
+                break
+        return [table[sub_id] for sub_id in sorted(table)]

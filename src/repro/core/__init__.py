@@ -1,0 +1,55 @@
+"""Dimension-based subscription pruning — the paper's contribution.
+
+* :mod:`repro.core.ops` — what a pruning *is*: removing one child of an
+  AND node (equivalently, replacing a subtree with constant true under
+  negation normal form), plus enumeration of all valid prunings of a tree.
+* :mod:`repro.core.heuristics` — the three dimension heuristics Δ≈sel,
+  Δ≈mem, Δ≈eff and their lexicographic tie-breaking orders (Sect. 3.1–3.4).
+* :mod:`repro.core.engine` — the priority-queue pruning engine: always
+  perform the globally most effective pruning, then re-insert the pruned
+  subscription's next-best option (Sect. 3.4).
+* :mod:`repro.core.planner` — recorded pruning schedules and prefix replay,
+  the mechanism behind the paper's "proportional number of prunings" axes.
+* :mod:`repro.core.adaptive` — dimension switching driven by observed
+  system conditions (the introduction's "dynamically adjust our
+  optimization" idea).
+"""
+
+from repro.core.adaptive import AdaptivePruner, SystemConditions
+from repro.core.engine import PruningEngine, PruningRecord
+from repro.core.heuristics import (
+    DIMENSION_ORDERS,
+    Dimension,
+    HeuristicVector,
+    PruningHeuristics,
+)
+from repro.core.ops import (
+    PruningOp,
+    PruningState,
+    apply_pruning,
+    enumerate_prunings,
+    is_prunable,
+)
+from repro.core.optimum import OptimumResult, OptimumSearch, weighted_cost
+from repro.core.planner import PruningSchedule, replay_prefix
+
+__all__ = [
+    "AdaptivePruner",
+    "DIMENSION_ORDERS",
+    "Dimension",
+    "HeuristicVector",
+    "OptimumResult",
+    "OptimumSearch",
+    "PruningEngine",
+    "PruningHeuristics",
+    "PruningOp",
+    "PruningRecord",
+    "PruningSchedule",
+    "PruningState",
+    "SystemConditions",
+    "apply_pruning",
+    "enumerate_prunings",
+    "is_prunable",
+    "replay_prefix",
+    "weighted_cost",
+]

@@ -1,0 +1,136 @@
+"""Adaptive dimension switching driven by system conditions.
+
+The paper's introduction sketches the operational use of dimension-based
+pruning: "if the number of subscriptions increases strongly, we use
+memory-based pruning; bandwidth limitations suggest to apply network-based
+pruning".  :class:`AdaptivePruner` packages that policy: it watches
+reported :class:`SystemConditions`, picks the dimension whose resource is
+under the most pressure, and prunes in batches with the shared
+:class:`~repro.core.engine.PruningEngine` (whose original-tree reference
+points survive dimension switches).
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional, Sequence
+
+from repro.core.engine import PruningEngine, PruningRecord
+from repro.core.heuristics import Dimension
+from repro.errors import PruningError
+from repro.selectivity.estimator import SelectivityEstimator
+from repro.subscriptions.subscription import Subscription
+
+
+class SystemConditions(NamedTuple):
+    """A snapshot of the resources dimension selection trades off.
+
+    Attributes
+    ----------
+    memory_used_bytes / memory_budget_bytes:
+        Routing-table storage pressure; ratios near 1 call for
+        memory-based pruning.
+    bandwidth_utilization:
+        Fraction of link capacity in use; high values call for
+        network-based pruning (it adds the fewest forwarded events).
+    filter_saturation:
+        Fraction of broker CPU spent filtering; high values call for
+        throughput-based pruning.
+    """
+
+    memory_used_bytes: int
+    memory_budget_bytes: int
+    bandwidth_utilization: float
+    filter_saturation: float
+
+    @property
+    def memory_pressure(self) -> float:
+        """Used/budget ratio (0 when no budget is configured)."""
+        if self.memory_budget_bytes <= 0:
+            return 0.0
+        return self.memory_used_bytes / self.memory_budget_bytes
+
+
+class AdaptivePruner:
+    """Batch pruner that re-selects its dimension from observed pressure.
+
+    Parameters
+    ----------
+    subscriptions, estimator:
+        As for :class:`~repro.core.engine.PruningEngine`.
+    memory_threshold, bandwidth_threshold, filter_threshold:
+        Pressure levels above which the corresponding dimension is
+        considered stressed.  When several are stressed, the most stressed
+        one (largest margin over its threshold) wins; when none is, the
+        paper's general-purpose recommendation — network-based pruning —
+        applies.
+    """
+
+    def __init__(
+        self,
+        subscriptions: Sequence[Subscription],
+        estimator: SelectivityEstimator,
+        memory_threshold: float = 0.9,
+        bandwidth_threshold: float = 0.8,
+        filter_threshold: float = 0.8,
+        initial_dimension: Dimension = Dimension.NETWORK,
+    ) -> None:
+        for name, threshold in (
+            ("memory_threshold", memory_threshold),
+            ("bandwidth_threshold", bandwidth_threshold),
+            ("filter_threshold", filter_threshold),
+        ):
+            if not 0.0 < threshold <= 1.0:
+                raise PruningError("%s must be within (0, 1]" % name)
+        self.engine = PruningEngine(subscriptions, estimator, initial_dimension)
+        self.memory_threshold = memory_threshold
+        self.bandwidth_threshold = bandwidth_threshold
+        self.filter_threshold = filter_threshold
+        self.dimension_history: List[Dimension] = [initial_dimension]
+
+    def select_dimension(self, conditions: SystemConditions) -> Dimension:
+        """The dimension this policy picks under ``conditions``."""
+        margins = [
+            (conditions.memory_pressure - self.memory_threshold, Dimension.MEMORY),
+            (
+                conditions.bandwidth_utilization - self.bandwidth_threshold,
+                Dimension.NETWORK,
+            ),
+            (
+                conditions.filter_saturation - self.filter_threshold,
+                Dimension.THROUGHPUT,
+            ),
+        ]
+        stressed = [entry for entry in margins if entry[0] >= 0.0]
+        if not stressed:
+            return Dimension.NETWORK
+        stressed.sort(key=lambda entry: (-entry[0], entry[1].value))
+        return stressed[0][1]
+
+    def optimize(
+        self,
+        conditions: SystemConditions,
+        batch_size: int,
+        stop_degradation: Optional[float] = None,
+    ) -> List[PruningRecord]:
+        """Prune one batch under the dimension chosen for ``conditions``.
+
+        ``stop_degradation`` optionally bounds the per-step Δ≈sel, so even
+        memory- or throughput-driven batches never queue an excessively
+        unselective routing entry.
+        """
+        if batch_size <= 0:
+            raise PruningError("batch_size must be positive")
+        dimension = self.select_dimension(conditions)
+        if dimension is not self.engine.dimension:
+            self.engine.switch_dimension(dimension)
+        self.dimension_history.append(dimension)
+        stop_before = None
+        if stop_degradation is not None:
+            limit = stop_degradation
+            stop_before = lambda vector: vector.sel > limit  # noqa: E731
+        return self.engine.run(max_steps=batch_size, stop_before=stop_before)
+
+    @property
+    def current_dimension(self) -> Dimension:
+        """The engine's active dimension."""
+        return self.engine.dimension

@@ -1,0 +1,137 @@
+"""The three dimension heuristics and their priority orders (Sect. 3).
+
+For a candidate pruning of subscription ``s_x`` into ``s_y``:
+
+* **network** (Sect. 3.1): ``Δ≈sel(s_x, s_y)`` — the maximal componentwise
+  increase of the (min, avg, max) selectivity estimate, with ``s_x`` the
+  *originally registered* subscription so the accumulated degradation of
+  repeated prunings is always accounted for.  Smaller is better.
+* **memory** (Sect. 3.2): ``Δ≈mem(s_x, s_y) = mem(s_x) − mem(s_y)`` with
+  ``s_x`` the tree *immediately before* this pruning, quantifying the
+  direct per-step reduction.  Larger is better.
+* **throughput** (Sect. 3.3): ``Δ≈eff(s_x, s_y) = pmin(s_y) − pmin(s_x)``
+  with ``s_x`` again the original subscription.  Pruning only removes
+  predicates, so ``Δ≈eff ≤ 0``; larger (closer to zero) is better because a
+  higher remaining ``pmin`` means the counting engine evaluates the pruned
+  subscription less often.
+
+Ranking (Sect. 3.4): each dimension sorts by its own heuristic first and
+breaks ties with the other two, in a fixed order per dimension:
+
+* network:    (Δ≈sel, Δ≈eff, Δ≈mem)
+* memory:     (Δ≈mem, Δ≈sel, Δ≈eff)
+* throughput: (Δ≈eff, Δ≈sel, Δ≈mem)
+
+:func:`PruningHeuristics.key` orients every component so that *smaller is
+better*, ready for a min-heap: Δ≈sel ascending, Δ≈eff and Δ≈mem negated.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, NamedTuple, Tuple
+
+from repro.errors import PruningError
+from repro.selectivity.estimator import SelectivityEstimate, SelectivityEstimator
+from repro.subscriptions.metrics import memory_bytes, pmin
+from repro.subscriptions.nodes import Node
+from repro.core.ops import PruningOp, PruningState, apply_pruning
+
+
+class Dimension(enum.Enum):
+    """The three dimensions of optimization (paper Sect. 1)."""
+
+    NETWORK = "sel"
+    MEMORY = "mem"
+    THROUGHPUT = "eff"
+
+
+class HeuristicVector(NamedTuple):
+    """Raw heuristic values of one candidate pruning."""
+
+    sel: float  #: Δ≈sel — estimated selectivity degradation (≥ 0, smaller better)
+    eff: int    #: Δ≈eff — pmin(pruned) − pmin(original) (≤ 0, larger better)
+    mem: int    #: Δ≈mem — bytes saved by this step (≥ 0, larger better)
+
+
+#: Per-dimension lexicographic tie-breaking orders (paper Sect. 3.4).
+DIMENSION_ORDERS: Dict[Dimension, Tuple[str, str, str]] = {
+    Dimension.NETWORK: ("sel", "eff", "mem"),
+    Dimension.MEMORY: ("mem", "sel", "eff"),
+    Dimension.THROUGHPUT: ("eff", "sel", "mem"),
+}
+
+
+def _oriented(component: str, vector: HeuristicVector) -> float:
+    """Map a component to a value where smaller always means better."""
+    if component == "sel":
+        return vector.sel
+    if component == "eff":
+        return -float(vector.eff)
+    if component == "mem":
+        return -float(vector.mem)
+    raise PruningError("unknown heuristic component %r" % component)
+
+
+class PruningHeuristics:
+    """Computes heuristic vectors and priority keys for candidate prunings.
+
+    Parameters
+    ----------
+    estimator:
+        Selectivity estimator backed by workload statistics.
+    dimension:
+        The primary dimension of optimization.
+    """
+
+    def __init__(self, estimator: SelectivityEstimator, dimension: Dimension) -> None:
+        if dimension not in DIMENSION_ORDERS:
+            raise PruningError("unknown dimension %r" % (dimension,))
+        self.estimator = estimator
+        self.dimension = dimension
+        self.order = DIMENSION_ORDERS[dimension]
+
+    # -- per-subscription cached reference points ---------------------------
+
+    def reference(self, state: PruningState) -> Tuple[SelectivityEstimate, int]:
+        """The original tree's (selectivity estimate, pmin) reference."""
+        return self.reference_for_tree(state.original)
+
+    def reference_for_tree(self, tree: Node) -> Tuple[SelectivityEstimate, int]:
+        """(selectivity estimate, pmin) of an arbitrary reference tree."""
+        return self.estimator.estimate(tree), pmin(tree)
+
+    # -- vector computation ---------------------------------------------------
+
+    def vector(
+        self,
+        state: PruningState,
+        op: PruningOp,
+        original_estimate: SelectivityEstimate,
+        original_pmin: int,
+    ) -> Tuple[HeuristicVector, Node]:
+        """Heuristic values of applying ``op`` to ``state``'s current tree.
+
+        Returns the vector together with the pruned tree so the caller
+        never has to re-apply the operation.
+        """
+        current = state.current
+        pruned = apply_pruning(current, op)
+        pruned_estimate = self.estimator.estimate(pruned)
+        delta_sel = max(
+            pruned_estimate.min - original_estimate.min,
+            pruned_estimate.avg - original_estimate.avg,
+            pruned_estimate.max - original_estimate.max,
+        )
+        delta_eff = pmin(pruned) - original_pmin
+        delta_mem = memory_bytes(current) - memory_bytes(pruned)
+        return HeuristicVector(delta_sel, delta_eff, delta_mem), pruned
+
+    def key(self, vector: HeuristicVector) -> Tuple[float, float, float]:
+        """Min-heap priority key under this dimension's tie-break order."""
+        first, second, third = self.order
+        return (
+            _oriented(first, vector),
+            _oriented(second, vector),
+            _oriented(third, vector),
+        )

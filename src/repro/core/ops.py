@@ -1,0 +1,159 @@
+"""Pruning operations on subscription trees.
+
+Pruning generalizes a subscription: the pruned tree is fulfilled by a
+superset of the events fulfilling the original (paper Sect. 2.2).  Under
+negation normal form this has a crisp characterization:
+
+* replacing any subtree with constant ``true`` and folding is the generic
+  generalization step;
+* replacing an OR-child with ``true`` collapses the entire OR (and cascades
+  upward), so it is *the same operation* as pruning the nearest enclosing
+  AND-child (or the root);
+* therefore the distinct, non-degenerate pruning operations of a tree are
+  exactly **remove one child of one AND node**.  Pruning at the root
+  (subscription → ``true``) removes the subscription entirely and is
+  excluded, matching the paper's convention that the x-axis ends where
+  "any other pruning removes a complete subscription".
+
+The optional *bottom-up restriction* (paper Sect. 3.2, introduced for
+memory-based pruning) declares a pruning of node ``n`` valid only if no
+valid pruning exists within ``n``'s subtree — i.e. the removed child must
+not itself contain an AND node.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, NamedTuple, Optional, Tuple
+
+from repro.errors import PruningError
+from repro.subscriptions.nodes import AndNode, Node, Path, PredicateLeaf
+from repro.subscriptions.normalize import fold_constants, is_normalized
+from repro.subscriptions.subscription import Subscription
+
+
+class PruningOp(NamedTuple):
+    """One pruning: remove child ``child_index`` of the AND node at
+    ``and_path`` (a tuple of child indexes from the root)."""
+
+    and_path: Path
+    child_index: int
+
+    def describe(self, tree: Node) -> str:
+        """Human-readable description against a concrete tree."""
+        and_node = tree.node_at(self.and_path)
+        child = and_node.children[self.child_index]
+        return "prune %r at path %s[%d]" % (child, self.and_path, self.child_index)
+
+
+def _contains_and(node: Node) -> bool:
+    if isinstance(node, AndNode):
+        return True
+    return any(_contains_and(child) for child in node.children)
+
+
+def enumerate_prunings(tree: Node, bottom_up_only: bool = False) -> List[PruningOp]:
+    """All valid pruning operations of ``tree``, in deterministic order.
+
+    ``tree`` must be normalized.  With ``bottom_up_only`` (Sect. 3.2), a
+    child is removable only if it contains no AND node itself.
+    """
+    ops: List[PruningOp] = []
+    for path, node in tree.iter_nodes():
+        if not isinstance(node, AndNode):
+            continue
+        for index, child in enumerate(node.children):
+            if bottom_up_only and _contains_and(child):
+                continue
+            ops.append(PruningOp(path, index))
+    return ops
+
+
+def is_prunable(tree: Node, bottom_up_only: bool = False) -> bool:
+    """Whether ``tree`` offers at least one valid pruning.
+
+    Note that under the bottom-up restriction this is equivalent to the
+    unrestricted check: every AND node contains, somewhere below it, a
+    bottom-most AND whose children are removable.
+    """
+    if bottom_up_only:
+        return bool(enumerate_prunings(tree, bottom_up_only=True))
+    return any(isinstance(node, AndNode) for _path, node in tree.iter_nodes())
+
+
+def pruned_child(tree: Node, op: PruningOp) -> Node:
+    """The subtree that ``op`` removes (for inspection and heuristics)."""
+    and_node = tree.node_at(op.and_path)
+    if not isinstance(and_node, AndNode):
+        raise PruningError("pruning path does not address an AND node")
+    children = and_node.children
+    if not 0 <= op.child_index < len(children):
+        raise PruningError("pruning child index out of range")
+    return children[op.child_index]
+
+
+def apply_pruning(tree: Node, op: PruningOp) -> Node:
+    """Apply ``op`` to ``tree`` and return the folded, generalized tree.
+
+    Equivalent to replacing the removed child with constant ``true`` and
+    re-establishing the normalization invariants (without re-sorting, so
+    sibling paths remain stable for replay).
+    """
+    and_node = tree.node_at(op.and_path)
+    if not isinstance(and_node, AndNode):
+        raise PruningError("pruning path does not address an AND node")
+    children = and_node.children
+    if not 0 <= op.child_index < len(children):
+        raise PruningError("pruning child index out of range")
+    remaining = children[: op.child_index] + children[op.child_index + 1 :]
+    if len(remaining) == 1:
+        replacement: Node = remaining[0]
+    else:
+        replacement = AndNode(remaining)
+    # fold_constants also flattens a surviving OR child into an OR parent
+    # (or AND into AND), restoring the normalization invariants.
+    return fold_constants(tree.replace_at(op.and_path, replacement))
+
+
+class PruningState:
+    """Mutable pruning state of one subscription inside an engine.
+
+    Tracks the *originally registered* tree (the Δ≈sel/Δ≈eff reference
+    point, Sect. 3.1/3.3), the current pruned tree (the Δ≈mem reference,
+    Sect. 3.2), and the history of applied operations (for replay).
+    """
+
+    __slots__ = ("subscription", "current", "history")
+
+    def __init__(self, subscription: Subscription) -> None:
+        if not is_normalized(subscription.tree):
+            raise PruningError("PruningState requires a normalized subscription")
+        self.subscription = subscription
+        self.current: Node = subscription.tree
+        self.history: List[PruningOp] = []
+
+    @property
+    def original(self) -> Node:
+        """The originally registered (never pruned) tree."""
+        return self.subscription.tree
+
+    @property
+    def pruning_count(self) -> int:
+        """Number of prunings applied so far."""
+        return len(self.history)
+
+    def apply(self, op: PruningOp) -> Node:
+        """Apply ``op`` to the current tree, record it, return the result."""
+        self.current = apply_pruning(self.current, op)
+        self.history.append(op)
+        return self.current
+
+    def record(self, op: PruningOp, pruned: Node) -> None:
+        """Record an already-applied op (engines precompute pruned trees)."""
+        self.current = pruned
+        self.history.append(op)
+
+    def as_subscription(self) -> Subscription:
+        """The subscription carrying the current pruned tree."""
+        if not self.history:
+            return self.subscription
+        return self.subscription.with_tree(self.current)

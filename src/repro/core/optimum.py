@@ -1,0 +1,151 @@
+"""Searching for the best number of pruning operations.
+
+The paper's future work asks "how to dynamically determine the number of
+pruning operations leading to the best overall optimization" (Sect. 5):
+its Fig. 1(d) shows distributed routing cost falling, bottoming out, and
+rising again as pruning proceeds — so there is a non-trivial optimum.
+
+:class:`OptimumSearch` finds it against any caller-supplied cost
+functional (e.g. measured seconds per event, or a weighted combination of
+time, memory, and network load):
+
+1. evaluate a coarse grid of pruning counts over ``[0, total]``;
+2. repeatedly zoom into the interval around the incumbent best and
+   evaluate a finer grid there, until the interval collapses or the
+   evaluation budget is spent.
+
+Cost functions are typically noisy (they time real matching), so the
+search keeps every evaluation and reports the incumbent rather than
+assuming convexity.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, NamedTuple, Optional, Tuple
+
+from repro.core.planner import PruningSchedule
+from repro.errors import PruningError
+from repro.subscriptions.subscription import Subscription
+
+CostFunction = Callable[[Dict[int, Subscription], int], float]
+
+
+class OptimumResult(NamedTuple):
+    """Outcome of an optimum search."""
+
+    count: int                       #: best number of prunings found
+    proportion: float                #: count / schedule.total
+    cost: float                      #: cost at the optimum
+    evaluations: List[Tuple[int, float]]  #: every (count, cost) evaluated
+
+
+class OptimumSearch:
+    """Grid-refinement search over a pruning schedule.
+
+    Parameters
+    ----------
+    schedule:
+        A fully built :class:`~repro.core.planner.PruningSchedule`.
+    cost:
+        Called as ``cost(pruned_subscriptions, count)``; smaller is better.
+    coarse_points:
+        Number of evaluations in the initial full-range grid (>= 3).
+    refine_rounds:
+        How many times to zoom into the incumbent's neighborhood.
+    refine_points:
+        Evaluations per refinement round.
+    """
+
+    def __init__(
+        self,
+        schedule: PruningSchedule,
+        cost: CostFunction,
+        coarse_points: int = 7,
+        refine_rounds: int = 2,
+        refine_points: int = 5,
+    ) -> None:
+        if coarse_points < 3:
+            raise PruningError("coarse_points must be at least 3")
+        if refine_rounds < 0 or refine_points < 3:
+            raise PruningError("invalid refinement parameters")
+        self.schedule = schedule
+        self.cost = cost
+        self.coarse_points = coarse_points
+        self.refine_rounds = refine_rounds
+        self.refine_points = refine_points
+        self._cache: Dict[int, float] = {}
+        self._evaluations: List[Tuple[int, float]] = []
+
+    def _grid(self, low: int, high: int, points: int) -> List[int]:
+        if high <= low:
+            return [low]
+        step = (high - low) / (points - 1)
+        counts = sorted({low + round(index * step) for index in range(points)})
+        return [min(high, max(low, count)) for count in counts]
+
+    def _evaluate(self, counts: List[int]) -> None:
+        """Evaluate all new counts in one incremental sweep."""
+        fresh = sorted(set(counts) - set(self._cache))
+        if not fresh:
+            return
+        for count, pruned in self.schedule.sweep(fresh):
+            value = self.cost(pruned, count)
+            self._cache[count] = value
+            self._evaluations.append((count, value))
+
+    def search(self) -> OptimumResult:
+        """Run the search and return the incumbent optimum."""
+        total = self.schedule.total
+        self._evaluate(self._grid(0, total, self.coarse_points))
+        for _round in range(self.refine_rounds):
+            best_count = min(self._cache, key=lambda c: (self._cache[c], c))
+            evaluated = sorted(self._cache)
+            position = evaluated.index(best_count)
+            low = evaluated[max(0, position - 1)]
+            high = evaluated[min(len(evaluated) - 1, position + 1)]
+            if high - low <= 1:
+                break
+            self._evaluate(self._grid(low, high, self.refine_points))
+        best_count = min(self._cache, key=lambda c: (self._cache[c], c))
+        return OptimumResult(
+            count=best_count,
+            proportion=(best_count / total) if total else 0.0,
+            cost=self._cache[best_count],
+            evaluations=list(self._evaluations),
+        )
+
+
+def weighted_cost(
+    time_weight: float = 1.0,
+    network_weight: float = 0.0,
+    memory_weight: float = 0.0,
+    measure_time: Optional[Callable[[Dict[int, Subscription]], float]] = None,
+    measure_network: Optional[Callable[[Dict[int, Subscription]], float]] = None,
+    initial_associations: Optional[int] = None,
+) -> CostFunction:
+    """Build a combined cost functional over the three dimensions.
+
+    Each enabled component must come with its measurement callable; the
+    memory component is derived from association counts (needs
+    ``initial_associations``).  Components are combined linearly — the
+    caller owns the normalization of the weights.
+    """
+    if time_weight and measure_time is None:
+        raise PruningError("time_weight requires measure_time")
+    if network_weight and measure_network is None:
+        raise PruningError("network_weight requires measure_network")
+    if memory_weight and initial_associations is None:
+        raise PruningError("memory_weight requires initial_associations")
+
+    def cost(pruned: Dict[int, Subscription], _count: int) -> float:
+        value = 0.0
+        if time_weight:
+            value += time_weight * measure_time(pruned)
+        if network_weight:
+            value += network_weight * measure_network(pruned)
+        if memory_weight:
+            associations = sum(s.leaf_count for s in pruned.values())
+            value += memory_weight * (associations / initial_associations)
+        return value
+
+    return cost

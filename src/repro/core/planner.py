@@ -1,0 +1,117 @@
+"""Recorded pruning schedules and prefix replay.
+
+The paper's figures put the *proportional number of performed prunings* on
+the x-axis: each heuristic runs until no valid pruning remains, and every
+measurement point corresponds to a prefix of that run.  A
+:class:`PruningSchedule` captures the full run once; prefixes are then
+replayed cheaply (pruning decisions depend only on subscription state and
+static workload statistics, never on measurements, so replay is exact).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import PruningError
+from repro.core.engine import PruningEngine, PruningRecord
+from repro.core.heuristics import Dimension
+from repro.core.ops import PruningState
+from repro.selectivity.estimator import SelectivityEstimator
+from repro.subscriptions.subscription import Subscription
+
+
+class PruningSchedule:
+    """A complete pruning run of one dimension over one subscription set."""
+
+    def __init__(
+        self,
+        dimension: Dimension,
+        subscriptions: Sequence[Subscription],
+        records: List[PruningRecord],
+        bottom_up_only: bool,
+    ) -> None:
+        self.dimension = dimension
+        self.subscriptions = list(subscriptions)
+        self.records = records
+        self.bottom_up_only = bottom_up_only
+
+    @classmethod
+    def build(
+        cls,
+        subscriptions: Sequence[Subscription],
+        estimator: SelectivityEstimator,
+        dimension: Dimension,
+        bottom_up_only: Optional[bool] = None,
+    ) -> "PruningSchedule":
+        """Run ``dimension``-based pruning to exhaustion and record it."""
+        engine = PruningEngine(
+            subscriptions, estimator, dimension, bottom_up_only=bottom_up_only
+        )
+        engine.run()
+        return cls(dimension, subscriptions, engine.records, engine.bottom_up_only)
+
+    @property
+    def total(self) -> int:
+        """Total number of possible prunings under this heuristic."""
+        return len(self.records)
+
+    def prefix_count(self, proportion: float) -> int:
+        """Number of prunings corresponding to an x-axis proportion."""
+        if not 0.0 <= proportion <= 1.0:
+            raise PruningError("proportion must be within [0, 1]")
+        return round(proportion * self.total)
+
+    def replay(self, count: int) -> Dict[int, Subscription]:
+        """Subscriptions after the first ``count`` prunings of the run."""
+        states = self._fresh_states()
+        self._apply(states, self.records[:count])
+        return {
+            sub_id: state.as_subscription() for sub_id, state in states.items()
+        }
+
+    def sweep(
+        self, counts: Iterable[int]
+    ) -> Iterator[Tuple[int, Dict[int, Subscription]]]:
+        """Yield ``(count, pruned subscriptions)`` at increasing prefixes.
+
+        Counts must be non-decreasing; the replay state advances
+        incrementally, so a whole sweep costs one full replay.
+        """
+        states = self._fresh_states()
+        position = 0
+        for count in counts:
+            if count < position:
+                raise PruningError("sweep counts must be non-decreasing")
+            if count > self.total:
+                raise PruningError(
+                    "count %d exceeds schedule total %d" % (count, self.total)
+                )
+            self._apply(states, self.records[position:count])
+            position = count
+            yield count, {
+                sub_id: state.as_subscription() for sub_id, state in states.items()
+            }
+
+    def _fresh_states(self) -> Dict[int, PruningState]:
+        return {
+            subscription.id: PruningState(subscription)
+            for subscription in self.subscriptions
+        }
+
+    @staticmethod
+    def _apply(states: Dict[int, PruningState], records: Sequence[PruningRecord]) -> None:
+        for record in records:
+            states[record.subscription_id].apply(record.op)
+
+    def proportions(self, points: int) -> List[float]:
+        """An evenly spaced x-axis grid of ``points`` proportions in [0, 1]."""
+        if points < 2:
+            raise PruningError("need at least two grid points")
+        return [index / (points - 1) for index in range(points)]
+
+
+def replay_prefix(
+    schedule: PruningSchedule, proportion: float
+) -> Dict[int, Subscription]:
+    """Subscriptions after ``proportion`` of the schedule's prunings."""
+    return schedule.replay(schedule.prefix_count(proportion))

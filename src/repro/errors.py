@@ -1,0 +1,55 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SubscriptionError(ReproError):
+    """Raised for malformed subscription trees or predicates."""
+
+
+class NormalizationError(SubscriptionError):
+    """Raised when a subscription tree cannot be normalized.
+
+    The usual cause is a negation of a predicate whose operator has no
+    complement (for example substring containment).
+    """
+
+
+class PruningError(ReproError):
+    """Raised when a pruning operation is invalid or cannot be applied."""
+
+
+class NoValidPruningError(PruningError):
+    """Raised when a subscription offers no valid (non-root) pruning."""
+
+
+class MatchingError(ReproError):
+    """Raised by filtering engines for inconsistent registrations."""
+
+
+class SelectivityError(ReproError):
+    """Raised when selectivity statistics are missing or inconsistent."""
+
+
+class RoutingError(ReproError):
+    """Raised by the broker-network substrate."""
+
+
+class TopologyError(RoutingError):
+    """Raised for invalid broker topologies (cycles, unknown brokers)."""
+
+
+class WorkloadError(ReproError):
+    """Raised by workload generators for invalid configurations."""
+
+
+class ExperimentError(ReproError):
+    """Raised by the experiment harness for invalid configurations."""

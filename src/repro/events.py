@@ -1,0 +1,148 @@
+"""Event messages for the attribute-value pair publish/subscribe model.
+
+An event message is a flat set of attribute-value pairs (paper Sect. 2.1).
+Values are strings, booleans, integers, or floats.  Events are immutable so
+they can be shared freely between brokers, matchers, and statistics
+collectors without defensive copies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple, Union
+
+Value = Union[str, int, float, bool]
+
+#: Per-message envelope overhead, in bytes, charged by the wire-size model
+#: (message framing, type tag, attribute count).
+_ENVELOPE_BYTES = 16
+#: Per-attribute overhead, in bytes (length prefixes, type tags).
+_ATTRIBUTE_OVERHEAD_BYTES = 4
+_NUMERIC_BYTES = 8
+
+
+class Event(Mapping[str, Value]):
+    """An immutable event message of attribute-value pairs.
+
+    >>> event = Event({"category": "fiction", "price": 12.5})
+    >>> event["price"]
+    12.5
+    >>> "seller" in event
+    False
+    """
+
+    __slots__ = ("_attributes", "_size_bytes")
+
+    def __init__(self, attributes: Mapping[str, Value]) -> None:
+        cleaned: Dict[str, Value] = {}
+        for name, value in attributes.items():
+            if not isinstance(name, str) or not name:
+                raise TypeError("attribute names must be non-empty strings")
+            if not isinstance(value, (str, int, float, bool)):
+                raise TypeError(
+                    "attribute %r has unsupported value type %s"
+                    % (name, type(value).__name__)
+                )
+            cleaned[name] = value
+        self._attributes = cleaned
+        self._size_bytes: Optional[int] = None
+
+    def __getitem__(self, name: str) -> Value:
+        return self._attributes[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._attributes
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(
+            "%s=%r" % (name, value) for name, value in sorted(self._attributes.items())
+        )
+        return "Event(%s)" % pairs
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(self._attributes.items())))
+
+    def get(self, name: str, default: Optional[Value] = None) -> Optional[Value]:
+        """Return the value of ``name`` or ``default`` when absent."""
+        return self._attributes.get(name, default)
+
+    @property
+    def size_bytes(self) -> int:
+        """Approximate wire size of this message in bytes.
+
+        Used by the broker network's bandwidth cost model.  Strings are
+        charged their UTF-8 length; numbers and booleans a fixed 8 bytes.
+        """
+        if self._size_bytes is None:
+            total = _ENVELOPE_BYTES
+            for name, value in self._attributes.items():
+                total += _ATTRIBUTE_OVERHEAD_BYTES + len(name.encode("utf-8"))
+                if isinstance(value, str):
+                    total += len(value.encode("utf-8"))
+                else:
+                    total += _NUMERIC_BYTES
+            self._size_bytes = total
+        return self._size_bytes
+
+    def to_dict(self) -> Dict[str, Value]:
+        """Return a plain-dict copy of the attribute-value pairs."""
+        return dict(self._attributes)
+
+
+class EventBatch:
+    """An ordered collection of events published as one logical workload.
+
+    Batches carry a label so measurement reports can identify which
+    workload produced them.
+    """
+
+    __slots__ = ("events", "label")
+
+    def __init__(self, events: List[Event], label: str = "") -> None:
+        self.events = list(events)
+        self.label = label
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def __getitem__(self, index: int) -> Event:
+        return self.events[index]
+
+    def sample(self, count: int, stride_offset: int = 0) -> "EventBatch":
+        """Return an evenly strided sub-batch of roughly ``count`` events.
+
+        Striding (rather than prefixing) keeps the sample representative
+        when events were generated with time-correlated attributes.
+        """
+        if count <= 0:
+            return EventBatch([], label=self.label)
+        if count >= len(self.events):
+            return EventBatch(list(self.events), label=self.label)
+        stride = len(self.events) / float(count)
+        picked = [
+            self.events[min(len(self.events) - 1, int(i * stride) + stride_offset)]
+            for i in range(count)
+        ]
+        return EventBatch(picked, label=self.label)
+
+    def total_size_bytes(self) -> int:
+        """Sum of the wire sizes of all events in the batch."""
+        return sum(event.size_bytes for event in self.events)
+
+
+def event_signature(event: Event) -> Tuple[Tuple[str, Value], ...]:
+    """A hashable canonical signature of an event (sorted attribute pairs)."""
+    return tuple(sorted(event.to_dict().items()))

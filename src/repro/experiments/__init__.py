@@ -1,0 +1,48 @@
+"""Experiment harness reproducing the paper's evaluation (Fig. 1(a)–(f)).
+
+The harness mirrors the paper's setup: an auction workload of registered
+subscriptions and published events, three pruning heuristics swept from 0
+to 100% of possible prunings, measured in a centralized (single broker)
+and a distributed (five brokers in a line) setting.
+
+Entry points:
+
+* :class:`~repro.experiments.config.ExperimentConfig` /
+  :func:`~repro.experiments.config.config_for_scale` — sizing;
+* :class:`~repro.experiments.context.ExperimentContext` — shared workload,
+  schedules and grids;
+* :class:`~repro.experiments.centralized.CentralizedExperiment` — Fig. 1(a)–(c);
+* :class:`~repro.experiments.distributed.DistributedExperiment` — Fig. 1(d)–(f);
+* :mod:`repro.experiments.figures` / :mod:`repro.experiments.report` —
+  tables, ASCII plots, CSV;
+* ``python -m repro.experiments.run`` — the CLI.
+"""
+
+from repro.experiments.centralized import CentralizedExperiment
+from repro.experiments.config import SCALES, ExperimentConfig, config_for_scale
+from repro.experiments.context import ExperimentContext
+from repro.experiments.distributed import DistributedExperiment
+from repro.experiments.figures import (
+    DIMENSION_LABELS,
+    FigureSeries,
+    centralized_figures,
+    distributed_figures,
+    render_figure,
+)
+from repro.experiments.measurements import CentralizedPoint, DistributedPoint
+
+__all__ = [
+    "CentralizedExperiment",
+    "CentralizedPoint",
+    "DIMENSION_LABELS",
+    "DistributedExperiment",
+    "DistributedPoint",
+    "ExperimentConfig",
+    "ExperimentContext",
+    "FigureSeries",
+    "SCALES",
+    "centralized_figures",
+    "config_for_scale",
+    "distributed_figures",
+    "render_figure",
+]

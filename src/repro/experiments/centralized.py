@@ -1,0 +1,74 @@
+"""The centralized (single broker) experiment: Fig. 1(a), 1(b), 1(c).
+
+One broker holds every subscription.  For each dimension, the pruning
+schedule is swept from 0 to 100% of possible prunings; at each grid point
+we rebuild the counting engine over the pruned trees and measure
+
+* mean filtering time per event (Fig. 1(a)),
+* the proportional number of matching events — total matches normalized
+  by events × subscriptions, which converges to 1.0 when every
+  subscription has been generalized to triviality (Fig. 1(b)),
+* the proportional reduction in predicate/subscription associations over
+  *all* subscriptions (Fig. 1(c); in the centralized analysis the paper
+  prunes everything to expose the expected effects).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.heuristics import Dimension
+from repro.experiments.context import ExperimentContext
+from repro.experiments.measurements import (
+    CentralizedPoint,
+    association_reduction,
+    measure_matching,
+)
+
+
+class CentralizedExperiment:
+    """Runs the single-broker sweep for one or all dimensions."""
+
+    def __init__(self, context: ExperimentContext) -> None:
+        self.context = context
+
+    def run(self, dimension: Dimension) -> List[CentralizedPoint]:
+        """Sweep one dimension over the configured proportion grid."""
+        context = self.context
+        schedule = context.schedule(dimension)
+        counts = context.grid_counts(dimension)
+        proportions = context.config.proportions
+        initial_associations = context.initial_association_count
+        events = context.events
+
+        points: List[CentralizedPoint] = []
+        for index, (count, pruned) in enumerate(schedule.sweep(counts)):
+            subscriptions = list(pruned.values())
+            seconds, fraction, matcher = measure_matching(subscriptions, events)
+            stats = matcher.statistics
+            associations = sum(s.leaf_count for s in subscriptions)
+            points.append(
+                CentralizedPoint(
+                    proportion=proportions[index],
+                    prunings=count,
+                    seconds_per_event=seconds,
+                    matching_fraction=fraction,
+                    association_reduction=association_reduction(
+                        associations, initial_associations
+                    ),
+                    candidates_per_event=(
+                        stats.candidates / stats.events if stats.events else 0.0
+                    ),
+                    evaluations_per_event=(
+                        stats.tree_evaluations / stats.events if stats.events else 0.0
+                    ),
+                )
+            )
+        return points
+
+    def run_all(self) -> Dict[Dimension, List[CentralizedPoint]]:
+        """Sweep every configured dimension."""
+        return {
+            dimension: self.run(dimension)
+            for dimension in self.context.config.dimensions
+        }

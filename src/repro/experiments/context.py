@@ -1,0 +1,84 @@
+"""Shared experiment state: workload, subscriptions, events, schedules.
+
+Building a pruning schedule (a full run of one heuristic to exhaustion) is
+the expensive part of an experiment, and both settings (centralized and
+distributed) need the *same* schedules: pruning decisions are per
+subscription and independent of where the subscription's routing entry
+lives.  The context builds each schedule once and caches it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.heuristics import Dimension
+from repro.core.planner import PruningSchedule
+from repro.events import EventBatch
+from repro.experiments.config import ExperimentConfig
+from repro.selectivity.estimator import SelectivityEstimator
+from repro.subscriptions.subscription import Subscription
+from repro.workloads.auction import AuctionWorkload
+
+
+class ExperimentContext:
+    """Lazily built, cached inputs of one experiment configuration."""
+
+    def __init__(self, config: ExperimentConfig) -> None:
+        self.config = config
+        self.workload = AuctionWorkload(config.workload)
+        self._subscriptions: List[Subscription] = []
+        self._events: EventBatch = EventBatch([])
+        self._estimator: SelectivityEstimator = self.workload.estimator()
+        self._schedules: Dict[Dimension, PruningSchedule] = {}
+        self._built = False
+
+    def _build(self) -> None:
+        if self._built:
+            return
+        self._subscriptions = self.workload.generate_subscriptions(
+            self.config.subscription_count
+        )
+        self._events = self.workload.generate_events(self.config.event_count)
+        self._built = True
+
+    @property
+    def subscriptions(self) -> List[Subscription]:
+        """The registered subscriptions (ids ``0 .. count-1``)."""
+        self._build()
+        return self._subscriptions
+
+    @property
+    def events(self) -> EventBatch:
+        """The published event batch."""
+        self._build()
+        return self._events
+
+    @property
+    def estimator(self) -> SelectivityEstimator:
+        """Selectivity estimator over the workload's analytic statistics."""
+        return self._estimator
+
+    def schedule(self, dimension: Dimension) -> PruningSchedule:
+        """The full pruning schedule of one dimension (cached)."""
+        schedule = self._schedules.get(dimension)
+        if schedule is None:
+            schedule = PruningSchedule.build(
+                self.subscriptions, self.estimator, dimension
+            )
+            self._schedules[dimension] = schedule
+        return schedule
+
+    def grid_counts(self, dimension: Dimension) -> List[int]:
+        """Pruning counts corresponding to the config's proportion grid."""
+        schedule = self.schedule(dimension)
+        return [
+            schedule.prefix_count(proportion)
+            for proportion in self.config.proportions
+        ]
+
+    @property
+    def initial_association_count(self) -> int:
+        """Predicate/subscription associations before any pruning."""
+        return sum(
+            subscription.leaf_count for subscription in self.subscriptions
+        )

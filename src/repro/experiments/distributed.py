@@ -1,0 +1,170 @@
+"""The distributed (five brokers in a line) experiment: Fig. 1(d)–(f).
+
+Subscriptions are registered round-robin across brokers (each broker hosts
+``clients_per_broker`` local clients); subscription forwarding gives every
+broker a routing entry for every subscription.  Pruning applies only to
+the *non-local* entries of each broker, per the paper.  Events are
+published round-robin across all brokers.
+
+Per grid point we measure
+
+* routing cost per published event: measured filtering time across all
+  brokers plus modelled transmission cost of every broker-to-broker event
+  message (Fig. 1(d)) — this is where additionally routed events hurt,
+* the proportional increase in routed event messages over the
+  un-optimized baseline (Fig. 1(e)),
+* the proportional reduction in non-local predicate/subscription
+  associations (Fig. 1(f)),
+
+and assert the delivery invariant: every client receives exactly the
+events matching its original subscription, at every pruning level.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional
+
+from repro.core.heuristics import Dimension
+from repro.errors import ExperimentError
+from repro.experiments.context import ExperimentContext
+from repro.experiments.measurements import DistributedPoint, association_reduction
+from repro.routing.metrics import CostModel
+from repro.routing.network import BrokerNetwork
+from repro.routing.topology import (
+    Topology,
+    line_topology,
+    star_topology,
+    tree_topology,
+)
+
+
+def _build_topology(kind: str, broker_count: int) -> Topology:
+    """A broker graph of ``broker_count`` nodes in the requested shape."""
+    if kind == "line":
+        return line_topology(broker_count)
+    if kind == "star":
+        if broker_count < 2:
+            return line_topology(broker_count)
+        return star_topology(broker_count - 1)
+    # "tree": binary tree with as many full levels as broker_count allows;
+    # falls back to a line for very small networks.
+    height = 1
+    while 2 ** (height + 2) - 1 <= broker_count:
+        height += 1
+    if 2 ** (height + 1) - 1 > broker_count:
+        return line_topology(broker_count)
+    return tree_topology(branching=2, height=height)
+
+
+class DistributedExperiment:
+    """Runs the five-broker line sweep for one or all dimensions."""
+
+    def __init__(self, context: ExperimentContext) -> None:
+        self.context = context
+        config = context.config
+        self.network = BrokerNetwork(
+            _build_topology(config.topology, config.broker_count),
+            cost_model=CostModel(
+                bandwidth_bps=config.bandwidth_bps,
+                per_message_overhead_s=config.per_message_overhead_s,
+            ),
+        )
+        self.broker_ids = self.network.topology.broker_ids
+        self._register_subscriptions()
+        self._non_local: Dict[str, List[int]] = {
+            broker_id: [
+                entry.subscription_id
+                for entry in self.network.brokers[broker_id].non_local_entries()
+            ]
+            for broker_id in self.broker_ids
+        }
+        self._initial_non_local_associations = (
+            self.network.non_local_association_count
+        )
+        self._baseline_messages: Optional[int] = None
+        self._baseline_deliveries: Optional[int] = None
+
+    def _register_subscriptions(self) -> None:
+        config = self.context.config
+        for index, subscription in enumerate(self.context.subscriptions):
+            broker_id = self.broker_ids[index % len(self.broker_ids)]
+            client = "%s-client-%d" % (
+                broker_id,
+                index % config.clients_per_broker,
+            )
+            self.network.subscribe(
+                broker_id, client, subscription.tree, subscription_id=subscription.id
+            )
+
+    # -- sweep ---------------------------------------------------------------
+
+    def run(self, dimension: Dimension) -> List[DistributedPoint]:
+        """Sweep one dimension over the configured proportion grid."""
+        context = self.context
+        network = self.network
+        schedule = context.schedule(dimension)
+        counts = context.grid_counts(dimension)
+        proportions = context.config.proportions
+        events = context.events
+
+        network.restore_all_entries()
+        points: List[DistributedPoint] = []
+        for index, (count, pruned) in enumerate(schedule.sweep(counts)):
+            per_broker = {
+                broker_id: {
+                    sub_id: pruned[sub_id].tree
+                    for sub_id in self._non_local[broker_id]
+                }
+                for broker_id in self.broker_ids
+            }
+            network.apply_pruned_tables(per_broker)
+            for broker in network.brokers.values():
+                broker.matcher.rebuild()
+            # Warm up so the timed pass reflects steady-state filtering.
+            network.publish_many(
+                itertools.cycle(self.broker_ids),
+                events.events[: min(16, len(events))],
+            )
+            network.reset_statistics()
+            network.publish_many(itertools.cycle(self.broker_ids), events)
+            report = network.report()
+
+            if self._baseline_messages is None:
+                if proportions[index] != 0.0:
+                    raise ExperimentError("first grid point must be proportion 0")
+                self._baseline_messages = report.event_messages
+                self._baseline_deliveries = report.deliveries
+            if report.deliveries != self._baseline_deliveries:
+                raise ExperimentError(
+                    "delivery invariant violated: %d != %d"
+                    % (report.deliveries, self._baseline_deliveries)
+                )
+            baseline = max(1, self._baseline_messages)
+            points.append(
+                DistributedPoint(
+                    proportion=proportions[index],
+                    prunings=count,
+                    seconds_per_event=report.seconds_per_event,
+                    filter_seconds_per_event=(
+                        report.filter_seconds / report.events_published
+                        if report.events_published
+                        else 0.0
+                    ),
+                    network_increase=report.event_messages / baseline - 1.0,
+                    messages_per_event=report.messages_per_event,
+                    association_reduction=association_reduction(
+                        network.non_local_association_count,
+                        self._initial_non_local_associations,
+                    ),
+                    deliveries=report.deliveries,
+                )
+            )
+        return points
+
+    def run_all(self) -> Dict[Dimension, List[DistributedPoint]]:
+        """Sweep every configured dimension (baseline shared across them)."""
+        return {
+            dimension: self.run(dimension)
+            for dimension in self.context.config.dimensions
+        }

@@ -1,0 +1,173 @@
+"""Figure definitions: turning measurement points into the paper's plots.
+
+Each of the paper's six sub-figures becomes a :class:`FigureSeries`: a
+shared x grid (proportional number of prunings) and one y-series per
+heuristic, labelled with the paper's subscripts (``sel`` for
+network-based, ``eff`` for throughput-based, ``mem`` for memory-based).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.heuristics import Dimension
+from repro.errors import ExperimentError
+from repro.experiments.measurements import CentralizedPoint, DistributedPoint
+from repro.util.tables import ascii_plot, format_table
+
+#: The paper's curve labels per heuristic.
+DIMENSION_LABELS: Dict[Dimension, str] = {
+    Dimension.NETWORK: "sel",
+    Dimension.THROUGHPUT: "eff",
+    Dimension.MEMORY: "mem",
+}
+
+
+@dataclass
+class FigureSeries:
+    """One reproduced figure: x grid plus one y-series per heuristic."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    xs: List[float]
+    series: Dict[str, List[float]] = field(default_factory=dict)
+
+    def rows(self) -> List[List[float]]:
+        """Table rows: one per x value, columns per series."""
+        rows = []
+        for index, x in enumerate(self.xs):
+            row: List[float] = [x]
+            for label in self.series:
+                row.append(self.series[label][index])
+            rows.append(row)
+        return rows
+
+    def headers(self) -> List[str]:
+        """Column headers matching :meth:`rows`."""
+        return [self.x_label] + ["%s_%s" % (self.y_label, k) for k in self.series]
+
+
+_FIGURES_CENTRAL = {
+    "1a": ("Time efficiency (centralized)", "filtering time per event (s)",
+           lambda p: p.seconds_per_event),
+    "1b": ("Expected network load (centralized)", "proport. no. of matching events",
+           lambda p: p.matching_fraction),
+    "1c": ("Memory usage (centralized)", "prop. reduction in pred/sub assoc.",
+           lambda p: p.association_reduction),
+}
+
+_FIGURES_DISTRIBUTED = {
+    "1d": ("Time efficiency (distributed)", "filtering time per event (s)",
+           lambda p: p.seconds_per_event),
+    "1e": ("Actual network load (distributed)", "proport. increase in network load",
+           lambda p: p.network_increase),
+    "1f": ("Memory usage (distributed)", "prop. reduction in pred/sub assoc.",
+           lambda p: p.association_reduction),
+}
+
+CENTRALIZED_FIGURE_IDS = tuple(sorted(_FIGURES_CENTRAL))
+DISTRIBUTED_FIGURE_IDS = tuple(sorted(_FIGURES_DISTRIBUTED))
+ALL_FIGURE_IDS = CENTRALIZED_FIGURE_IDS + DISTRIBUTED_FIGURE_IDS
+
+
+def _build(
+    figure_id: str,
+    spec: Dict,
+    results: Dict[Dimension, Sequence],
+) -> FigureSeries:
+    title, y_label, extract = spec[figure_id]
+    xs: Optional[List[float]] = None
+    figure = FigureSeries(
+        figure_id=figure_id,
+        title="Fig. %s: %s" % (figure_id, title),
+        x_label="proportion_of_prunings",
+        y_label=y_label,
+        xs=[],
+    )
+    for dimension, points in results.items():
+        label = DIMENSION_LABELS[dimension]
+        figure.series[label] = [extract(point) for point in points]
+        point_xs = [point.proportion for point in points]
+        if xs is None:
+            xs = point_xs
+        elif xs != point_xs:
+            raise ExperimentError("dimension sweeps use different x grids")
+    figure.xs = xs or []
+    return figure
+
+
+def centralized_figures(
+    results: Dict[Dimension, List[CentralizedPoint]]
+) -> Dict[str, FigureSeries]:
+    """Figures 1a–1c from centralized sweep results."""
+    return {
+        figure_id: _build(figure_id, _FIGURES_CENTRAL, results)
+        for figure_id in CENTRALIZED_FIGURE_IDS
+    }
+
+
+def distributed_figures(
+    results: Dict[Dimension, List[DistributedPoint]]
+) -> Dict[str, FigureSeries]:
+    """Figures 1d–1f from distributed sweep results."""
+    return {
+        figure_id: _build(figure_id, _FIGURES_DISTRIBUTED, results)
+        for figure_id in DISTRIBUTED_FIGURE_IDS
+    }
+
+
+def render_figure(figure: FigureSeries, plot: bool = True) -> str:
+    """A text rendering: data table plus (optionally) an ASCII plot."""
+    parts = [figure.title, ""]
+    parts.append(format_table(figure.headers(), figure.rows()))
+    if plot and figure.xs:
+        parts.append("")
+        parts.append(
+            ascii_plot(
+                figure.series,
+                figure.xs,
+                title=figure.title,
+                y_label="",
+            )
+        )
+    return "\n".join(parts)
+
+
+def crossover_proportion(
+    xs: Sequence[float], first: Sequence[float], second: Sequence[float]
+) -> Optional[float]:
+    """The first x past which ``second`` drops below ``first``.
+
+    Used to locate the paper's "throughput-based pruning is fastest up to
+    ~43% of prunings, then network-based wins" style of observation.
+    Returns ``None`` when no crossover happens.
+    """
+    was_lower = None
+    for x, a, b in zip(xs, first, second):
+        lower_now = b < a
+        if was_lower is False and lower_now:
+            return x
+        was_lower = lower_now
+    return None
+
+
+def sharp_bend(xs: Sequence[float], ys: Sequence[float]) -> Optional[float]:
+    """The x of the strongest increase in slope (discrete second difference).
+
+    Locates the "sharp bend" the paper reads off its network-load curves.
+    """
+    if len(xs) < 3:
+        return None
+    best_x = None
+    best_curvature = 0.0
+    for index in range(1, len(xs) - 1):
+        left = (ys[index] - ys[index - 1]) / max(1e-12, xs[index] - xs[index - 1])
+        right = (ys[index + 1] - ys[index]) / max(1e-12, xs[index + 1] - xs[index])
+        curvature = right - left
+        if curvature > best_curvature:
+            best_curvature = curvature
+            best_x = xs[index]
+    return best_x

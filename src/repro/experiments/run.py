@@ -1,0 +1,148 @@
+"""Command-line entry point for the experiment harness.
+
+Examples
+--------
+Regenerate one figure at the default scale::
+
+    python -m repro.experiments.run --figure 1a
+
+All six figures at a small scale, with CSV output::
+
+    python -m repro.experiments.run --figure all --scale small --out results/
+
+The ``paper`` scale restores the original 200k subscriptions / 100k events
+(expect a very long run).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from repro.experiments.centralized import CentralizedExperiment
+from repro.experiments.config import SCALES, config_for_scale
+from repro.experiments.context import ExperimentContext
+from repro.experiments.distributed import DistributedExperiment
+from repro.experiments.figures import (
+    ALL_FIGURE_IDS,
+    CENTRALIZED_FIGURE_IDS,
+    DISTRIBUTED_FIGURE_IDS,
+    FigureSeries,
+    centralized_figures,
+    distributed_figures,
+    render_figure,
+)
+from repro.experiments.report import summarize, write_figures
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the figures of Bittner & Hinze (ICDCSW 2006).",
+    )
+    parser.add_argument(
+        "--figure",
+        default="all",
+        choices=list(ALL_FIGURE_IDS) + ["all", "centralized", "distributed"],
+        help="which figure(s) to regenerate (default: all)",
+    )
+    parser.add_argument(
+        "--scale",
+        default="default",
+        choices=sorted(SCALES),
+        help="workload scale preset (default: default)",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="master seed")
+    parser.add_argument(
+        "--points", type=int, default=None, help="override number of grid points"
+    )
+    parser.add_argument(
+        "--subscriptions", type=int, default=None, help="override subscription count"
+    )
+    parser.add_argument(
+        "--events", type=int, default=None, help="override event count"
+    )
+    parser.add_argument(
+        "--topology",
+        default=None,
+        choices=["line", "star", "tree"],
+        help="broker graph for the distributed figures (default: line)",
+    )
+    parser.add_argument(
+        "--out", default=None, help="directory for CSV output (optional)"
+    )
+    parser.add_argument(
+        "--no-plot", action="store_true", help="suppress ASCII plots"
+    )
+    return parser
+
+
+def select_figures(name: str) -> List[str]:
+    """Expand a --figure argument into concrete figure ids."""
+    if name == "all":
+        return list(ALL_FIGURE_IDS)
+    if name == "centralized":
+        return list(CENTRALIZED_FIGURE_IDS)
+    if name == "distributed":
+        return list(DISTRIBUTED_FIGURE_IDS)
+    return [name]
+
+
+def run_figures(
+    figure_ids: List[str],
+    scale: str,
+    seed: int,
+    points: Optional[int] = None,
+    subscriptions: Optional[int] = None,
+    events: Optional[int] = None,
+    topology: Optional[str] = None,
+) -> Dict[str, FigureSeries]:
+    """Run the experiments needed for ``figure_ids`` and build the figures."""
+    config = config_for_scale(scale, seed=seed)
+    if points is not None:
+        config.grid_points = points
+    if subscriptions is not None:
+        config.subscription_count = subscriptions
+    if events is not None:
+        config.event_count = events
+    if topology is not None:
+        config.topology = topology
+    context = ExperimentContext(config)
+    figures: Dict[str, FigureSeries] = {}
+    if any(figure_id in CENTRALIZED_FIGURE_IDS for figure_id in figure_ids):
+        results = CentralizedExperiment(context).run_all()
+        figures.update(centralized_figures(results))
+    if any(figure_id in DISTRIBUTED_FIGURE_IDS for figure_id in figure_ids):
+        results = DistributedExperiment(context).run_all()
+        figures.update(distributed_figures(results))
+    return {fid: figures[fid] for fid in figure_ids if fid in figures}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI main; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    figure_ids = select_figures(args.figure)
+    figures = run_figures(
+        figure_ids,
+        scale=args.scale,
+        seed=args.seed,
+        points=args.points,
+        subscriptions=args.subscriptions,
+        events=args.events,
+        topology=args.topology,
+    )
+    for _figure_id, figure in sorted(figures.items()):
+        print(render_figure(figure, plot=not args.no_plot))
+        print()
+    print(summarize(figures))
+    if args.out:
+        paths = write_figures(figures, args.out)
+        for figure_id, path in sorted(paths.items()):
+            print("wrote %s" % path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""Filtering engines: match event messages against registered subscriptions.
+
+Two engines implement the same :class:`~repro.matching.interfaces.Matcher`
+interface:
+
+* :class:`~repro.matching.counting.CountingMatcher` — the production engine,
+  modelled on the counting-based Boolean filtering algorithm of Bittner &
+  Hinze (CoopIS 2005, the paper's ref [2]): predicates are indexed per
+  attribute and operator; a subscription's tree is only evaluated once at
+  least ``pmin`` of its predicates are fulfilled.
+* :class:`~repro.matching.naive.NaiveMatcher` — evaluates every subscription
+  tree against every event; the correctness oracle and baseline.
+"""
+
+from repro.matching.counting import CountingMatcher
+from repro.matching.interfaces import Matcher
+from repro.matching.naive import NaiveMatcher
+from repro.matching.stats import MatchStatistics
+
+__all__ = ["CountingMatcher", "Matcher", "MatchStatistics", "NaiveMatcher"]

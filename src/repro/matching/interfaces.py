@@ -1,0 +1,79 @@
+"""The common interface of filtering engines."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.errors import MatchingError
+from repro.events import Event
+from repro.subscriptions.subscription import Subscription
+
+
+class Matcher:
+    """Abstract filtering engine.
+
+    Engines hold a mutable set of subscriptions keyed by subscription id and
+    answer point queries: *which registered subscriptions match this event?*
+
+    Subscription ids are chosen by the caller (brokers use globally unique
+    ids); re-registering an existing id is an error — use :meth:`replace`,
+    which is how pruning swaps a routing entry for its pruned version.
+    """
+
+    def register(self, subscription: Subscription) -> None:
+        """Add a subscription; its id must not already be registered."""
+        raise NotImplementedError
+
+    def unregister(self, subscription_id: int) -> None:
+        """Remove a subscription by id; unknown ids are an error."""
+        raise NotImplementedError
+
+    def replace(self, subscription: Subscription) -> None:
+        """Swap the registered tree of ``subscription.id`` for a new one."""
+        self.unregister(subscription.id)
+        self.register(subscription)
+
+    def match(self, event: Event) -> List[int]:
+        """Ids of all registered subscriptions fulfilled by ``event``."""
+        raise NotImplementedError
+
+    def subscriptions(self) -> Dict[int, Subscription]:
+        """Mapping of id to registered subscription (live view or copy)."""
+        raise NotImplementedError
+
+    # -- derived conveniences -------------------------------------------------
+
+    def register_all(self, subscriptions: Iterable[Subscription]) -> None:
+        """Register many subscriptions."""
+        for subscription in subscriptions:
+            self.register(subscription)
+
+    def match_subscriptions(self, event: Event) -> List[Subscription]:
+        """Like :meth:`match` but resolving ids to subscription objects."""
+        table = self.subscriptions()
+        return [table[sub_id] for sub_id in self.match(event)]
+
+    @property
+    def subscription_count(self) -> int:
+        """Number of registered subscriptions."""
+        return len(self.subscriptions())
+
+    @property
+    def association_count(self) -> int:
+        """Total number of predicate/subscription associations.
+
+        This is the memory unit of the paper's Fig. 1(c)/(f): each predicate
+        leaf of each registered tree is one association in the routing
+        table.
+        """
+        return sum(sub.leaf_count for sub in self.subscriptions().values())
+
+    def _require_unknown(self, subscription_id: int) -> None:
+        if subscription_id in self.subscriptions():
+            raise MatchingError(
+                "subscription id %d is already registered" % subscription_id
+            )
+
+    def _require_known(self, subscription_id: int) -> None:
+        if subscription_id not in self.subscriptions():
+            raise MatchingError("subscription id %d is not registered" % subscription_id)

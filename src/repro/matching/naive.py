@@ -1,0 +1,38 @@
+"""Naive filtering engine: evaluate every subscription tree per event.
+
+This engine is deliberately simple — it is the correctness oracle for the
+counting engine and the "no indexing" baseline in the micro-benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.events import Event
+from repro.matching.interfaces import Matcher
+from repro.subscriptions.subscription import Subscription
+
+
+class NaiveMatcher(Matcher):
+    """O(subscriptions × tree size) matcher with no index structures."""
+
+    def __init__(self) -> None:
+        self._subscriptions: Dict[int, Subscription] = {}
+
+    def register(self, subscription: Subscription) -> None:
+        self._require_unknown(subscription.id)
+        self._subscriptions[subscription.id] = subscription
+
+    def unregister(self, subscription_id: int) -> None:
+        self._require_known(subscription_id)
+        del self._subscriptions[subscription_id]
+
+    def match(self, event: Event) -> List[int]:
+        return [
+            sub_id
+            for sub_id, subscription in self._subscriptions.items()
+            if subscription.tree.evaluate(event)
+        ]
+
+    def subscriptions(self) -> Dict[int, Subscription]:
+        return self._subscriptions

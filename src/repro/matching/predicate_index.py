@@ -1,0 +1,321 @@
+"""Per-attribute predicate indexes for the counting engine.
+
+Every registered predicate instance becomes an *entry* (an integer id) in
+the index of its attribute.  At match time the index answers, for one
+event attribute value, which entries are fulfilled — as numpy arrays of
+entry ids, so the caller can count fulfilled predicates per subscription
+with vectorized ``bincount`` operations.
+
+Negated operators (``!=``, ``not-in``, ``not-prefix``, ``not-contains``)
+are almost always fulfilled when the attribute is present, so enumerating
+their fulfilled entries directly would be wasteful.  They are reported as
+an *all entries* positive array plus a small *excluded* negative array;
+the counting engine adds the first and subtracts the second.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import MatchingError
+from repro.events import Value
+from repro.subscriptions.predicates import Operator, Predicate
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+#: Value-key kind tags; keep bool and int apart (Python hashes True == 1).
+_KIND_BOOL = "b"
+_KIND_NUM = "n"
+_KIND_STR = "s"
+
+
+def value_key(value: Value) -> Tuple[str, Value]:
+    """A dict key under which cross-kind equality never collides."""
+    if isinstance(value, bool):
+        return (_KIND_BOOL, value)
+    if isinstance(value, (int, float)):
+        return (_KIND_NUM, float(value))
+    return (_KIND_STR, value)
+
+
+class _SortedConstants:
+    """Constants of one ordered operator over one value kind, sorted.
+
+    Suffix/prefix slices of the aligned entry array are exactly the
+    fulfilled entries for a probe value (see ``collect``).
+    """
+
+    __slots__ = ("pairs", "constants", "entries")
+
+    def __init__(self) -> None:
+        self.pairs: List[Tuple[Value, int]] = []
+        self.constants: Union[np.ndarray, List[Value]] = _EMPTY
+        self.entries: np.ndarray = _EMPTY
+
+    def add(self, constant: Value, entry: int) -> None:
+        self.pairs.append((constant, entry))
+
+    def finalize(self, numeric: bool) -> None:
+        self.pairs.sort(key=lambda pair: pair[0])
+        if numeric:
+            self.constants = np.array(
+                [float(constant) for constant, _entry in self.pairs], dtype=np.float64
+            )
+        else:
+            self.constants = [constant for constant, _entry in self.pairs]
+        self.entries = np.array(
+            [entry for _constant, entry in self.pairs], dtype=np.int64
+        )
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+
+class _OrderedOps:
+    """The four range operators for one value kind (numeric or string)."""
+
+    __slots__ = ("lt", "le", "gt", "ge", "numeric")
+
+    def __init__(self, numeric: bool) -> None:
+        self.lt = _SortedConstants()
+        self.le = _SortedConstants()
+        self.gt = _SortedConstants()
+        self.ge = _SortedConstants()
+        self.numeric = numeric
+
+    def for_operator(self, operator: Operator) -> _SortedConstants:
+        if operator is Operator.LT:
+            return self.lt
+        if operator is Operator.LE:
+            return self.le
+        if operator is Operator.GT:
+            return self.gt
+        return self.ge
+
+    def finalize(self) -> None:
+        for bucket in (self.lt, self.le, self.gt, self.ge):
+            bucket.finalize(self.numeric)
+
+    def _split(self, bucket: _SortedConstants, value: Value, side: str) -> int:
+        if self.numeric:
+            return int(np.searchsorted(bucket.constants, value, side=side))
+        if side == "left":
+            return bisect.bisect_left(bucket.constants, value)
+        return bisect.bisect_right(bucket.constants, value)
+
+    def collect(self, value: Value, positives: List[np.ndarray]) -> None:
+        """Append fulfilled range entries for probe ``value``.
+
+        attr < c  holds iff c > v: suffix after the last constant <= v.
+        attr <= c holds iff c >= v: suffix from the first constant >= v.
+        attr > c  holds iff c < v: prefix before the first constant >= v.
+        attr >= c holds iff c <= v: prefix through the last constant <= v.
+        """
+        if len(self.lt):
+            positives.append(self.lt.entries[self._split(self.lt, value, "right"):])
+        if len(self.le):
+            positives.append(self.le.entries[self._split(self.le, value, "left"):])
+        if len(self.gt):
+            positives.append(self.gt.entries[: self._split(self.gt, value, "left")])
+        if len(self.ge):
+            positives.append(self.ge.entries[: self._split(self.ge, value, "right")])
+
+
+class AttributeIndex:
+    """All predicate entries registered for one attribute name."""
+
+    __slots__ = (
+        "attribute",
+        "_eq",
+        "_ne_all",
+        "_ne_by_value",
+        "_numeric",
+        "_string",
+        "_prefix_by_length",
+        "_not_prefix_all",
+        "_not_prefix_by_length",
+        "_contains",
+        "_not_contains_all",
+        "_not_contains",
+        "_finalized",
+    )
+
+    def __init__(self, attribute: str) -> None:
+        self.attribute = attribute
+        self._eq: Dict[Tuple[str, Value], List[int]] = {}
+        self._ne_all: List[int] = []
+        self._ne_by_value: Dict[Tuple[str, Value], List[int]] = {}
+        self._numeric = _OrderedOps(numeric=True)
+        self._string = _OrderedOps(numeric=False)
+        self._prefix_by_length: Dict[int, Dict[str, List[int]]] = {}
+        self._not_prefix_all: List[int] = []
+        self._not_prefix_by_length: Dict[int, Dict[str, List[int]]] = {}
+        self._contains: List[Tuple[str, int]] = []
+        self._not_contains_all: List[int] = []
+        self._not_contains: List[Tuple[str, int]] = []
+        self._finalized = False
+
+    def add(self, predicate: Predicate, entry: int) -> None:
+        """Register a predicate instance under entry id ``entry``."""
+        if self._finalized:
+            raise MatchingError("cannot add to a finalized index")
+        if predicate.attribute != self.attribute:
+            raise MatchingError("predicate attribute mismatch")
+        operator = predicate.operator
+        if operator is Operator.EQ:
+            self._eq.setdefault(value_key(predicate.value), []).append(entry)
+        elif operator is Operator.IN_SET:
+            for member in predicate.value:
+                self._eq.setdefault(value_key(member), []).append(entry)
+        elif operator is Operator.NE:
+            self._ne_all.append(entry)
+            self._ne_by_value.setdefault(value_key(predicate.value), []).append(entry)
+        elif operator is Operator.NOT_IN_SET:
+            self._ne_all.append(entry)
+            for member in predicate.value:
+                self._ne_by_value.setdefault(value_key(member), []).append(entry)
+        elif operator.is_ordered:
+            if isinstance(predicate.value, str):
+                self._string.for_operator(operator).add(predicate.value, entry)
+            else:
+                self._numeric.for_operator(operator).add(float(predicate.value), entry)
+        elif operator is Operator.PREFIX:
+            prefix = predicate.value
+            bucket = self._prefix_by_length.setdefault(len(prefix), {})
+            bucket.setdefault(prefix, []).append(entry)
+        elif operator is Operator.NOT_PREFIX:
+            prefix = predicate.value
+            self._not_prefix_all.append(entry)
+            bucket = self._not_prefix_by_length.setdefault(len(prefix), {})
+            bucket.setdefault(prefix, []).append(entry)
+        elif operator is Operator.CONTAINS:
+            self._contains.append((predicate.value, entry))
+        elif operator is Operator.NOT_CONTAINS:
+            self._not_contains_all.append(entry)
+            self._not_contains.append((predicate.value, entry))
+        else:  # pragma: no cover - all operators handled above
+            raise MatchingError("unsupported operator %r" % operator)
+
+    def finalize(self) -> None:
+        """Convert accumulation structures to their query representations."""
+        if self._finalized:
+            return
+        self._eq = {key: np.array(v, dtype=np.int64) for key, v in self._eq.items()}
+        self._ne_by_value = {
+            key: np.array(v, dtype=np.int64) for key, v in self._ne_by_value.items()
+        }
+        self._ne_all = np.array(self._ne_all, dtype=np.int64)
+        self._not_prefix_all = np.array(self._not_prefix_all, dtype=np.int64)
+        self._not_contains_all = np.array(self._not_contains_all, dtype=np.int64)
+        self._prefix_by_length = {
+            length: {p: np.array(v, dtype=np.int64) for p, v in bucket.items()}
+            for length, bucket in self._prefix_by_length.items()
+        }
+        self._not_prefix_by_length = {
+            length: {p: np.array(v, dtype=np.int64) for p, v in bucket.items()}
+            for length, bucket in self._not_prefix_by_length.items()
+        }
+        self._numeric.finalize()
+        self._string.finalize()
+        self._finalized = True
+
+    def collect(
+        self,
+        value: Value,
+        positives: List[np.ndarray],
+        negatives: List[np.ndarray],
+    ) -> None:
+        """Append fulfilled-entry arrays for event value ``value``.
+
+        ``positives`` minus ``negatives`` (as multisets) is exactly the set
+        of fulfilled entries; every entry appears at most once in the net
+        result.
+        """
+        if not self._finalized:
+            raise MatchingError("index must be finalized before matching")
+        key = value_key(value)
+        hit = self._eq.get(key)
+        if hit is not None:
+            positives.append(hit)
+        if len(self._ne_all):
+            positives.append(self._ne_all)
+            excluded = self._ne_by_value.get(key)
+            if excluded is not None:
+                negatives.append(excluded)
+        if isinstance(value, bool):
+            return  # booleans only support (in)equality
+        if isinstance(value, str):
+            self._string.collect(value, positives)
+            for length, bucket in self._prefix_by_length.items():
+                if length <= len(value):
+                    hit = bucket.get(value[:length])
+                    if hit is not None:
+                        positives.append(hit)
+            if len(self._not_prefix_all):
+                positives.append(self._not_prefix_all)
+                for length, bucket in self._not_prefix_by_length.items():
+                    if length <= len(value):
+                        excluded = bucket.get(value[:length])
+                        if excluded is not None:
+                            negatives.append(excluded)
+            for needle, entry in self._contains:
+                if needle in value:
+                    positives.append(np.array([entry], dtype=np.int64))
+            if len(self._not_contains_all):
+                positives.append(self._not_contains_all)
+                for needle, entry in self._not_contains:
+                    if needle in value:
+                        negatives.append(np.array([entry], dtype=np.int64))
+        else:
+            self._numeric.collect(float(value), positives)
+
+
+class PredicateIndexSet:
+    """The full per-attribute index family used by one counting engine."""
+
+    __slots__ = ("_by_attribute", "_entry_count")
+
+    def __init__(self) -> None:
+        self._by_attribute: Dict[str, AttributeIndex] = {}
+        self._entry_count = 0
+
+    @property
+    def entry_count(self) -> int:
+        """Total number of registered predicate entries."""
+        return self._entry_count
+
+    def add(self, predicate: Predicate) -> int:
+        """Register a predicate instance; returns its new entry id."""
+        index = self._by_attribute.get(predicate.attribute)
+        if index is None:
+            index = AttributeIndex(predicate.attribute)
+            self._by_attribute[predicate.attribute] = index
+        entry = self._entry_count
+        index.add(predicate, entry)
+        self._entry_count += 1
+        return entry
+
+    def finalize(self) -> None:
+        """Freeze all attribute indexes for querying."""
+        for index in self._by_attribute.values():
+            index.finalize()
+
+    def collect(
+        self,
+        attribute: str,
+        value: Value,
+        positives: List[np.ndarray],
+        negatives: List[np.ndarray],
+    ) -> None:
+        """Collect fulfilled entries for one event attribute."""
+        index = self._by_attribute.get(attribute)
+        if index is not None:
+            index.collect(value, positives, negatives)
+
+    @property
+    def attribute_names(self) -> List[str]:
+        """Names of all indexed attributes."""
+        return sorted(self._by_attribute)

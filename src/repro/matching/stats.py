@@ -1,0 +1,105 @@
+"""Counters describing the work a filtering engine performed.
+
+The counting engine's efficiency claim (paper Sect. 3.3) is that most
+subscriptions are never *evaluated*: the fulfilled-predicate count stays
+below ``pmin``.  These statistics expose exactly that: how many candidate
+subscriptions crossed their threshold, and how many needed a full Boolean
+tree evaluation.
+"""
+
+from __future__ import annotations
+
+
+class MatchStatistics:
+    """Aggregated matching counters.
+
+    Attributes
+    ----------
+    events:
+        Number of events processed.
+    matches:
+        Total number of (event, subscription) matches.
+    candidates:
+        Subscriptions whose fulfilled-predicate count reached ``pmin``.
+    tree_evaluations:
+        Candidates that required a full Boolean tree evaluation (flat
+        conjunctions/disjunctions are decided by the counter alone).
+    fulfilled_predicates:
+        Total number of fulfilled predicate instances across all events.
+    elapsed_seconds:
+        Wall-clock time spent inside ``match`` calls.
+    """
+
+    __slots__ = (
+        "events",
+        "matches",
+        "candidates",
+        "tree_evaluations",
+        "fulfilled_predicates",
+        "elapsed_seconds",
+    )
+
+    def __init__(self) -> None:
+        self.events = 0
+        self.matches = 0
+        self.candidates = 0
+        self.tree_evaluations = 0
+        self.fulfilled_predicates = 0
+        self.elapsed_seconds = 0.0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.events = 0
+        self.matches = 0
+        self.candidates = 0
+        self.tree_evaluations = 0
+        self.fulfilled_predicates = 0
+        self.elapsed_seconds = 0.0
+
+    def merge(self, other: "MatchStatistics") -> None:
+        """Accumulate ``other`` into this instance."""
+        self.events += other.events
+        self.matches += other.matches
+        self.candidates += other.candidates
+        self.tree_evaluations += other.tree_evaluations
+        self.fulfilled_predicates += other.fulfilled_predicates
+        self.elapsed_seconds += other.elapsed_seconds
+
+    @property
+    def mean_time_per_event(self) -> float:
+        """Average seconds per processed event (0.0 before any event)."""
+        if not self.events:
+            return 0.0
+        return self.elapsed_seconds / self.events
+
+    @property
+    def match_rate(self) -> float:
+        """Average number of matching subscriptions per event."""
+        if not self.events:
+            return 0.0
+        return self.matches / self.events
+
+    def as_dict(self) -> dict:
+        """Plain-dict snapshot (for reports and benchmark extra_info)."""
+        return {
+            "events": self.events,
+            "matches": self.matches,
+            "candidates": self.candidates,
+            "tree_evaluations": self.tree_evaluations,
+            "fulfilled_predicates": self.fulfilled_predicates,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            "MatchStatistics(events=%d, matches=%d, candidates=%d, "
+            "tree_evaluations=%d, fulfilled_predicates=%d, elapsed=%.6fs)"
+            % (
+                self.events,
+                self.matches,
+                self.candidates,
+                self.tree_evaluations,
+                self.fulfilled_predicates,
+                self.elapsed_seconds,
+            )
+        )

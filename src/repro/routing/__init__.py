@@ -1,0 +1,38 @@
+"""The distributed publish/subscribe substrate: brokers and routing.
+
+A distributed p/s system is a network of brokers with acyclic connections
+(paper Sect. 2.1).  Subscribers register subscriptions with their local
+broker; brokers exchange subscription information so events are routed
+selectively (subscription forwarding).  Pruning is applied only to routing
+entries from *non-local* clients — the subscriber's home broker always
+filters with the exact subscription, so pruning can add forwarded traffic
+but never wrong deliveries (post-filtering, Sect. 2.2).
+
+* :mod:`repro.routing.topology` — acyclic broker graphs (line, star, tree),
+* :mod:`repro.routing.broker` — per-broker routing tables and matching,
+* :mod:`repro.routing.network` — in-process event/subscription propagation
+  with per-link accounting,
+* :mod:`repro.routing.metrics` — link counters and the transmission cost
+  model standing in for the paper's 10 Mbps testbed.
+"""
+
+from repro.routing.broker import Broker, Interface, RoutingEntry
+from repro.routing.metrics import CostModel, LinkStats, NetworkReport
+from repro.routing.network import BrokerNetwork, Delivery, PublishResult
+from repro.routing.topology import Topology, line_topology, star_topology, tree_topology
+
+__all__ = [
+    "Broker",
+    "BrokerNetwork",
+    "CostModel",
+    "Delivery",
+    "Interface",
+    "LinkStats",
+    "NetworkReport",
+    "PublishResult",
+    "RoutingEntry",
+    "Topology",
+    "line_topology",
+    "star_topology",
+    "tree_topology",
+]

@@ -1,0 +1,137 @@
+"""Link accounting and the transmission cost model.
+
+The paper's testbed connects brokers over a 10 Mbps network; extra
+forwarded events cost real time to send, receive, and filter.  In this
+in-process reproduction, link usage is *counted* exactly (messages and
+bytes per directed link) and transmission time is *modelled*:
+
+    seconds(message) = per_message_overhead + size_bytes * 8 / bandwidth
+
+The per-message overhead stands in for serialization and protocol-stack
+costs on both endpoints.  Filtering time is measured, not modelled — the
+counting engine does real work.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+
+class CostModel:
+    """Transmission cost of one message over one broker link."""
+
+    def __init__(
+        self,
+        bandwidth_bps: float = 10e6,
+        per_message_overhead_s: float = 100e-6,
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if per_message_overhead_s < 0:
+            raise ValueError("per-message overhead must be non-negative")
+        self.bandwidth_bps = bandwidth_bps
+        self.per_message_overhead_s = per_message_overhead_s
+
+    def transmission_seconds(self, size_bytes: int) -> float:
+        """Modelled wall-clock cost of moving one message over one hop."""
+        return self.per_message_overhead_s + (size_bytes * 8.0) / self.bandwidth_bps
+
+
+class LinkStats:
+    """Counters of one directed broker link."""
+
+    __slots__ = ("messages", "bytes")
+
+    def __init__(self) -> None:
+        self.messages = 0
+        self.bytes = 0
+
+    def record(self, size_bytes: int) -> None:
+        """Count one message of ``size_bytes``."""
+        self.messages += 1
+        self.bytes += size_bytes
+
+    def reset(self) -> None:
+        """Zero the counters."""
+        self.messages = 0
+        self.bytes = 0
+
+
+class NetworkReport:
+    """A snapshot of network-wide routing activity.
+
+    Built by :meth:`repro.routing.network.BrokerNetwork.report`; the
+    distributed experiments read event-message counts (Fig. 1(e)) and the
+    modelled transmission time share of per-event cost (Fig. 1(d)) from
+    here.
+    """
+
+    def __init__(
+        self,
+        event_messages: int,
+        event_bytes: int,
+        subscription_messages: int,
+        subscription_bytes: int,
+        per_link_messages: Dict[Tuple[str, str], int],
+        deliveries: int,
+        events_published: int,
+        filter_seconds: float,
+        cost_model: CostModel,
+    ) -> None:
+        self.event_messages = event_messages
+        self.event_bytes = event_bytes
+        self.subscription_messages = subscription_messages
+        self.subscription_bytes = subscription_bytes
+        self.per_link_messages = per_link_messages
+        self.deliveries = deliveries
+        self.events_published = events_published
+        self.filter_seconds = filter_seconds
+        self.cost_model = cost_model
+
+    @property
+    def transmission_seconds(self) -> float:
+        """Modelled time for all event messages (overhead + bandwidth)."""
+        if not self.event_messages:
+            return 0.0
+        mean_size = self.event_bytes / self.event_messages
+        return self.event_messages * self.cost_model.transmission_seconds(mean_size)
+
+    @property
+    def total_seconds(self) -> float:
+        """Measured filtering plus modelled transmission."""
+        return self.filter_seconds + self.transmission_seconds
+
+    @property
+    def seconds_per_event(self) -> float:
+        """Total routing cost per published event — Fig. 1(d)'s metric."""
+        if not self.events_published:
+            return 0.0
+        return self.total_seconds / self.events_published
+
+    @property
+    def messages_per_event(self) -> float:
+        """Average broker-to-broker event messages per published event."""
+        if not self.events_published:
+            return 0.0
+        return self.event_messages / self.events_published
+
+    def busiest_links(self, count: int = 5) -> List[Tuple[Tuple[str, str], int]]:
+        """The ``count`` most loaded directed links."""
+        ranked = sorted(
+            self.per_link_messages.items(), key=lambda item: (-item[1], item[0])
+        )
+        return ranked[:count]
+
+    def as_dict(self) -> dict:
+        """Plain-dict snapshot for reports."""
+        return {
+            "event_messages": self.event_messages,
+            "event_bytes": self.event_bytes,
+            "subscription_messages": self.subscription_messages,
+            "subscription_bytes": self.subscription_bytes,
+            "deliveries": self.deliveries,
+            "events_published": self.events_published,
+            "filter_seconds": self.filter_seconds,
+            "transmission_seconds": self.transmission_seconds,
+            "seconds_per_event": self.seconds_per_event,
+        }

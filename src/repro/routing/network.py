@@ -1,0 +1,279 @@
+"""An in-process broker network with exact link accounting.
+
+Subscription forwarding and event routing run synchronously over the
+acyclic topology: propagation is a tree walk, so every message is counted
+exactly once per traversed link.  This replaces the paper's five-machine
+testbed; message *counts* are exact, transmission *time* is modelled by
+:class:`~repro.routing.metrics.CostModel` (see DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, NamedTuple, Optional, Tuple
+
+from repro.errors import RoutingError
+from repro.events import Event
+from repro.routing.broker import Broker, Interface
+from repro.routing.metrics import CostModel, LinkStats, NetworkReport
+from repro.routing.topology import Topology
+from repro.subscriptions.nodes import Node
+from repro.subscriptions.serialize import encode_node
+from repro.subscriptions.subscription import Subscription
+
+#: Wire overhead of one subscription-forwarding message beyond the tree
+#: encoding (framing, subscription id, action tag).
+_SUBSCRIPTION_MESSAGE_OVERHEAD = 24
+
+
+class Delivery(NamedTuple):
+    """One notification: ``client`` at ``broker_id`` matched ``subscription_id``."""
+
+    client: str
+    broker_id: str
+    subscription_id: int
+
+
+class PublishResult(NamedTuple):
+    """Outcome of publishing one event."""
+
+    deliveries: List[Delivery]        #: notifications to local clients
+    event_messages: int               #: broker-to-broker event sends
+    brokers_visited: int              #: brokers that filtered the event
+
+
+class BrokerNetwork:
+    """A network of brokers over an acyclic topology.
+
+    >>> from repro.routing.topology import line_topology
+    >>> from repro.subscriptions import P, And
+    >>> from repro.events import Event
+    >>> network = BrokerNetwork(line_topology(3))
+    >>> sub = network.subscribe("b2", "alice", And(P("x") == 1, P("y") == 2))
+    >>> result = network.publish("b0", Event({"x": 1, "y": 2}))
+    >>> result.deliveries
+    [Delivery(client='alice', broker_id='b2', subscription_id=0)]
+    >>> result.event_messages  # two hops: b0->b1, b1->b2
+    2
+    """
+
+    def __init__(
+        self, topology: Topology, cost_model: Optional[CostModel] = None
+    ) -> None:
+        self.topology = topology
+        self.cost_model = cost_model or CostModel()
+        self.brokers: Dict[str, Broker] = {
+            broker_id: Broker(broker_id) for broker_id in topology.broker_ids
+        }
+        for left, right in topology.edges:
+            self.brokers[left].connect(right)
+            self.brokers[right].connect(left)
+        self._links: Dict[Tuple[str, str], LinkStats] = {}
+        for left, right in topology.edges:
+            self._links[(left, right)] = LinkStats()
+            self._links[(right, left)] = LinkStats()
+        self._next_subscription_id = 0
+        self._home: Dict[int, Tuple[str, str]] = {}
+        self._subscription_messages = 0
+        self._subscription_bytes = 0
+        self._events_published = 0
+        self._deliveries = 0
+
+    # -- subscriptions -------------------------------------------------------------
+
+    def subscribe(
+        self,
+        broker_id: str,
+        client: str,
+        tree: Node,
+        subscription_id: Optional[int] = None,
+    ) -> Subscription:
+        """Register a subscription at a client's home broker and forward it.
+
+        Returns the registered :class:`Subscription` (with its global id).
+        """
+        home = self._broker(broker_id)
+        if subscription_id is None:
+            subscription_id = self._next_subscription_id
+        elif subscription_id < self._next_subscription_id:
+            raise RoutingError("subscription id %d already used" % subscription_id)
+        self._next_subscription_id = subscription_id + 1
+        subscription = Subscription(subscription_id, tree, owner=client)
+        home.add_entry(subscription, Interface.client(client))
+        self._home[subscription.id] = (broker_id, client)
+        wire_size = len(encode_node(subscription.tree)) + _SUBSCRIPTION_MESSAGE_OVERHEAD
+        self._flood_subscription(subscription, origin=broker_id, wire_size=wire_size)
+        return subscription
+
+    def _flood_subscription(
+        self, subscription: Subscription, origin: str, wire_size: int
+    ) -> None:
+        queue: List[Tuple[str, str]] = [
+            (neighbor, origin) for neighbor in self.brokers[origin].neighbors
+        ]
+        while queue:
+            broker_id, sender = queue.pop()
+            self._record_link(sender, broker_id, wire_size, subscription_traffic=True)
+            broker = self.brokers[broker_id]
+            broker.add_entry(subscription, Interface.broker(sender))
+            for neighbor in broker.neighbors:
+                if neighbor != sender:
+                    queue.append((neighbor, broker_id))
+
+    def unsubscribe(self, subscription_id: int) -> None:
+        """Remove a subscription from every broker's table."""
+        if subscription_id not in self._home:
+            raise RoutingError("unknown subscription id %d" % subscription_id)
+        origin, _client = self._home.pop(subscription_id)
+        self._broker(origin).remove_entry(subscription_id)
+        wire_size = _SUBSCRIPTION_MESSAGE_OVERHEAD
+        queue: List[Tuple[str, str]] = [
+            (neighbor, origin) for neighbor in self.brokers[origin].neighbors
+        ]
+        while queue:
+            broker_id, sender = queue.pop()
+            self._record_link(sender, broker_id, wire_size, subscription_traffic=True)
+            broker = self.brokers[broker_id]
+            broker.remove_entry(subscription_id)
+            for neighbor in broker.neighbors:
+                if neighbor != sender:
+                    queue.append((neighbor, broker_id))
+
+    # -- events ----------------------------------------------------------------------
+
+    def publish(self, broker_id: str, event: Event) -> PublishResult:
+        """Publish one event and route it to all matching subscribers."""
+        self._broker(broker_id)
+        self._events_published += 1
+        deliveries: List[Delivery] = []
+        messages = 0
+        visited = 0
+        queue: List[Tuple[str, Optional[str]]] = [(broker_id, None)]
+        while queue:
+            current_id, sender = queue.pop()
+            visited += 1
+            broker = self.brokers[current_id]
+            routed = broker.route(event, exclude=sender)
+            for interface in sorted(routed):
+                if interface.is_client:
+                    for subscription_id in sorted(routed[interface]):
+                        deliveries.append(
+                            Delivery(interface.name, current_id, subscription_id)
+                        )
+                else:
+                    self._record_link(current_id, interface.name, event.size_bytes)
+                    messages += 1
+                    queue.append((interface.name, current_id))
+        self._deliveries += len(deliveries)
+        return PublishResult(deliveries, messages, visited)
+
+    def publish_many(
+        self, broker_ids: Iterable[str], events: Iterable[Event]
+    ) -> List[PublishResult]:
+        """Publish events round-robin over ``broker_ids`` (zipped)."""
+        return [
+            self.publish(broker_id, event)
+            for broker_id, event in zip(broker_ids, events)
+        ]
+
+    # -- pruning -----------------------------------------------------------------------
+
+    def apply_pruned_tables(
+        self, per_broker: Dict[str, Dict[int, Node]]
+    ) -> None:
+        """Replace non-local entry trees broker by broker.
+
+        ``per_broker`` maps broker id → {subscription id → pruned tree};
+        entries not mentioned keep their current tree.
+        """
+        for broker_id, trees in per_broker.items():
+            broker = self._broker(broker_id)
+            for subscription_id, tree in trees.items():
+                broker.prune_entry(subscription_id, tree)
+
+    def restore_all_entries(self) -> None:
+        """Undo all pruning network-wide."""
+        for broker in self.brokers.values():
+            for entry in broker.non_local_entries():
+                broker.restore_entry(entry.subscription_id)
+
+    # -- accounting ---------------------------------------------------------------------
+
+    def _broker(self, broker_id: str) -> Broker:
+        try:
+            return self.brokers[broker_id]
+        except KeyError:
+            raise RoutingError("unknown broker %r" % broker_id)
+
+    def _record_link(
+        self,
+        sender: str,
+        receiver: str,
+        size_bytes: int,
+        subscription_traffic: bool = False,
+    ) -> None:
+        link = self._links.get((sender, receiver))
+        if link is None:
+            raise RoutingError("no link %s->%s" % (sender, receiver))
+        link.record(size_bytes)
+        if subscription_traffic:
+            self._subscription_messages += 1
+            self._subscription_bytes += size_bytes
+
+    def report(self) -> NetworkReport:
+        """Snapshot of all counters since the last reset."""
+        event_messages = 0
+        event_bytes = 0
+        per_link: Dict[Tuple[str, str], int] = {}
+        for key, link in self._links.items():
+            per_link[key] = link.messages
+            event_messages += link.messages
+            event_bytes += link.bytes
+        event_messages -= self._subscription_messages
+        event_bytes -= self._subscription_bytes
+        filter_seconds = sum(
+            broker.filter_seconds for broker in self.brokers.values()
+        )
+        return NetworkReport(
+            event_messages=event_messages,
+            event_bytes=event_bytes,
+            subscription_messages=self._subscription_messages,
+            subscription_bytes=self._subscription_bytes,
+            per_link_messages=per_link,
+            deliveries=self._deliveries,
+            events_published=self._events_published,
+            filter_seconds=filter_seconds,
+            cost_model=self.cost_model,
+        )
+
+    def reset_statistics(self) -> None:
+        """Zero link counters, broker matcher stats, and event counters.
+
+        Routing tables (and applied prunings) are left untouched.
+        """
+        for link in self._links.values():
+            link.reset()
+        for broker in self.brokers.values():
+            broker.reset_statistics()
+        self._subscription_messages = 0
+        self._subscription_bytes = 0
+        self._events_published = 0
+        self._deliveries = 0
+
+    # -- table-wide metrics ----------------------------------------------------------------
+
+    @property
+    def association_count(self) -> int:
+        """Predicate/subscription associations across all brokers."""
+        return sum(broker.association_count for broker in self.brokers.values())
+
+    @property
+    def non_local_association_count(self) -> int:
+        """Associations from non-local entries only (Fig. 1(f))."""
+        return sum(
+            broker.non_local_association_count for broker in self.brokers.values()
+        )
+
+    @property
+    def table_size_bytes(self) -> int:
+        """mem≈ of all routing tables."""
+        return sum(broker.table_size_bytes for broker in self.brokers.values())

@@ -1,0 +1,119 @@
+"""Acyclic broker topologies.
+
+The paper assumes acyclic broker connections (Sect. 2.1) and evaluates on
+five brokers connected as a line.  A :class:`Topology` is a validated
+undirected tree over broker ids; builders for the common shapes are
+provided.  networkx carries the graph mechanics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import networkx as nx
+
+from repro.errors import TopologyError
+
+
+class Topology:
+    """A connected acyclic broker graph (i.e. a tree)."""
+
+    def __init__(self, edges: Iterable[Tuple[str, str]]) -> None:
+        graph = nx.Graph()
+        edge_list = list(edges)
+        if not edge_list:
+            raise TopologyError("topology needs at least one edge")
+        for left, right in edge_list:
+            if left == right:
+                raise TopologyError("self-loop on broker %r" % left)
+            if graph.has_edge(left, right):
+                raise TopologyError("duplicate edge %r-%r" % (left, right))
+            graph.add_edge(left, right)
+        if not nx.is_connected(graph):
+            raise TopologyError("topology must be connected")
+        if graph.number_of_edges() != graph.number_of_nodes() - 1:
+            raise TopologyError("topology must be acyclic (a tree)")
+        self._graph = graph
+
+    @classmethod
+    def single_broker(cls, broker_id: str = "b0") -> "Topology":
+        """The degenerate one-broker topology (centralized setting)."""
+        topology = cls.__new__(cls)
+        graph = nx.Graph()
+        graph.add_node(broker_id)
+        topology._graph = graph
+        return topology
+
+    @property
+    def broker_ids(self) -> List[str]:
+        """All broker ids, sorted for determinism."""
+        return sorted(self._graph.nodes)
+
+    @property
+    def edges(self) -> List[Tuple[str, str]]:
+        """All undirected edges as sorted pairs, sorted."""
+        return sorted(tuple(sorted(edge)) for edge in self._graph.edges)
+
+    def neighbors(self, broker_id: str) -> List[str]:
+        """Sorted neighbor ids of one broker."""
+        if broker_id not in self._graph:
+            raise TopologyError("unknown broker %r" % broker_id)
+        return sorted(self._graph.neighbors(broker_id))
+
+    def path(self, source: str, target: str) -> List[str]:
+        """The unique path between two brokers (inclusive)."""
+        try:
+            return nx.shortest_path(self._graph, source, target)
+        except (nx.NodeNotFound, nx.NetworkXNoPath):
+            raise TopologyError("no path between %r and %r" % (source, target))
+
+    def diameter(self) -> int:
+        """Longest shortest path (in hops)."""
+        if self._graph.number_of_nodes() == 1:
+            return 0
+        return nx.diameter(self._graph)
+
+    def __contains__(self, broker_id: object) -> bool:
+        return broker_id in self._graph
+
+    def __len__(self) -> int:
+        return self._graph.number_of_nodes()
+
+
+def line_topology(count: int, prefix: str = "b") -> Topology:
+    """``count`` brokers in a line — the paper's distributed setting
+    (five brokers connected as a line)."""
+    if count < 1:
+        raise TopologyError("line topology needs at least one broker")
+    if count == 1:
+        return Topology.single_broker("%s0" % prefix)
+    names = ["%s%d" % (prefix, index) for index in range(count)]
+    return Topology(zip(names, names[1:]))
+
+
+def star_topology(leaves: int, prefix: str = "b") -> Topology:
+    """One hub broker with ``leaves`` spokes."""
+    if leaves < 1:
+        raise TopologyError("star topology needs at least one leaf")
+    hub = "%s0" % prefix
+    return Topology((hub, "%s%d" % (prefix, index + 1)) for index in range(leaves))
+
+
+def tree_topology(branching: int, height: int, prefix: str = "b") -> Topology:
+    """A balanced tree of brokers with the given branching and height."""
+    if branching < 1 or height < 1:
+        raise TopologyError("tree topology needs positive branching and height")
+    edges: List[Tuple[str, str]] = []
+    nodes = ["%s0" % prefix]
+    frontier = [nodes[0]]
+    counter = 1
+    for _level in range(height):
+        next_frontier = []
+        for parent in frontier:
+            for _child in range(branching):
+                name = "%s%d" % (prefix, counter)
+                counter += 1
+                edges.append((parent, name))
+                next_frontier.append(name)
+        frontier = next_frontier
+    return Topology(edges)

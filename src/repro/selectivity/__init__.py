@@ -1,0 +1,39 @@
+"""Selectivity statistics and estimation.
+
+The network dimension of pruning (paper Sect. 3.1) ranks candidate prunings
+by their *estimated selectivity degradation*: how many more events the
+pruned subscription will match.  This package provides
+
+* :mod:`repro.selectivity.statistics` — per-attribute value distributions,
+  either analytic (declared by a workload generator) or empirical (sampled
+  from observed events), answering "what is the probability that a random
+  event fulfils this predicate?";
+* :mod:`repro.selectivity.estimator` — combination of predicate
+  probabilities over a subscription tree into the paper's three-component
+  estimate ``(sel_min, sel_avg, sel_max)`` using Fréchet bounds for the
+  extremes and an independence assumption for the average.
+"""
+
+from repro.selectivity.estimator import (
+    SelectivityEstimate,
+    SelectivityEstimator,
+    selectivity_degradation,
+)
+from repro.selectivity.statistics import (
+    AttributeStatistics,
+    CategoricalStatistics,
+    ContinuousStatistics,
+    EmpiricalStatistics,
+    EventStatistics,
+)
+
+__all__ = [
+    "AttributeStatistics",
+    "CategoricalStatistics",
+    "ContinuousStatistics",
+    "EmpiricalStatistics",
+    "EventStatistics",
+    "SelectivityEstimate",
+    "SelectivityEstimator",
+    "selectivity_degradation",
+]

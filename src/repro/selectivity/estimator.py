@@ -1,0 +1,173 @@
+"""Tree-level selectivity estimation: ``(sel_min, sel_avg, sel_max)``.
+
+The paper (Sect. 3.1) estimates the selectivity of a subscription with
+three components — minimal, average, and maximal possible selectivity —
+because the exact value depends on inter-predicate correlations the broker
+cannot know.  We realize the three components as:
+
+* ``avg`` — combination under an independence assumption
+  (AND: product, OR: inclusion–exclusion),
+* ``min``/``max`` — Fréchet–Hoeffding bounds, which hold under *any*
+  correlation structure (AND: ``max(0, Σpᵢ − (k−1)) … min(pᵢ)``,
+  OR: ``max(pᵢ) … min(1, Σpᵢ)``).
+
+Both bound families are monotone, so ``sel_min ≤ sel_avg ≤ sel_max`` holds
+structurally, and the true selectivity lies within ``[sel_min, sel_max]``
+whenever the per-predicate probabilities are exact.
+
+The *estimated selectivity degradation* of pruning ``s_x`` into ``s_y`` is
+the maximum componentwise increase (paper's Δ≈sel):
+
+    Δsel(s_x, s_y) = max(min_y − min_x, avg_y − avg_x, max_y − max_x)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, NamedTuple, Sequence
+
+from repro.errors import SelectivityError
+from repro.events import Event
+from repro.selectivity.statistics import EventStatistics
+from repro.subscriptions.nodes import (
+    AndNode,
+    ConstNode,
+    Node,
+    OrNode,
+    PredicateLeaf,
+)
+
+
+class SelectivityEstimate(NamedTuple):
+    """Three-component selectivity estimate of a subscription tree.
+
+    Components are probabilities in ``[0, 1]``; higher means the
+    subscription matches more events (it is *less* selective).
+    """
+
+    min: float
+    avg: float
+    max: float
+
+    @classmethod
+    def exact(cls, probability: float) -> "SelectivityEstimate":
+        """A point estimate (all three components equal)."""
+        return cls(probability, probability, probability)
+
+    def clamp(self) -> "SelectivityEstimate":
+        """Clip all components into [0, 1] (guards float round-off)."""
+        return SelectivityEstimate(
+            min(1.0, max(0.0, self.min)),
+            min(1.0, max(0.0, self.avg)),
+            min(1.0, max(0.0, self.max)),
+        )
+
+
+#: Estimate of a constant-true tree: matches everything.
+ALWAYS = SelectivityEstimate(1.0, 1.0, 1.0)
+#: Estimate of a constant-false tree: matches nothing.
+NEVER = SelectivityEstimate(0.0, 0.0, 0.0)
+
+
+def _ordered(lower: float, avg: float, upper: float) -> SelectivityEstimate:
+    """Clamp into [0, 1] and project avg into [lower, upper].
+
+    The independence average lies within the Fréchet bounds analytically,
+    but float round-off can break the ordering for extreme probabilities
+    (e.g. ``1 - (1 - 1e-300) == 0.0``); projecting restores the invariant.
+    """
+    lower = min(1.0, max(0.0, lower))
+    upper = min(1.0, max(0.0, upper))
+    avg = min(upper, max(lower, avg))
+    return SelectivityEstimate(lower, avg, upper)
+
+
+def combine_and(estimates: Sequence[SelectivityEstimate]) -> SelectivityEstimate:
+    """Combine child estimates under a conjunction."""
+    if not estimates:
+        return ALWAYS
+    lower = sum(e.min for e in estimates) - (len(estimates) - 1)
+    avg = 1.0
+    upper = 1.0
+    for e in estimates:
+        avg *= e.avg
+        upper = min(upper, e.max)
+    return _ordered(max(0.0, lower), avg, upper)
+
+
+def combine_or(estimates: Sequence[SelectivityEstimate]) -> SelectivityEstimate:
+    """Combine child estimates under a disjunction."""
+    if not estimates:
+        return NEVER
+    lower = 0.0
+    missing = 1.0
+    upper = 0.0
+    for e in estimates:
+        lower = max(lower, e.min)
+        missing *= 1.0 - e.avg
+        upper += e.max
+    return _ordered(lower, 1.0 - missing, min(1.0, upper))
+
+
+def selectivity_degradation(
+    original: SelectivityEstimate, pruned: SelectivityEstimate
+) -> float:
+    """The paper's Δ≈sel: maximal componentwise selectivity increase."""
+    return max(
+        pruned.min - original.min,
+        pruned.avg - original.avg,
+        pruned.max - original.max,
+    )
+
+
+class SelectivityEstimator:
+    """Estimates subscription selectivities against event statistics.
+
+    >>> from repro.selectivity.statistics import (
+    ...     CategoricalStatistics, EventStatistics)
+    >>> from repro.subscriptions import P, And
+    >>> stats = EventStatistics({
+    ...     "cat": CategoricalStatistics({"a": 0.25, "b": 0.75}),
+    ...     "hot": CategoricalStatistics({True: 0.5, False: 0.5}),
+    ... })
+    >>> est = SelectivityEstimator(stats)
+    >>> est.estimate(And(P("cat") == "a", P("hot") == True)).avg
+    0.125
+    """
+
+    def __init__(self, statistics: EventStatistics) -> None:
+        if not isinstance(statistics, EventStatistics):
+            raise SelectivityError("SelectivityEstimator requires EventStatistics")
+        self.statistics = statistics
+
+    def estimate(self, tree: Node) -> SelectivityEstimate:
+        """Estimate the (min, avg, max) selectivity of a normalized tree."""
+        if isinstance(tree, PredicateLeaf):
+            probability = self.statistics.predicate_probability(tree.predicate)
+            return SelectivityEstimate.exact(probability)
+        if isinstance(tree, ConstNode):
+            return ALWAYS if tree.value else NEVER
+        if isinstance(tree, AndNode):
+            return combine_and([self.estimate(child) for child in tree.children])
+        if isinstance(tree, OrNode):
+            return combine_or([self.estimate(child) for child in tree.children])
+        raise SelectivityError(
+            "cannot estimate selectivity of %s (tree must be normalized)"
+            % type(tree).__name__
+        )
+
+    def degradation(self, original: Node, pruned: Node) -> float:
+        """Δ≈sel between two trees (convenience wrapper)."""
+        return selectivity_degradation(self.estimate(original), self.estimate(pruned))
+
+    @staticmethod
+    def measure(tree: Node, events: Iterable[Event]) -> float:
+        """Exact selectivity of ``tree`` over a concrete event sample."""
+        total = 0
+        matched = 0
+        for event in events:
+            total += 1
+            if tree.evaluate(event):
+                matched += 1
+        if not total:
+            raise SelectivityError("cannot measure selectivity on zero events")
+        return matched / total

@@ -1,0 +1,338 @@
+"""Per-attribute value distributions for selectivity estimation.
+
+An :class:`AttributeStatistics` answers one question: the probability that
+a random event fulfils a given predicate on this attribute.  Presence is
+part of the model — predicates on absent attributes are unfulfilled, so
+every probability is bounded by the attribute's presence probability.
+
+Three implementations cover the library's needs:
+
+* :class:`CategoricalStatistics` — discrete value distributions declared
+  analytically (used by workload generators for titles, categories, ...);
+* :class:`ContinuousStatistics` — numeric distributions described by a CDF
+  sampled at support points (prices, ratings, ...);
+* :class:`EmpiricalStatistics` — built from observed events when no
+  analytic model is available (the broker-side fallback).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SelectivityError
+from repro.events import Event, Value
+from repro.subscriptions.predicates import Operator, Predicate
+
+
+class AttributeStatistics:
+    """Distribution model of one attribute."""
+
+    #: Probability that an event carries this attribute at all.
+    presence = 1.0
+
+    def predicate_probability(self, operator: Operator, value) -> float:
+        """Probability that a random event fulfils ``attribute op value``."""
+        positive = self._positive_probability(operator, value)
+        if positive is not None:
+            return min(positive, self.presence)
+        # Negated operators: fulfilled iff present and positive form fails.
+        complement = operator.complement
+        positive = self._positive_probability(complement, value)
+        if positive is None:
+            raise SelectivityError("unsupported operator %r" % operator)
+        return max(0.0, self.presence - min(positive, self.presence))
+
+    def _positive_probability(self, operator: Operator, value) -> Optional[float]:
+        """Probability for non-negated operators; ``None`` for negated ones."""
+        if operator is Operator.EQ:
+            return self.prob_eq(value)
+        if operator is Operator.IN_SET:
+            return min(1.0, sum(self.prob_eq(member) for member in value))
+        if operator is Operator.LT:
+            return self.prob_less(value, inclusive=False)
+        if operator is Operator.LE:
+            return self.prob_less(value, inclusive=True)
+        if operator is Operator.GT:
+            return max(0.0, self.presence - self.prob_less(value, inclusive=True))
+        if operator is Operator.GE:
+            return max(0.0, self.presence - self.prob_less(value, inclusive=False))
+        if operator is Operator.PREFIX:
+            return self.prob_prefix(value)
+        if operator is Operator.CONTAINS:
+            return self.prob_contains(value)
+        return None
+
+    # -- primitive probabilities (implemented by subclasses) -----------------
+
+    def prob_eq(self, value: Value) -> float:
+        raise NotImplementedError
+
+    def prob_less(self, value: Value, inclusive: bool) -> float:
+        """P(attribute present and attribute < value) (or <= when inclusive)."""
+        raise NotImplementedError
+
+    def prob_prefix(self, prefix: str) -> float:
+        raise NotImplementedError
+
+    def prob_contains(self, needle: str) -> float:
+        raise NotImplementedError
+
+
+def _is_numeric(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+class CategoricalStatistics(AttributeStatistics):
+    """Discrete distribution given as a value→probability mapping.
+
+    >>> stats = CategoricalStatistics({"fiction": 0.6, "poetry": 0.4})
+    >>> stats.prob_eq("fiction")
+    0.6
+    """
+
+    def __init__(self, probabilities: Mapping[Value, float], presence: float = 1.0):
+        if not probabilities:
+            raise SelectivityError("categorical statistics need at least one value")
+        total = float(sum(probabilities.values()))
+        if total <= 0:
+            raise SelectivityError("probabilities must sum to a positive value")
+        if not 0.0 <= presence <= 1.0:
+            raise SelectivityError("presence must be within [0, 1]")
+        self.presence = presence
+        # Normalize to the presence mass: P(value) are conditional weights.
+        self._probs: Dict[Value, float] = {
+            value: presence * (probability / total)
+            for value, probability in probabilities.items()
+        }
+        self._sorted_numeric = sorted(
+            (value, probability)
+            for value, probability in self._probs.items()
+            if _is_numeric(value)
+        )
+        self._sorted_strings = sorted(
+            (value, probability)
+            for value, probability in self._probs.items()
+            if isinstance(value, str)
+        )
+
+    def prob_eq(self, value: Value) -> float:
+        if isinstance(value, bool):
+            return self._probs.get(value, 0.0) if isinstance(value, bool) else 0.0
+        if _is_numeric(value):
+            # ints and floats compare equal; probe both spellings.
+            hit = self._probs.get(value)
+            if hit is None and float(value).is_integer():
+                hit = self._probs.get(int(value))
+            return hit or 0.0
+        return self._probs.get(value, 0.0)
+
+    def prob_less(self, value: Value, inclusive: bool) -> float:
+        if _is_numeric(value):
+            pool: Sequence[Tuple[Value, float]] = self._sorted_numeric
+        elif isinstance(value, str):
+            pool = self._sorted_strings
+        else:
+            return 0.0
+        total = 0.0
+        for candidate, probability in pool:
+            if candidate < value or (inclusive and candidate == value):
+                total += probability
+            else:
+                break
+        return total
+
+    def prob_prefix(self, prefix: str) -> float:
+        return sum(
+            probability
+            for candidate, probability in self._sorted_strings
+            if candidate.startswith(prefix)
+        )
+
+    def prob_contains(self, needle: str) -> float:
+        return sum(
+            probability
+            for candidate, probability in self._sorted_strings
+            if needle in candidate
+        )
+
+
+class ContinuousStatistics(AttributeStatistics):
+    """Numeric distribution described by CDF samples at support points.
+
+    ``support`` and ``cdf`` are parallel ascending sequences with
+    ``cdf[i] = P(X <= support[i])``; probabilities between support points
+    are linearly interpolated.  Point masses are assumed to be zero
+    (``prob_eq`` is 0), which matches continuous quantities like prices.
+    """
+
+    def __init__(
+        self,
+        support: Sequence[float],
+        cdf: Sequence[float],
+        presence: float = 1.0,
+    ) -> None:
+        if len(support) != len(cdf) or len(support) < 2:
+            raise SelectivityError("support and cdf must align (length >= 2)")
+        support_array = np.asarray(support, dtype=np.float64)
+        cdf_array = np.asarray(cdf, dtype=np.float64)
+        if np.any(np.diff(support_array) <= 0):
+            raise SelectivityError("support must be strictly increasing")
+        if np.any(np.diff(cdf_array) < 0) or cdf_array[0] < 0 or cdf_array[-1] > 1 + 1e-9:
+            raise SelectivityError("cdf must be non-decreasing within [0, 1]")
+        if not 0.0 <= presence <= 1.0:
+            raise SelectivityError("presence must be within [0, 1]")
+        self.presence = presence
+        self._support = support_array
+        self._cdf = cdf_array
+
+    def prob_eq(self, value: Value) -> float:
+        return 0.0
+
+    def prob_less(self, value: Value, inclusive: bool) -> float:
+        if not _is_numeric(value):
+            return 0.0
+        x = float(value)
+        if x <= self._support[0]:
+            cdf = self._cdf[0] if x == self._support[0] else 0.0
+        elif x >= self._support[-1]:
+            cdf = self._cdf[-1]
+        else:
+            cdf = float(np.interp(x, self._support, self._cdf))
+        return self.presence * min(1.0, cdf)
+
+    def prob_prefix(self, prefix: str) -> float:
+        return 0.0
+
+    def prob_contains(self, needle: str) -> float:
+        return 0.0
+
+
+class EmpiricalStatistics(AttributeStatistics):
+    """Distribution estimated from observed attribute values.
+
+    Keeps the exact value frequencies for discrete queries and sorted value
+    arrays for range queries, so every probability is the sample fraction.
+    """
+
+    def __init__(self, values: Iterable[Value], total_events: int) -> None:
+        values = list(values)
+        if total_events <= 0:
+            raise SelectivityError("total_events must be positive")
+        if len(values) > total_events:
+            raise SelectivityError("more values than events")
+        self._total = total_events
+        self.presence = len(values) / total_events
+        self._frequency: Dict[Tuple[str, Value], int] = {}
+        numeric: List[float] = []
+        strings: List[str] = []
+        self._string_counts: Dict[str, int] = {}
+        for value in values:
+            key = self._key(value)
+            self._frequency[key] = self._frequency.get(key, 0) + 1
+            if isinstance(value, bool):
+                continue
+            if _is_numeric(value):
+                numeric.append(float(value))
+            elif isinstance(value, str):
+                strings.append(value)
+                self._string_counts[value] = self._string_counts.get(value, 0) + 1
+        self._numeric = np.sort(np.asarray(numeric, dtype=np.float64))
+        self._strings = sorted(strings)
+
+    @staticmethod
+    def _key(value: Value) -> Tuple[str, Value]:
+        if isinstance(value, bool):
+            return ("b", value)
+        if _is_numeric(value):
+            return ("n", float(value))
+        return ("s", value)
+
+    def prob_eq(self, value: Value) -> float:
+        return self._frequency.get(self._key(value), 0) / self._total
+
+    def prob_less(self, value: Value, inclusive: bool) -> float:
+        if _is_numeric(value):
+            side = "right" if inclusive else "left"
+            count = int(np.searchsorted(self._numeric, float(value), side=side))
+        elif isinstance(value, str):
+            if inclusive:
+                count = bisect.bisect_right(self._strings, value)
+            else:
+                count = bisect.bisect_left(self._strings, value)
+        else:
+            return 0.0
+        return count / self._total
+
+    def prob_prefix(self, prefix: str) -> float:
+        count = sum(
+            occurrences
+            for candidate, occurrences in self._string_counts.items()
+            if candidate.startswith(prefix)
+        )
+        return count / self._total
+
+    def prob_contains(self, needle: str) -> float:
+        count = sum(
+            occurrences
+            for candidate, occurrences in self._string_counts.items()
+            if needle in candidate
+        )
+        return count / self._total
+
+
+class EventStatistics:
+    """Statistics for a whole event schema: one model per attribute.
+
+    Unknown attributes fall back to a configurable default probability so
+    estimation never fails on ad-hoc predicates (the paper's estimator is a
+    heuristic, not an oracle).
+    """
+
+    def __init__(
+        self,
+        attributes: Mapping[str, AttributeStatistics],
+        default_probability: float = 0.5,
+    ) -> None:
+        self._attributes = dict(attributes)
+        if not 0.0 <= default_probability <= 1.0:
+            raise SelectivityError("default_probability must be within [0, 1]")
+        self.default_probability = default_probability
+
+    @classmethod
+    def from_events(
+        cls, events: Sequence[Event], default_probability: float = 0.5
+    ) -> "EventStatistics":
+        """Build empirical statistics by observing a sample of events."""
+        if not events:
+            raise SelectivityError("cannot build statistics from zero events")
+        values_by_attribute: Dict[str, List[Value]] = {}
+        for event in events:
+            for attribute, value in event.items():
+                values_by_attribute.setdefault(attribute, []).append(value)
+        models = {
+            attribute: EmpiricalStatistics(values, total_events=len(events))
+            for attribute, values in values_by_attribute.items()
+        }
+        return cls(models, default_probability=default_probability)
+
+    def attribute(self, name: str) -> Optional[AttributeStatistics]:
+        """The model for ``name``, or ``None`` when unknown."""
+        return self._attributes.get(name)
+
+    def predicate_probability(self, predicate: Predicate) -> float:
+        """Probability that a random event fulfils ``predicate``."""
+        model = self._attributes.get(predicate.attribute)
+        if model is None:
+            return self.default_probability
+        probability = model.predicate_probability(predicate.operator, predicate.value)
+        return min(1.0, max(0.0, probability))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._attributes
+
+    def attribute_names(self) -> List[str]:
+        """Sorted names of modelled attributes."""
+        return sorted(self._attributes)

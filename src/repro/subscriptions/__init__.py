@@ -1,0 +1,68 @@
+"""Subscription model: predicates, Boolean filter trees, and metrics.
+
+A subscription is an arbitrary Boolean expression over predicates
+(attribute-operator-value triples), represented as a tree (paper Sect. 2.1).
+This package provides:
+
+* :mod:`repro.subscriptions.predicates` — operators and predicate semantics,
+* :mod:`repro.subscriptions.nodes` — immutable tree nodes,
+* :mod:`repro.subscriptions.builder` — a small construction DSL,
+* :mod:`repro.subscriptions.normalize` — negation normal form + folding,
+* :mod:`repro.subscriptions.metrics` — pmin, byte sizes, node counts,
+* :mod:`repro.subscriptions.serialize` — dict/JSON and binary encodings,
+* :mod:`repro.subscriptions.subscription` — the registered artifact.
+"""
+
+from repro.subscriptions.builder import And, Not, Or, P, attr
+from repro.subscriptions.nodes import (
+    AndNode,
+    ConstNode,
+    Node,
+    NotNode,
+    OrNode,
+    PredicateLeaf,
+)
+from repro.subscriptions.metrics import (
+    count_leaves,
+    count_nodes,
+    memory_bytes,
+    pmin,
+    tree_depth,
+)
+from repro.subscriptions.normalize import is_normalized, normalize
+from repro.subscriptions.predicates import Operator, Predicate
+from repro.subscriptions.serialize import (
+    node_from_dict,
+    node_to_dict,
+    subscription_from_dict,
+    subscription_to_dict,
+)
+from repro.subscriptions.subscription import Subscription
+
+__all__ = [
+    "And",
+    "AndNode",
+    "ConstNode",
+    "Node",
+    "Not",
+    "NotNode",
+    "Operator",
+    "Or",
+    "OrNode",
+    "P",
+    "Predicate",
+    "PredicateLeaf",
+    "Subscription",
+    "attr",
+    "count_leaves",
+    "count_nodes",
+    "is_normalized",
+    "memory_bytes",
+    "node_from_dict",
+    "node_to_dict",
+    "normalize",
+    "pmin",
+    "subscription_from_dict",
+    "subscription_to_dict",
+    "tree_depth",
+]

@@ -1,0 +1,151 @@
+"""A small construction DSL for subscription trees.
+
+Example
+-------
+>>> from repro.subscriptions.builder import P, And, Or, Not
+>>> tree = And(
+...     P("category") == "fiction",
+...     Or(P("price") <= 20, P("seller_rating") >= 4.5),
+...     Not(P("condition") == "poor"),
+... )
+
+``P("attr")`` is a builder handle; comparison operators and named methods on
+it produce :class:`~repro.subscriptions.nodes.PredicateLeaf` nodes.  ``And``,
+``Or`` and ``Not`` combine nodes (predicates and leaves are accepted
+interchangeably).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+from repro.errors import SubscriptionError
+from repro.subscriptions.nodes import AndNode, Node, NotNode, OrNode, PredicateLeaf
+from repro.subscriptions.predicates import Operator, Predicate, PredicateValue
+
+NodeLike = Union[Node, Predicate]
+
+
+def _as_node(value: NodeLike) -> Node:
+    if isinstance(value, Node):
+        return value
+    if isinstance(value, Predicate):
+        return PredicateLeaf(value)
+    raise SubscriptionError(
+        "expected a Node or Predicate, got %s" % type(value).__name__
+    )
+
+
+class P:
+    """Builder handle for predicates on one attribute.
+
+    Supports comparison operators (``==``, ``!=``, ``<``, ``<=``, ``>``,
+    ``>=``) and named constructors for the remaining operators.
+    """
+
+    __slots__ = ("attribute",)
+
+    def __init__(self, attribute: str) -> None:
+        if not isinstance(attribute, str) or not attribute:
+            raise SubscriptionError("P() requires a non-empty attribute name")
+        self.attribute = attribute
+
+    def _leaf(self, operator: Operator, value: PredicateValue) -> PredicateLeaf:
+        return PredicateLeaf(Predicate(self.attribute, operator, value))
+
+    # -- operator overloads -------------------------------------------------
+    def __eq__(self, value: object) -> PredicateLeaf:  # type: ignore[override]
+        return self._leaf(Operator.EQ, value)  # type: ignore[arg-type]
+
+    def __ne__(self, value: object) -> PredicateLeaf:  # type: ignore[override]
+        return self._leaf(Operator.NE, value)  # type: ignore[arg-type]
+
+    def __lt__(self, value: PredicateValue) -> PredicateLeaf:
+        return self._leaf(Operator.LT, value)
+
+    def __le__(self, value: PredicateValue) -> PredicateLeaf:
+        return self._leaf(Operator.LE, value)
+
+    def __gt__(self, value: PredicateValue) -> PredicateLeaf:
+        return self._leaf(Operator.GT, value)
+
+    def __ge__(self, value: PredicateValue) -> PredicateLeaf:
+        return self._leaf(Operator.GE, value)
+
+    __hash__ = None  # builder handles are not hashable; they are transient
+
+    # -- named constructors -------------------------------------------------
+    def eq(self, value: PredicateValue) -> PredicateLeaf:
+        """``attribute == value``"""
+        return self._leaf(Operator.EQ, value)
+
+    def ne(self, value: PredicateValue) -> PredicateLeaf:
+        """``attribute != value`` (attribute must be present)"""
+        return self._leaf(Operator.NE, value)
+
+    def lt(self, value: PredicateValue) -> PredicateLeaf:
+        """``attribute < value``"""
+        return self._leaf(Operator.LT, value)
+
+    def le(self, value: PredicateValue) -> PredicateLeaf:
+        """``attribute <= value``"""
+        return self._leaf(Operator.LE, value)
+
+    def gt(self, value: PredicateValue) -> PredicateLeaf:
+        """``attribute > value``"""
+        return self._leaf(Operator.GT, value)
+
+    def ge(self, value: PredicateValue) -> PredicateLeaf:
+        """``attribute >= value``"""
+        return self._leaf(Operator.GE, value)
+
+    def in_(self, values: Iterable[PredicateValue]) -> PredicateLeaf:
+        """``attribute in {values}``"""
+        return self._leaf(Operator.IN_SET, frozenset(values))
+
+    def not_in(self, values: Iterable[PredicateValue]) -> PredicateLeaf:
+        """``attribute not in {values}`` (attribute must be present)"""
+        return self._leaf(Operator.NOT_IN_SET, frozenset(values))
+
+    def prefix(self, value: str) -> PredicateLeaf:
+        """string attribute starts with ``value``"""
+        return self._leaf(Operator.PREFIX, value)
+
+    def contains(self, value: str) -> PredicateLeaf:
+        """string attribute contains ``value`` as a substring"""
+        return self._leaf(Operator.CONTAINS, value)
+
+    def between(self, low: PredicateValue, high: PredicateValue) -> AndNode:
+        """``low <= attribute <= high`` (sugar for a two-predicate AND)."""
+        return AndNode([self.ge(low), self.le(high)])
+
+
+def attr(attribute: str) -> P:
+    """Alias of :class:`P` for callers who prefer a function spelling."""
+    return P(attribute)
+
+
+def And(*children: NodeLike) -> Node:
+    """Conjunction of one or more nodes (a single child passes through)."""
+    if not children:
+        raise SubscriptionError("And() requires at least one child")
+    nodes = [_as_node(child) for child in children]
+    if len(nodes) == 1:
+        return nodes[0]
+    return AndNode(nodes)
+
+
+def Or(*children: NodeLike) -> Node:
+    """Disjunction of one or more nodes (a single child passes through)."""
+    if not children:
+        raise SubscriptionError("Or() requires at least one child")
+    nodes = [_as_node(child) for child in children]
+    if len(nodes) == 1:
+        return nodes[0]
+    return OrNode(nodes)
+
+
+def Not(child: NodeLike) -> NotNode:
+    """Negation (predicate-level semantics; see
+    :class:`~repro.subscriptions.nodes.NotNode`)."""
+    return NotNode(_as_node(child))

@@ -1,0 +1,114 @@
+"""Structural metrics of subscription trees.
+
+These metrics are the raw material of the paper's three pruning heuristics:
+
+* ``pmin`` (Sect. 3.3) — the minimal number of fulfilled predicates required
+  for the subscription to be fulfilled; the counting-based filtering engine
+  evaluates a subscription only once that many of its predicates matched.
+* ``memory_bytes`` (Sect. 3.2) — the ``mem≈`` size model for subscription
+  trees (node overheads plus predicate encodings).
+* ``count_leaves`` — the number of predicate/subscription associations this
+  tree contributes to a routing table, the memory unit reported by the
+  paper's Fig. 1(c)/(f).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import SubscriptionError
+from repro.subscriptions.nodes import (
+    NODE_OVERHEAD_BYTES,
+    AndNode,
+    ConstNode,
+    Node,
+    NotNode,
+    OrNode,
+    PredicateLeaf,
+)
+
+#: pmin sentinel for unsatisfiable (constant-false) subscriptions: no number
+#: of fulfilled predicates can ever fulfil them.  Kept as an int so pmin
+#: vectors stay integer-typed.
+PMIN_UNSATISFIABLE = 2 ** 31
+
+
+def pmin(tree: Node) -> int:
+    """Minimal number of fulfilled predicates required to fulfil ``tree``.
+
+    AND sums its children (every branch must be fulfilled); OR takes the
+    cheapest child; a predicate needs itself; constant ``true`` needs
+    nothing and constant ``false`` can never be fulfilled.
+
+    Raises on non-normalized trees (``NotNode``): pmin is defined for the
+    negation normal form the matcher actually indexes.
+    """
+    if isinstance(tree, PredicateLeaf):
+        return 1
+    if isinstance(tree, ConstNode):
+        return 0 if tree.value else PMIN_UNSATISFIABLE
+    if isinstance(tree, AndNode):
+        total = 0
+        for child in tree.children:
+            total += pmin(child)
+        return min(total, PMIN_UNSATISFIABLE)
+    if isinstance(tree, OrNode):
+        return min(pmin(child) for child in tree.children)
+    if isinstance(tree, NotNode):
+        raise SubscriptionError("pmin is undefined for non-normalized trees")
+    raise SubscriptionError("unknown node type %s" % type(tree).__name__)
+
+
+def memory_bytes(tree: Node) -> int:
+    """The ``mem≈`` byte-size estimate of a subscription tree.
+
+    Charges a fixed overhead per node plus each predicate's encoding size.
+    This mirrors the paper's estimation, which "only considers the sizes of
+    subscriptions themselves" (index structures shrink on top of it).
+    """
+    total = 0
+    for _path, node in tree.iter_nodes():
+        total += NODE_OVERHEAD_BYTES
+        if isinstance(node, PredicateLeaf):
+            total += node.predicate.size_bytes
+    return total
+
+
+def count_leaves(tree: Node) -> int:
+    """Number of predicate leaves (predicate/subscription associations)."""
+    return sum(
+        1 for _path, node in tree.iter_nodes() if isinstance(node, PredicateLeaf)
+    )
+
+
+def count_nodes(tree: Node) -> int:
+    """Total number of tree nodes."""
+    return sum(1 for _ in tree.iter_nodes())
+
+
+def tree_depth(tree: Node) -> int:
+    """Depth of the tree (a lone leaf or constant has depth 1)."""
+    children = tree.children
+    if not children:
+        return 1
+    return 1 + max(tree_depth(child) for child in children)
+
+
+def attribute_histogram(tree: Node) -> Dict[str, int]:
+    """Count predicate leaves per attribute name."""
+    histogram: Dict[str, int] = {}
+    for _path, node in tree.iter_nodes():
+        if isinstance(node, PredicateLeaf):
+            name = node.predicate.attribute
+            histogram[name] = histogram.get(name, 0) + 1
+    return histogram
+
+
+def and_arities(tree: Node) -> List[int]:
+    """Arities of all AND nodes (each AND with arity k offers k pruning
+    candidates; useful for sizing pruning schedules)."""
+    return [
+        len(node.children)
+        for _path, node in tree.iter_nodes()
+        if isinstance(node, AndNode)
+    ]

@@ -1,0 +1,271 @@
+"""Immutable Boolean subscription tree nodes.
+
+Subscriptions are trees whose internal nodes are Boolean connectives and
+whose leaves are predicates (paper Sect. 2.1).  Nodes are immutable;
+operations that change a tree (normalization, pruning) build new trees that
+share unchanged subtrees.  Immutability is what lets the pruning engine keep
+the *originally registered* tree around for its Δsel/Δeff reference points
+at zero copying cost.
+
+Node addressing
+---------------
+Several components need to point at a node inside a tree (for example a
+pruning operation names the AND child it removes).  A *path* is a tuple of
+child indexes from the root; ``()`` is the root itself.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import SubscriptionError
+from repro.events import Event
+from repro.subscriptions.predicates import Predicate
+
+Path = Tuple[int, ...]
+
+#: Byte-size model: fixed overhead per tree node (type tag + child count /
+#: pointer bookkeeping in a compact encoding).
+NODE_OVERHEAD_BYTES = 8
+
+
+class Node:
+    """Abstract base class of subscription tree nodes."""
+
+    __slots__ = ()
+
+    #: Short type tag used by serialization and ``repr``.
+    kind = "node"
+
+    @property
+    def children(self) -> Tuple["Node", ...]:
+        """Child nodes (empty for leaves)."""
+        return ()
+
+    def evaluate(self, event: Event) -> bool:
+        """Evaluate the Boolean expression rooted here against ``event``."""
+        raise NotImplementedError
+
+    def iter_nodes(self) -> Iterator[Tuple[Path, "Node"]]:
+        """Yield ``(path, node)`` pairs in preorder."""
+        stack: List[Tuple[Path, Node]] = [((), self)]
+        while stack:
+            path, node = stack.pop()
+            yield path, node
+            for index in range(len(node.children) - 1, -1, -1):
+                stack.append((path + (index,), node.children[index]))
+
+    def node_at(self, path: Path) -> "Node":
+        """Return the node addressed by ``path``.
+
+        Raises :class:`~repro.errors.SubscriptionError` for invalid paths.
+        """
+        node: Node = self
+        for index in path:
+            children = node.children
+            if index < 0 or index >= len(children):
+                raise SubscriptionError("invalid node path %r" % (path,))
+            node = children[index]
+        return node
+
+    def replace_at(self, path: Path, replacement: "Node") -> "Node":
+        """Return a new tree with the node at ``path`` replaced.
+
+        Shares every subtree not on the path.
+        """
+        if not path:
+            return replacement
+        children = self.children
+        index = path[0]
+        if index < 0 or index >= len(children):
+            raise SubscriptionError("invalid node path %r" % (path,))
+        new_child = children[index].replace_at(path[1:], replacement)
+        new_children = children[:index] + (new_child,) + children[index + 1 :]
+        return self.with_children(new_children)
+
+    def with_children(self, children: Sequence["Node"]) -> "Node":
+        """Return a copy of this node with different children."""
+        raise NotImplementedError
+
+    def predicates(self) -> List[Predicate]:
+        """All predicates at the leaves, in left-to-right order."""
+        return [node.predicate for _path, node in self.iter_nodes()
+                if isinstance(node, PredicateLeaf)]
+
+    def __eq__(self, other: object) -> bool:  # structural equality
+        if type(self) is not type(other):
+            return NotImplemented
+        return self._identity() == other._identity()  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._identity()))
+
+    def _identity(self) -> object:
+        raise NotImplementedError
+
+
+class PredicateLeaf(Node):
+    """A leaf node carrying a single predicate."""
+
+    __slots__ = ("predicate",)
+    kind = "pred"
+
+    def __init__(self, predicate: Predicate) -> None:
+        if not isinstance(predicate, Predicate):
+            raise SubscriptionError("PredicateLeaf requires a Predicate")
+        self.predicate = predicate
+
+    def evaluate(self, event: Event) -> bool:
+        return self.predicate.evaluate(event)
+
+    def with_children(self, children: Sequence[Node]) -> Node:
+        if children:
+            raise SubscriptionError("predicate leaves have no children")
+        return self
+
+    def _identity(self) -> object:
+        return self.predicate
+
+    def __repr__(self) -> str:
+        return "Leaf(%r)" % (self.predicate,)
+
+
+class ConstNode(Node):
+    """A constant ``true`` or ``false`` leaf.
+
+    Constants appear transiently during folding and as the degenerate form
+    of a fully pruned subscription.
+    """
+
+    __slots__ = ("value",)
+    kind = "const"
+
+    def __init__(self, value: bool) -> None:
+        self.value = bool(value)
+
+    def evaluate(self, event: Event) -> bool:
+        return self.value
+
+    def with_children(self, children: Sequence[Node]) -> Node:
+        if children:
+            raise SubscriptionError("constant nodes have no children")
+        return self
+
+    def _identity(self) -> object:
+        return self.value
+
+    def __repr__(self) -> str:
+        return "Const(%s)" % self.value
+
+
+#: Shared singletons; ConstNode remains instantiable for deserialization.
+TRUE = ConstNode(True)
+FALSE = ConstNode(False)
+
+
+class _Connective(Node):
+    """Common base of AND/OR nodes."""
+
+    __slots__ = ("_children", "_hash")
+
+    def __init__(self, children: Sequence[Node]) -> None:
+        children = tuple(children)
+        for child in children:
+            if not isinstance(child, Node):
+                raise SubscriptionError("children must be Node instances")
+        self._children = children
+        self._hash: Optional[int] = None
+
+    @property
+    def children(self) -> Tuple[Node, ...]:
+        return self._children
+
+    def with_children(self, children: Sequence[Node]) -> Node:
+        return type(self)(children)
+
+    def _identity(self) -> object:
+        return self._children
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((type(self).__name__, self._children))
+        return self._hash
+
+
+class AndNode(_Connective):
+    """Conjunction: fulfilled when every child is fulfilled."""
+
+    __slots__ = ()
+    kind = "and"
+
+    def evaluate(self, event: Event) -> bool:
+        return all(child.evaluate(event) for child in self._children)
+
+    def __repr__(self) -> str:
+        return "And(%s)" % ", ".join(repr(child) for child in self._children)
+
+
+class OrNode(_Connective):
+    """Disjunction: fulfilled when at least one child is fulfilled."""
+
+    __slots__ = ()
+    kind = "or"
+
+    def evaluate(self, event: Event) -> bool:
+        return any(child.evaluate(event) for child in self._children)
+
+    def __repr__(self) -> str:
+        return "Or(%s)" % ", ".join(repr(child) for child in self._children)
+
+
+class NotNode(Node):
+    """Negation, with predicate-level semantics.
+
+    ``NOT`` complements the predicates beneath it: ``NOT (price < 10)``
+    means ``price >= 10`` and still requires the attribute to be present.
+    Evaluation therefore delegates to the complemented subtree, which keeps
+    raw trees and their negation normal form exactly equivalent.
+    ``NotNode`` never survives normalization.
+    """
+
+    __slots__ = ("child",)
+    kind = "not"
+
+    def __init__(self, child: Node) -> None:
+        if not isinstance(child, Node):
+            raise SubscriptionError("NotNode requires a Node child")
+        self.child = child
+
+    @property
+    def children(self) -> Tuple[Node, ...]:
+        return (self.child,)
+
+    def evaluate(self, event: Event) -> bool:
+        return _evaluate_negated(self.child, event)
+
+    def with_children(self, children: Sequence[Node]) -> Node:
+        if len(children) != 1:
+            raise SubscriptionError("NotNode has exactly one child")
+        return NotNode(children[0])
+
+    def _identity(self) -> object:
+        return self.child
+
+    def __repr__(self) -> str:
+        return "Not(%r)" % (self.child,)
+
+
+def _evaluate_negated(node: Node, event: Event) -> bool:
+    """Evaluate the logical negation of ``node`` with predicate-level
+    semantics (De Morgan over connectives, operator complement at leaves)."""
+    if isinstance(node, PredicateLeaf):
+        return node.predicate.complemented.evaluate(event)
+    if isinstance(node, ConstNode):
+        return not node.value
+    if isinstance(node, AndNode):
+        return any(_evaluate_negated(child, event) for child in node.children)
+    if isinstance(node, OrNode):
+        return all(_evaluate_negated(child, event) for child in node.children)
+    if isinstance(node, NotNode):
+        return node.child.evaluate(event)
+    raise SubscriptionError("cannot negate node of type %s" % type(node).__name__)

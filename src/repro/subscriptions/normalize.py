@@ -1,0 +1,213 @@
+"""Negation normal form and constant folding for subscription trees.
+
+Registered subscriptions are normalized once, which gives every downstream
+component (matcher, selectivity estimator, pruning engine) a tree with
+strong structural invariants:
+
+1. no :class:`~repro.subscriptions.nodes.NotNode` (negation is pushed into
+   predicate operators via their complements),
+2. no :class:`~repro.subscriptions.nodes.ConstNode` below the root (constant
+   children are folded away; a whole-tree constant stays a single node),
+3. AND/OR nodes have at least two children,
+4. no AND directly below an AND, no OR directly below an OR (flattening),
+5. duplicate children of a connective are removed,
+6. children appear in a canonical deterministic order.
+
+Normalization is exactly semantics-preserving because negation has
+predicate-level semantics (see :mod:`repro.subscriptions.predicates`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import NormalizationError
+from repro.subscriptions.nodes import (
+    FALSE,
+    TRUE,
+    AndNode,
+    ConstNode,
+    Node,
+    NotNode,
+    OrNode,
+    PredicateLeaf,
+)
+
+
+def normalize(tree: Node) -> Node:
+    """Return the negation normal form of ``tree`` with folding applied."""
+    return _normalize(tree, negated=False)
+
+
+def _normalize(node: Node, negated: bool) -> Node:
+    if isinstance(node, PredicateLeaf):
+        if negated:
+            return PredicateLeaf(node.predicate.complemented)
+        return node
+    if isinstance(node, ConstNode):
+        return FALSE if (node.value == negated) else TRUE
+    if isinstance(node, NotNode):
+        return _normalize(node.child, not negated)
+    if isinstance(node, AndNode):
+        children = node.children
+        # De Morgan: NOT(a AND b) == NOT a OR NOT b.
+        make_or = negated
+    elif isinstance(node, OrNode):
+        children = node.children
+        make_or = not negated
+    else:
+        raise NormalizationError(
+            "cannot normalize node of type %s" % type(node).__name__
+        )
+    normalized = [_normalize(child, negated) for child in children]
+    if make_or:
+        return _fold_or(normalized)
+    return _fold_and(normalized)
+
+
+def _fold_and(children: List[Node]) -> Node:
+    """Build a folded, flattened, deduplicated, sorted AND."""
+    flat: List[Node] = []
+    for child in children:
+        if isinstance(child, ConstNode):
+            if not child.value:
+                return FALSE
+            continue  # drop neutral element
+        if isinstance(child, AndNode):
+            flat.extend(child.children)
+        else:
+            flat.append(child)
+    unique = _dedupe(flat)
+    if not unique:
+        return TRUE
+    if len(unique) == 1:
+        return unique[0]
+    return AndNode(sorted(unique, key=_sort_key))
+
+
+def _fold_or(children: List[Node]) -> Node:
+    """Build a folded, flattened, deduplicated, sorted OR."""
+    flat: List[Node] = []
+    for child in children:
+        if isinstance(child, ConstNode):
+            if child.value:
+                return TRUE
+            continue  # drop neutral element
+        if isinstance(child, OrNode):
+            flat.extend(child.children)
+        else:
+            flat.append(child)
+    unique = _dedupe(flat)
+    if not unique:
+        return FALSE
+    if len(unique) == 1:
+        return unique[0]
+    return OrNode(sorted(unique, key=_sort_key))
+
+
+def _dedupe(children: List[Node]) -> List[Node]:
+    seen = set()
+    unique: List[Node] = []
+    for child in children:
+        if child in seen:
+            continue
+        seen.add(child)
+        unique.append(child)
+    return unique
+
+
+def _sort_key(node: Node) -> Tuple:
+    """Deterministic total order over normalized nodes.
+
+    Leaves sort before connectives; connectives sort by kind, child count,
+    then recursively by children.  The order is arbitrary but stable, which
+    is all canonicalization needs.
+    """
+    if isinstance(node, PredicateLeaf):
+        return (0,) + node.predicate.sort_key()
+    if isinstance(node, ConstNode):
+        return (1, node.value)
+    tag = 2 if isinstance(node, AndNode) else 3
+    return (tag, len(node.children)) + tuple(
+        _sort_key(child) for child in node.children
+    )
+
+
+def fold_constants(tree: Node) -> Node:
+    """Re-fold a *normalized* tree that may contain constants.
+
+    Pruning replaces subtrees with ``true``; this pass removes the constant
+    and restores the normalization invariants (it never needs to handle
+    :class:`NotNode`, which normalization already eliminated).  Children are
+    **not** re-sorted: pruning-relative node paths inside untouched siblings
+    stay meaningful for replay and debugging.
+    """
+    if isinstance(tree, (PredicateLeaf, ConstNode)):
+        return tree
+    if isinstance(tree, AndNode):
+        folded = [fold_constants(child) for child in tree.children]
+        kept: List[Node] = []
+        for child in folded:
+            if isinstance(child, ConstNode):
+                if not child.value:
+                    return FALSE
+                continue
+            if isinstance(child, AndNode):
+                kept.extend(child.children)
+            else:
+                kept.append(child)
+        kept = _dedupe(kept)
+        if not kept:
+            return TRUE
+        if len(kept) == 1:
+            return kept[0]
+        return AndNode(kept)
+    if isinstance(tree, OrNode):
+        folded = [fold_constants(child) for child in tree.children]
+        kept = []
+        for child in folded:
+            if isinstance(child, ConstNode):
+                if child.value:
+                    return TRUE
+                continue
+            if isinstance(child, OrNode):
+                kept.extend(child.children)
+            else:
+                kept.append(child)
+        kept = _dedupe(kept)
+        if not kept:
+            return FALSE
+        if len(kept) == 1:
+            return kept[0]
+        return OrNode(kept)
+    raise NormalizationError(
+        "fold_constants expects a normalized tree, found %s" % type(tree).__name__
+    )
+
+
+def is_normalized(tree: Node) -> bool:
+    """Check the normalization invariants listed in the module docstring."""
+    if isinstance(tree, ConstNode):
+        return True  # a whole-tree constant is allowed
+    return _check(tree, parent_kind=None)
+
+
+def _check(node: Node, parent_kind) -> bool:
+    if isinstance(node, PredicateLeaf):
+        return True
+    if isinstance(node, (NotNode, ConstNode)):
+        return False
+    if isinstance(node, (AndNode, OrNode)):
+        if len(node.children) < 2:
+            return False
+        if parent_kind is type(node):
+            return False
+        seen = set()
+        for child in node.children:
+            if child in seen:
+                return False
+            seen.add(child)
+            if not _check(child, parent_kind=type(node)):
+                return False
+        return True
+    return False

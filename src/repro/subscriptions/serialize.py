@@ -1,0 +1,250 @@
+"""Serialization of subscription trees.
+
+Two codecs are provided:
+
+* a JSON-compatible dict form (``node_to_dict`` / ``node_from_dict``) used
+  for persistence, debugging, and test fixtures;
+* a compact binary form (``encode_node`` / ``decode_node``) used by the
+  broker substrate to charge realistic wire sizes when subscriptions are
+  forwarded between brokers.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Dict, List, Tuple, Union
+
+from repro.errors import SubscriptionError
+from repro.subscriptions.nodes import (
+    AndNode,
+    ConstNode,
+    Node,
+    NotNode,
+    OrNode,
+    PredicateLeaf,
+)
+from repro.subscriptions.predicates import Operator, Predicate
+
+# ---------------------------------------------------------------------------
+# dict codec
+# ---------------------------------------------------------------------------
+
+
+def _value_to_jsonable(value: Any) -> Any:
+    if isinstance(value, frozenset):
+        return {"set": sorted(value, key=lambda member: (str(type(member)), str(member)))}
+    return value
+
+
+def _value_from_jsonable(value: Any) -> Any:
+    if isinstance(value, dict) and set(value) == {"set"}:
+        return frozenset(value["set"])
+    if isinstance(value, list):
+        return frozenset(value)
+    return value
+
+
+def node_to_dict(node: Node) -> Dict[str, Any]:
+    """Convert a tree to a JSON-compatible nested dict."""
+    if isinstance(node, PredicateLeaf):
+        predicate = node.predicate
+        return {
+            "kind": "pred",
+            "attribute": predicate.attribute,
+            "operator": predicate.operator.value,
+            "value": _value_to_jsonable(predicate.value),
+        }
+    if isinstance(node, ConstNode):
+        return {"kind": "const", "value": node.value}
+    if isinstance(node, NotNode):
+        return {"kind": "not", "child": node_to_dict(node.child)}
+    if isinstance(node, (AndNode, OrNode)):
+        return {
+            "kind": node.kind,
+            "children": [node_to_dict(child) for child in node.children],
+        }
+    raise SubscriptionError("cannot serialize node of type %s" % type(node).__name__)
+
+
+def node_from_dict(data: Dict[str, Any]) -> Node:
+    """Inverse of :func:`node_to_dict`."""
+    try:
+        kind = data["kind"]
+    except (TypeError, KeyError):
+        raise SubscriptionError("node dict requires a 'kind' field")
+    if kind == "pred":
+        operator = Operator(data["operator"])
+        value = _value_from_jsonable(data["value"])
+        return PredicateLeaf(Predicate(data["attribute"], operator, value))
+    if kind == "const":
+        return ConstNode(bool(data["value"]))
+    if kind == "not":
+        return NotNode(node_from_dict(data["child"]))
+    if kind == "and":
+        return AndNode([node_from_dict(child) for child in data["children"]])
+    if kind == "or":
+        return OrNode([node_from_dict(child) for child in data["children"]])
+    raise SubscriptionError("unknown node kind %r" % (kind,))
+
+
+def subscription_to_dict(subscription: "Subscription") -> Dict[str, Any]:
+    """Serialize a registered subscription (id, owner, normalized tree)."""
+    return {
+        "id": subscription.id,
+        "owner": subscription.owner,
+        "tree": node_to_dict(subscription.tree),
+    }
+
+
+def subscription_from_dict(data: Dict[str, Any]) -> "Subscription":
+    """Inverse of :func:`subscription_to_dict`."""
+    from repro.subscriptions.subscription import Subscription
+
+    return Subscription(
+        data["id"], node_from_dict(data["tree"]), owner=data.get("owner")
+    )
+
+
+# ---------------------------------------------------------------------------
+# binary codec
+# ---------------------------------------------------------------------------
+
+_TAG_PRED = 0
+_TAG_CONST = 1
+_TAG_NOT = 2
+_TAG_AND = 3
+_TAG_OR = 4
+
+_VTAG_STR = 0
+_VTAG_INT = 1
+_VTAG_FLOAT = 2
+_VTAG_BOOL = 3
+_VTAG_SET = 4
+
+_OPERATOR_CODES = {operator: index for index, operator in enumerate(Operator)}
+_OPERATORS_BY_CODE = {index: operator for operator, index in _OPERATOR_CODES.items()}
+
+
+def _encode_scalar(value: Union[str, int, float, bool], out: List[bytes]) -> None:
+    if isinstance(value, bool):
+        out.append(struct.pack("<BB", _VTAG_BOOL, int(value)))
+    elif isinstance(value, int):
+        out.append(struct.pack("<Bq", _VTAG_INT, value))
+    elif isinstance(value, float):
+        out.append(struct.pack("<Bd", _VTAG_FLOAT, value))
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out.append(struct.pack("<BI", _VTAG_STR, len(raw)))
+        out.append(raw)
+    else:
+        raise SubscriptionError("cannot encode value of type %s" % type(value).__name__)
+
+
+def _decode_scalar(buffer: bytes, offset: int) -> Tuple[Any, int]:
+    (vtag,) = struct.unpack_from("<B", buffer, offset)
+    offset += 1
+    if vtag == _VTAG_BOOL:
+        (raw,) = struct.unpack_from("<B", buffer, offset)
+        return bool(raw), offset + 1
+    if vtag == _VTAG_INT:
+        (raw,) = struct.unpack_from("<q", buffer, offset)
+        return raw, offset + 8
+    if vtag == _VTAG_FLOAT:
+        (raw,) = struct.unpack_from("<d", buffer, offset)
+        return raw, offset + 8
+    if vtag == _VTAG_STR:
+        (length,) = struct.unpack_from("<I", buffer, offset)
+        offset += 4
+        return buffer[offset : offset + length].decode("utf-8"), offset + length
+    raise SubscriptionError("corrupt value tag %d" % vtag)
+
+
+def encode_node(node: Node) -> bytes:
+    """Encode a tree into a compact binary representation."""
+    out: List[bytes] = []
+    _encode_node(node, out)
+    return b"".join(out)
+
+
+def _encode_node(node: Node, out: List[bytes]) -> None:
+    if isinstance(node, PredicateLeaf):
+        predicate = node.predicate
+        attribute = predicate.attribute.encode("utf-8")
+        out.append(
+            struct.pack(
+                "<BBH", _TAG_PRED, _OPERATOR_CODES[predicate.operator], len(attribute)
+            )
+        )
+        out.append(attribute)
+        if isinstance(predicate.value, frozenset):
+            members = sorted(
+                predicate.value, key=lambda member: (str(type(member)), str(member))
+            )
+            out.append(struct.pack("<BI", _VTAG_SET, len(members)))
+            for member in members:
+                _encode_scalar(member, out)
+        else:
+            _encode_scalar(predicate.value, out)
+        return
+    if isinstance(node, ConstNode):
+        out.append(struct.pack("<BB", _TAG_CONST, int(node.value)))
+        return
+    if isinstance(node, NotNode):
+        out.append(struct.pack("<B", _TAG_NOT))
+        _encode_node(node.child, out)
+        return
+    if isinstance(node, (AndNode, OrNode)):
+        tag = _TAG_AND if isinstance(node, AndNode) else _TAG_OR
+        out.append(struct.pack("<BI", tag, len(node.children)))
+        for child in node.children:
+            _encode_node(child, out)
+        return
+    raise SubscriptionError("cannot encode node of type %s" % type(node).__name__)
+
+
+def decode_node(buffer: bytes) -> Node:
+    """Inverse of :func:`encode_node`."""
+    node, offset = _decode_node(buffer, 0)
+    if offset != len(buffer):
+        raise SubscriptionError("trailing bytes after decoded subscription tree")
+    return node
+
+
+def _decode_node(buffer: bytes, offset: int) -> Tuple[Node, int]:
+    (tag,) = struct.unpack_from("<B", buffer, offset)
+    offset += 1
+    if tag == _TAG_PRED:
+        operator_code, attribute_length = struct.unpack_from("<BH", buffer, offset)
+        offset += 3
+        attribute = buffer[offset : offset + attribute_length].decode("utf-8")
+        offset += attribute_length
+        (peek,) = struct.unpack_from("<B", buffer, offset)
+        if peek == _VTAG_SET:
+            (count,) = struct.unpack_from("<I", buffer, offset + 1)
+            offset += 5
+            members = []
+            for _ in range(count):
+                member, offset = _decode_scalar(buffer, offset)
+                members.append(member)
+            value: Any = frozenset(members)
+        else:
+            value, offset = _decode_scalar(buffer, offset)
+        operator = _OPERATORS_BY_CODE[operator_code]
+        return PredicateLeaf(Predicate(attribute, operator, value)), offset
+    if tag == _TAG_CONST:
+        (raw,) = struct.unpack_from("<B", buffer, offset)
+        return ConstNode(bool(raw)), offset + 1
+    if tag == _TAG_NOT:
+        child, offset = _decode_node(buffer, offset)
+        return NotNode(child), offset
+    if tag in (_TAG_AND, _TAG_OR):
+        (count,) = struct.unpack_from("<I", buffer, offset)
+        offset += 4
+        children = []
+        for _ in range(count):
+            child, offset = _decode_node(buffer, offset)
+            children.append(child)
+        if tag == _TAG_AND:
+            return AndNode(children), offset
+        return OrNode(children), offset
+    raise SubscriptionError("corrupt node tag %d" % tag)

@@ -1,0 +1,105 @@
+"""The registered subscription artifact.
+
+A :class:`Subscription` binds an id and an owner (client name) to a
+*normalized* filter tree.  It is immutable: pruning never modifies a
+``Subscription`` — brokers keep separate routing-entry state holding the
+current pruned tree next to the original (see :mod:`repro.core.ops`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SubscriptionError
+from repro.events import Event
+from repro.subscriptions.metrics import count_leaves, memory_bytes, pmin
+from repro.subscriptions.nodes import Node
+from repro.subscriptions.normalize import is_normalized, normalize
+
+
+class Subscription:
+    """An immutable registered subscription.
+
+    Parameters
+    ----------
+    subscription_id:
+        Integer id, unique within the registering system.
+    tree:
+        Filter tree; normalized on construction unless it already is.
+    owner:
+        Name of the subscribing client (used by brokers for delivery).
+
+    >>> from repro.subscriptions.builder import P, And
+    >>> sub = Subscription(1, And(P("price") <= 20, P("category") == "fiction"))
+    >>> sub.pmin
+    2
+    """
+
+    __slots__ = ("id", "tree", "owner", "_pmin", "_size_bytes", "_leaf_count")
+
+    def __init__(
+        self,
+        subscription_id: int,
+        tree: Node,
+        owner: Optional[str] = None,
+    ) -> None:
+        if not isinstance(subscription_id, int):
+            raise SubscriptionError("subscription id must be an int")
+        if not isinstance(tree, Node):
+            raise SubscriptionError("subscription tree must be a Node")
+        if not is_normalized(tree):
+            tree = normalize(tree)
+        self.id = subscription_id
+        self.tree = tree
+        self.owner = owner
+        self._pmin: Optional[int] = None
+        self._size_bytes: Optional[int] = None
+        self._leaf_count: Optional[int] = None
+
+    def matches(self, event: Event) -> bool:
+        """Evaluate the subscription against an event."""
+        return self.tree.evaluate(event)
+
+    @property
+    def pmin(self) -> int:
+        """Minimal number of fulfilled predicates required (cached)."""
+        if self._pmin is None:
+            self._pmin = pmin(self.tree)
+        return self._pmin
+
+    @property
+    def size_bytes(self) -> int:
+        """``mem≈`` byte-size estimate of the tree (cached)."""
+        if self._size_bytes is None:
+            self._size_bytes = memory_bytes(self.tree)
+        return self._size_bytes
+
+    @property
+    def leaf_count(self) -> int:
+        """Number of predicate/subscription associations (cached)."""
+        if self._leaf_count is None:
+            self._leaf_count = count_leaves(self.tree)
+        return self._leaf_count
+
+    def with_tree(self, tree: Node) -> "Subscription":
+        """A copy of this subscription carrying a different (pruned) tree."""
+        return Subscription(self.id, tree, owner=self.owner)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Subscription):
+            return NotImplemented
+        return (
+            self.id == other.id
+            and self.owner == other.owner
+            and self.tree == other.tree
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.id, self.owner, self.tree))
+
+    def __repr__(self) -> str:
+        return "Subscription(id=%d, owner=%r, tree=%r)" % (
+            self.id,
+            self.owner,
+            self.tree,
+        )

@@ -1,0 +1,16 @@
+"""Small shared utilities: stable heaps, timers, seeded RNG, ASCII output."""
+
+from repro.util.heap import StableHeap
+from repro.util.rng import derive_seed, make_rng
+from repro.util.tables import ascii_plot, format_table
+from repro.util.timing import Stopwatch, time_call
+
+__all__ = [
+    "StableHeap",
+    "Stopwatch",
+    "ascii_plot",
+    "derive_seed",
+    "format_table",
+    "make_rng",
+    "time_call",
+]

@@ -1,0 +1,39 @@
+"""Seeded random number generation helpers.
+
+Every stochastic component of the library (workload generation, event
+publication order, sampling) takes an explicit seed so whole experiments are
+reproducible.  ``derive_seed`` deterministically fans a master seed out into
+independent per-component seeds, so adding a new consumer never perturbs the
+streams of existing ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def derive_seed(master_seed: int, *labels: object) -> int:
+    """Derive a stable sub-seed from ``master_seed`` and a label path.
+
+    The derivation hashes the master seed together with the labels, so each
+    ``(master_seed, labels)`` combination maps to a fixed 63-bit seed that is
+    independent of call order.
+
+    >>> derive_seed(42, "events") == derive_seed(42, "events")
+    True
+    >>> derive_seed(42, "events") != derive_seed(42, "subscriptions")
+    True
+    """
+    digest = hashlib.sha256()
+    digest.update(str(int(master_seed)).encode("utf-8"))
+    for label in labels:
+        digest.update(b"\x1f")
+        digest.update(str(label).encode("utf-8"))
+    return int.from_bytes(digest.digest()[:8], "big") >> 1
+
+
+def make_rng(master_seed: int, *labels: object) -> np.random.Generator:
+    """Create a numpy ``Generator`` seeded via :func:`derive_seed`."""
+    return np.random.default_rng(derive_seed(master_seed, *labels))

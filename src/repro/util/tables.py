@@ -1,0 +1,115 @@
+"""Plain-text tables and plots for experiment reports.
+
+The experiment harness renders each reproduced figure both as a CSV-ready
+table and as an ASCII plot, so results are readable straight from a
+terminal or a benchmark log without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_format: str = "{:.6g}",
+) -> str:
+    """Render ``rows`` as a fixed-width text table.
+
+    >>> print(format_table(["x", "y"], [[0, 1.5], [1, 2.25]]))
+    x  y
+    -  ----
+    0  1.5
+    1  2.25
+    """
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(float_format.format(value))
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+    widths = [len(h) for h in headers]
+    for cells in rendered:
+        for index, cell in enumerate(cells):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip(),
+        "  ".join("-" * widths[i] for i in range(len(headers))).rstrip(),
+    ]
+    for cells in rendered:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def ascii_plot(
+    series: Dict[str, Sequence[float]],
+    xs: Sequence[float],
+    width: int = 64,
+    height: int = 16,
+    title: Optional[str] = None,
+    y_label: str = "",
+) -> str:
+    """Render one or more y-series over shared x values as an ASCII chart.
+
+    Each series is drawn with its own marker character; a legend maps
+    markers back to series names.  The plot is intentionally simple: its
+    job is to make curve *shapes* (crossovers, sharp bends) visible in
+    benchmark logs.
+    """
+    markers = "*o+x#@%&"
+    all_values = [v for values in series.values() for v in values]
+    if not all_values or not xs:
+        return "(empty plot)"
+    y_min = min(all_values)
+    y_max = max(all_values)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min = min(xs)
+    x_max = max(xs)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for series_index, (_name, values) in enumerate(series.items()):
+        marker = markers[series_index % len(markers)]
+        for x, y in zip(xs, values):
+            col = int(round((x - x_min) / (x_max - x_min) * (width - 1)))
+            row = int(round((y - y_min) / (y_max - y_min) * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = "{:.4g}".format(y_max)
+    bottom_label = "{:.4g}".format(y_min)
+    label_width = max(len(top_label), len(bottom_label), len(y_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(label_width)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(label_width)
+        elif row_index == height // 2 and y_label:
+            prefix = y_label.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(prefix + " |" + "".join(row))
+    lines.append(" " * label_width + " +" + "-" * width)
+    lines.append(
+        " " * label_width
+        + "  "
+        + "{:<10.4g}".format(x_min)
+        + " " * max(0, width - 20)
+        + "{:>10.4g}".format(x_max)
+    )
+    legend = "   ".join(
+        "{} {}".format(markers[i % len(markers)], name)
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * label_width + "  legend: " + legend)
+    return "\n".join(lines)

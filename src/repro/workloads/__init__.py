@@ -1,0 +1,35 @@
+"""Workload generation: the paper's online book-auction scenario.
+
+The paper evaluates on an online-auction application: events follow the
+characteristic distributions of online book auctions (its ref [3]) and
+subscriptions conform to "three classes typical for online book auctions"
+(its ref [4]).  Both references are departmental tech reports we do not
+have, so this package synthesizes a faithful equivalent (documented in
+DESIGN.md §4): skewed (Zipf) categorical attributes, piecewise-linear
+numeric distributions sampled by inverse CDF (so the analytic selectivity
+statistics are *exact*), and three parameterized subscription classes —
+specific-item, category-interest, and collector subscriptions.
+"""
+
+from repro.workloads.auction import (
+    AuctionWorkload,
+    AuctionWorkloadConfig,
+    SubscriptionClassMix,
+)
+from repro.workloads.distributions import (
+    Categorical,
+    PiecewiseLinear,
+    zipf_weights,
+)
+from repro.workloads.schema import AuctionSchema, AttributeSpec
+
+__all__ = [
+    "AttributeSpec",
+    "AuctionSchema",
+    "AuctionWorkload",
+    "AuctionWorkloadConfig",
+    "Categorical",
+    "PiecewiseLinear",
+    "SubscriptionClassMix",
+    "zipf_weights",
+]

@@ -1,0 +1,261 @@
+"""The auction workload: events plus three subscription classes.
+
+The paper registers subscriptions that "conform to three classes typical
+for online book auctions" (its refs [3], [4]).  We synthesize them as:
+
+* **specific-item** — a collector watches one exact book: a flat
+  conjunction on title (occasionally a series prefix) with a price cap and
+  optional condition/format constraints.  2–5 predicates.
+* **category-interest** — a reader watches a store section: category
+  equality (sometimes a small disjunction of sections), a price band, a
+  minimum seller rating, plus optional condition/format/year constraints.
+  4–9 predicates.
+* **collector** — a Boolean power-user: a disjunction of 2–4 alternative
+  item clauses (author- or title-anchored conjunctions) under global
+  constraints, including negated conditions.  7–18 predicates.
+
+All random choices go through one seeded generator per concern, so a
+config reproduces its workload bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, NamedTuple, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.events import EventBatch
+from repro.selectivity.estimator import SelectivityEstimator
+from repro.selectivity.statistics import EventStatistics
+from repro.subscriptions.builder import And, Not, Or, P
+from repro.subscriptions.nodes import Node
+from repro.subscriptions.subscription import Subscription
+from repro.util.rng import make_rng
+from repro.workloads.schema import CONDITIONS, FORMATS, AuctionSchema
+
+
+class SubscriptionClassMix(NamedTuple):
+    """Relative frequencies of the three subscription classes."""
+
+    specific_item: float = 0.35
+    category_interest: float = 0.40
+    collector: float = 0.25
+
+    def normalized(self) -> "SubscriptionClassMix":
+        total = self.specific_item + self.category_interest + self.collector
+        if total <= 0:
+            raise WorkloadError("class mix must have positive total weight")
+        return SubscriptionClassMix(
+            self.specific_item / total,
+            self.category_interest / total,
+            self.collector / total,
+        )
+
+
+@dataclass
+class AuctionWorkloadConfig:
+    """Configuration of one reproducible auction workload."""
+
+    seed: int = 42
+    n_titles: int = 2000
+    n_series: int = 60
+    n_authors: int = 600
+    n_categories: int = 24
+    title_zipf: float = 0.8
+    author_zipf: float = 0.8
+    category_zipf: float = 0.6
+    class_mix: SubscriptionClassMix = field(default_factory=SubscriptionClassMix)
+
+    def build_schema(self) -> AuctionSchema:
+        """The schema implied by this config."""
+        return AuctionSchema(
+            n_titles=self.n_titles,
+            n_series=self.n_series,
+            n_authors=self.n_authors,
+            n_categories=self.n_categories,
+            title_zipf=self.title_zipf,
+            author_zipf=self.author_zipf,
+            category_zipf=self.category_zipf,
+        )
+
+
+class AuctionWorkload:
+    """Generates events and subscriptions for the auction scenario.
+
+    >>> workload = AuctionWorkload(AuctionWorkloadConfig(seed=7))
+    >>> len(workload.generate_events(10))
+    10
+    >>> subs = workload.generate_subscriptions(5)
+    >>> [type(s).__name__ for s in subs]
+    ['Subscription', 'Subscription', 'Subscription', 'Subscription', 'Subscription']
+    """
+
+    def __init__(self, config: Optional[AuctionWorkloadConfig] = None) -> None:
+        self.config = config or AuctionWorkloadConfig()
+        self.schema = self.config.build_schema()
+        self._mix = self.config.class_mix.normalized()
+
+    # -- events ---------------------------------------------------------------
+
+    def generate_events(self, count: int, stream: int = 0) -> EventBatch:
+        """Generate ``count`` events (``stream`` names independent batches)."""
+        rng = make_rng(self.config.seed, "events", stream)
+        events = self.schema.sample_events(rng, count)
+        return EventBatch(events, label="auction-events-%d" % stream)
+
+    def statistics(self) -> EventStatistics:
+        """Exact analytic statistics of the event distributions."""
+        return self.schema.statistics()
+
+    def estimator(self) -> SelectivityEstimator:
+        """A selectivity estimator backed by the analytic statistics."""
+        return SelectivityEstimator(self.statistics())
+
+    # -- subscriptions -----------------------------------------------------------
+
+    def generate_subscriptions(
+        self,
+        count: int,
+        id_start: int = 0,
+        owners: Optional[Sequence[str]] = None,
+    ) -> List[Subscription]:
+        """Generate ``count`` subscriptions with ids from ``id_start``.
+
+        ``owners``, when given, is cycled to assign client names.
+        """
+        rng = make_rng(self.config.seed, "subscriptions", id_start)
+        mix = self._mix
+        thresholds = (
+            mix.specific_item,
+            mix.specific_item + mix.category_interest,
+        )
+        subscriptions = []
+        for offset in range(count):
+            roll = rng.random()
+            if roll < thresholds[0]:
+                tree = self._specific_item(rng)
+            elif roll < thresholds[1]:
+                tree = self._category_interest(rng)
+            else:
+                tree = self._collector(rng)
+            owner = owners[offset % len(owners)] if owners else None
+            subscriptions.append(Subscription(id_start + offset, tree, owner=owner))
+        return subscriptions
+
+    # -- class generators ----------------------------------------------------------
+
+    def _price_cap(self, rng: np.random.Generator, low: float, high: float) -> float:
+        """A price constant at a uniformly drawn distribution quantile."""
+        return self.schema.distribution("price").quantile(rng.uniform(low, high))
+
+    def _specific_item(self, rng: np.random.Generator) -> Node:
+        """Class 1: watch one exact book (or one series)."""
+        parts: List[Node] = []
+        if rng.random() < 0.2:
+            prefix = self.schema.series_prefixes[
+                int(rng.integers(len(self.schema.series_prefixes)))
+            ]
+            parts.append(P("title").prefix(prefix))
+        else:
+            title = self.schema.titles[
+                int(self._zipf_index(rng, len(self.schema.titles), 0.8))
+            ]
+            parts.append(P("title") == title)
+        parts.append(P("price") <= self._price_cap(rng, 0.3, 0.9))
+        if rng.random() < 0.5:
+            cutoff = int(rng.integers(2, 5))
+            parts.append(P("condition").in_(CONDITIONS[:cutoff]))
+        if rng.random() < 0.3:
+            parts.append(P("format") == FORMATS[int(rng.integers(len(FORMATS)))])
+        if rng.random() < 0.25:
+            parts.append(P("buy_now") == True)  # noqa: E712 (builder DSL)
+        return And(*parts)
+
+    def _category_interest(self, rng: np.random.Generator) -> Node:
+        """Class 2: watch a store section within a price band."""
+        categories = self.schema.categories
+        parts: List[Node] = []
+        if rng.random() < 0.4 and len(categories) >= 3:
+            picked = rng.choice(len(categories), size=int(rng.integers(2, 4)),
+                                replace=False)
+            parts.append(Or(*[P("category") == categories[int(i)] for i in picked]))
+        else:
+            parts.append(
+                P("category")
+                == categories[int(self._zipf_index(rng, len(categories), 0.7))]
+            )
+        # A narrow price band: subscribers watch a specific budget window.
+        band_start = rng.uniform(0.05, 0.72)
+        band_width = rng.uniform(0.08, 0.25)
+        low = self.schema.distribution("price").quantile(band_start)
+        high = self.schema.distribution("price").quantile(
+            min(0.97, band_start + band_width)
+        )
+        if high <= low:
+            high = low + 2.0
+        parts.append(P("price") >= low)
+        parts.append(P("price") <= high)
+        rating = self.schema.distribution("seller_rating").quantile(
+            rng.uniform(0.45, 0.9)
+        )
+        parts.append(P("seller_rating") >= rating)
+        if rng.random() < 0.5:
+            parts.append(Not(P("condition") == "poor"))
+        if rng.random() < 0.4:
+            parts.append(P("format") == FORMATS[int(rng.integers(len(FORMATS)))])
+        if rng.random() < 0.3:
+            parts.append(P("year") >= int(rng.integers(1970, 2004)))
+        return And(*parts)
+
+    def _collector(self, rng: np.random.Generator) -> Node:
+        """Class 3: alternatives over several wanted items, with global
+        constraints and negations."""
+        clause_count = int(rng.integers(2, 5))
+        clauses: List[Node] = []
+        for _ in range(clause_count):
+            clause: List[Node] = []
+            if rng.random() < 0.5:
+                author = self.schema.authors[
+                    int(self._zipf_index(rng, len(self.schema.authors), 0.8))
+                ]
+                clause.append(P("author") == author)
+            else:
+                title = self.schema.titles[
+                    int(self._zipf_index(rng, len(self.schema.titles), 0.8))
+                ]
+                clause.append(P("title") == title)
+            clause.append(P("price") <= self._price_cap(rng, 0.3, 0.95))
+            if rng.random() < 0.4:
+                cutoff = int(rng.integers(2, 5))
+                clause.append(P("condition").in_(CONDITIONS[:cutoff]))
+            if rng.random() < 0.2:
+                clause.append(
+                    P("seller_rating")
+                    >= self.schema.distribution("seller_rating").quantile(
+                        rng.uniform(0.2, 0.7)
+                    )
+                )
+            clauses.append(And(*clause))
+        parts: List[Node] = [Or(*clauses)]
+        if rng.random() < 0.6:
+            parts.append(Not(P("condition") == "poor"))
+        if rng.random() < 0.4:
+            parts.append(
+                P("shipping_cost")
+                <= self.schema.distribution("shipping_cost").quantile(
+                    rng.uniform(0.4, 0.95)
+                )
+            )
+        if rng.random() < 0.3:
+            parts.append(P("event_type").in_(["listed", "bid"]))
+        return And(*parts)
+
+    @staticmethod
+    def _zipf_index(rng: np.random.Generator, count: int, exponent: float) -> int:
+        """A Zipf-skewed index draw (subscribers also prefer popular items)."""
+        ranks = np.arange(1, count + 1, dtype=np.float64)
+        weights = ranks ** (-exponent)
+        weights /= weights.sum()
+        return int(rng.choice(count, p=weights))

@@ -1,0 +1,177 @@
+"""Seeded sampling primitives used by workload generators.
+
+Two families cover every schema attribute:
+
+* :class:`Categorical` — discrete values with explicit weights (Zipf for
+  titles/authors/categories), convertible 1:1 into
+  :class:`~repro.selectivity.statistics.CategoricalStatistics`;
+* :class:`PiecewiseLinear` — numeric distributions defined by a CDF table
+  and sampled by inverse transform, convertible 1:1 into
+  :class:`~repro.selectivity.statistics.ContinuousStatistics`.
+
+Because generation and estimation share the same tables, the selectivity
+estimator's per-predicate probabilities are exact for generated workloads;
+estimation error then comes only from predicate correlations — precisely
+the error source the paper's (min, avg, max) estimate is designed around.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.events import Value
+from repro.selectivity.statistics import (
+    CategoricalStatistics,
+    ContinuousStatistics,
+)
+
+
+def zipf_weights(count: int, exponent: float = 1.0) -> np.ndarray:
+    """Normalized Zipf weights: w_i ∝ 1 / (i+1)^exponent.
+
+    >>> zipf_weights(2, 1.0)
+    array([0.66666667, 0.33333333])
+    """
+    if count <= 0:
+        raise WorkloadError("zipf_weights needs a positive count")
+    if exponent < 0:
+        raise WorkloadError("zipf exponent must be non-negative")
+    ranks = np.arange(1, count + 1, dtype=np.float64)
+    weights = ranks ** (-exponent)
+    return weights / weights.sum()
+
+
+class Categorical:
+    """A weighted discrete distribution over arbitrary scalar values."""
+
+    def __init__(self, values: Sequence[Value], weights: Sequence[float]) -> None:
+        if len(values) != len(weights) or not values:
+            raise WorkloadError("values and weights must align and be non-empty")
+        weights_array = np.asarray(weights, dtype=np.float64)
+        if np.any(weights_array < 0) or weights_array.sum() <= 0:
+            raise WorkloadError("weights must be non-negative with positive sum")
+        self.values: List[Value] = list(values)
+        self.probabilities = weights_array / weights_array.sum()
+
+    def sample(self, rng: np.random.Generator, size: int) -> List[Value]:
+        """Draw ``size`` values."""
+        indexes = rng.choice(len(self.values), size=size, p=self.probabilities)
+        return [self.values[index] for index in indexes]
+
+    def sample_one(self, rng: np.random.Generator) -> Value:
+        """Draw a single value."""
+        return self.values[int(rng.choice(len(self.values), p=self.probabilities))]
+
+    def statistics(self, presence: float = 1.0) -> CategoricalStatistics:
+        """The exactly matching selectivity statistics."""
+        return CategoricalStatistics(
+            dict(zip(self.values, self.probabilities)), presence=presence
+        )
+
+    def quantile_value(self, quantile: float) -> Value:
+        """The value at a probability-mass quantile (by declared order)."""
+        if not 0.0 <= quantile <= 1.0:
+            raise WorkloadError("quantile must be within [0, 1]")
+        cumulative = 0.0
+        for value, probability in zip(self.values, self.probabilities):
+            cumulative += probability
+            if cumulative >= quantile:
+                return value
+        return self.values[-1]
+
+
+class PiecewiseLinear:
+    """A numeric distribution defined by CDF samples at support points.
+
+    ``support`` is strictly increasing; ``cdf`` is non-decreasing from 0 to
+    1.  Sampling uses the inverse transform, so the declared CDF is the
+    true CDF of generated values.
+    """
+
+    def __init__(
+        self,
+        support: Sequence[float],
+        cdf: Sequence[float],
+        round_digits: Union[int, None] = 2,
+    ) -> None:
+        support_array = np.asarray(support, dtype=np.float64)
+        cdf_array = np.asarray(cdf, dtype=np.float64)
+        if support_array.ndim != 1 or support_array.shape != cdf_array.shape:
+            raise WorkloadError("support and cdf must be 1-d and aligned")
+        if len(support_array) < 2:
+            raise WorkloadError("need at least two support points")
+        if np.any(np.diff(support_array) <= 0):
+            raise WorkloadError("support must be strictly increasing")
+        if cdf_array[0] != 0.0 or abs(cdf_array[-1] - 1.0) > 1e-12:
+            raise WorkloadError("cdf must start at 0 and end at 1")
+        if np.any(np.diff(cdf_array) < 0):
+            raise WorkloadError("cdf must be non-decreasing")
+        self.support = support_array
+        self.cdf = cdf_array
+        self.round_digits = round_digits
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` values by inverse-CDF transform."""
+        uniforms = rng.random(size)
+        values = np.interp(uniforms, self.cdf, self.support)
+        if self.round_digits is not None:
+            values = np.round(values, self.round_digits)
+        return values
+
+    def quantile(self, probability: float) -> float:
+        """The value below which ``probability`` of the mass lies."""
+        if not 0.0 <= probability <= 1.0:
+            raise WorkloadError("probability must be within [0, 1]")
+        value = float(np.interp(probability, self.cdf, self.support))
+        if self.round_digits is not None:
+            value = round(value, self.round_digits)
+        return value
+
+    def statistics(self, presence: float = 1.0) -> ContinuousStatistics:
+        """The exactly matching selectivity statistics.
+
+        Rounding during sampling perturbs the CDF by at most half a
+        rounding step — negligible against the supports used here.
+        """
+        return ContinuousStatistics(self.support, self.cdf, presence=presence)
+
+
+def lognormal_cdf_table(
+    median: float,
+    sigma: float,
+    lower: float,
+    upper: float,
+    points: int = 33,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """A (support, cdf) table approximating a truncated lognormal.
+
+    Auction prices are classically lognormal-ish: many cheap items, a long
+    expensive tail.  The table form keeps generation and estimation exactly
+    consistent (both interpolate the same curve).
+    """
+    if median <= 0 or sigma <= 0 or not 0 < lower < upper:
+        raise WorkloadError("invalid lognormal parameters")
+    mu = np.log(median)
+    support = np.exp(np.linspace(np.log(lower), np.log(upper), points))
+    z = (np.log(support) - mu) / sigma
+    raw = 0.5 * (1.0 + _erf_vector(z / np.sqrt(2.0)))
+    # Truncate and renormalize to [lower, upper].
+    cdf = (raw - raw[0]) / (raw[-1] - raw[0])
+    cdf[0] = 0.0
+    cdf[-1] = 1.0
+    return support, np.maximum.accumulate(cdf)
+
+
+def _erf_vector(x: np.ndarray) -> np.ndarray:
+    """Vectorized error function (Abramowitz–Stegun 7.1.26, |ε| < 1.5e-7)."""
+    sign = np.sign(x)
+    x = np.abs(x)
+    t = 1.0 / (1.0 + 0.3275911 * x)
+    polynomial = t * (
+        0.254829592
+        + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429)))
+    )
+    return sign * (1.0 - polynomial * np.exp(-x * x))

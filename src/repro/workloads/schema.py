@@ -1,0 +1,186 @@
+"""The online book-auction event schema.
+
+Every event message describes one auction happening (a listing, a bid, or
+a sale) through 12 attribute-value pairs.  Each attribute is backed by an
+explicit distribution object, so the same table drives both event
+generation and selectivity estimation.
+
+The skews follow the paper's setting description: titles, authors, and
+categories are Zipf-distributed (a few popular books draw most activity),
+prices are truncated-lognormal, ratings skew high.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Union
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.events import Event
+from repro.selectivity.statistics import AttributeStatistics, EventStatistics
+from repro.workloads.distributions import (
+    Categorical,
+    PiecewiseLinear,
+    lognormal_cdf_table,
+    zipf_weights,
+)
+
+Distribution = Union[Categorical, PiecewiseLinear]
+
+#: Book store sections; cycled when a schema asks for more categories.
+CATEGORY_NAMES = [
+    "fiction", "mystery", "science-fiction", "fantasy", "romance",
+    "history", "biography", "science", "philosophy", "poetry",
+    "travel", "cooking", "art", "children", "reference",
+    "business", "self-help", "religion", "comics", "drama",
+    "technology", "nature", "sports", "music",
+]
+
+CONDITIONS = ["new", "like-new", "very-good", "good", "acceptable", "poor"]
+CONDITION_WEIGHTS = [0.15, 0.20, 0.25, 0.20, 0.12, 0.08]
+
+FORMATS = ["hardcover", "paperback", "audiobook", "ebook"]
+FORMAT_WEIGHTS = [0.30, 0.45, 0.10, 0.15]
+
+EVENT_TYPES = ["listed", "bid", "sold"]
+EVENT_TYPE_WEIGHTS = [0.40, 0.50, 0.10]
+
+
+class AttributeSpec(NamedTuple):
+    """One schema attribute: its name and backing distribution."""
+
+    name: str
+    distribution: Distribution
+
+
+class AuctionSchema:
+    """Attribute distributions of the book-auction workload.
+
+    Parameters shape the catalogue: how many distinct titles, authors and
+    categories exist and how skewed the interest in them is.
+    """
+
+    def __init__(
+        self,
+        n_titles: int = 500,
+        n_series: int = 40,
+        n_authors: int = 200,
+        n_categories: int = 20,
+        title_zipf: float = 1.1,
+        author_zipf: float = 1.0,
+        category_zipf: float = 0.9,
+    ) -> None:
+        if min(n_titles, n_authors, n_categories) < 2:
+            raise WorkloadError("schema needs at least 2 titles/authors/categories")
+        if n_series < 1 or n_series > n_titles:
+            raise WorkloadError("n_series must be within [1, n_titles]")
+        self.titles = self._make_titles(n_titles, n_series)
+        self.series_prefixes = ["series-%02d" % index for index in range(n_series)]
+        self.authors = ["author-%03d" % index for index in range(n_authors)]
+        self.categories = [
+            CATEGORY_NAMES[index % len(CATEGORY_NAMES)]
+            + ("" if index < len(CATEGORY_NAMES) else "-%d" % (index // len(CATEGORY_NAMES)))
+            for index in range(n_categories)
+        ]
+
+        price_support, price_cdf = lognormal_cdf_table(
+            median=12.0, sigma=0.9, lower=0.5, upper=500.0
+        )
+        years = list(range(1950, 2007))
+        year_weights = [1.0 / (2007 - year) for year in years]
+        bids = list(range(0, 31))
+        bid_weights = [0.75 ** count for count in bids]
+
+        self._specs: Dict[str, AttributeSpec] = {}
+        for name, distribution in (
+            ("title", Categorical(self.titles, zipf_weights(n_titles, title_zipf))),
+            ("author", Categorical(self.authors, zipf_weights(n_authors, author_zipf))),
+            (
+                "category",
+                Categorical(self.categories, zipf_weights(n_categories, category_zipf)),
+            ),
+            ("price", PiecewiseLinear(price_support, price_cdf)),
+            (
+                "seller_rating",
+                PiecewiseLinear(
+                    [0.0, 2.0, 3.0, 4.0, 4.5, 4.8, 5.0],
+                    [0.0, 0.05, 0.15, 0.35, 0.60, 0.85, 1.0],
+                ),
+            ),
+            ("condition", Categorical(CONDITIONS, CONDITION_WEIGHTS)),
+            ("format", Categorical(FORMATS, FORMAT_WEIGHTS)),
+            ("year", Categorical(years, year_weights)),
+            ("bid_count", Categorical(bids, bid_weights)),
+            (
+                "ends_in_hours",
+                PiecewiseLinear(
+                    [0.0, 1.0, 6.0, 12.0, 24.0, 48.0, 96.0, 168.0],
+                    [0.0, 0.05, 0.20, 0.35, 0.60, 0.80, 0.95, 1.0],
+                ),
+            ),
+            (
+                "shipping_cost",
+                PiecewiseLinear(
+                    [0.0, 2.0, 4.0, 6.0, 10.0, 20.0],
+                    [0.0, 0.15, 0.45, 0.70, 0.92, 1.0],
+                ),
+            ),
+            ("buy_now", Categorical([True, False], [0.25, 0.75])),
+            ("event_type", Categorical(EVENT_TYPES, EVENT_TYPE_WEIGHTS)),
+        ):
+            self._specs[name] = AttributeSpec(name, distribution)
+
+    @staticmethod
+    def _make_titles(n_titles: int, n_series: int) -> List[str]:
+        """Titles: ~30% belong to series (shared prefixes for prefix
+        predicates), the rest are standalone books."""
+        titles: List[str] = []
+        series_count = max(1, int(n_titles * 0.3))
+        for index in range(series_count):
+            series = index % n_series
+            volume = index // n_series + 1
+            titles.append("series-%02d vol %d" % (series, volume))
+        for index in range(n_titles - series_count):
+            titles.append("book-%04d" % index)
+        return titles
+
+    @property
+    def attribute_names(self) -> List[str]:
+        """Names of all schema attributes, in declaration order."""
+        return list(self._specs)
+
+    def spec(self, name: str) -> AttributeSpec:
+        """The spec of one attribute."""
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise WorkloadError("unknown attribute %r" % name)
+
+    def distribution(self, name: str) -> Distribution:
+        """The backing distribution of one attribute."""
+        return self.spec(name).distribution
+
+    def sample_events(self, rng: np.random.Generator, count: int) -> List[Event]:
+        """Draw ``count`` events; every attribute is present on every event."""
+        if count < 0:
+            raise WorkloadError("count must be non-negative")
+        columns: Dict[str, List] = {}
+        for name, spec in self._specs.items():
+            distribution = spec.distribution
+            if isinstance(distribution, Categorical):
+                columns[name] = distribution.sample(rng, count)
+            else:
+                columns[name] = [float(v) for v in distribution.sample(rng, count)]
+        events = []
+        names = list(self._specs)
+        for row in range(count):
+            events.append(Event({name: columns[name][row] for name in names}))
+        return events
+
+    def statistics(self) -> EventStatistics:
+        """Exact selectivity statistics for this schema."""
+        models: Dict[str, AttributeStatistics] = {
+            name: spec.distribution.statistics() for name, spec in self._specs.items()
+        }
+        return EventStatistics(models)

@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.selectivity.estimator import SelectivityEstimator
+from repro.selectivity.statistics import (
+    CategoricalStatistics,
+    ContinuousStatistics,
+    EventStatistics,
+)
+from repro.workloads.auction import AuctionWorkload, AuctionWorkloadConfig
+
+
+@pytest.fixture(scope="session")
+def workload() -> AuctionWorkload:
+    """A small, deterministic auction workload shared across tests."""
+    return AuctionWorkload(AuctionWorkloadConfig(seed=1234))
+
+
+@pytest.fixture(scope="session")
+def auction_events(workload):
+    """A batch of 400 auction events."""
+    return workload.generate_events(400)
+
+
+@pytest.fixture(scope="session")
+def auction_subscriptions(workload):
+    """200 auction subscriptions (ids 0..199)."""
+    return workload.generate_subscriptions(200)
+
+
+@pytest.fixture(scope="session")
+def auction_estimator(workload) -> SelectivityEstimator:
+    """Selectivity estimator over the auction workload statistics."""
+    return workload.estimator()
+
+
+@pytest.fixture()
+def simple_statistics() -> EventStatistics:
+    """Small hand-built statistics for exact-value assertions."""
+    return EventStatistics(
+        {
+            "cat": CategoricalStatistics({"a": 0.25, "b": 0.5, "c": 0.25}),
+            "price": ContinuousStatistics(
+                [0.0, 10.0, 20.0, 100.0], [0.0, 0.5, 0.8, 1.0]
+            ),
+            "flag": CategoricalStatistics({True: 0.4, False: 0.6}),
+        }
+    )
+
+
+@pytest.fixture()
+def simple_estimator(simple_statistics) -> SelectivityEstimator:
+    """Estimator over :func:`simple_statistics`."""
+    return SelectivityEstimator(simple_statistics)

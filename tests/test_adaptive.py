@@ -1,0 +1,95 @@
+"""Tests for adaptive dimension switching."""
+
+import pytest
+
+from repro.core.adaptive import AdaptivePruner, SystemConditions
+from repro.core.heuristics import Dimension
+from repro.errors import PruningError
+from repro.subscriptions.builder import And, Or, P
+from repro.subscriptions.subscription import Subscription
+
+
+@pytest.fixture()
+def subscriptions():
+    return [
+        Subscription(0, And(P("cat") == "a", P("price") <= 10.0, P("flag") == True)),  # noqa: E712
+        Subscription(1, And(P("cat") == "b", Or(P("price") <= 5.0, P("price") >= 95.0))),
+    ]
+
+
+def conditions(memory=0.0, bandwidth=0.0, cpu=0.0):
+    return SystemConditions(
+        memory_used_bytes=int(memory * 100),
+        memory_budget_bytes=100,
+        bandwidth_utilization=bandwidth,
+        filter_saturation=cpu,
+    )
+
+
+class TestSelection:
+    def test_defaults_to_network_when_unstressed(self, subscriptions, simple_estimator):
+        pruner = AdaptivePruner(subscriptions, simple_estimator)
+        assert pruner.select_dimension(conditions()) is Dimension.NETWORK
+
+    def test_memory_pressure_selects_memory(self, subscriptions, simple_estimator):
+        pruner = AdaptivePruner(subscriptions, simple_estimator)
+        assert pruner.select_dimension(conditions(memory=0.95)) is Dimension.MEMORY
+
+    def test_bandwidth_pressure_selects_network(self, subscriptions, simple_estimator):
+        pruner = AdaptivePruner(subscriptions, simple_estimator)
+        assert pruner.select_dimension(conditions(bandwidth=0.9)) is Dimension.NETWORK
+
+    def test_cpu_pressure_selects_throughput(self, subscriptions, simple_estimator):
+        pruner = AdaptivePruner(subscriptions, simple_estimator)
+        assert (
+            pruner.select_dimension(conditions(cpu=0.9)) is Dimension.THROUGHPUT
+        )
+
+    def test_most_stressed_dimension_wins(self, subscriptions, simple_estimator):
+        pruner = AdaptivePruner(subscriptions, simple_estimator)
+        picked = pruner.select_dimension(conditions(memory=0.92, cpu=0.99))
+        assert picked is Dimension.THROUGHPUT
+
+    def test_memory_pressure_without_budget_is_zero(self):
+        snapshot = SystemConditions(50, 0, 0.0, 0.0)
+        assert snapshot.memory_pressure == 0.0
+
+
+class TestOptimize:
+    def test_optimize_switches_engine_dimension(self, subscriptions, simple_estimator):
+        pruner = AdaptivePruner(subscriptions, simple_estimator)
+        pruner.optimize(conditions(memory=0.99), batch_size=1)
+        assert pruner.current_dimension is Dimension.MEMORY
+        assert pruner.dimension_history[-1] is Dimension.MEMORY
+
+    def test_optimize_executes_batch(self, subscriptions, simple_estimator):
+        pruner = AdaptivePruner(subscriptions, simple_estimator)
+        records = pruner.optimize(conditions(), batch_size=2)
+        assert len(records) == 2
+
+    def test_stop_degradation_bounds_batch(self, subscriptions, simple_estimator):
+        pruner = AdaptivePruner(subscriptions, simple_estimator)
+        records = pruner.optimize(
+            conditions(), batch_size=10, stop_degradation=0.0001
+        )
+        assert all(record.vector.sel <= 0.0001 for record in records)
+
+    def test_batch_size_validated(self, subscriptions, simple_estimator):
+        pruner = AdaptivePruner(subscriptions, simple_estimator)
+        with pytest.raises(PruningError):
+            pruner.optimize(conditions(), batch_size=0)
+
+    def test_threshold_validation(self, subscriptions, simple_estimator):
+        with pytest.raises(PruningError):
+            AdaptivePruner(subscriptions, simple_estimator, memory_threshold=0.0)
+
+    def test_reference_points_survive_switches(self, subscriptions, simple_estimator):
+        """After switching dimensions the engine still measures Δeff against
+        the originally registered trees."""
+        pruner = AdaptivePruner(subscriptions, simple_estimator)
+        pruner.optimize(conditions(), batch_size=1)
+        pruner.optimize(conditions(memory=0.99), batch_size=1)
+        engine = pruner.engine
+        for record in engine.records:
+            state = engine.state(record.subscription_id)
+            assert state.original is not None

@@ -1,0 +1,120 @@
+"""Tests for combined optimizers: covering+pruning and pruning-based merging."""
+
+import pytest
+
+from repro.baselines.combined import CoveringWithPruning, prune_to_merge
+from repro.core.heuristics import Dimension
+from repro.errors import PruningError
+from repro.subscriptions.builder import And, P
+from repro.subscriptions.metrics import count_leaves
+from repro.subscriptions.subscription import Subscription
+from repro.workloads.auction import (
+    AuctionWorkload,
+    AuctionWorkloadConfig,
+    SubscriptionClassMix,
+)
+
+
+@pytest.fixture(scope="module")
+def conjunctive_workload():
+    config = AuctionWorkloadConfig(
+        seed=31, class_mix=SubscriptionClassMix(1.0, 0.0, 0.0)
+    )
+    return AuctionWorkload(config)
+
+
+class TestCoveringWithPruning:
+    def test_covering_step_suppresses_subsumed(self, simple_estimator):
+        subscriptions = [
+            Subscription(1, P("cat") == "a"),
+            Subscription(2, And(P("cat") == "a", P("price") <= 10.0)),
+            Subscription(3, And(P("cat") == "b", P("price") <= 10.0)),
+        ]
+        optimizer = CoveringWithPruning(simple_estimator)
+        table, report = optimizer.optimize(subscriptions, target_associations=100)
+        assert report["covered"] == 1
+        assert report["prunings"] == 0
+        assert len(table) == 2
+
+    def test_pruning_step_reaches_target(self, conjunctive_workload):
+        subscriptions = conjunctive_workload.generate_subscriptions(60)
+        estimator = conjunctive_workload.estimator()
+        initial = sum(s.leaf_count for s in subscriptions)
+        target = initial // 2
+        optimizer = CoveringWithPruning(estimator)
+        table, report = optimizer.optimize(subscriptions, target)
+        achieved = sum(count_leaves(s.tree) for s in table)
+        assert achieved <= max(target, len(table))
+        assert report["prunings"] > 0
+
+    def test_combined_table_covers_inputs(self, conjunctive_workload):
+        subscriptions = conjunctive_workload.generate_subscriptions(40)
+        estimator = conjunctive_workload.estimator()
+        events = conjunctive_workload.generate_events(60).events
+        initial = sum(s.leaf_count for s in subscriptions)
+        optimizer = CoveringWithPruning(estimator)
+        table, _report = optimizer.optimize(subscriptions, initial // 2)
+        for event in events:
+            if any(s.tree.evaluate(event) for s in subscriptions):
+                assert any(t.tree.evaluate(event) for t in table)
+
+    def test_target_validation(self, simple_estimator):
+        with pytest.raises(PruningError):
+            CoveringWithPruning(simple_estimator).optimize([], -1)
+
+
+class TestPruneToMerge:
+    def test_identical_generalizations_merge(self, simple_estimator):
+        # Two subscriptions that share the cheap-to-keep predicate "cat == a":
+        # pruning the price caps away makes them identical.
+        subscriptions = [
+            Subscription(1, And(P("cat") == "a", P("price") <= 95.0)),
+            Subscription(2, And(P("cat") == "a", P("price") <= 99.0)),
+        ]
+        result = prune_to_merge(
+            subscriptions, simple_estimator, max_step_degradation=0.3
+        )
+        assert len(result.table) == 1
+        assert sorted(next(iter(result.groups.values()))) == [1, 2]
+
+    def test_budget_zero_merges_nothing_new(self, simple_estimator):
+        subscriptions = [
+            Subscription(1, And(P("cat") == "a", P("flag") == True)),  # noqa: E712
+            Subscription(2, And(P("cat") == "b", P("flag") == True)),  # noqa: E712
+        ]
+        result = prune_to_merge(
+            subscriptions, simple_estimator, max_step_degradation=0.0
+        )
+        assert result.prunings == 0
+        assert len(result.table) == 2
+
+    def test_merged_table_covers_inputs(self, conjunctive_workload):
+        subscriptions = conjunctive_workload.generate_subscriptions(50)
+        estimator = conjunctive_workload.estimator()
+        events = conjunctive_workload.generate_events(60).events
+        result = prune_to_merge(subscriptions, estimator,
+                                max_step_degradation=0.02)
+        for event in events:
+            if any(s.tree.evaluate(event) for s in subscriptions):
+                assert any(t.tree.evaluate(event) for t in result.table)
+
+    def test_groups_partition_subscriptions(self, conjunctive_workload):
+        subscriptions = conjunctive_workload.generate_subscriptions(50)
+        estimator = conjunctive_workload.estimator()
+        result = prune_to_merge(subscriptions, estimator,
+                                max_step_degradation=0.05)
+        grouped = sorted(
+            sub_id for ids in result.groups.values() for sub_id in ids
+        )
+        assert grouped == [s.id for s in subscriptions]
+
+    def test_larger_budget_merges_at_least_as_much(self, conjunctive_workload):
+        subscriptions = conjunctive_workload.generate_subscriptions(50)
+        estimator = conjunctive_workload.estimator()
+        small = prune_to_merge(subscriptions, estimator, 0.01)
+        large = prune_to_merge(subscriptions, estimator, 0.2)
+        assert len(large.table) <= len(small.table)
+
+    def test_budget_validation(self, simple_estimator):
+        with pytest.raises(PruningError):
+            prune_to_merge([], simple_estimator, max_step_degradation=2.0)

@@ -1,0 +1,140 @@
+"""Tests for the covering baseline."""
+
+import pytest
+
+from repro.baselines.covering import CoveringTable, covers, predicate_implies
+from repro.errors import MatchingError
+from repro.events import Event
+from repro.subscriptions.builder import And, Or, P
+from repro.subscriptions.predicates import Operator, Predicate
+from repro.subscriptions.subscription import Subscription
+
+
+def pred(attribute, operator, value):
+    return Predicate(attribute, operator, value)
+
+
+class TestPredicateImplication:
+    @pytest.mark.parametrize(
+        "specific,general,expected",
+        [
+            (pred("p", Operator.LE, 10), pred("p", Operator.LE, 20), True),
+            (pred("p", Operator.LE, 20), pred("p", Operator.LE, 10), False),
+            (pred("p", Operator.LT, 10), pred("p", Operator.LE, 10), True),
+            (pred("p", Operator.LE, 10), pred("p", Operator.LT, 10), False),
+            (pred("p", Operator.LE, 9), pred("p", Operator.LT, 10), True),
+            (pred("p", Operator.GE, 10), pred("p", Operator.GE, 5), True),
+            (pred("p", Operator.GT, 5), pred("p", Operator.GE, 5), True),
+            (pred("p", Operator.GE, 5), pred("p", Operator.GT, 5), False),
+            (pred("p", Operator.EQ, 7), pred("p", Operator.LE, 10), True),
+            (pred("p", Operator.EQ, 7), pred("p", Operator.GE, 10), False),
+            (pred("p", Operator.EQ, 7), pred("p", Operator.NE, 8), True),
+            (
+                pred("p", Operator.IN_SET, frozenset({1, 2})),
+                pred("p", Operator.IN_SET, frozenset({1, 2, 3})),
+                True,
+            ),
+            (
+                pred("p", Operator.IN_SET, frozenset({1, 5})),
+                pred("p", Operator.LE, 4),
+                False,
+            ),
+            (
+                pred("p", Operator.IN_SET, frozenset({1, 3})),
+                pred("p", Operator.LE, 4),
+                True,
+            ),
+            (
+                pred("p", Operator.NOT_IN_SET, frozenset({1, 2})),
+                pred("p", Operator.NE, 1),
+                True,
+            ),
+            (pred("s", Operator.PREFIX, "abc"), pred("s", Operator.PREFIX, "ab"), True),
+            (pred("s", Operator.PREFIX, "ab"), pred("s", Operator.PREFIX, "abc"), False),
+            (pred("s", Operator.PREFIX, "abc"), pred("s", Operator.CONTAINS, "bc"), True),
+            (pred("s", Operator.CONTAINS, "abc"), pred("s", Operator.CONTAINS, "b"), True),
+            # different attributes never imply
+            (pred("p", Operator.LE, 10), pred("q", Operator.LE, 20), False),
+        ],
+    )
+    def test_implication_matrix(self, specific, general, expected):
+        assert predicate_implies(specific, general) is expected
+
+    def test_identity(self):
+        probe = pred("p", Operator.LE, 10)
+        assert predicate_implies(probe, probe)
+
+
+class TestCovers:
+    def test_fewer_constraints_cover_more(self):
+        general = Subscription(1, P("a") == 1)
+        specific = Subscription(2, And(P("a") == 1, P("b") <= 5))
+        assert covers(general, specific)
+        assert not covers(specific, general)
+
+    def test_wider_bound_covers(self):
+        general = Subscription(1, And(P("a") == 1, P("b") <= 10))
+        specific = Subscription(2, And(P("a") == 1, P("b") <= 5))
+        assert covers(general, specific)
+
+    def test_non_conjunctive_is_conservative(self):
+        general = Subscription(1, Or(P("a") == 1, P("b") == 2))
+        specific = Subscription(2, P("a") == 1)
+        assert not covers(general, specific)
+
+    def test_unrelated_subscriptions(self):
+        a = Subscription(1, And(P("a") == 1, P("b") <= 5))
+        b = Subscription(2, And(P("c") == 1, P("d") <= 5))
+        assert not covers(a, b)
+        assert not covers(b, a)
+
+
+class TestCoveringTable:
+    def test_suppresses_covered_entries(self):
+        table = CoveringTable()
+        table.register(Subscription(1, P("a") == 1))
+        table.register(Subscription(2, And(P("a") == 1, P("b") <= 5)))
+        assert [s.id for s in table.forwarding_set] == [1]
+        assert table.suppressed_count == 1
+
+    def test_association_count_reflects_active_only(self):
+        table = CoveringTable()
+        table.register(Subscription(1, P("a") == 1))
+        table.register(Subscription(2, And(P("a") == 1, P("b") <= 5)))
+        assert table.association_count == 1
+
+    def test_unregister_reactivates_covered(self):
+        table = CoveringTable()
+        table.register(Subscription(1, P("a") == 1))
+        table.register(Subscription(2, And(P("a") == 1, P("b") <= 5)))
+        table.unregister(1)
+        assert [s.id for s in table.forwarding_set] == [2]
+
+    def test_match_uses_active_set(self):
+        table = CoveringTable()
+        table.register(Subscription(1, P("a") == 1))
+        table.register(Subscription(2, And(P("a") == 1, P("b") <= 5)))
+        assert table.match(Event({"a": 1, "b": 100}))
+        assert not table.match(Event({"a": 2}))
+
+    def test_forwarding_is_superset_safe(self, workload):
+        """Whatever covering suppresses, forwarding decisions stay exact:
+        an event matches the active set iff it matches some registered sub."""
+        table = CoveringTable()
+        subs = workload.generate_subscriptions(40)
+        for subscription in subs:
+            table.register(subscription)
+        events = workload.generate_events(80).events
+        for event in events:
+            direct = any(s.tree.evaluate(event) for s in subs)
+            assert table.match(event) == direct
+
+    def test_duplicate_registration_rejected(self):
+        table = CoveringTable()
+        table.register(Subscription(1, P("a") == 1))
+        with pytest.raises(MatchingError):
+            table.register(Subscription(1, P("a") == 2))
+
+    def test_unknown_unregister_rejected(self):
+        with pytest.raises(MatchingError):
+            CoveringTable().unregister(5)

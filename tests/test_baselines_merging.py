@@ -1,0 +1,115 @@
+"""Tests for the greedy merging baseline."""
+
+import pytest
+
+from repro.baselines.merging import GreedyMerger, merge_pair
+from repro.errors import MatchingError
+from repro.events import Event
+from repro.subscriptions.builder import And, Or, P
+from repro.subscriptions.subscription import Subscription
+
+from tests import strategies
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+class TestMergePair:
+    def test_widens_upper_bounds(self):
+        a = Subscription(1, And(P("cat") == "x", P("price") <= 10))
+        b = Subscription(2, And(P("cat") == "x", P("price") <= 20))
+        merged = merge_pair(a, b)
+        probes = [Event({"cat": "x", "price": 15})]
+        assert merged.evaluate(probes[0])
+
+    def test_unions_equalities_into_set(self):
+        a = Subscription(1, And(P("cat") == "x", P("price") <= 10))
+        b = Subscription(2, And(P("cat") == "y", P("price") <= 10))
+        merged = merge_pair(a, b)
+        assert merged.evaluate(Event({"cat": "x", "price": 5}))
+        assert merged.evaluate(Event({"cat": "y", "price": 5}))
+        assert not merged.evaluate(Event({"cat": "z", "price": 5}))
+
+    def test_drops_attributes_missing_on_one_side(self):
+        a = Subscription(1, And(P("cat") == "x", P("rating") >= 4))
+        b = Subscription(2, And(P("cat") == "x", P("price") <= 10))
+        merged = merge_pair(a, b)
+        # only cat survives
+        assert merged.evaluate(Event({"cat": "x"}))
+
+    def test_non_conjunctive_rejected(self):
+        a = Subscription(1, Or(P("a") == 1, P("b") == 2))
+        b = Subscription(2, P("a") == 1)
+        assert merge_pair(a, b) is None
+
+    def test_no_common_attributes_rejected(self):
+        a = Subscription(1, P("a") == 1)
+        b = Subscription(2, P("b") == 2)
+        assert merge_pair(a, b) is None
+
+    def test_merger_covers_both_inputs_on_events(self, workload):
+        """Core property: the merger matches every event either input
+        matches."""
+        subs = [
+            s
+            for s in workload.generate_subscriptions(60)
+            if merge_pair(s, s) is not None  # conjunctive only
+        ]
+        events = workload.generate_events(60).events
+        merged_any = 0
+        for i in range(0, len(subs) - 1, 2):
+            merger = merge_pair(subs[i], subs[i + 1])
+            if merger is None:
+                continue
+            merged_any += 1
+            for event in events:
+                if subs[i].tree.evaluate(event) or subs[i + 1].tree.evaluate(event):
+                    assert merger.evaluate(event)
+        assert merged_any > 0
+
+
+class TestGreedyMerger:
+    def test_reduces_table_size(self, simple_estimator):
+        subs = [
+            Subscription(i, And(P("cat") == c, P("price") <= float(p)))
+            for i, (c, p) in enumerate(
+                [("a", 10), ("a", 20), ("b", 10), ("b", 30), ("c", 15)]
+            )
+        ]
+        merger = GreedyMerger(simple_estimator, max_merger_selectivity=1.0)
+        merged = merger.merge(subs, target_count=2)
+        assert len(merged) <= len(subs)
+        assert len(merged) >= 2
+
+    def test_merged_table_covers_inputs(self, simple_estimator):
+        subs = [
+            Subscription(i, And(P("cat") == c, P("price") <= float(p)))
+            for i, (c, p) in enumerate(
+                [("a", 10), ("a", 20), ("b", 10), ("b", 30)]
+            )
+        ]
+        merger = GreedyMerger(simple_estimator, max_merger_selectivity=1.0)
+        merged = merger.merge(subs, target_count=1)
+        events = [
+            Event({"cat": c, "price": float(p)})
+            for c in "abc"
+            for p in (5, 15, 25, 50)
+        ]
+        for event in events:
+            if any(s.tree.evaluate(event) for s in subs):
+                assert any(m.tree.evaluate(event) for m in merged)
+
+    def test_selectivity_budget_limits_merging(self, simple_estimator):
+        subs = [
+            Subscription(0, And(P("cat") == "a", P("price") <= 10.0)),
+            Subscription(1, And(P("cat") == "b", P("price") <= 100.0)),
+        ]
+        strict = GreedyMerger(simple_estimator, max_merger_selectivity=0.01)
+        assert len(strict.merge(subs, target_count=1)) == 2  # refused
+
+    def test_target_validation(self, simple_estimator):
+        with pytest.raises(MatchingError):
+            GreedyMerger(simple_estimator).merge([], target_count=0)
+
+    def test_budget_validation(self, simple_estimator):
+        with pytest.raises(MatchingError):
+            GreedyMerger(simple_estimator, max_merger_selectivity=0.0)

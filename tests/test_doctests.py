@@ -1,0 +1,52 @@
+"""Run the doctests embedded in public modules.
+
+Docstring examples are part of the documented API surface; this test
+keeps them honest.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.core.engine
+import repro.events
+import repro.matching.counting
+import repro.routing.network
+import repro.selectivity.estimator
+import repro.subscriptions.predicates
+import repro.subscriptions.subscription
+import repro.util.heap
+import repro.util.rng
+import repro.util.tables
+import repro.util.timing
+import repro.workloads.auction
+import repro.workloads.distributions
+import repro.baselines.covering
+
+MODULES = [
+    repro,
+    repro.core.engine,
+    repro.events,
+    repro.matching.counting,
+    repro.routing.network,
+    repro.selectivity.estimator,
+    repro.subscriptions.predicates,
+    repro.subscriptions.subscription,
+    repro.util.heap,
+    repro.util.rng,
+    repro.util.tables,
+    repro.util.timing,
+    repro.workloads.auction,
+    repro.workloads.distributions,
+    repro.baselines.covering,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0, "%d doctest failure(s) in %s" % (
+        result.failed,
+        module.__name__,
+    )

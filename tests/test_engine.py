@@ -1,0 +1,189 @@
+"""Tests for the priority-queue pruning engine."""
+
+import pytest
+
+from repro.core.engine import PruningEngine
+from repro.core.heuristics import Dimension
+from repro.core.ops import apply_pruning
+from repro.errors import PruningError
+from repro.subscriptions.builder import And, Or, P
+from repro.subscriptions.metrics import count_leaves
+from repro.subscriptions.subscription import Subscription
+
+
+def build_engine(estimator, trees, dimension=Dimension.NETWORK, **kwargs):
+    subscriptions = [Subscription(i, tree) for i, tree in enumerate(trees)]
+    return PruningEngine(subscriptions, estimator, dimension, **kwargs)
+
+
+class TestStepping:
+    def test_runs_to_exhaustion(self, simple_estimator):
+        engine = build_engine(
+            simple_estimator,
+            [And(P("cat") == "a", P("price") <= 10.0, P("flag") == True)],  # noqa: E712
+        )
+        records = engine.run()
+        assert len(records) == 2  # 3 predicates -> 1 predicate
+        assert engine.exhausted
+        assert engine.step() is None
+
+    def test_step_returns_record_with_metrics(self, simple_estimator):
+        engine = build_engine(
+            simple_estimator, [And(P("cat") == "a", P("price") <= 10.0)]
+        )
+        record = engine.step()
+        assert record.subscription_id == 0
+        assert record.leaf_count_after == 1
+        assert record.pmin_after == 1
+        assert record.vector.mem > 0
+
+    def test_max_steps_bounds_run(self, simple_estimator):
+        engine = build_engine(
+            simple_estimator,
+            [And(P("cat") == "a", P("price") <= 10.0, P("flag") == True)] * 1,  # noqa: E712
+        )
+        assert len(engine.run(max_steps=1)) == 1
+        assert engine.total_prunings == 1
+
+    def test_duplicate_subscription_ids_rejected(self, simple_estimator):
+        subs = [Subscription(1, P("cat") == "a"), Subscription(1, P("cat") == "b")]
+        with pytest.raises(PruningError):
+            PruningEngine(subs, simple_estimator)
+
+    def test_unknown_state_rejected(self, simple_estimator):
+        engine = build_engine(simple_estimator, [And(P("cat") == "a", P("flag") == True)])  # noqa: E712
+        with pytest.raises(PruningError):
+            engine.state(42)
+
+
+class TestOrdering:
+    def test_network_dimension_prefers_low_degradation(self, simple_estimator):
+        # sub 0: removing "price <= 100" (sel 1.0) costs nothing;
+        # sub 1: removals cost much more.
+        cheap = And(P("cat") == "a", P("price") <= 100.0)
+        costly = And(P("cat") == "a", P("flag") == True)  # noqa: E712
+        engine = build_engine(simple_estimator, [cheap, costly], Dimension.NETWORK)
+        first = engine.step()
+        assert first.subscription_id == 0
+        assert first.vector.sel == pytest.approx(0.0)
+
+    def test_memory_dimension_prefers_big_subtrees(self, simple_estimator):
+        small = And(P("cat") == "a", P("flag") == True)  # noqa: E712
+        big = And(
+            P("cat") == "a",
+            Or(P("price") <= 10.0, P("price") >= 90.0, P("flag") == True),  # noqa: E712
+        )
+        engine = build_engine(simple_estimator, [small, big], Dimension.MEMORY)
+        first = engine.step()
+        assert first.subscription_id == 1  # the big OR child saves the most bytes
+
+    def test_throughput_dimension_keeps_pmin(self, simple_estimator):
+        # sub 0 offers a Δeff = 0 pruning (inside the OR); sub 1 only Δeff = -1.
+        with_or = And(
+            P("cat") == "a",
+            Or(And(P("price") <= 10.0, P("flag") == True), P("price") >= 90.0),  # noqa: E712
+        )
+        flat = And(P("cat") == "b", P("price") <= 20.0)
+        engine = build_engine(simple_estimator, [with_or, flat], Dimension.THROUGHPUT)
+        first = engine.step()
+        assert first.subscription_id == 0
+        assert first.vector.eff == 0
+
+    def test_records_replay_to_engine_state(self, simple_estimator):
+        trees = [
+            And(P("cat") == "a", P("price") <= 10.0, P("flag") == True),  # noqa: E712
+            And(P("cat") == "b", Or(P("price") <= 5.0, P("price") >= 95.0), P("flag") == False),  # noqa: E712
+        ]
+        engine = build_engine(simple_estimator, trees)
+        engine.run()
+        replayed = {i: Subscription(i, t).tree for i, t in enumerate(trees)}
+        for record in engine.records:
+            replayed[record.subscription_id] = apply_pruning(
+                replayed[record.subscription_id], record.op
+            )
+        for sub_id, tree in replayed.items():
+            assert tree == engine.state(sub_id).current
+
+    def test_determinism(self, simple_estimator):
+        trees = [
+            And(P("cat") == "a", P("price") <= 10.0, P("flag") == True),  # noqa: E712
+            And(P("cat") == "b", P("price") >= 5.0),
+            Or(And(P("cat") == "c", P("flag") == False), And(P("price") <= 1.0, P("flag") == True)),  # noqa: E712
+        ]
+        runs = []
+        for _ in range(2):
+            engine = build_engine(simple_estimator, trees)
+            engine.run()
+            runs.append([(r.subscription_id, r.op) for r in engine.records])
+        assert runs[0] == runs[1]
+
+
+class TestStoppingRules:
+    def test_stop_before_inspects_next_vector(self, simple_estimator):
+        engine = build_engine(
+            simple_estimator,
+            [And(P("cat") == "a", P("price") <= 10.0, P("flag") == True)],  # noqa: E712
+        )
+        records = engine.run(stop_before=lambda vector: True)
+        assert records == []
+        assert not engine.exhausted
+
+    def test_prune_until_selectivity(self, simple_estimator):
+        engine = build_engine(
+            simple_estimator,
+            [And(P("cat") == "a", P("price") <= 100.0, P("flag") == True)],  # noqa: E712
+        )
+        engine.prune_until_selectivity(0.05)
+        # every executed pruning stayed within the budget
+        assert all(record.vector.sel <= 0.05 for record in engine.records)
+        remaining = engine.peek_vector()
+        if remaining is not None:
+            assert remaining.sel > 0.05
+
+    def test_prune_until_memory_saved(self, simple_estimator):
+        engine = build_engine(
+            simple_estimator,
+            [And(P("cat") == "a", P("price") <= 10.0, P("flag") == True)],  # noqa: E712
+            Dimension.MEMORY,
+        )
+        engine.prune_until_memory_saved(10)
+        assert sum(record.vector.mem for record in engine.records) >= 10
+
+
+class TestSwitching:
+    def test_switch_dimension_reorders_queue(self, simple_estimator):
+        trees = [
+            And(P("cat") == "a", P("price") <= 100.0),
+            And(
+                P("cat") == "b",
+                Or(P("price") <= 10.0, P("flag") == True, P("price") >= 90.0),  # noqa: E712
+            ),
+        ]
+        engine = build_engine(simple_estimator, trees, Dimension.NETWORK)
+        engine.switch_dimension(Dimension.MEMORY)
+        assert engine.dimension is Dimension.MEMORY
+        assert engine.bottom_up_only  # memory default restriction
+        first = engine.step()
+        assert first.subscription_id == 1
+
+    def test_bottom_up_default_by_dimension(self, simple_estimator):
+        for dimension, expected in [
+            (Dimension.NETWORK, False),
+            (Dimension.THROUGHPUT, False),
+            (Dimension.MEMORY, True),
+        ]:
+            engine = build_engine(
+                simple_estimator, [And(P("cat") == "a", P("flag") == True)], dimension  # noqa: E712
+            )
+            assert engine.bottom_up_only is expected
+
+    def test_results_accessors(self, simple_estimator):
+        engine = build_engine(
+            simple_estimator, [And(P("cat") == "a", P("price") <= 10.0)]
+        )
+        before = engine.association_count
+        engine.run()
+        assert engine.association_count < before
+        pruned = engine.pruned_subscriptions()
+        assert count_leaves(pruned[0].tree) == 1
+        assert engine.total_size_bytes > 0

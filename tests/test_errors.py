@@ -1,0 +1,44 @@
+"""API-stability tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.SubscriptionError,
+    errors.NormalizationError,
+    errors.PruningError,
+    errors.NoValidPruningError,
+    errors.MatchingError,
+    errors.SelectivityError,
+    errors.RoutingError,
+    errors.TopologyError,
+    errors.WorkloadError,
+    errors.ExperimentError,
+]
+
+
+@pytest.mark.parametrize("error_type", ALL_ERRORS, ids=lambda e: e.__name__)
+def test_every_library_error_derives_from_repro_error(error_type):
+    assert issubclass(error_type, errors.ReproError)
+    with pytest.raises(errors.ReproError):
+        raise error_type("boom")
+
+
+def test_specializations():
+    assert issubclass(errors.NormalizationError, errors.SubscriptionError)
+    assert issubclass(errors.NoValidPruningError, errors.PruningError)
+    assert issubclass(errors.TopologyError, errors.RoutingError)
+
+
+def test_catch_all_pattern_works():
+    """A caller can guard any library call with one except clause."""
+    from repro import P, Subscription
+
+    try:
+        Subscription("not-an-int", P("a") == 1)
+    except errors.ReproError as caught:
+        assert isinstance(caught, errors.SubscriptionError)
+    else:  # pragma: no cover
+        raise AssertionError("expected a ReproError")

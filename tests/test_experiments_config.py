@@ -1,0 +1,80 @@
+"""Tests for experiment configuration and context."""
+
+import pytest
+
+from repro.core.heuristics import Dimension
+from repro.errors import ExperimentError
+from repro.experiments.config import SCALES, ExperimentConfig, config_for_scale
+from repro.experiments.context import ExperimentContext
+
+
+class TestConfig:
+    def test_defaults_are_valid(self):
+        config = ExperimentConfig()
+        assert config.subscription_count > 0
+        assert config.workload is not None
+        assert config.workload.seed == config.seed
+
+    def test_proportions_grid(self):
+        config = ExperimentConfig(grid_points=5)
+        assert config.proportions == (0.0, 0.25, 0.5, 0.75, 1.0)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("subscription_count", 0),
+            ("event_count", 0),
+            ("grid_points", 1),
+            ("broker_count", 0),
+            ("clients_per_broker", 0),
+            ("dimensions", ()),
+        ],
+    )
+    def test_validation(self, field, value):
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(**{field: value})
+
+    def test_scales_exist(self):
+        assert {"tiny", "small", "default", "large", "paper"} <= set(SCALES)
+        assert SCALES["paper"][0] == 200000
+        assert SCALES["paper"][1] == 100000
+
+    def test_config_for_scale(self):
+        config = config_for_scale("tiny", seed=7)
+        assert config.subscription_count == SCALES["tiny"][0]
+        assert config.seed == 7
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ExperimentError):
+            config_for_scale("galactic")
+
+
+class TestContext:
+    @pytest.fixture(scope="class")
+    def context(self):
+        config = ExperimentConfig(
+            seed=3, subscription_count=40, event_count=30, grid_points=3
+        )
+        return ExperimentContext(config)
+
+    def test_subscription_ids_are_dense(self, context):
+        ids = [s.id for s in context.subscriptions]
+        assert ids == list(range(40))
+
+    def test_events_generated_once(self, context):
+        assert context.events is context.events
+        assert len(context.events) == 30
+
+    def test_schedules_cached(self, context):
+        first = context.schedule(Dimension.NETWORK)
+        second = context.schedule(Dimension.NETWORK)
+        assert first is second
+
+    def test_grid_counts_monotone(self, context):
+        counts = context.grid_counts(Dimension.NETWORK)
+        assert counts[0] == 0
+        assert counts == sorted(counts)
+        assert counts[-1] == context.schedule(Dimension.NETWORK).total
+
+    def test_initial_associations_positive(self, context):
+        assert context.initial_association_count > 0

@@ -1,0 +1,152 @@
+"""Unit tests for figure construction, analysis helpers, and reporting."""
+
+import os
+
+import pytest
+
+from repro.core.heuristics import Dimension
+from repro.errors import ExperimentError
+from repro.experiments.figures import (
+    DIMENSION_LABELS,
+    FigureSeries,
+    centralized_figures,
+    crossover_proportion,
+    distributed_figures,
+    render_figure,
+    sharp_bend,
+)
+from repro.experiments.measurements import CentralizedPoint, DistributedPoint
+from repro.experiments.report import (
+    PAPER_EXPECTATIONS,
+    figure_to_csv,
+    figures_to_markdown,
+    summarize,
+    write_figures,
+)
+
+
+def central_point(proportion, seconds=1e-3, fraction=0.1, reduction=0.0):
+    return CentralizedPoint(
+        proportion=proportion,
+        prunings=int(proportion * 100),
+        seconds_per_event=seconds,
+        matching_fraction=fraction,
+        association_reduction=reduction,
+        candidates_per_event=1.0,
+        evaluations_per_event=0.5,
+    )
+
+
+def distributed_point(proportion, seconds=1e-3, increase=0.0, reduction=0.0):
+    return DistributedPoint(
+        proportion=proportion,
+        prunings=int(proportion * 100),
+        seconds_per_event=seconds,
+        filter_seconds_per_event=seconds / 2,
+        network_increase=increase,
+        messages_per_event=1.0,
+        association_reduction=reduction,
+        deliveries=10,
+    )
+
+
+@pytest.fixture()
+def synthetic_centralized():
+    xs = [0.0, 0.5, 1.0]
+    return {
+        dimension: [central_point(x, seconds=1e-3 * (i + 1)) for x in xs]
+        for i, dimension in enumerate(Dimension)
+    }
+
+
+class TestFigureConstruction:
+    def test_labels_follow_paper(self):
+        assert DIMENSION_LABELS[Dimension.NETWORK] == "sel"
+        assert DIMENSION_LABELS[Dimension.THROUGHPUT] == "eff"
+        assert DIMENSION_LABELS[Dimension.MEMORY] == "mem"
+
+    def test_centralized_figures_extract_metrics(self, synthetic_centralized):
+        figures = centralized_figures(synthetic_centralized)
+        assert figures["1a"].series["sel"] == [1e-3, 1e-3, 1e-3]
+        assert figures["1b"].xs == [0.0, 0.5, 1.0]
+
+    def test_distributed_figures_extract_metrics(self):
+        results = {
+            dimension: [distributed_point(x, increase=x) for x in (0.0, 1.0)]
+            for dimension in Dimension
+        }
+        figures = distributed_figures(results)
+        assert figures["1e"].series["mem"] == [0.0, 1.0]
+
+    def test_mismatched_grids_rejected(self):
+        results = {
+            Dimension.NETWORK: [central_point(0.0), central_point(1.0)],
+            Dimension.MEMORY: [central_point(0.0), central_point(0.7)],
+        }
+        with pytest.raises(ExperimentError):
+            centralized_figures(results)
+
+    def test_rows_and_headers_align(self, synthetic_centralized):
+        figure = centralized_figures(synthetic_centralized)["1a"]
+        rows = figure.rows()
+        assert len(rows) == 3
+        assert len(rows[0]) == len(figure.headers())
+
+
+class TestAnalysisHelpers:
+    def test_crossover_found(self):
+        xs = [0.0, 0.25, 0.5, 0.75, 1.0]
+        first = [1.0, 1.0, 1.0, 1.0, 1.0]
+        second = [2.0, 1.5, 0.9, 0.8, 0.7]
+        assert crossover_proportion(xs, first, second) == 0.5
+
+    def test_crossover_absent(self):
+        xs = [0.0, 1.0]
+        assert crossover_proportion(xs, [1.0, 1.0], [2.0, 2.0]) is None
+
+    def test_crossover_from_start_is_not_a_crossover(self):
+        xs = [0.0, 0.5, 1.0]
+        assert crossover_proportion(xs, [2.0, 2.0, 2.0], [1.0, 1.0, 1.0]) is None
+
+    def test_sharp_bend_finds_knee(self):
+        xs = [0.0, 0.25, 0.5, 0.75, 1.0]
+        ys = [0.0, 0.01, 0.02, 0.5, 1.5]
+        assert sharp_bend(xs, ys) == 0.75
+
+    def test_sharp_bend_needs_three_points(self):
+        assert sharp_bend([0.0, 1.0], [0.0, 1.0]) is None
+
+
+class TestReporting:
+    def test_csv_roundtrip_shape(self, synthetic_centralized):
+        figure = centralized_figures(synthetic_centralized)["1a"]
+        csv_text = figure_to_csv(figure)
+        lines = csv_text.strip().splitlines()
+        assert len(lines) == 4  # header + 3 rows
+        assert lines[0].count(",") == 3
+
+    def test_write_figures_creates_files(self, synthetic_centralized, tmp_path):
+        figures = centralized_figures(synthetic_centralized)
+        paths = write_figures(figures, str(tmp_path))
+        for path in paths.values():
+            assert os.path.exists(path)
+
+    def test_summarize_mentions_paper_expectations(self, synthetic_centralized):
+        figures = centralized_figures(synthetic_centralized)
+        text = summarize(figures)
+        assert "paper:" in text
+        assert "measured" in text
+
+    def test_markdown_rendering(self, synthetic_centralized):
+        figures = centralized_figures(synthetic_centralized)
+        text = figures_to_markdown(figures)
+        assert "| proportion_of_prunings" in text
+        assert "*Paper:*" in text
+
+    def test_expectations_cover_all_figures(self):
+        assert set(PAPER_EXPECTATIONS) == {"1a", "1b", "1c", "1d", "1e", "1f"}
+
+    def test_render_without_plot(self, synthetic_centralized):
+        figure = centralized_figures(synthetic_centralized)["1c"]
+        text = render_figure(figure, plot=False)
+        assert "legend" not in text

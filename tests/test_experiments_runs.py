@@ -1,0 +1,154 @@
+"""End-to-end tests of the experiment harness at tiny scale.
+
+These are the integration tests for the reproduction: they run real
+sweeps (smaller than the benchmarks) and assert the structural properties
+every figure relies on.
+"""
+
+import pytest
+
+from repro.core.heuristics import Dimension
+from repro.experiments.centralized import CentralizedExperiment
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.context import ExperimentContext
+from repro.experiments.distributed import DistributedExperiment
+from repro.experiments.figures import (
+    centralized_figures,
+    distributed_figures,
+    render_figure,
+)
+
+
+@pytest.fixture(scope="module")
+def context():
+    return ExperimentContext(
+        ExperimentConfig(
+            seed=11,
+            subscription_count=120,
+            event_count=60,
+            grid_points=4,
+            broker_count=4,
+            clients_per_broker=2,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def centralized_results(context):
+    return CentralizedExperiment(context).run_all()
+
+
+@pytest.fixture(scope="module")
+def distributed_results(context):
+    return DistributedExperiment(context).run_all()
+
+
+class TestCentralized:
+    def test_all_dimensions_swept(self, centralized_results, context):
+        assert set(centralized_results) == set(context.config.dimensions)
+        for points in centralized_results.values():
+            assert len(points) == context.config.grid_points
+
+    def test_x_axis_spans_zero_to_one(self, centralized_results):
+        for points in centralized_results.values():
+            assert points[0].proportion == 0.0
+            assert points[-1].proportion == 1.0
+            assert points[0].prunings == 0
+
+    def test_association_reduction_monotone(self, centralized_results):
+        for points in centralized_results.values():
+            reductions = [p.association_reduction for p in points]
+            assert reductions == sorted(reductions)
+            assert reductions[0] == 0.0
+            assert reductions[-1] > 0.3
+
+    def test_matching_fraction_never_decreases(self, centralized_results):
+        """Pruning generalizes, so the matching fraction is non-decreasing
+        along every sweep (up to exact replay, not noise: it's a count)."""
+        for points in centralized_results.values():
+            fractions = [p.matching_fraction for p in points]
+            for earlier, later in zip(fractions, fractions[1:]):
+                assert later >= earlier - 1e-12
+
+    def test_baseline_identical_across_dimensions(self, centralized_results):
+        baselines = {
+            dimension: points[0].matching_fraction
+            for dimension, points in centralized_results.items()
+        }
+        assert len(set(baselines.values())) == 1
+
+    def test_memory_dimension_reduces_most_early(self, centralized_results):
+        """Fig. 1(c): at mid-sweep the memory heuristic's reduction is at
+        least as strong as the others'."""
+        mid = 1  # 1/3 of the sweep on a 4-point grid
+        memory = centralized_results[Dimension.MEMORY][mid].association_reduction
+        for dimension in (Dimension.NETWORK, Dimension.THROUGHPUT):
+            assert memory >= centralized_results[dimension][mid].association_reduction - 1e-9
+
+    def test_network_dimension_matches_least_at_mid_sweep(self, centralized_results):
+        """Fig. 1(b): the network heuristic routes the fewest extra events."""
+        mid = 2
+        network = centralized_results[Dimension.NETWORK][mid].matching_fraction
+        memory = centralized_results[Dimension.MEMORY][mid].matching_fraction
+        assert network <= memory + 1e-12
+
+    def test_timings_positive(self, centralized_results):
+        for points in centralized_results.values():
+            assert all(p.seconds_per_event > 0 for p in points)
+            assert all(p.candidates_per_event >= 0 for p in points)
+
+
+class TestDistributed:
+    def test_all_dimensions_swept(self, distributed_results, context):
+        assert set(distributed_results) == set(context.config.dimensions)
+
+    def test_deliveries_constant_everywhere(self, distributed_results):
+        all_deliveries = {
+            p.deliveries for points in distributed_results.values() for p in points
+        }
+        assert len(all_deliveries) == 1
+
+    def test_network_increase_starts_at_zero_and_grows(self, distributed_results):
+        for points in distributed_results.values():
+            assert points[0].network_increase == 0.0
+            increases = [p.network_increase for p in points]
+            for earlier, later in zip(increases, increases[1:]):
+                assert later >= earlier - 1e-12
+
+    def test_network_dimension_adds_least_load(self, distributed_results):
+        """Fig. 1(e): at every shared grid point the sel heuristic routed
+        no more extra messages than the mem heuristic."""
+        sel = distributed_results[Dimension.NETWORK]
+        mem = distributed_results[Dimension.MEMORY]
+        for sel_point, mem_point in zip(sel, mem):
+            assert sel_point.network_increase <= mem_point.network_increase + 1e-12
+
+    def test_association_reduction_bounds(self, distributed_results):
+        for points in distributed_results.values():
+            assert points[0].association_reduction == 0.0
+            assert 0.0 < points[-1].association_reduction < 1.0
+
+    def test_seconds_include_transmission_share(self, distributed_results):
+        for points in distributed_results.values():
+            for point in points:
+                assert point.seconds_per_event >= point.filter_seconds_per_event
+
+
+class TestFigures:
+    def test_centralized_figures_built(self, centralized_results):
+        figures = centralized_figures(centralized_results)
+        assert set(figures) == {"1a", "1b", "1c"}
+        for figure in figures.values():
+            assert set(figure.series) == {"sel", "eff", "mem"}
+            assert len(figure.xs) == len(figure.series["sel"])
+
+    def test_distributed_figures_built(self, distributed_results):
+        figures = distributed_figures(distributed_results)
+        assert set(figures) == {"1d", "1e", "1f"}
+
+    def test_render_figure_includes_table_and_plot(self, centralized_results):
+        figures = centralized_figures(centralized_results)
+        text = render_figure(figures["1b"])
+        assert "Fig. 1b" in text
+        assert "proportion_of_prunings" in text
+        assert "legend" in text

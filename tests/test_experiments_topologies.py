@@ -1,0 +1,60 @@
+"""The distributed experiment generalized beyond the paper's line topology."""
+
+import pytest
+
+from repro.core.heuristics import Dimension
+from repro.errors import ExperimentError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.context import ExperimentContext
+from repro.experiments.distributed import DistributedExperiment, _build_topology
+
+
+class TestTopologyBuilder:
+    def test_line(self):
+        topology = _build_topology("line", 5)
+        assert len(topology) == 5
+        assert topology.diameter() == 4
+
+    def test_star(self):
+        topology = _build_topology("star", 5)
+        assert len(topology) == 5
+        assert topology.diameter() == 2
+
+    def test_tree(self):
+        topology = _build_topology("tree", 7)
+        assert len(topology) == 7
+        assert topology.diameter() == 4
+
+    def test_tree_falls_back_to_line_when_too_small(self):
+        topology = _build_topology("tree", 2)
+        assert len(topology) == 2
+
+    def test_single_broker_degenerates(self):
+        assert len(_build_topology("star", 1)) == 1
+
+    def test_config_rejects_unknown_topology(self):
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(topology="ring")
+
+
+@pytest.mark.parametrize("topology", ["star", "tree"])
+def test_distributed_sweep_on_alternative_topologies(topology):
+    """The paper's invariants hold on non-line broker graphs too:
+    deliveries constant, network increase monotone from zero."""
+    broker_count = 5 if topology == "star" else 7
+    context = ExperimentContext(
+        ExperimentConfig(
+            seed=21,
+            subscription_count=70,
+            event_count=40,
+            grid_points=3,
+            broker_count=broker_count,
+            topology=topology,
+        )
+    )
+    points = DistributedExperiment(context).run(Dimension.NETWORK)
+    deliveries = {p.deliveries for p in points}
+    assert len(deliveries) == 1
+    increases = [p.network_increase for p in points]
+    assert increases[0] == 0.0
+    assert increases == sorted(increases)

@@ -1,0 +1,119 @@
+"""Tests for the three dimension heuristics and their priority keys."""
+
+import pytest
+
+from repro.core.heuristics import (
+    DIMENSION_ORDERS,
+    Dimension,
+    HeuristicVector,
+    PruningHeuristics,
+)
+from repro.core.ops import PruningOp, PruningState, enumerate_prunings
+from repro.errors import PruningError
+from repro.subscriptions.builder import And, Or, P
+from repro.subscriptions.metrics import memory_bytes, pmin
+from repro.subscriptions.subscription import Subscription
+
+
+@pytest.fixture()
+def heuristics(simple_estimator):
+    return PruningHeuristics(simple_estimator, Dimension.NETWORK)
+
+
+def make_state(tree):
+    return PruningState(Subscription(1, tree))
+
+
+class TestVectors:
+    def test_delta_mem_matches_size_difference(self, heuristics):
+        state = make_state(And(P("cat") == "a", P("price") <= 10.0))
+        original_estimate, original_pmin = heuristics.reference(state)
+        op = enumerate_prunings(state.current)[0]
+        vector, pruned = heuristics.vector(
+            state, op, original_estimate, original_pmin
+        )
+        assert vector.mem == memory_bytes(state.current) - memory_bytes(pruned)
+        assert vector.mem > 0
+
+    def test_delta_eff_is_pmin_difference_to_original(self, heuristics):
+        state = make_state(And(P("cat") == "a", P("price") <= 10.0, P("flag") == True))  # noqa: E712
+        original_estimate, original_pmin = heuristics.reference(state)
+        assert original_pmin == 3
+        op = enumerate_prunings(state.current)[0]
+        vector, pruned = heuristics.vector(state, op, original_estimate, original_pmin)
+        assert vector.eff == pmin(pruned) - 3 == -1
+
+    def test_delta_sel_is_max_componentwise_increase(self, heuristics, simple_estimator):
+        tree = And(P("cat") == "a", P("price") <= 10.0)
+        state = make_state(tree)
+        original_estimate, original_pmin = heuristics.reference(state)
+        op = enumerate_prunings(state.current)[0]
+        vector, pruned = heuristics.vector(state, op, original_estimate, original_pmin)
+        pruned_estimate = simple_estimator.estimate(pruned)
+        expected = max(
+            pruned_estimate.min - original_estimate.min,
+            pruned_estimate.avg - original_estimate.avg,
+            pruned_estimate.max - original_estimate.max,
+        )
+        assert vector.sel == pytest.approx(expected)
+        assert vector.sel >= 0.0
+
+    def test_references_use_original_after_pruning(self, heuristics):
+        """After a pruning, Δsel/Δeff still compare against the original."""
+        state = make_state(
+            And(P("cat") == "a", P("price") <= 10.0, P("flag") == True)  # noqa: E712
+        )
+        original_estimate, original_pmin = heuristics.reference(state)
+        first_op = enumerate_prunings(state.current)[0]
+        _vector, pruned = heuristics.vector(
+            state, first_op, original_estimate, original_pmin
+        )
+        state.record(first_op, pruned)
+        second_op = enumerate_prunings(state.current)[0]
+        vector, pruned2 = heuristics.vector(
+            state, second_op, original_estimate, original_pmin
+        )
+        # pmin went from 3 to 1 over two prunings; Δeff reflects the total
+        assert vector.eff == pmin(pruned2) - original_pmin == -2
+
+
+class TestKeys:
+    def test_network_prefers_smaller_degradation(self, simple_estimator):
+        heuristics = PruningHeuristics(simple_estimator, Dimension.NETWORK)
+        low = HeuristicVector(sel=0.1, eff=-2, mem=10)
+        high = HeuristicVector(sel=0.5, eff=0, mem=100)
+        assert heuristics.key(low) < heuristics.key(high)
+
+    def test_memory_prefers_larger_saving(self, simple_estimator):
+        heuristics = PruningHeuristics(simple_estimator, Dimension.MEMORY)
+        big = HeuristicVector(sel=0.5, eff=-3, mem=100)
+        small = HeuristicVector(sel=0.0, eff=0, mem=10)
+        assert heuristics.key(big) < heuristics.key(small)
+
+    def test_throughput_prefers_larger_eff(self, simple_estimator):
+        heuristics = PruningHeuristics(simple_estimator, Dimension.THROUGHPUT)
+        keep = HeuristicVector(sel=0.5, eff=0, mem=10)
+        lose = HeuristicVector(sel=0.0, eff=-2, mem=100)
+        assert heuristics.key(keep) < heuristics.key(lose)
+
+    def test_ties_broken_by_secondary_dimension(self, simple_estimator):
+        heuristics = PruningHeuristics(simple_estimator, Dimension.NETWORK)
+        # equal sel; eff breaks the tie (larger eff preferred)
+        a = HeuristicVector(sel=0.2, eff=0, mem=1)
+        b = HeuristicVector(sel=0.2, eff=-1, mem=99)
+        assert heuristics.key(a) < heuristics.key(b)
+
+    def test_third_dimension_breaks_remaining_ties(self, simple_estimator):
+        heuristics = PruningHeuristics(simple_estimator, Dimension.NETWORK)
+        a = HeuristicVector(sel=0.2, eff=-1, mem=50)
+        b = HeuristicVector(sel=0.2, eff=-1, mem=10)
+        assert heuristics.key(a) < heuristics.key(b)
+
+    def test_orders_match_paper(self):
+        assert DIMENSION_ORDERS[Dimension.NETWORK] == ("sel", "eff", "mem")
+        assert DIMENSION_ORDERS[Dimension.MEMORY] == ("mem", "sel", "eff")
+        assert DIMENSION_ORDERS[Dimension.THROUGHPUT] == ("eff", "sel", "mem")
+
+    def test_unknown_dimension_rejected(self, simple_estimator):
+        with pytest.raises(PruningError):
+            PruningHeuristics(simple_estimator, "bogus")

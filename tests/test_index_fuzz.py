@@ -1,0 +1,95 @@
+"""Fuzz the attribute index against direct predicate evaluation.
+
+Property: for any set of registered predicates on one attribute and any
+probe value, the index's net fulfilled entries (positives minus
+negatives) are exactly the entries whose predicate accepts the value.
+This is the correctness core of the counting engine, independent of
+subscription structure.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matching.predicate_index import AttributeIndex
+
+from tests import strategies
+
+
+def _net_entries(index, value):
+    positives, negatives = [], []
+    index.collect(value, positives, negatives)
+    flat_pos = [int(x) for array in positives for x in array]
+    result = list(flat_pos)
+    for array in negatives:
+        for entry in array:
+            result.remove(int(entry))
+    return sorted(result)
+
+
+@given(
+    st.lists(strategies.numeric_predicates(), min_size=1, max_size=12),
+    st.sampled_from(strategies.NUMERIC_VALUES + [True, False, "zap"]),
+)
+@settings(max_examples=200, deadline=None)
+def test_numeric_attribute_index_matches_direct_evaluation(predicates, value):
+    attribute = "na"
+    index = AttributeIndex(attribute)
+    rebased = []
+    for entry, predicate in enumerate(predicates):
+        rebased.append(
+            type(predicate)(attribute, predicate.operator, predicate.value)
+        )
+        index.add(rebased[-1], entry)
+    index.finalize()
+    expected = sorted(
+        entry
+        for entry, predicate in enumerate(rebased)
+        if predicate.test(value)
+    )
+    assert _net_entries(index, value) == expected
+
+
+@given(
+    st.lists(strategies.string_predicates(), min_size=1, max_size=12),
+    st.sampled_from(strategies.STRING_VALUES + [3, True]),
+)
+@settings(max_examples=200, deadline=None)
+def test_string_attribute_index_matches_direct_evaluation(predicates, value):
+    attribute = "sa"
+    index = AttributeIndex(attribute)
+    rebased = []
+    for entry, predicate in enumerate(predicates):
+        rebased.append(
+            type(predicate)(attribute, predicate.operator, predicate.value)
+        )
+        index.add(rebased[-1], entry)
+    index.finalize()
+    expected = sorted(
+        entry
+        for entry, predicate in enumerate(rebased)
+        if predicate.test(value)
+    )
+    assert _net_entries(index, value) == expected
+
+
+@given(
+    st.lists(strategies.bool_predicates(), min_size=1, max_size=8),
+    st.sampled_from([True, False, 0, 1, "x"]),
+)
+@settings(max_examples=100, deadline=None)
+def test_bool_attribute_index_matches_direct_evaluation(predicates, value):
+    attribute = "ba"
+    index = AttributeIndex(attribute)
+    rebased = []
+    for entry, predicate in enumerate(predicates):
+        rebased.append(
+            type(predicate)(attribute, predicate.operator, predicate.value)
+        )
+        index.add(rebased[-1], entry)
+    index.finalize()
+    expected = sorted(
+        entry
+        for entry, predicate in enumerate(rebased)
+        if predicate.test(value)
+    )
+    assert _net_entries(index, value) == expected

@@ -1,0 +1,147 @@
+"""Cross-module integration scenarios.
+
+Each test drives a realistic end-to-end story through the public API:
+churn (subscribe/unsubscribe) under pruning, adaptive pruning applied to
+a live broker network, and optimum search against distributed routing
+cost.
+"""
+
+import itertools
+
+import pytest
+
+from repro import (
+    AdaptivePruner,
+    BrokerNetwork,
+    Dimension,
+    PruningSchedule,
+    SystemConditions,
+    line_topology,
+)
+from repro.core.optimum import OptimumSearch
+from repro.matching.counting import CountingMatcher
+
+
+@pytest.fixture(scope="module")
+def small_world(workload):
+    subscriptions = workload.generate_subscriptions(60)
+    events = workload.generate_events(80).events
+    return subscriptions, events, workload.estimator()
+
+
+class TestChurnUnderPruning:
+    def test_unsubscribe_after_pruning_keeps_tables_consistent(
+        self, small_world
+    ):
+        subscriptions, events, estimator = small_world
+        network = BrokerNetwork(line_topology(3))
+        broker_ids = network.topology.broker_ids
+        for index, subscription in enumerate(subscriptions):
+            network.subscribe(
+                broker_ids[index % 3], "c%d" % index, subscription.tree,
+                subscription_id=subscription.id,
+            )
+        schedule = PruningSchedule.build(
+            subscriptions, estimator, Dimension.NETWORK
+        )
+        pruned = schedule.replay(schedule.prefix_count(0.5))
+        per_broker = {
+            broker_id: {
+                entry.subscription_id: pruned[entry.subscription_id].tree
+                for entry in network.brokers[broker_id].non_local_entries()
+            }
+            for broker_id in broker_ids
+        }
+        network.apply_pruned_tables(per_broker)
+
+        # Unsubscribe a third of the population, pruned entries included.
+        removed = {s.id for s in subscriptions[::3]}
+        for sub_id in sorted(removed):
+            network.unsubscribe(sub_id)
+
+        surviving = {s.id: s for s in subscriptions if s.id not in removed}
+        for index, event in enumerate(events):
+            result = network.publish(broker_ids[index % 3], event)
+            got = {d.subscription_id for d in result.deliveries}
+            expected = {
+                sub_id for sub_id, sub in surviving.items()
+                if sub.tree.evaluate(event)
+            }
+            assert got == expected
+        for broker in network.brokers.values():
+            assert set(broker.entries) == set(surviving)
+
+
+class TestAdaptiveOnLiveNetwork:
+    def test_adaptive_batches_feed_broker_tables(self, small_world):
+        subscriptions, events, estimator = small_world
+        network = BrokerNetwork(line_topology(3))
+        broker_ids = network.topology.broker_ids
+        for index, subscription in enumerate(subscriptions):
+            network.subscribe(
+                broker_ids[index % 3], "c%d" % index, subscription.tree,
+                subscription_id=subscription.id,
+            )
+        baseline = [
+            sorted(
+                (d.client, d.subscription_id)
+                for d in network.publish(broker_ids[i % 3], e).deliveries
+            )
+            for i, e in enumerate(events)
+        ]
+
+        pruner = AdaptivePruner(subscriptions, estimator)
+        table_bytes = pruner.engine.total_size_bytes
+        phases = [
+            SystemConditions(table_bytes, table_bytes, 0.2, 0.2),   # memory
+            SystemConditions(0, table_bytes, 0.95, 0.2),            # network
+            SystemConditions(0, table_bytes, 0.2, 0.95),            # cpu
+        ]
+        seen_dimensions = set()
+        for conditions in phases:
+            pruner.optimize(conditions, batch_size=20)
+            seen_dimensions.add(pruner.current_dimension)
+            pruned = pruner.engine.pruned_subscriptions()
+            per_broker = {
+                broker_id: {
+                    entry.subscription_id: pruned[entry.subscription_id].tree
+                    for entry in network.brokers[broker_id].non_local_entries()
+                }
+                for broker_id in broker_ids
+            }
+            network.apply_pruned_tables(per_broker)
+            outcome = [
+                sorted(
+                    (d.client, d.subscription_id)
+                    for d in network.publish(broker_ids[i % 3], e).deliveries
+                )
+                for i, e in enumerate(events)
+            ]
+            assert outcome == baseline
+        assert len(seen_dimensions) == 3
+
+
+class TestOptimumOnMatchingCost:
+    def test_search_beats_endpoints(self, small_world):
+        """The optimum found is no worse than both sweep endpoints."""
+        subscriptions, events, estimator = small_world
+        schedule = PruningSchedule.build(
+            subscriptions, estimator, Dimension.NETWORK
+        )
+
+        def cost(pruned, _count):
+            matcher = CountingMatcher()
+            matcher.register_all(pruned.values())
+            matcher.rebuild()
+            total = 0
+            for event in events[:40]:
+                total += len(matcher.match(event))
+            # deliberately deterministic: count-based cost with a memory term
+            associations = sum(s.leaf_count for s in pruned.values())
+            return total + associations * 0.5
+
+        search = OptimumSearch(schedule, cost, coarse_points=5, refine_rounds=1)
+        result = search.search()
+        evaluated = dict(result.evaluations)
+        assert result.cost <= evaluated[0]
+        assert result.cost <= evaluated[schedule.total]

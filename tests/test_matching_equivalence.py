@@ -1,0 +1,54 @@
+"""Property tests: the counting engine agrees with the naive oracle."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matching.counting import CountingMatcher
+from repro.matching.naive import NaiveMatcher
+from repro.subscriptions.subscription import Subscription
+
+from tests import strategies
+
+
+@given(
+    st.lists(strategies.trees(), min_size=1, max_size=8),
+    st.lists(strategies.events(), min_size=1, max_size=8),
+)
+@settings(max_examples=120, deadline=None)
+def test_counting_equals_naive_on_random_workloads(trees, events):
+    counting = CountingMatcher()
+    naive = NaiveMatcher()
+    for index, tree in enumerate(trees):
+        subscription = Subscription(index, tree)
+        counting.register(subscription)
+        naive.register(subscription)
+    for event in events:
+        assert sorted(counting.match(event)) == sorted(naive.match(event))
+
+
+@given(strategies.trees(), st.lists(strategies.events(), min_size=1, max_size=6))
+@settings(max_examples=100, deadline=None)
+def test_counting_agrees_after_replacement(tree, events):
+    """Replacing a subscription behaves as if it had been registered fresh."""
+    counting = CountingMatcher()
+    counting.register(Subscription(0, tree))
+    counting.match(events[0])  # force a build on the old tree
+    replacement = Subscription(0, tree)
+    counting.replace(replacement)
+    oracle = NaiveMatcher()
+    oracle.register(replacement)
+    for event in events:
+        assert sorted(counting.match(event)) == sorted(oracle.match(event))
+
+
+def test_counting_equals_naive_on_auction_workload(
+    workload, auction_events, auction_subscriptions
+):
+    """End-to-end agreement on the realistic workload (first 120 subs)."""
+    counting = CountingMatcher()
+    naive = NaiveMatcher()
+    for subscription in auction_subscriptions[:120]:
+        counting.register(subscription)
+        naive.register(subscription)
+    for event in auction_events.events[:150]:
+        assert sorted(counting.match(event)) == sorted(naive.match(event))

@@ -1,0 +1,96 @@
+"""Tests for tree metrics: pmin, memory size, counts."""
+
+import pytest
+
+from repro.errors import SubscriptionError
+from repro.subscriptions.builder import And, Not, Or, P
+from repro.subscriptions.metrics import (
+    PMIN_UNSATISFIABLE,
+    and_arities,
+    attribute_histogram,
+    count_leaves,
+    count_nodes,
+    memory_bytes,
+    pmin,
+    tree_depth,
+)
+from repro.subscriptions.nodes import FALSE, TRUE, NotNode, PredicateLeaf
+from repro.subscriptions.normalize import normalize
+from repro.subscriptions.predicates import Operator, Predicate
+
+
+def leaf(attribute="a"):
+    return PredicateLeaf(Predicate(attribute, Operator.EQ, 1))
+
+
+class TestPmin:
+    def test_single_predicate(self):
+        assert pmin(leaf()) == 1
+
+    def test_conjunction_sums(self):
+        assert pmin(normalize(And(P("a") == 1, P("b") == 2, P("c") == 3))) == 3
+
+    def test_disjunction_takes_minimum(self):
+        tree = normalize(Or(And(P("a") == 1, P("b") == 2), P("c") == 3))
+        assert pmin(tree) == 1
+
+    def test_and_of_ors(self):
+        tree = normalize(
+            And(Or(P("a") == 1, P("b") == 2), Or(P("c") == 3, P("d") == 4))
+        )
+        assert pmin(tree) == 2
+
+    def test_constants(self):
+        assert pmin(TRUE) == 0
+        assert pmin(FALSE) == PMIN_UNSATISFIABLE
+
+    def test_not_node_rejected(self):
+        with pytest.raises(SubscriptionError):
+            pmin(NotNode(leaf()))
+
+    def test_normalized_negation_counts_as_predicate(self):
+        tree = normalize(And(P("a") == 1, Not(P("b") == 2)))
+        assert pmin(tree) == 2
+
+
+class TestMemoryBytes:
+    def test_single_leaf(self):
+        probe = leaf()
+        assert memory_bytes(probe) == 8 + probe.predicate.size_bytes
+
+    def test_additive_over_children(self):
+        a, b = leaf("a"), leaf("bb")
+        tree = normalize(And(a, P("bb") == 1))
+        assert memory_bytes(tree) == 8 + memory_bytes(a) + memory_bytes(b)
+
+    def test_larger_tree_larger_size(self):
+        small = normalize(And(P("a") == 1, P("b") == 2))
+        large = normalize(And(P("a") == 1, P("b") == 2, P("c") == 3))
+        assert memory_bytes(large) > memory_bytes(small)
+
+
+class TestCounts:
+    def test_count_leaves(self):
+        tree = normalize(And(P("a") == 1, Or(P("b") == 2, P("c") == 3)))
+        assert count_leaves(tree) == 3
+
+    def test_count_nodes(self):
+        tree = normalize(And(P("a") == 1, Or(P("b") == 2, P("c") == 3)))
+        assert count_nodes(tree) == 5
+
+    def test_depth_of_leaf(self):
+        assert tree_depth(leaf()) == 1
+
+    def test_depth_of_nested(self):
+        tree = normalize(And(P("a") == 1, Or(P("b") == 2, P("c") == 3)))
+        assert tree_depth(tree) == 3
+
+    def test_attribute_histogram(self):
+        tree = normalize(And(P("a") == 1, Or(P("a") == 2, P("b") == 3)))
+        assert attribute_histogram(tree) == {"a": 2, "b": 1}
+
+    def test_and_arities(self):
+        tree = normalize(
+            And(P("a") == 1, P("b") == 2, Or(P("c") == 3, And(P("d") == 4, P("e") == 5)))
+        )
+        assert sorted(and_arities(tree)) == [2, 3]

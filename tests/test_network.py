@@ -1,0 +1,176 @@
+"""Tests for the broker network: propagation, routing, accounting."""
+
+import itertools
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.events import Event
+from repro.routing.metrics import CostModel
+from repro.routing.network import BrokerNetwork
+from repro.routing.topology import line_topology, star_topology
+from repro.subscriptions.builder import And, Or, P
+
+
+@pytest.fixture()
+def network():
+    return BrokerNetwork(line_topology(3))
+
+
+class TestSubscriptionPropagation:
+    def test_subscription_reaches_every_broker(self, network):
+        network.subscribe("b0", "alice", P("a") == 1)
+        for broker in network.brokers.values():
+            assert len(broker.entries) == 1
+
+    def test_interfaces_point_toward_home_broker(self, network):
+        subscription = network.subscribe("b0", "alice", P("a") == 1)
+        assert network.brokers["b0"].entries[subscription.id].interface.is_client
+        assert (
+            network.brokers["b1"].entries[subscription.id].interface.name == "b0"
+        )
+        assert (
+            network.brokers["b2"].entries[subscription.id].interface.name == "b1"
+        )
+
+    def test_subscription_messages_counted(self, network):
+        network.subscribe("b0", "alice", P("a") == 1)
+        report = network.report()
+        assert report.subscription_messages == 2  # b0->b1, b1->b2
+        assert report.subscription_bytes > 0
+        assert report.event_messages == 0
+
+    def test_ids_assigned_sequentially(self, network):
+        first = network.subscribe("b0", "a", P("a") == 1)
+        second = network.subscribe("b1", "b", P("a") == 2)
+        assert (first.id, second.id) == (0, 1)
+
+    def test_explicit_id_respected(self, network):
+        subscription = network.subscribe("b0", "a", P("a") == 1, subscription_id=10)
+        assert subscription.id == 10
+        with pytest.raises(RoutingError):
+            network.subscribe("b0", "a", P("a") == 1, subscription_id=5)
+
+    def test_unknown_broker_rejected(self, network):
+        with pytest.raises(RoutingError):
+            network.subscribe("zz", "a", P("a") == 1)
+
+
+class TestUnsubscribe:
+    def test_removes_entries_everywhere(self, network):
+        subscription = network.subscribe("b0", "alice", P("a") == 1)
+        network.unsubscribe(subscription.id)
+        for broker in network.brokers.values():
+            assert not broker.entries
+
+    def test_unknown_subscription_rejected(self, network):
+        with pytest.raises(RoutingError):
+            network.unsubscribe(99)
+
+    def test_delivery_stops_after_unsubscribe(self, network):
+        subscription = network.subscribe("b2", "alice", P("a") == 1)
+        assert network.publish("b0", Event({"a": 1})).deliveries
+        network.unsubscribe(subscription.id)
+        assert not network.publish("b0", Event({"a": 1})).deliveries
+
+
+class TestEventRouting:
+    def test_event_routed_across_line(self, network):
+        network.subscribe("b2", "alice", P("a") == 1)
+        result = network.publish("b0", Event({"a": 1}))
+        assert len(result.deliveries) == 1
+        assert result.deliveries[0].client == "alice"
+        assert result.event_messages == 2  # two hops
+
+    def test_local_delivery_uses_no_links(self, network):
+        network.subscribe("b0", "alice", P("a") == 1)
+        result = network.publish("b0", Event({"a": 1}))
+        assert len(result.deliveries) == 1
+        assert result.event_messages == 0
+
+    def test_non_matching_event_not_forwarded(self, network):
+        network.subscribe("b2", "alice", P("a") == 1)
+        result = network.publish("b0", Event({"a": 2}))
+        assert result.deliveries == []
+        assert result.event_messages == 0
+
+    def test_event_not_sent_back_to_origin(self, network):
+        network.subscribe("b0", "alice", P("a") == 1)
+        network.subscribe("b2", "bob", P("a") == 1)
+        result = network.publish("b1", Event({"a": 1}))
+        # one message toward each end, none bouncing back
+        assert result.event_messages == 2
+        assert {delivery.client for delivery in result.deliveries} == {"alice", "bob"}
+
+    def test_star_topology_fanout(self):
+        network = BrokerNetwork(star_topology(3))
+        for index, leaf in enumerate(["b1", "b2", "b3"]):
+            network.subscribe(leaf, "client-%d" % index, P("a") == 1)
+        result = network.publish("b0", Event({"a": 1}))
+        assert result.event_messages == 3
+        assert len(result.deliveries) == 3
+
+    def test_deliveries_match_direct_evaluation(self, network, workload):
+        subscriptions = workload.generate_subscriptions(60)
+        brokers = itertools.cycle(network.topology.broker_ids)
+        registered = {}
+        for subscription in subscriptions:
+            broker_id = next(brokers)
+            stored = network.subscribe(broker_id, "c-%d" % subscription.id, subscription.tree)
+            registered[stored.id] = stored
+        events = workload.generate_events(80)
+        for index, event in enumerate(events):
+            result = network.publish(
+                network.topology.broker_ids[index % 3], event
+            )
+            expected = {
+                sub_id
+                for sub_id, stored in registered.items()
+                if stored.tree.evaluate(event)
+            }
+            got = {delivery.subscription_id for delivery in result.deliveries}
+            assert got == expected
+
+
+class TestAccounting:
+    def test_report_aggregates_and_resets(self, network):
+        network.subscribe("b2", "alice", P("a") == 1)
+        network.publish("b0", Event({"a": 1}))
+        report = network.report()
+        assert report.events_published == 1
+        assert report.deliveries == 1
+        assert report.event_messages == 2
+        assert report.filter_seconds > 0
+        network.reset_statistics()
+        fresh = network.report()
+        assert fresh.events_published == 0
+        assert fresh.event_messages == 0
+        assert fresh.deliveries == 0
+
+    def test_transmission_model(self):
+        model = CostModel(bandwidth_bps=8e6, per_message_overhead_s=1e-4)
+        # 1000 bytes = 8000 bits at 8 Mbps -> 1 ms + 0.1 ms overhead
+        assert model.transmission_seconds(1000) == pytest.approx(0.0011)
+
+    def test_cost_model_validation(self):
+        with pytest.raises(ValueError):
+            CostModel(bandwidth_bps=0)
+        with pytest.raises(ValueError):
+            CostModel(per_message_overhead_s=-1)
+
+    def test_report_properties(self, network):
+        network.subscribe("b2", "alice", P("a") == 1)
+        network.publish("b0", Event({"a": 1}))
+        report = network.report()
+        assert report.seconds_per_event > 0
+        assert report.messages_per_event == 2.0
+        assert report.busiest_links(1)[0][1] == 1
+        assert "events_published" in report.as_dict()
+
+    def test_association_metrics(self, network):
+        network.subscribe("b0", "alice", And(P("a") == 1, P("b") == 2))
+        # 2 leaves at each of 3 brokers
+        assert network.association_count == 6
+        # non-local at b1 and b2 only
+        assert network.non_local_association_count == 4
+        assert network.table_size_bytes > 0

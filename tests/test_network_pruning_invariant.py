@@ -1,0 +1,125 @@
+"""Delivery correctness under arbitrary pruning — the post-filtering
+guarantee of Sect. 2.2: pruning non-local routing entries may only add
+forwarded traffic, never change what clients receive."""
+
+import itertools
+
+import pytest
+
+from repro.core.heuristics import Dimension
+from repro.core.planner import PruningSchedule
+from repro.routing.network import BrokerNetwork
+from repro.routing.topology import line_topology, star_topology, tree_topology
+
+
+def register_workload(network, workload, count):
+    broker_ids = network.topology.broker_ids
+    subscriptions = workload.generate_subscriptions(count)
+    for index, subscription in enumerate(subscriptions):
+        network.subscribe(
+            broker_ids[index % len(broker_ids)],
+            "client-%d" % index,
+            subscription.tree,
+            subscription_id=subscription.id,
+        )
+    return subscriptions
+
+
+def deliveries_for(network, events):
+    broker_ids = network.topology.broker_ids
+    outcome = []
+    for index, event in enumerate(events):
+        result = network.publish(broker_ids[index % len(broker_ids)], event)
+        outcome.append(sorted(
+            (delivery.client, delivery.subscription_id)
+            for delivery in result.deliveries
+        ))
+    return outcome
+
+
+@pytest.mark.parametrize(
+    "topology_factory",
+    [
+        lambda: line_topology(5),
+        lambda: star_topology(4),
+        lambda: tree_topology(2, 2),
+    ],
+    ids=["line5", "star4", "tree2x2"],
+)
+@pytest.mark.parametrize("dimension", list(Dimension), ids=lambda d: d.value)
+def test_deliveries_invariant_under_pruning(
+    topology_factory, dimension, workload, auction_estimator
+):
+    network = BrokerNetwork(topology_factory())
+    subscriptions = register_workload(network, workload, 40)
+    events = workload.generate_events(60).events
+
+    baseline = deliveries_for(network, events)
+    baseline_report = network.report()
+
+    schedule = PruningSchedule.build(subscriptions, auction_estimator, dimension)
+    for proportion in (0.3, 0.7, 1.0):
+        pruned = schedule.replay(schedule.prefix_count(proportion))
+        per_broker = {}
+        for broker_id, broker in network.brokers.items():
+            per_broker[broker_id] = {
+                entry.subscription_id: pruned[entry.subscription_id].tree
+                for entry in broker.non_local_entries()
+            }
+        network.apply_pruned_tables(per_broker)
+        network.reset_statistics()
+        assert deliveries_for(network, events) == baseline
+        report = network.report()
+        assert report.event_messages >= 0
+        assert report.deliveries == baseline_report.deliveries
+
+
+def test_network_load_monotone_under_full_pruning(workload, auction_estimator):
+    """Fully pruned tables route at least as many messages as unpruned."""
+    network = BrokerNetwork(line_topology(4))
+    subscriptions = register_workload(network, workload, 30)
+    events = workload.generate_events(50).events
+
+    deliveries_for(network, events)
+    base_messages = network.report().event_messages
+
+    schedule = PruningSchedule.build(
+        subscriptions, auction_estimator, Dimension.NETWORK
+    )
+    pruned = schedule.replay(schedule.total)
+    per_broker = {
+        broker_id: {
+            entry.subscription_id: pruned[entry.subscription_id].tree
+            for entry in broker.non_local_entries()
+        }
+        for broker_id, broker in network.brokers.items()
+    }
+    network.apply_pruned_tables(per_broker)
+    network.reset_statistics()
+    deliveries_for(network, events)
+    assert network.report().event_messages >= base_messages
+
+
+def test_restore_all_entries_returns_to_baseline(workload, auction_estimator):
+    network = BrokerNetwork(line_topology(3))
+    subscriptions = register_workload(network, workload, 20)
+    events = workload.generate_events(40).events
+    deliveries_for(network, events)
+    base_messages = network.report().event_messages
+
+    schedule = PruningSchedule.build(
+        subscriptions, auction_estimator, Dimension.MEMORY
+    )
+    pruned = schedule.replay(schedule.total)
+    per_broker = {
+        broker_id: {
+            entry.subscription_id: pruned[entry.subscription_id].tree
+            for entry in broker.non_local_entries()
+        }
+        for broker_id, broker in network.brokers.items()
+    }
+    network.apply_pruned_tables(per_broker)
+    network.restore_all_entries()
+    network.reset_statistics()
+    deliveries_for(network, events)
+    assert network.report().event_messages == base_messages

@@ -1,0 +1,182 @@
+"""Tests for subscription tree nodes."""
+
+import pytest
+
+from repro.errors import SubscriptionError
+from repro.events import Event
+from repro.subscriptions.builder import And, Not, Or, P
+from repro.subscriptions.nodes import (
+    FALSE,
+    TRUE,
+    AndNode,
+    ConstNode,
+    NotNode,
+    OrNode,
+    PredicateLeaf,
+)
+from repro.subscriptions.predicates import Operator, Predicate
+
+
+def leaf(attribute="a", operator=Operator.EQ, value=1):
+    return PredicateLeaf(Predicate(attribute, operator, value))
+
+
+class TestEvaluation:
+    def test_and_requires_all_children(self):
+        tree = AndNode([leaf("a", value=1), leaf("b", value=2)])
+        assert tree.evaluate(Event({"a": 1, "b": 2}))
+        assert not tree.evaluate(Event({"a": 1, "b": 3}))
+
+    def test_or_requires_any_child(self):
+        tree = OrNode([leaf("a", value=1), leaf("b", value=2)])
+        assert tree.evaluate(Event({"a": 0, "b": 2}))
+        assert not tree.evaluate(Event({"a": 0, "b": 0}))
+
+    def test_constants(self):
+        assert TRUE.evaluate(Event({}))
+        assert not FALSE.evaluate(Event({}))
+
+    def test_not_uses_predicate_level_semantics(self):
+        tree = NotNode(leaf("a", Operator.EQ, 1))
+        # attribute present and != 1 -> fulfilled
+        assert tree.evaluate(Event({"a": 2}))
+        # attribute absent -> NOT is also unfulfilled (presence required)
+        assert not tree.evaluate(Event({}))
+
+    def test_not_of_and_is_de_morgan(self):
+        tree = NotNode(AndNode([leaf("a", value=1), leaf("b", value=2)]))
+        assert tree.evaluate(Event({"a": 1, "b": 3}))
+        assert not tree.evaluate(Event({"a": 1, "b": 2}))
+
+    def test_double_negation(self):
+        tree = NotNode(NotNode(leaf("a", value=1)))
+        assert tree.evaluate(Event({"a": 1}))
+        assert not tree.evaluate(Event({"a": 2}))
+
+
+class TestTraversal:
+    def test_iter_nodes_preorder_with_paths(self):
+        tree = AndNode([leaf("a"), OrNode([leaf("b"), leaf("c")])])
+        paths = [path for path, _node in tree.iter_nodes()]
+        assert paths == [(), (0,), (1,), (1, 0), (1, 1)]
+
+    def test_node_at_root(self):
+        tree = AndNode([leaf("a"), leaf("b")])
+        assert tree.node_at(()) is tree
+
+    def test_node_at_nested(self):
+        inner = OrNode([leaf("b"), leaf("c")])
+        tree = AndNode([leaf("a"), inner])
+        assert tree.node_at((1,)) is inner
+        assert tree.node_at((1, 0)).predicate.attribute == "b"
+
+    def test_node_at_invalid_path_raises(self):
+        tree = AndNode([leaf("a"), leaf("b")])
+        with pytest.raises(SubscriptionError):
+            tree.node_at((5,))
+
+    def test_replace_at_shares_untouched_subtrees(self):
+        left = leaf("a")
+        right = OrNode([leaf("b"), leaf("c")])
+        tree = AndNode([left, right])
+        new_tree = tree.replace_at((0,), leaf("z"))
+        assert new_tree.children[1] is right
+        assert new_tree.children[0].predicate.attribute == "z"
+        assert tree.children[0] is left  # original untouched
+
+    def test_replace_at_root_returns_replacement(self):
+        tree = AndNode([leaf("a"), leaf("b")])
+        replacement = leaf("z")
+        assert tree.replace_at((), replacement) is replacement
+
+    def test_predicates_in_order(self):
+        tree = AndNode([leaf("a"), OrNode([leaf("b"), leaf("c")])])
+        assert [p.attribute for p in tree.predicates()] == ["a", "b", "c"]
+
+
+class TestStructure:
+    def test_structural_equality(self):
+        assert AndNode([leaf("a"), leaf("b")]) == AndNode([leaf("a"), leaf("b")])
+
+    def test_and_or_not_equal(self):
+        assert AndNode([leaf("a"), leaf("b")]) != OrNode([leaf("a"), leaf("b")])
+
+    def test_hash_consistency(self):
+        assert hash(AndNode([leaf("a")])) == hash(AndNode([leaf("a")]))
+
+    def test_with_children_preserves_type(self):
+        tree = AndNode([leaf("a"), leaf("b")])
+        new = tree.with_children([leaf("c"), leaf("d")])
+        assert isinstance(new, AndNode)
+        assert len(new.children) == 2
+
+    def test_leaf_with_children_rejects_children(self):
+        with pytest.raises(SubscriptionError):
+            leaf().with_children([leaf()])
+
+    def test_const_with_children_rejects_children(self):
+        with pytest.raises(SubscriptionError):
+            TRUE.with_children([leaf()])
+
+    def test_not_with_children_requires_one(self):
+        with pytest.raises(SubscriptionError):
+            NotNode(leaf()).with_children([leaf(), leaf()])
+
+    def test_connective_rejects_non_nodes(self):
+        with pytest.raises(SubscriptionError):
+            AndNode([leaf(), "nope"])
+
+    def test_leaf_requires_predicate(self):
+        with pytest.raises(SubscriptionError):
+            PredicateLeaf("nope")
+
+
+class TestBuilder:
+    def test_operator_overloads(self):
+        assert (P("x") == 1).predicate.operator is Operator.EQ
+        assert (P("x") != 1).predicate.operator is Operator.NE
+        assert (P("x") < 1).predicate.operator is Operator.LT
+        assert (P("x") <= 1).predicate.operator is Operator.LE
+        assert (P("x") > 1).predicate.operator is Operator.GT
+        assert (P("x") >= 1).predicate.operator is Operator.GE
+
+    def test_named_constructors(self):
+        assert P("x").in_([1, 2]).predicate.operator is Operator.IN_SET
+        assert P("x").not_in([1]).predicate.operator is Operator.NOT_IN_SET
+        assert P("x").prefix("a").predicate.operator is Operator.PREFIX
+        assert P("x").contains("a").predicate.operator is Operator.CONTAINS
+
+    def test_between_builds_two_predicate_and(self):
+        tree = P("x").between(1, 5)
+        assert isinstance(tree, AndNode)
+        operators = {child.predicate.operator for child in tree.children}
+        assert operators == {Operator.GE, Operator.LE}
+
+    def test_and_flattens_single_child(self):
+        node = And(P("x") == 1)
+        assert isinstance(node, PredicateLeaf)
+
+    def test_or_flattens_single_child(self):
+        node = Or(P("x") == 1)
+        assert isinstance(node, PredicateLeaf)
+
+    def test_and_requires_children(self):
+        with pytest.raises(SubscriptionError):
+            And()
+
+    def test_or_requires_children(self):
+        with pytest.raises(SubscriptionError):
+            Or()
+
+    def test_accepts_raw_predicates(self):
+        tree = And(Predicate("a", Operator.EQ, 1), P("b") == 2)
+        assert isinstance(tree, AndNode)
+        assert len(tree.children) == 2
+
+    def test_not_wraps_node(self):
+        node = Not(P("x") == 1)
+        assert isinstance(node, NotNode)
+
+    def test_p_requires_attribute(self):
+        with pytest.raises(SubscriptionError):
+            P("")

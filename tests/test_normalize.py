@@ -1,0 +1,171 @@
+"""Tests for negation normal form and constant folding."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import NormalizationError
+from repro.events import Event
+from repro.subscriptions.builder import And, Not, Or, P
+from repro.subscriptions.nodes import (
+    FALSE,
+    TRUE,
+    AndNode,
+    ConstNode,
+    NotNode,
+    OrNode,
+    PredicateLeaf,
+)
+from repro.subscriptions.normalize import fold_constants, is_normalized, normalize
+from repro.subscriptions.predicates import Operator, Predicate
+
+from tests import strategies
+
+
+def leaf(attribute="a", operator=Operator.EQ, value=1):
+    return PredicateLeaf(Predicate(attribute, operator, value))
+
+
+class TestNegationPushdown:
+    def test_not_on_leaf_complements_operator(self):
+        norm = normalize(Not(P("a") == 1))
+        assert isinstance(norm, PredicateLeaf)
+        assert norm.predicate.operator is Operator.NE
+
+    def test_de_morgan_and(self):
+        norm = normalize(Not(And(P("a") == 1, P("b") == 2)))
+        assert isinstance(norm, OrNode)
+        assert all(
+            child.predicate.operator is Operator.NE for child in norm.children
+        )
+
+    def test_de_morgan_or(self):
+        norm = normalize(Not(Or(P("a") == 1, P("b") == 2)))
+        assert isinstance(norm, AndNode)
+
+    def test_double_negation_cancels(self):
+        norm = normalize(Not(Not(P("a") <= 5)))
+        assert isinstance(norm, PredicateLeaf)
+        assert norm.predicate.operator is Operator.LE
+
+    def test_not_of_constant(self):
+        assert normalize(NotNode(TRUE)) == FALSE
+        assert normalize(NotNode(FALSE)) == TRUE
+
+
+class TestFolding:
+    def test_true_child_dropped_from_and(self):
+        norm = normalize(AndNode([leaf("a"), TRUE, leaf("b", value=2)]))
+        assert isinstance(norm, AndNode)
+        assert len(norm.children) == 2
+
+    def test_false_child_kills_and(self):
+        assert normalize(AndNode([leaf("a"), FALSE])) == FALSE
+
+    def test_true_child_kills_or(self):
+        assert normalize(OrNode([leaf("a"), TRUE])) == TRUE
+
+    def test_false_child_dropped_from_or(self):
+        norm = normalize(OrNode([leaf("a"), FALSE, leaf("b", value=2)]))
+        assert isinstance(norm, OrNode)
+        assert len(norm.children) == 2
+
+    def test_nested_and_flattened(self):
+        norm = normalize(AndNode([leaf("a"), AndNode([leaf("b", value=2), leaf("c", value=3)])]))
+        assert isinstance(norm, AndNode)
+        assert len(norm.children) == 3
+
+    def test_nested_or_flattened(self):
+        norm = normalize(OrNode([leaf("a"), OrNode([leaf("b", value=2), leaf("c", value=3)])]))
+        assert isinstance(norm, OrNode)
+        assert len(norm.children) == 3
+
+    def test_duplicate_children_removed(self):
+        norm = normalize(AndNode([leaf("a"), leaf("a")]))
+        assert isinstance(norm, PredicateLeaf)
+
+    def test_single_survivor_replaces_connective(self):
+        norm = normalize(AndNode([leaf("a"), TRUE]))
+        assert isinstance(norm, PredicateLeaf)
+
+    def test_children_sorted_canonically(self):
+        one = normalize(AndNode([leaf("b", value=2), leaf("a")]))
+        two = normalize(AndNode([leaf("a"), leaf("b", value=2)]))
+        assert one == two
+
+
+class TestIsNormalized:
+    def test_accepts_leaf(self):
+        assert is_normalized(leaf())
+
+    def test_accepts_whole_tree_constant(self):
+        assert is_normalized(TRUE)
+        assert is_normalized(FALSE)
+
+    def test_rejects_not_node(self):
+        assert not is_normalized(NotNode(leaf()))
+
+    def test_rejects_embedded_constant(self):
+        assert not is_normalized(AndNode([leaf(), TRUE]))
+
+    def test_rejects_unary_connective(self):
+        assert not is_normalized(AndNode([leaf()]))
+
+    def test_rejects_and_under_and(self):
+        assert not is_normalized(
+            AndNode([leaf("a"), AndNode([leaf("b", value=2), leaf("c", value=3)])])
+        )
+
+    def test_rejects_duplicate_children(self):
+        assert not is_normalized(AndNode([leaf("a"), leaf("a")]))
+
+    def test_accepts_alternating_connectives(self):
+        tree = AndNode([leaf("a"), OrNode([leaf("b", value=2), leaf("c", value=3)])])
+        assert is_normalized(tree)
+
+    @given(strategies.trees())
+    @settings(max_examples=60)
+    def test_normalize_output_is_normalized(self, tree):
+        assert is_normalized(normalize(tree))
+
+    @given(strategies.trees())
+    @settings(max_examples=60)
+    def test_normalize_is_idempotent(self, tree):
+        norm = normalize(tree)
+        assert normalize(norm) == norm
+
+
+class TestSemanticEquivalence:
+    @given(strategies.trees(), strategies.events())
+    @settings(max_examples=150)
+    def test_normalization_preserves_semantics(self, tree, event):
+        assert tree.evaluate(event) == normalize(tree).evaluate(event)
+
+
+class TestFoldConstants:
+    def test_removes_true_from_and(self):
+        tree = AndNode([leaf("a"), TRUE, leaf("b", value=2)])
+        folded = fold_constants(tree)
+        assert isinstance(folded, AndNode)
+        assert len(folded.children) == 2
+
+    def test_collapses_or_with_true(self):
+        assert fold_constants(OrNode([leaf("a"), TRUE])) == TRUE
+
+    def test_flattens_nested_connectives(self):
+        tree = OrNode([leaf("a"), OrNode([leaf("b", value=2), leaf("c", value=3)])])
+        folded = fold_constants(tree)
+        assert isinstance(folded, OrNode)
+        assert len(folded.children) == 3
+
+    def test_dedupes_children(self):
+        folded = fold_constants(OrNode([leaf("a"), leaf("a")]))
+        assert isinstance(folded, PredicateLeaf)
+
+    def test_rejects_not_nodes(self):
+        with pytest.raises(NormalizationError):
+            fold_constants(NotNode(leaf()))
+
+    def test_preserves_child_order(self):
+        tree = AndNode([leaf("b", value=2), TRUE, leaf("a")])
+        folded = fold_constants(tree)
+        assert [child.predicate.attribute for child in folded.children] == ["b", "a"]

@@ -1,0 +1,121 @@
+"""Tests for the optimum pruning-count search (the paper's future work)."""
+
+import pytest
+
+from repro.core.heuristics import Dimension
+from repro.core.optimum import OptimumSearch, weighted_cost
+from repro.core.planner import PruningSchedule
+from repro.errors import PruningError
+from repro.matching.counting import CountingMatcher
+
+
+@pytest.fixture(scope="module")
+def schedule(workload):
+    subscriptions = workload.generate_subscriptions(80)
+    estimator = workload.estimator()
+    return PruningSchedule.build(subscriptions, estimator, Dimension.NETWORK)
+
+
+class TestSearch:
+    def test_finds_known_synthetic_optimum(self, schedule):
+        target = schedule.total // 3
+
+        search = OptimumSearch(
+            schedule, lambda _pruned, count: abs(count - target) ** 1.5
+        )
+        result = search.search()
+        assert abs(result.count - target) <= max(2, schedule.total // 50)
+        assert result.cost == min(cost for _c, cost in result.evaluations)
+
+    def test_boundary_optimum_at_zero(self, schedule):
+        result = OptimumSearch(schedule, lambda _p, count: float(count)).search()
+        assert result.count == 0
+        assert result.proportion == 0.0
+
+    def test_boundary_optimum_at_total(self, schedule):
+        result = OptimumSearch(schedule, lambda _p, count: float(-count)).search()
+        assert result.count == schedule.total
+        assert result.proportion == 1.0
+
+    def test_evaluations_are_cached(self, schedule):
+        calls = []
+
+        def cost(_pruned, count):
+            calls.append(count)
+            return abs(count - 5)
+
+        OptimumSearch(schedule, cost, refine_rounds=3).search()
+        assert len(calls) == len(set(calls))  # never re-evaluated
+
+    def test_refinement_increases_resolution(self, schedule):
+        target = schedule.total // 2 + 1
+        coarse = OptimumSearch(
+            schedule, lambda _p, c: abs(c - target), refine_rounds=0,
+            coarse_points=4,
+        ).search()
+        refined = OptimumSearch(
+            schedule, lambda _p, c: abs(c - target), refine_rounds=3,
+            coarse_points=4,
+        ).search()
+        assert abs(refined.count - target) <= abs(coarse.count - target)
+
+    def test_parameter_validation(self, schedule):
+        with pytest.raises(PruningError):
+            OptimumSearch(schedule, lambda p, c: 0.0, coarse_points=2)
+        with pytest.raises(PruningError):
+            OptimumSearch(schedule, lambda p, c: 0.0, refine_points=2)
+
+    def test_real_cost_functional_runs(self, schedule, workload):
+        """End-to-end: minimize measured filtering time per event."""
+        events = workload.generate_events(40).events
+
+        def cost(pruned, _count):
+            matcher = CountingMatcher()
+            matcher.register_all(pruned.values())
+            matcher.rebuild()
+            matcher.statistics.reset()
+            for event in events:
+                matcher.match(event)
+            return matcher.statistics.mean_time_per_event
+
+        result = OptimumSearch(schedule, cost, coarse_points=4,
+                               refine_rounds=1, refine_points=3).search()
+        assert 0 <= result.count <= schedule.total
+        assert result.cost > 0
+
+
+class TestWeightedCost:
+    def test_memory_component(self, schedule):
+        initial = sum(s.leaf_count for s in schedule.subscriptions)
+        cost = weighted_cost(
+            time_weight=0.0,
+            memory_weight=1.0,
+            initial_associations=initial,
+        )
+        full = schedule.replay(schedule.total)
+        zero = schedule.replay(0)
+        assert cost(zero, 0) == pytest.approx(1.0)
+        assert cost(full, schedule.total) < 1.0
+
+    def test_time_component_requires_measure(self):
+        with pytest.raises(PruningError):
+            weighted_cost(time_weight=1.0)
+
+    def test_network_component_requires_measure(self):
+        with pytest.raises(PruningError):
+            weighted_cost(time_weight=0.0, network_weight=1.0)
+
+    def test_memory_component_requires_baseline(self):
+        with pytest.raises(PruningError):
+            weighted_cost(time_weight=0.0, memory_weight=1.0)
+
+    def test_linear_combination(self, schedule):
+        initial = sum(s.leaf_count for s in schedule.subscriptions)
+        cost = weighted_cost(
+            time_weight=2.0,
+            memory_weight=3.0,
+            measure_time=lambda _p: 0.5,
+            initial_associations=initial,
+        )
+        zero = schedule.replay(0)
+        assert cost(zero, 0) == pytest.approx(2.0 * 0.5 + 3.0 * 1.0)

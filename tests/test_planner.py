@@ -1,0 +1,108 @@
+"""Tests for pruning schedules and prefix replay."""
+
+import pytest
+
+from repro.core.heuristics import Dimension
+from repro.core.planner import PruningSchedule, replay_prefix
+from repro.errors import PruningError
+from repro.subscriptions.builder import And, Or, P
+from repro.subscriptions.subscription import Subscription
+
+
+@pytest.fixture()
+def subscriptions():
+    return [
+        Subscription(0, And(P("cat") == "a", P("price") <= 10.0, P("flag") == True)),  # noqa: E712
+        Subscription(1, And(P("cat") == "b", Or(P("price") <= 5.0, P("price") >= 95.0))),
+        Subscription(2, P("cat") == "c"),  # not prunable
+    ]
+
+
+@pytest.fixture()
+def schedule(subscriptions, simple_estimator):
+    return PruningSchedule.build(subscriptions, simple_estimator, Dimension.NETWORK)
+
+
+class TestBuild:
+    def test_total_counts_all_possible_prunings(self, schedule):
+        # sub 0: 2 prunings; sub 1: 1 pruning; sub 2: 0
+        assert schedule.total == 3
+
+    def test_prefix_count_rounds(self, schedule):
+        assert schedule.prefix_count(0.0) == 0
+        assert schedule.prefix_count(1.0) == schedule.total
+        assert schedule.prefix_count(0.5) == round(0.5 * schedule.total)
+
+    def test_prefix_count_validates(self, schedule):
+        with pytest.raises(PruningError):
+            schedule.prefix_count(1.5)
+
+    def test_build_is_deterministic(self, subscriptions, simple_estimator):
+        a = PruningSchedule.build(subscriptions, simple_estimator, Dimension.NETWORK)
+        b = PruningSchedule.build(subscriptions, simple_estimator, Dimension.NETWORK)
+        assert [(r.subscription_id, r.op) for r in a.records] == [
+            (r.subscription_id, r.op) for r in b.records
+        ]
+
+
+class TestReplay:
+    def test_zero_prefix_returns_originals(self, schedule, subscriptions):
+        replayed = schedule.replay(0)
+        for subscription in subscriptions:
+            assert replayed[subscription.id].tree == subscription.tree
+
+    def test_full_prefix_exhausts_prunable_subs(self, schedule):
+        replayed = schedule.replay(schedule.total)
+        assert replayed[0].leaf_count == 1
+        assert replayed[2].leaf_count == 1  # untouched single predicate
+
+    def test_replay_prefix_helper(self, schedule):
+        replayed = replay_prefix(schedule, 1.0)
+        assert replayed[0].leaf_count == 1
+
+    def test_sweep_matches_individual_replays(self, schedule):
+        counts = [0, 1, 2, schedule.total]
+        swept = dict()
+        for count, pruned in schedule.sweep(counts):
+            swept[count] = {sub_id: sub.tree for sub_id, sub in pruned.items()}
+        for count in counts:
+            fresh = {sub_id: sub.tree for sub_id, sub in schedule.replay(count).items()}
+            assert swept[count] == fresh
+
+    def test_sweep_allows_repeated_counts(self, schedule):
+        results = list(schedule.sweep([1, 1, 2]))
+        assert len(results) == 3
+
+    def test_sweep_rejects_decreasing_counts(self, schedule):
+        with pytest.raises(PruningError):
+            list(schedule.sweep([2, 1]))
+
+    def test_sweep_rejects_count_beyond_total(self, schedule):
+        with pytest.raises(PruningError):
+            list(schedule.sweep([schedule.total + 1]))
+
+    def test_proportions_grid(self, schedule):
+        grid = schedule.proportions(5)
+        assert grid == [0.0, 0.25, 0.5, 0.75, 1.0]
+        with pytest.raises(PruningError):
+            schedule.proportions(1)
+
+
+class TestDimensionsDiffer:
+    def test_memory_schedule_uses_bottom_up(self, subscriptions, simple_estimator):
+        schedule = PruningSchedule.build(
+            subscriptions, simple_estimator, Dimension.MEMORY
+        )
+        assert schedule.bottom_up_only
+
+    def test_different_dimensions_may_order_differently(
+        self, subscriptions, simple_estimator
+    ):
+        orders = {}
+        for dimension in Dimension:
+            schedule = PruningSchedule.build(
+                subscriptions, simple_estimator, dimension
+            )
+            orders[dimension] = [r.subscription_id for r in schedule.records]
+        # all dimensions exhaust the same set of prunings
+        assert all(len(order) == 3 for order in orders.values())

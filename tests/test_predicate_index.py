@@ -1,0 +1,188 @@
+"""Direct tests of the per-attribute predicate index structures."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MatchingError
+from repro.matching.predicate_index import (
+    AttributeIndex,
+    PredicateIndexSet,
+    value_key,
+)
+from repro.subscriptions.predicates import Operator, Predicate
+
+
+def collect(index, value):
+    positives, negatives = [], []
+    index.collect(value, positives, negatives)
+    pos = sorted(int(x) for array in positives for x in array)
+    neg = sorted(int(x) for array in negatives for x in array)
+    return pos, neg
+
+
+def net(index, value):
+    """Net fulfilled entries (positives minus negatives as multisets)."""
+    pos, neg = collect(index, value)
+    result = list(pos)
+    for entry in neg:
+        result.remove(entry)
+    return sorted(result)
+
+
+class TestValueKey:
+    def test_bool_and_int_do_not_collide(self):
+        assert value_key(True) != value_key(1)
+
+    def test_int_and_float_collide_on_purpose(self):
+        assert value_key(5) == value_key(5.0)
+
+    def test_string_kind_tagged(self):
+        assert value_key("5") != value_key(5)
+
+
+class TestEqualityIndexing:
+    def test_eq_hit(self):
+        index = AttributeIndex("a")
+        index.add(Predicate("a", Operator.EQ, 5), 0)
+        index.finalize()
+        assert net(index, 5) == [0]
+        assert net(index, 6) == []
+
+    def test_in_set_hits_each_member(self):
+        index = AttributeIndex("a")
+        index.add(Predicate("a", Operator.IN_SET, frozenset({1, 2})), 0)
+        index.finalize()
+        assert net(index, 1) == [0]
+        assert net(index, 2) == [0]
+        assert net(index, 3) == []
+
+    def test_ne_subtraction(self):
+        index = AttributeIndex("a")
+        index.add(Predicate("a", Operator.NE, 5), 0)
+        index.add(Predicate("a", Operator.NE, 6), 1)
+        index.finalize()
+        assert net(index, 5) == [1]
+        assert net(index, 7) == [0, 1]
+
+    def test_not_in_set_subtracts_any_member(self):
+        index = AttributeIndex("a")
+        index.add(Predicate("a", Operator.NOT_IN_SET, frozenset({1, 2})), 0)
+        index.finalize()
+        assert net(index, 1) == []
+        assert net(index, 2) == []
+        assert net(index, 3) == [0]
+
+
+class TestRangeIndexing:
+    @pytest.fixture()
+    def index(self):
+        index = AttributeIndex("a")
+        index.add(Predicate("a", Operator.LT, 10), 0)
+        index.add(Predicate("a", Operator.LE, 10), 1)
+        index.add(Predicate("a", Operator.GT, 10), 2)
+        index.add(Predicate("a", Operator.GE, 10), 3)
+        index.finalize()
+        return index
+
+    def test_below_bound(self, index):
+        assert net(index, 5) == [0, 1]
+
+    def test_at_bound(self, index):
+        assert net(index, 10) == [1, 3]
+
+    def test_above_bound(self, index):
+        assert net(index, 15) == [2, 3]
+
+    def test_string_ranges_are_separate(self):
+        index = AttributeIndex("a")
+        index.add(Predicate("a", Operator.LE, "m"), 0)
+        index.add(Predicate("a", Operator.LE, 10), 1)
+        index.finalize()
+        assert net(index, "a") == [0]
+        assert net(index, 5) == [1]
+
+    def test_bool_values_skip_ranges(self, index):
+        assert net(index, True) == []
+
+
+class TestStringIndexing:
+    def test_prefix_by_length(self):
+        index = AttributeIndex("s")
+        index.add(Predicate("s", Operator.PREFIX, "ab"), 0)
+        index.add(Predicate("s", Operator.PREFIX, "abc"), 1)
+        index.add(Predicate("s", Operator.PREFIX, "zz"), 2)
+        index.finalize()
+        assert net(index, "abcd") == [0, 1]
+        assert net(index, "ab") == [0]
+        assert net(index, "a") == []
+
+    def test_not_prefix(self):
+        index = AttributeIndex("s")
+        index.add(Predicate("s", Operator.NOT_PREFIX, "ab"), 0)
+        index.finalize()
+        assert net(index, "abX") == []
+        assert net(index, "zz") == [0]
+
+    def test_contains_scan(self):
+        index = AttributeIndex("s")
+        index.add(Predicate("s", Operator.CONTAINS, "bc"), 0)
+        index.add(Predicate("s", Operator.NOT_CONTAINS, "bc"), 1)
+        index.finalize()
+        assert net(index, "abcd") == [0]
+        assert net(index, "xyz") == [1]
+
+
+class TestIndexLifecycle:
+    def test_add_after_finalize_rejected(self):
+        index = AttributeIndex("a")
+        index.finalize()
+        with pytest.raises(MatchingError):
+            index.add(Predicate("a", Operator.EQ, 1), 0)
+
+    def test_collect_before_finalize_rejected(self):
+        index = AttributeIndex("a")
+        index.add(Predicate("a", Operator.EQ, 1), 0)
+        with pytest.raises(MatchingError):
+            collect(index, 1)
+
+    def test_attribute_mismatch_rejected(self):
+        index = AttributeIndex("a")
+        with pytest.raises(MatchingError):
+            index.add(Predicate("b", Operator.EQ, 1), 0)
+
+    def test_finalize_idempotent(self):
+        index = AttributeIndex("a")
+        index.add(Predicate("a", Operator.EQ, 1), 0)
+        index.finalize()
+        index.finalize()
+        assert net(index, 1) == [0]
+
+
+class TestPredicateIndexSet:
+    def test_assigns_sequential_entries(self):
+        index_set = PredicateIndexSet()
+        assert index_set.add(Predicate("a", Operator.EQ, 1)) == 0
+        assert index_set.add(Predicate("b", Operator.EQ, 2)) == 1
+        assert index_set.entry_count == 2
+
+    def test_collect_routes_by_attribute(self):
+        index_set = PredicateIndexSet()
+        index_set.add(Predicate("a", Operator.EQ, 1))
+        index_set.add(Predicate("b", Operator.EQ, 1))
+        index_set.finalize()
+        positives, negatives = [], []
+        index_set.collect("a", 1, positives, negatives)
+        assert [int(x) for array in positives for x in array] == [0]
+
+    def test_unknown_attribute_is_noop(self):
+        index_set = PredicateIndexSet()
+        index_set.finalize()
+        positives, negatives = [], []
+        index_set.collect("zzz", 1, positives, negatives)
+        assert positives == [] and negatives == []
+
+    def test_attribute_names_sorted(self):
+        index_set = PredicateIndexSet()
+        index_set.add(Predicate("b", Operator.EQ, 1))
+        index_set.add(Predicate("a", Operator.EQ, 1))
+        assert index_set.attribute_names == ["a", "b"]

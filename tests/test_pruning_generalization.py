@@ -1,0 +1,82 @@
+"""The fundamental pruning invariant: pruning only generalizes.
+
+Every event fulfilled by the original subscription must be fulfilled by
+the pruned subscription, after any sequence of pruning operations.  This
+is what makes pruned routing correct (no lost deliveries, paper Sect. 2.2).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ops import apply_pruning, enumerate_prunings
+from repro.subscriptions.metrics import count_leaves, memory_bytes, pmin
+from repro.subscriptions.normalize import normalize
+
+from tests import strategies
+
+
+@given(strategies.trees(), strategies.events(), st.randoms(use_true_random=False))
+@settings(max_examples=200, deadline=None)
+def test_any_pruning_sequence_generalizes(tree, event, rng):
+    current = normalize(tree)
+    original = current
+    while True:
+        ops = enumerate_prunings(current)
+        if not ops:
+            break
+        current = apply_pruning(current, rng.choice(ops))
+        if original.evaluate(event):
+            assert current.evaluate(event), (
+                "pruned tree lost an event: %r -> %r" % (original, current)
+            )
+
+
+@given(strategies.trees(), st.randoms(use_true_random=False))
+@settings(max_examples=150, deadline=None)
+def test_pruning_monotonically_shrinks_metrics(tree, rng):
+    """Every pruning strictly shrinks the tree and never raises pmin."""
+    current = normalize(tree)
+    while True:
+        ops = enumerate_prunings(current)
+        if not ops:
+            break
+        nxt = apply_pruning(current, rng.choice(ops))
+        assert count_leaves(nxt) < count_leaves(current)
+        assert memory_bytes(nxt) < memory_bytes(current)
+        assert pmin(nxt) <= pmin(current)
+        current = nxt
+
+
+@given(strategies.trees())
+@settings(max_examples=150, deadline=None)
+def test_exhaustive_pruning_terminates(tree):
+    """Pruning to exhaustion terminates and never produces a constant."""
+    current = normalize(tree)
+    steps = 0
+    limit = count_leaves(current) * 4 + 8
+    while True:
+        ops = enumerate_prunings(current)
+        if not ops:
+            break
+        current = apply_pruning(current, ops[0])
+        steps += 1
+        assert steps <= limit, "pruning did not terminate"
+    assert current.kind in ("pred", "or", "const") or current.kind == "and"
+    # a fully pruned tree offers no AND nodes with removable children
+    assert not enumerate_prunings(current)
+
+
+def test_generalization_on_auction_workload(workload, auction_events):
+    """Spot-check the invariant on realistic subscriptions and events."""
+    subscriptions = workload.generate_subscriptions(40)
+    events = auction_events.events[:120]
+    for subscription in subscriptions:
+        current = subscription.tree
+        matched_before = [e for e in events if current.evaluate(e)]
+        while True:
+            ops = enumerate_prunings(current)
+            if not ops:
+                break
+            current = apply_pruning(current, ops[len(ops) // 2])
+        for event in matched_before:
+            assert current.evaluate(event)

@@ -1,0 +1,180 @@
+"""Tests for pruning operations: enumeration, application, restrictions."""
+
+import pytest
+
+from repro.core.ops import (
+    PruningOp,
+    PruningState,
+    apply_pruning,
+    enumerate_prunings,
+    is_prunable,
+    pruned_child,
+)
+from repro.errors import PruningError
+from repro.subscriptions.builder import And, Not, Or, P
+from repro.subscriptions.nodes import AndNode, OrNode, PredicateLeaf
+from repro.subscriptions.normalize import is_normalized, normalize
+from repro.subscriptions.subscription import Subscription
+
+
+def norm(tree):
+    return normalize(tree)
+
+
+class TestEnumeration:
+    def test_flat_and_offers_each_child(self):
+        tree = norm(And(P("a") == 1, P("b") == 2, P("c") == 3))
+        ops = enumerate_prunings(tree)
+        assert len(ops) == 3
+        assert all(op.and_path == () for op in ops)
+
+    def test_single_predicate_offers_nothing(self):
+        assert enumerate_prunings(norm(P("a") == 1)) == []
+
+    def test_flat_or_offers_nothing(self):
+        tree = norm(Or(P("a") == 1, P("b") == 2))
+        assert enumerate_prunings(tree) == []
+
+    def test_nested_ands_all_found(self):
+        tree = norm(Or(And(P("a") == 1, P("b") == 2), And(P("c") == 3, P("d") == 4)))
+        ops = enumerate_prunings(tree)
+        assert len(ops) == 4
+        assert {op.and_path for op in ops} == {(0,), (1,)}
+
+    def test_is_prunable_matches_enumeration(self):
+        prunable = norm(And(P("a") == 1, P("b") == 2))
+        not_prunable = norm(Or(P("a") == 1, P("b") == 2))
+        assert is_prunable(prunable)
+        assert not is_prunable(not_prunable)
+
+    def test_deterministic_order(self):
+        tree = norm(And(P("a") == 1, P("b") == 2, Or(P("c") == 3, P("d") == 4)))
+        assert enumerate_prunings(tree) == enumerate_prunings(tree)
+
+
+class TestBottomUpRestriction:
+    def test_child_containing_and_not_removable(self):
+        # top AND has children: leaf and OR(leaf, AND(...)) — the OR child
+        # contains an AND, so bottom-up forbids removing it directly.
+        tree = norm(
+            And(P("x") == 0, Or(P("a") == 1, And(P("b") == 2, P("c") == 3)))
+        )
+        unrestricted = enumerate_prunings(tree, bottom_up_only=False)
+        restricted = enumerate_prunings(tree, bottom_up_only=True)
+        assert len(unrestricted) == 4
+        assert len(restricted) == 3  # the OR child of the root is excluded
+
+    def test_leaf_children_always_removable(self):
+        tree = norm(And(P("a") == 1, P("b") == 2))
+        assert len(enumerate_prunings(tree, bottom_up_only=True)) == 2
+
+    def test_is_prunable_equivalent_under_restriction(self):
+        tree = norm(
+            And(P("x") == 0, Or(P("a") == 1, And(P("b") == 2, P("c") == 3)))
+        )
+        assert is_prunable(tree, bottom_up_only=True) == is_prunable(tree)
+
+
+class TestApplication:
+    def test_removes_named_child(self):
+        tree = norm(And(P("a") == 1, P("b") == 2, P("c") == 3))
+        target = pruned_child(tree, PruningOp((), 1))
+        pruned = apply_pruning(tree, PruningOp((), 1))
+        assert isinstance(pruned, AndNode)
+        assert len(pruned.children) == 2
+        assert target not in pruned.children
+
+    def test_two_child_and_folds_to_survivor(self):
+        tree = norm(And(P("a") == 1, P("b") == 2))
+        pruned = apply_pruning(tree, PruningOp((), 0))
+        assert isinstance(pruned, PredicateLeaf)
+
+    def test_result_stays_normalized(self):
+        tree = norm(
+            And(Or(P("a") == 1, P("b") == 2), Or(P("c") == 3, And(P("d") == 4, P("e") == 5)))
+        )
+        for op in enumerate_prunings(tree):
+            assert is_normalized(apply_pruning(tree, op))
+
+    def test_surviving_or_flattens_into_parent_or(self):
+        # Or(And(Or(a,b), c), d): pruning c leaves Or(a,b) under Or -> flatten
+        tree = norm(
+            Or(And(Or(P("a") == 1, P("b") == 2), P("c") == 3), P("d") == 4)
+        )
+        inner_and_path = next(
+            path for path, node in tree.iter_nodes() if isinstance(node, AndNode)
+        )
+        # find the index of the leaf child (c) inside the AND
+        and_node = tree.node_at(inner_and_path)
+        leaf_index = next(
+            index
+            for index, child in enumerate(and_node.children)
+            if isinstance(child, PredicateLeaf)
+        )
+        pruned = apply_pruning(tree, PruningOp(inner_and_path, leaf_index))
+        assert isinstance(pruned, OrNode)
+        assert is_normalized(pruned)
+        assert len(pruned.children) == 3
+
+    def test_invalid_path_rejected(self):
+        tree = norm(And(P("a") == 1, P("b") == 2))
+        with pytest.raises(PruningError):
+            apply_pruning(tree, PruningOp((0,), 0))
+
+    def test_invalid_index_rejected(self):
+        tree = norm(And(P("a") == 1, P("b") == 2))
+        with pytest.raises(PruningError):
+            apply_pruning(tree, PruningOp((), 5))
+
+    def test_duplicate_children_after_pruning_are_merged(self):
+        # Or(And(a, b), b): pruning a leaves Or(b, b) -> folds to b
+        b = P("bb") == 2
+        tree = norm(Or(And(P("a") == 1, P("bb") == 2), P("bb") == 2))
+        and_path = next(
+            path for path, node in tree.iter_nodes() if isinstance(node, AndNode)
+        )
+        and_node = tree.node_at(and_path)
+        a_index = next(
+            index
+            for index, child in enumerate(and_node.children)
+            if child.predicate.attribute == "a"
+        )
+        pruned = apply_pruning(tree, PruningOp(and_path, a_index))
+        assert is_normalized(pruned)
+        assert isinstance(pruned, PredicateLeaf)
+
+
+class TestPruningState:
+    def test_tracks_original_and_current(self):
+        subscription = Subscription(1, And(P("a") == 1, P("b") == 2, P("c") == 3))
+        state = PruningState(subscription)
+        op = enumerate_prunings(state.current)[0]
+        state.apply(op)
+        assert state.pruning_count == 1
+        assert state.original is subscription.tree
+        assert state.current != subscription.tree
+
+    def test_as_subscription_carries_pruned_tree(self):
+        subscription = Subscription(1, And(P("a") == 1, P("b") == 2), owner="o")
+        state = PruningState(subscription)
+        assert state.as_subscription() is subscription  # unpruned: same object
+        state.apply(enumerate_prunings(state.current)[0])
+        pruned = state.as_subscription()
+        assert pruned.id == 1
+        assert pruned.owner == "o"
+        assert pruned.leaf_count == 1
+
+    def test_history_replays_to_current(self):
+        subscription = Subscription(
+            1, And(P("a") == 1, P("b") == 2, Or(P("c") == 3, P("d") == 4))
+        )
+        state = PruningState(subscription)
+        while True:
+            ops = enumerate_prunings(state.current)
+            if not ops:
+                break
+            state.apply(ops[0])
+        replayed = subscription.tree
+        for op in state.history:
+            replayed = apply_pruning(replayed, op)
+        assert replayed == state.current

@@ -1,0 +1,62 @@
+"""Tests for the experiment CLI."""
+
+import os
+
+import pytest
+
+from repro.experiments.run import build_parser, main, run_figures, select_figures
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.figure == "all"
+        assert args.scale == "default"
+
+    def test_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--figure", "9z"])
+
+    def test_rejects_unknown_scale(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--scale", "galactic"])
+
+
+class TestSelection:
+    def test_all(self):
+        assert select_figures("all") == ["1a", "1b", "1c", "1d", "1e", "1f"]
+
+    def test_centralized(self):
+        assert select_figures("centralized") == ["1a", "1b", "1c"]
+
+    def test_distributed(self):
+        assert select_figures("distributed") == ["1d", "1e", "1f"]
+
+    def test_single(self):
+        assert select_figures("1e") == ["1e"]
+
+
+class TestExecution:
+    def test_run_figures_centralized_only(self):
+        figures = run_figures(
+            ["1c"], scale="tiny", seed=5, points=3, subscriptions=60, events=30
+        )
+        assert set(figures) == {"1c"}
+        assert len(figures["1c"].xs) == 3
+
+    def test_main_prints_and_writes(self, tmp_path, capsys):
+        exit_code = main(
+            [
+                "--figure", "1b",
+                "--scale", "tiny",
+                "--points", "3",
+                "--subscriptions", "60",
+                "--events", "30",
+                "--out", str(tmp_path),
+                "--no-plot",
+            ]
+        )
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "Fig. 1b" in captured.out
+        assert os.path.exists(os.path.join(str(tmp_path), "fig1b.csv"))

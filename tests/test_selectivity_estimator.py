@@ -1,0 +1,177 @@
+"""Tests for tree-level selectivity estimation."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SelectivityError
+from repro.events import Event
+from repro.selectivity.estimator import (
+    SelectivityEstimate,
+    SelectivityEstimator,
+    combine_and,
+    combine_or,
+    selectivity_degradation,
+)
+from repro.selectivity.statistics import EventStatistics
+from repro.subscriptions.builder import And, Not, Or, P
+from repro.subscriptions.nodes import FALSE, TRUE, NotNode, PredicateLeaf
+from repro.subscriptions.normalize import normalize
+from repro.subscriptions.predicates import Operator, Predicate
+
+from tests import strategies
+
+
+def estimate(values):
+    return [SelectivityEstimate.exact(value) for value in values]
+
+
+class TestCombinators:
+    def test_and_independence_average(self):
+        result = combine_and(estimate([0.5, 0.4]))
+        assert result.avg == pytest.approx(0.2)
+
+    def test_and_frechet_bounds(self):
+        result = combine_and(estimate([0.9, 0.8]))
+        assert result.min == pytest.approx(0.7)  # 0.9 + 0.8 - 1
+        assert result.max == pytest.approx(0.8)  # min of components
+
+    def test_and_lower_bound_clamped_to_zero(self):
+        result = combine_and(estimate([0.3, 0.3]))
+        assert result.min == 0.0
+
+    def test_or_inclusion_exclusion_average(self):
+        result = combine_or(estimate([0.5, 0.4]))
+        assert result.avg == pytest.approx(0.7)
+
+    def test_or_frechet_bounds(self):
+        result = combine_or(estimate([0.5, 0.4]))
+        assert result.min == pytest.approx(0.5)  # max of components
+        assert result.max == pytest.approx(0.9)  # sum, capped at 1
+
+    def test_or_upper_bound_capped(self):
+        result = combine_or(estimate([0.8, 0.7]))
+        assert result.max == 1.0
+
+    @given(st.lists(st.floats(0, 1), min_size=1, max_size=5))
+    @settings(max_examples=80)
+    def test_components_stay_ordered(self, probabilities):
+        for combiner in (combine_and, combine_or):
+            result = combiner(estimate(probabilities))
+            assert 0.0 <= result.min <= result.avg <= result.max <= 1.0
+
+    def test_frechet_bounds_are_tight_for_and(self):
+        """The Fréchet bounds are achievable by real joint distributions:
+        check against exhaustively constructed two-variable worlds."""
+        # World A: p1 and p2 maximally overlapping -> intersection = min
+        # World B: maximally disjoint -> intersection = max(0, p1+p2-1)
+        p1, p2 = 0.6, 0.7
+        bounds = combine_and(estimate([p1, p2]))
+        assert bounds.max == pytest.approx(min(p1, p2))
+        assert bounds.min == pytest.approx(p1 + p2 - 1)
+
+
+class TestEstimateExactness:
+    def test_leaf_uses_statistics(self, simple_estimator):
+        result = simple_estimator.estimate(normalize(P("cat") == "b"))
+        assert result == SelectivityEstimate.exact(0.5)
+
+    def test_constants(self, simple_estimator):
+        assert simple_estimator.estimate(TRUE).avg == 1.0
+        assert simple_estimator.estimate(FALSE).avg == 0.0
+
+    def test_conjunction(self, simple_estimator):
+        tree = normalize(And(P("cat") == "b", P("price") <= 10.0))
+        assert simple_estimator.estimate(tree).avg == pytest.approx(0.25)
+
+    def test_negated_leaf(self, simple_estimator):
+        tree = normalize(Not(P("cat") == "b"))
+        assert simple_estimator.estimate(tree).avg == pytest.approx(0.5)
+
+    def test_non_normalized_tree_rejected(self, simple_estimator):
+        with pytest.raises(SelectivityError):
+            simple_estimator.estimate(NotNode(PredicateLeaf(
+                Predicate("cat", Operator.EQ, "b"))))
+
+    def test_requires_event_statistics(self):
+        with pytest.raises(SelectivityError):
+            SelectivityEstimator("nope")
+
+
+class TestDegradation:
+    def test_componentwise_maximum(self):
+        original = SelectivityEstimate(0.1, 0.2, 0.3)
+        pruned = SelectivityEstimate(0.1, 0.5, 0.4)
+        assert selectivity_degradation(original, pruned) == pytest.approx(0.3)
+
+    def test_degradation_of_pruning_is_nonnegative(self, simple_estimator):
+        original = normalize(And(P("cat") == "b", P("price") <= 10.0))
+        pruned = normalize(P("cat") == "b")
+        assert simple_estimator.degradation(original, pruned) >= 0.0
+
+    def test_measure_counts_exact_fraction(self, simple_estimator):
+        tree = normalize(P("cat") == "b")
+        events = [Event({"cat": "b"}), Event({"cat": "a"}), Event({"cat": "b"})]
+        assert simple_estimator.measure(tree, events) == pytest.approx(2 / 3)
+
+    def test_measure_rejects_empty(self, simple_estimator):
+        with pytest.raises(SelectivityError):
+            simple_estimator.measure(TRUE, [])
+
+
+class TestBoundsHoldEmpirically:
+    def test_true_selectivity_within_bounds_for_independent_attributes(self):
+        """Construct the full joint of three independent binary attributes
+        and check min <= true <= max for a set of Boolean trees."""
+        from repro.selectivity.statistics import CategoricalStatistics
+
+        probabilities = {"x": 0.3, "y": 0.6, "z": 0.5}
+        statistics = EventStatistics(
+            {
+                name: CategoricalStatistics({1: probability, 0: 1 - probability})
+                for name, probability in probabilities.items()
+            }
+        )
+        estimator = SelectivityEstimator(statistics)
+
+        trees = [
+            normalize(And(P("x") == 1, P("y") == 1)),
+            normalize(Or(P("x") == 1, P("z") == 1)),
+            normalize(And(P("x") == 1, Or(P("y") == 1, P("z") == 1))),
+            normalize(Or(And(P("x") == 1, P("y") == 1), Not(P("z") == 1))),
+        ]
+        # Enumerate the joint distribution exactly.
+        worlds = []
+        for bits in itertools.product([0, 1], repeat=3):
+            weight = 1.0
+            for (name, probability), bit in zip(sorted(probabilities.items()), bits):
+                weight *= probability if bit else (1 - probability)
+            worlds.append((Event(dict(zip(sorted(probabilities), bits))), weight))
+        for tree in trees:
+            true_selectivity = sum(
+                weight for event, weight in worlds if tree.evaluate(event)
+            )
+            bounds = estimator.estimate(tree)
+            assert bounds.min - 1e-9 <= true_selectivity <= bounds.max + 1e-9
+            assert true_selectivity == pytest.approx(bounds.avg, abs=1e-9)
+
+    def test_auction_estimates_bracket_measurements(
+        self, workload, auction_events, auction_subscriptions, auction_estimator
+    ):
+        """On the real workload the measured selectivity must fall inside
+        (or very near) the [min, max] estimate."""
+        sample = auction_events.events[:300]
+        for subscription in auction_subscriptions[:60]:
+            bounds = auction_estimator.estimate(subscription.tree)
+            measured = auction_estimator.measure(subscription.tree, sample)
+            assert bounds.min - 0.02 <= measured <= bounds.max + 0.02
+
+    @given(strategies.trees())
+    @settings(max_examples=60)
+    def test_estimates_always_well_formed(self, tree):
+        statistics = EventStatistics({}, default_probability=0.4)
+        estimator = SelectivityEstimator(statistics)
+        bounds = estimator.estimate(normalize(tree))
+        assert 0.0 <= bounds.min <= bounds.avg <= bounds.max <= 1.0

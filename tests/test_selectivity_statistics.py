@@ -1,0 +1,155 @@
+"""Tests for attribute statistics models."""
+
+import pytest
+
+from repro.errors import SelectivityError
+from repro.events import Event
+from repro.selectivity.statistics import (
+    CategoricalStatistics,
+    ContinuousStatistics,
+    EmpiricalStatistics,
+    EventStatistics,
+)
+from repro.subscriptions.predicates import Operator, Predicate
+
+
+class TestCategorical:
+    @pytest.fixture()
+    def stats(self):
+        return CategoricalStatistics({"a": 0.25, "b": 0.5, "c": 0.25})
+
+    def test_eq(self, stats):
+        assert stats.predicate_probability(Operator.EQ, "b") == pytest.approx(0.5)
+
+    def test_eq_unknown_value(self, stats):
+        assert stats.predicate_probability(Operator.EQ, "zzz") == 0.0
+
+    def test_ne_complements_within_presence(self, stats):
+        assert stats.predicate_probability(Operator.NE, "b") == pytest.approx(0.5)
+
+    def test_in_set_sums(self, stats):
+        prob = stats.predicate_probability(Operator.IN_SET, frozenset({"a", "c"}))
+        assert prob == pytest.approx(0.5)
+
+    def test_le_lexicographic(self, stats):
+        assert stats.predicate_probability(Operator.LE, "b") == pytest.approx(0.75)
+        assert stats.predicate_probability(Operator.LT, "b") == pytest.approx(0.25)
+
+    def test_prefix(self):
+        stats = CategoricalStatistics({"abc": 0.5, "abd": 0.25, "xyz": 0.25})
+        assert stats.predicate_probability(Operator.PREFIX, "ab") == pytest.approx(0.75)
+
+    def test_contains(self):
+        stats = CategoricalStatistics({"abc": 0.5, "xbcx": 0.25, "zzz": 0.25})
+        assert stats.predicate_probability(
+            Operator.CONTAINS, "bc"
+        ) == pytest.approx(0.75)
+
+    def test_presence_scales_probabilities(self):
+        stats = CategoricalStatistics({"a": 1.0}, presence=0.5)
+        assert stats.predicate_probability(Operator.EQ, "a") == pytest.approx(0.5)
+        assert stats.predicate_probability(Operator.NE, "a") == pytest.approx(0.0)
+
+    def test_weights_are_normalized(self):
+        stats = CategoricalStatistics({"a": 2, "b": 6})
+        assert stats.predicate_probability(Operator.EQ, "a") == pytest.approx(0.25)
+
+    def test_rejects_empty(self):
+        with pytest.raises(SelectivityError):
+            CategoricalStatistics({})
+
+    def test_rejects_bad_presence(self):
+        with pytest.raises(SelectivityError):
+            CategoricalStatistics({"a": 1.0}, presence=1.5)
+
+    def test_numeric_values(self):
+        stats = CategoricalStatistics({1: 0.5, 2: 0.3, 5: 0.2})
+        assert stats.predicate_probability(Operator.LE, 2) == pytest.approx(0.8)
+        assert stats.predicate_probability(Operator.GT, 2) == pytest.approx(0.2)
+
+
+class TestContinuous:
+    @pytest.fixture()
+    def stats(self):
+        return ContinuousStatistics([0.0, 10.0, 20.0], [0.0, 0.5, 1.0])
+
+    def test_point_mass_zero(self, stats):
+        assert stats.predicate_probability(Operator.EQ, 10.0) == 0.0
+
+    def test_le_interpolates(self, stats):
+        assert stats.predicate_probability(Operator.LE, 5.0) == pytest.approx(0.25)
+        assert stats.predicate_probability(Operator.LE, 15.0) == pytest.approx(0.75)
+
+    def test_ge_is_complement(self, stats):
+        assert stats.predicate_probability(Operator.GE, 15.0) == pytest.approx(0.25)
+
+    def test_out_of_support(self, stats):
+        assert stats.predicate_probability(Operator.LE, -5.0) == 0.0
+        assert stats.predicate_probability(Operator.LE, 100.0) == 1.0
+
+    def test_string_probe_is_zero(self, stats):
+        assert stats.predicate_probability(Operator.LE, "m") == 0.0
+
+    def test_validation(self):
+        with pytest.raises(SelectivityError):
+            ContinuousStatistics([0.0], [0.0])
+        with pytest.raises(SelectivityError):
+            ContinuousStatistics([0.0, 0.0], [0.0, 1.0])
+        with pytest.raises(SelectivityError):
+            ContinuousStatistics([0.0, 1.0], [0.5, 0.2])
+
+
+class TestEmpirical:
+    @pytest.fixture()
+    def stats(self):
+        values = [1, 1, 2, 3, "x"]
+        return EmpiricalStatistics(values, total_events=10)
+
+    def test_presence_fraction(self, stats):
+        assert stats.presence == pytest.approx(0.5)
+
+    def test_eq_frequency(self, stats):
+        assert stats.predicate_probability(Operator.EQ, 1) == pytest.approx(0.2)
+
+    def test_le_counts_sorted(self, stats):
+        assert stats.predicate_probability(Operator.LE, 2) == pytest.approx(0.3)
+
+    def test_string_values_counted(self, stats):
+        assert stats.predicate_probability(Operator.EQ, "x") == pytest.approx(0.1)
+
+    def test_prefix(self):
+        stats = EmpiricalStatistics(["abc", "abd", "xyz"], total_events=3)
+        assert stats.predicate_probability(Operator.PREFIX, "ab") == pytest.approx(2 / 3)
+
+    def test_validation(self):
+        with pytest.raises(SelectivityError):
+            EmpiricalStatistics([1], total_events=0)
+        with pytest.raises(SelectivityError):
+            EmpiricalStatistics([1, 2], total_events=1)
+
+
+class TestEventStatistics:
+    def test_from_events_matches_sample(self):
+        events = [Event({"a": 1}), Event({"a": 2}), Event({"b": "x"})]
+        stats = EventStatistics.from_events(events)
+        probe = Predicate("a", Operator.EQ, 1)
+        assert stats.predicate_probability(probe) == pytest.approx(1 / 3)
+
+    def test_unknown_attribute_uses_default(self):
+        stats = EventStatistics({}, default_probability=0.3)
+        probe = Predicate("zzz", Operator.EQ, 1)
+        assert stats.predicate_probability(probe) == pytest.approx(0.3)
+
+    def test_from_zero_events_rejected(self):
+        with pytest.raises(SelectivityError):
+            EventStatistics.from_events([])
+
+    def test_contains_and_names(self, simple_statistics):
+        assert "cat" in simple_statistics
+        assert "zzz" not in simple_statistics
+        assert simple_statistics.attribute_names() == ["cat", "flag", "price"]
+
+    def test_probability_clamped(self):
+        stats = EventStatistics({}, default_probability=1.0)
+        probe = Predicate("x", Operator.EQ, 1)
+        assert 0.0 <= stats.predicate_probability(probe) <= 1.0

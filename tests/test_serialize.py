@@ -1,0 +1,126 @@
+"""Tests for subscription tree serialization (dict and binary codecs)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import SubscriptionError
+from repro.subscriptions.builder import And, Not, Or, P
+from repro.subscriptions.nodes import ConstNode, PredicateLeaf
+from repro.subscriptions.normalize import normalize
+from repro.subscriptions.predicates import Operator, Predicate
+from repro.subscriptions.serialize import (
+    decode_node,
+    encode_node,
+    node_from_dict,
+    node_to_dict,
+    subscription_from_dict,
+    subscription_to_dict,
+)
+from repro.subscriptions.subscription import Subscription
+
+from tests import strategies
+
+SAMPLE_TREES = [
+    PredicateLeaf(Predicate("a", Operator.EQ, 5)),
+    PredicateLeaf(Predicate("a", Operator.EQ, True)),
+    PredicateLeaf(Predicate("a", Operator.LE, 2.5)),
+    PredicateLeaf(Predicate("a", Operator.IN_SET, frozenset({1, 2, 3}))),
+    PredicateLeaf(Predicate("s", Operator.PREFIX, "séries-ü")),
+    ConstNode(True),
+    ConstNode(False),
+    normalize(And(P("a") == 1, Or(P("b") <= 2, Not(P("c") == "x")))),
+    Not(And(P("a") == 1, P("b") == 2)),  # non-normalized trees serialize too
+]
+
+
+class TestDictCodec:
+    @pytest.mark.parametrize("tree", SAMPLE_TREES)
+    def test_roundtrip(self, tree):
+        assert node_from_dict(node_to_dict(tree)) == tree
+
+    def test_dict_form_is_json_compatible(self):
+        import json
+
+        tree = normalize(And(P("a").in_([1, 2]), P("b") == "x"))
+        data = node_to_dict(tree)
+        assert node_from_dict(json.loads(json.dumps(data))) == tree
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SubscriptionError):
+            node_from_dict({"kind": "xor", "children": []})
+
+    def test_missing_kind_rejected(self):
+        with pytest.raises(SubscriptionError):
+            node_from_dict({"children": []})
+
+    def test_subscription_roundtrip(self):
+        subscription = Subscription(7, And(P("a") == 1, P("b") == 2), owner="alice")
+        restored = subscription_from_dict(subscription_to_dict(subscription))
+        assert restored == subscription
+
+    @given(strategies.trees())
+    @settings(max_examples=60)
+    def test_roundtrip_random_trees(self, tree):
+        assert node_from_dict(node_to_dict(tree)) == tree
+
+
+class TestBinaryCodec:
+    @pytest.mark.parametrize("tree", SAMPLE_TREES)
+    def test_roundtrip(self, tree):
+        assert decode_node(encode_node(tree)) == tree
+
+    def test_trailing_bytes_rejected(self):
+        blob = encode_node(SAMPLE_TREES[0]) + b"\x00"
+        with pytest.raises(SubscriptionError):
+            decode_node(blob)
+
+    def test_corrupt_tag_rejected(self):
+        with pytest.raises(SubscriptionError):
+            decode_node(b"\xff")
+
+    def test_encoding_size_tracks_tree_size(self):
+        small = encode_node(normalize(And(P("a") == 1, P("b") == 2)))
+        large = encode_node(
+            normalize(And(P("a") == 1, P("b") == 2, P("c") == 3, P("d") == 4))
+        )
+        assert len(large) > len(small)
+
+    @given(strategies.trees())
+    @settings(max_examples=60)
+    def test_roundtrip_random_trees(self, tree):
+        assert decode_node(encode_node(tree)) == tree
+
+
+class TestSubscriptionObject:
+    def test_normalizes_on_construction(self):
+        subscription = Subscription(1, Not(P("a") == 1))
+        assert subscription.tree.kind == "pred"
+        assert subscription.tree.predicate.operator is Operator.NE
+
+    def test_cached_metrics_match_tree(self):
+        subscription = Subscription(1, And(P("a") == 1, P("b") == 2))
+        assert subscription.pmin == 2
+        assert subscription.leaf_count == 2
+        assert subscription.size_bytes > 0
+
+    def test_with_tree_keeps_identity(self):
+        subscription = Subscription(1, And(P("a") == 1, P("b") == 2), owner="o")
+        pruned = subscription.with_tree(normalize(P("a") == 1))
+        assert pruned.id == 1
+        assert pruned.owner == "o"
+        assert pruned.leaf_count == 1
+
+    def test_matches_delegates_to_tree(self):
+        from repro.events import Event
+
+        subscription = Subscription(1, And(P("a") == 1, P("b") == 2))
+        assert subscription.matches(Event({"a": 1, "b": 2}))
+        assert not subscription.matches(Event({"a": 1}))
+
+    def test_requires_int_id(self):
+        with pytest.raises(SubscriptionError):
+            Subscription("x", P("a") == 1)
+
+    def test_requires_node_tree(self):
+        with pytest.raises(SubscriptionError):
+            Subscription(1, "not a tree")

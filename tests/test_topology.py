@@ -1,0 +1,95 @@
+"""Tests for broker topologies."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.routing.topology import (
+    Topology,
+    line_topology,
+    star_topology,
+    tree_topology,
+)
+
+
+class TestValidation:
+    def test_accepts_tree(self):
+        topology = Topology([("a", "b"), ("b", "c")])
+        assert len(topology) == 3
+
+    def test_rejects_cycle(self):
+        with pytest.raises(TopologyError):
+            Topology([("a", "b"), ("b", "c"), ("c", "a")])
+
+    def test_rejects_disconnected(self):
+        with pytest.raises(TopologyError):
+            Topology([("a", "b"), ("c", "d")])
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(TopologyError):
+            Topology([("a", "a")])
+
+    def test_rejects_duplicate_edge(self):
+        with pytest.raises(TopologyError):
+            Topology([("a", "b"), ("b", "a")])
+
+    def test_rejects_empty(self):
+        with pytest.raises(TopologyError):
+            Topology([])
+
+    def test_single_broker(self):
+        topology = Topology.single_broker("solo")
+        assert topology.broker_ids == ["solo"]
+        assert topology.diameter() == 0
+
+
+class TestQueries:
+    def test_neighbors_sorted(self):
+        topology = Topology([("b", "a"), ("b", "c")])
+        assert topology.neighbors("b") == ["a", "c"]
+
+    def test_neighbors_unknown_broker(self):
+        with pytest.raises(TopologyError):
+            Topology([("a", "b")]).neighbors("z")
+
+    def test_path_unique(self):
+        topology = line_topology(4)
+        assert topology.path("b0", "b3") == ["b0", "b1", "b2", "b3"]
+
+    def test_path_unknown(self):
+        with pytest.raises(TopologyError):
+            line_topology(2).path("b0", "zz")
+
+    def test_contains(self):
+        topology = line_topology(2)
+        assert "b0" in topology
+        assert "zz" not in topology
+
+
+class TestBuilders:
+    def test_line_matches_paper_setting(self):
+        topology = line_topology(5)
+        assert len(topology) == 5
+        assert topology.diameter() == 4
+        assert topology.neighbors("b2") == ["b1", "b3"]
+
+    def test_line_single(self):
+        assert len(line_topology(1)) == 1
+
+    def test_line_validation(self):
+        with pytest.raises(TopologyError):
+            line_topology(0)
+
+    def test_star(self):
+        topology = star_topology(4)
+        assert len(topology) == 5
+        assert len(topology.neighbors("b0")) == 4
+        assert topology.diameter() == 2
+
+    def test_tree(self):
+        topology = tree_topology(branching=2, height=2)
+        assert len(topology) == 7
+        assert topology.diameter() == 4
+
+    def test_tree_validation(self):
+        with pytest.raises(TopologyError):
+            tree_topology(0, 1)

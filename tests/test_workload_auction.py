@@ -1,0 +1,156 @@
+"""Tests for the auction workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.subscriptions.nodes import AndNode, OrNode, PredicateLeaf
+from repro.subscriptions.normalize import is_normalized
+from repro.workloads.auction import (
+    AuctionWorkload,
+    AuctionWorkloadConfig,
+    SubscriptionClassMix,
+)
+from repro.workloads.schema import AuctionSchema
+
+
+class TestSchema:
+    def test_attribute_names_cover_the_domain(self):
+        schema = AuctionSchema()
+        names = set(schema.attribute_names)
+        assert {"title", "author", "category", "price", "condition"} <= names
+
+    def test_events_carry_every_attribute(self, workload):
+        events = workload.generate_events(5)
+        for event in events:
+            assert set(event) == set(workload.schema.attribute_names)
+
+    def test_titles_include_series(self):
+        schema = AuctionSchema(n_titles=100, n_series=10)
+        series_titles = [t for t in schema.titles if t.startswith("series-")]
+        assert len(series_titles) == 30  # 30% of titles
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(WorkloadError):
+            AuctionSchema().spec("nope")
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            AuctionSchema(n_titles=1)
+        with pytest.raises(WorkloadError):
+            AuctionSchema(n_titles=10, n_series=20)
+
+
+class TestDeterminism:
+    def test_same_seed_same_events(self):
+        a = AuctionWorkload(AuctionWorkloadConfig(seed=9)).generate_events(20)
+        b = AuctionWorkload(AuctionWorkloadConfig(seed=9)).generate_events(20)
+        assert list(a) == list(b)
+
+    def test_different_seed_different_events(self):
+        a = AuctionWorkload(AuctionWorkloadConfig(seed=9)).generate_events(20)
+        b = AuctionWorkload(AuctionWorkloadConfig(seed=10)).generate_events(20)
+        assert list(a) != list(b)
+
+    def test_same_seed_same_subscriptions(self):
+        a = AuctionWorkload(AuctionWorkloadConfig(seed=9)).generate_subscriptions(20)
+        b = AuctionWorkload(AuctionWorkloadConfig(seed=9)).generate_subscriptions(20)
+        assert [s.tree for s in a] == [s.tree for s in b]
+
+    def test_streams_are_independent(self, workload):
+        a = workload.generate_events(10, stream=0)
+        b = workload.generate_events(10, stream=1)
+        assert list(a) != list(b)
+
+
+class TestSubscriptions:
+    def test_ids_and_owners_assigned(self, workload):
+        subs = workload.generate_subscriptions(6, id_start=100, owners=["x", "y"])
+        assert [s.id for s in subs] == list(range(100, 106))
+        assert [s.owner for s in subs] == ["x", "y", "x", "y", "x", "y"]
+
+    def test_trees_are_normalized(self, auction_subscriptions):
+        for subscription in auction_subscriptions:
+            assert is_normalized(subscription.tree)
+
+    def test_all_three_classes_present(self, auction_subscriptions):
+        """Heuristic class detection: specific-item subs reference title,
+        category subs reference category, collector subs contain an OR of
+        conjunctions."""
+        has_title_anchor = 0
+        has_category = 0
+        has_or_of_ands = 0
+        for subscription in auction_subscriptions:
+            attributes = {p.attribute for p in subscription.tree.predicates()}
+            if "title" in attributes and "category" not in attributes:
+                has_title_anchor += 1
+            if "category" in attributes:
+                has_category += 1
+            for _path, node in subscription.tree.iter_nodes():
+                if isinstance(node, OrNode) and any(
+                    isinstance(child, AndNode) for child in node.children
+                ):
+                    has_or_of_ands += 1
+                    break
+        assert has_title_anchor > 10
+        assert has_category > 10
+        assert has_or_of_ands > 5
+
+    def test_class_mix_normalization(self):
+        mix = SubscriptionClassMix(2, 2, 4).normalized()
+        assert mix.specific_item == pytest.approx(0.25)
+        assert mix.collector == pytest.approx(0.5)
+
+    def test_degenerate_mix_rejected(self):
+        with pytest.raises(WorkloadError):
+            SubscriptionClassMix(0, 0, 0).normalized()
+
+    def test_class_mix_respected_roughly(self):
+        config = AuctionWorkloadConfig(
+            seed=5, class_mix=SubscriptionClassMix(1.0, 0.0, 0.0)
+        )
+        subs = AuctionWorkload(config).generate_subscriptions(30)
+        for subscription in subs:
+            attributes = {p.attribute for p in subscription.tree.predicates()}
+            assert "title" in attributes
+
+    def test_subscription_sizes_in_expected_band(self, auction_subscriptions):
+        leaves = [s.leaf_count for s in auction_subscriptions]
+        assert 2 <= min(leaves)
+        assert max(leaves) <= 25
+        assert 4.0 <= float(np.mean(leaves)) <= 9.0
+
+
+class TestStatisticsExactness:
+    def test_analytic_statistics_match_generated_events(self, workload):
+        """Per-predicate probabilities from the analytic statistics agree
+        with empirical frequencies on a large sample."""
+        from repro.selectivity.statistics import EventStatistics
+        from repro.subscriptions.predicates import Operator, Predicate
+
+        events = workload.generate_events(4000, stream=7).events
+        analytic = workload.statistics()
+        empirical = EventStatistics.from_events(events)
+
+        probes = [
+            Predicate("category", Operator.EQ, workload.schema.categories[0]),
+            Predicate("price", Operator.LE, 12.0),
+            Predicate("seller_rating", Operator.GE, 4.0),
+            Predicate("condition", Operator.NE, "poor"),
+            Predicate("format", Operator.IN_SET, frozenset({"hardcover", "ebook"})),
+            Predicate("buy_now", Operator.EQ, True),
+        ]
+        for probe in probes:
+            expected = analytic.predicate_probability(probe)
+            observed = empirical.predicate_probability(probe)
+            assert observed == pytest.approx(expected, abs=0.03), probe
+
+    def test_mean_subscription_selectivity_is_low(self, workload):
+        """The workload is selective enough for routing to be non-trivial
+        (paper-like setting: most events match few subscriptions)."""
+        events = workload.generate_events(600).events
+        subs = workload.generate_subscriptions(120)
+        fractions = [
+            sum(1 for e in events if s.tree.evaluate(e)) / len(events) for s in subs
+        ]
+        assert float(np.mean(fractions)) < 0.03

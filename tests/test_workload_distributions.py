@@ -1,0 +1,143 @@
+"""Tests for workload sampling primitives."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.util.rng import derive_seed, make_rng
+from repro.workloads.distributions import (
+    Categorical,
+    PiecewiseLinear,
+    lognormal_cdf_table,
+    zipf_weights,
+)
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        assert zipf_weights(10, 1.0).sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        weights = zipf_weights(10, 1.2)
+        assert all(weights[i] >= weights[i + 1] for i in range(9))
+
+    def test_zero_exponent_is_uniform(self):
+        weights = zipf_weights(4, 0.0)
+        assert np.allclose(weights, 0.25)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            zipf_weights(0)
+        with pytest.raises(WorkloadError):
+            zipf_weights(5, -1.0)
+
+
+class TestCategorical:
+    def test_sample_frequencies_track_weights(self):
+        rng = make_rng(7, "cat")
+        dist = Categorical(["a", "b"], [0.8, 0.2])
+        draws = dist.sample(rng, 5000)
+        frequency = draws.count("a") / 5000
+        assert frequency == pytest.approx(0.8, abs=0.03)
+
+    def test_sample_one(self):
+        rng = make_rng(7, "one")
+        dist = Categorical([1, 2, 3], [1, 1, 1])
+        assert dist.sample_one(rng) in (1, 2, 3)
+
+    def test_statistics_match_probabilities(self):
+        dist = Categorical(["a", "b"], [3, 1])
+        stats = dist.statistics()
+        from repro.subscriptions.predicates import Operator
+
+        assert stats.predicate_probability(Operator.EQ, "a") == pytest.approx(0.75)
+
+    def test_quantile_value(self):
+        dist = Categorical(["a", "b", "c"], [0.5, 0.3, 0.2])
+        assert dist.quantile_value(0.4) == "a"
+        assert dist.quantile_value(0.7) == "b"
+        assert dist.quantile_value(1.0) == "c"
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            Categorical([], [])
+        with pytest.raises(WorkloadError):
+            Categorical(["a"], [-1])
+
+
+class TestPiecewiseLinear:
+    @pytest.fixture()
+    def dist(self):
+        return PiecewiseLinear([0.0, 10.0, 20.0], [0.0, 0.5, 1.0], round_digits=None)
+
+    def test_samples_within_support(self, dist):
+        rng = make_rng(3, "pw")
+        values = dist.sample(rng, 1000)
+        assert values.min() >= 0.0
+        assert values.max() <= 20.0
+
+    def test_inverse_cdf_sampling_matches_declared_cdf(self, dist):
+        rng = make_rng(3, "pw2")
+        values = dist.sample(rng, 20000)
+        # P(X <= 10) should be ~0.5 by construction
+        assert (values <= 10.0).mean() == pytest.approx(0.5, abs=0.02)
+
+    def test_quantile(self, dist):
+        assert dist.quantile(0.5) == pytest.approx(10.0)
+        assert dist.quantile(0.75) == pytest.approx(15.0)
+
+    def test_statistics_agree_with_quantiles(self, dist):
+        from repro.subscriptions.predicates import Operator
+
+        stats = dist.statistics()
+        assert stats.predicate_probability(Operator.LE, 15.0) == pytest.approx(0.75)
+
+    def test_rounding(self):
+        dist = PiecewiseLinear([0.0, 1.0], [0.0, 1.0], round_digits=1)
+        rng = make_rng(1, "round")
+        values = dist.sample(rng, 100)
+        assert np.allclose(values, np.round(values, 1))
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            PiecewiseLinear([0.0], [0.0])
+        with pytest.raises(WorkloadError):
+            PiecewiseLinear([0.0, 1.0], [0.1, 1.0])
+        with pytest.raises(WorkloadError):
+            PiecewiseLinear([1.0, 0.0], [0.0, 1.0])
+        with pytest.raises(WorkloadError):
+            PiecewiseLinear([0.0, 1.0], [0.0, 0.9])
+
+
+class TestLognormalTable:
+    def test_cdf_properties(self):
+        support, cdf = lognormal_cdf_table(12.0, 0.9, 0.5, 500.0)
+        assert cdf[0] == 0.0
+        assert cdf[-1] == 1.0
+        assert np.all(np.diff(cdf) >= 0)
+        assert np.all(np.diff(support) > 0)
+
+    def test_median_is_near_declared(self):
+        support, cdf = lognormal_cdf_table(12.0, 0.9, 0.5, 500.0)
+        median = float(np.interp(0.5, cdf, support))
+        assert median == pytest.approx(12.0, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            lognormal_cdf_table(-1, 1, 1, 10)
+        with pytest.raises(WorkloadError):
+            lognormal_cdf_table(5, 1, 10, 1)
+
+
+class TestSeeding:
+    def test_derive_seed_is_stable(self):
+        assert derive_seed(42, "x") == derive_seed(42, "x")
+
+    def test_derive_seed_separates_labels(self):
+        assert derive_seed(42, "x") != derive_seed(42, "y")
+        assert derive_seed(42, "x", 1) != derive_seed(42, "x", 2)
+
+    def test_make_rng_reproducible(self):
+        a = make_rng(42, "stream").random(5)
+        b = make_rng(42, "stream").random(5)
+        assert np.allclose(a, b)
