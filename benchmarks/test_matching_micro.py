@@ -2,13 +2,18 @@
 
 These are real pytest-benchmark loops (many rounds), unlike the figure
 benchmarks: counting vs naive matching throughput, index rebuild cost,
-and the cost of matching under heavy pruning.
+incremental-update vs full-rebuild churn cost, and the cost of matching
+under heavy pruning.  Key numbers are also measured explicitly
+(best-of-N wall clock) and written to ``BENCH_matching.json`` at the
+repo root via the ``bench_results`` fixture, so the matching engine's
+perf trajectory is machine-readable across PRs.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from conftest import best_seconds
 from repro.core.heuristics import Dimension
 from repro.matching.counting import CountingMatcher
 from repro.matching.naive import NaiveMatcher
@@ -21,11 +26,11 @@ def matchers(bench_subscriptions):
     for subscription in bench_subscriptions:
         counting.register(subscription)
         naive.register(subscription)
-    counting.rebuild()
     return counting, naive
 
 
-def test_counting_matcher_throughput(benchmark, matchers, bench_events):
+def test_counting_matcher_throughput(benchmark, matchers, bench_events,
+                                     bench_results):
     counting, _naive = matchers
     events = bench_events.events[:50]
 
@@ -38,9 +43,16 @@ def test_counting_matcher_throughput(benchmark, matchers, bench_events):
     matches = benchmark(run)
     benchmark.extra_info["matches"] = matches
     benchmark.extra_info["events"] = len(events)
+    seconds, _ = best_seconds(run)
+    bench_results["single_event_counting"] = {
+        "events": len(events),
+        "seconds": seconds,
+        "events_per_second": len(events) / seconds if seconds else None,
+    }
 
 
-def test_naive_matcher_throughput(benchmark, matchers, bench_events):
+def test_naive_matcher_throughput(benchmark, matchers, bench_events,
+                                  bench_results):
     _counting, naive = matchers
     events = bench_events.events[:50]
 
@@ -52,6 +64,12 @@ def test_naive_matcher_throughput(benchmark, matchers, bench_events):
 
     matches = benchmark(run)
     benchmark.extra_info["matches"] = matches
+    seconds, _ = best_seconds(run)
+    bench_results["single_event_naive"] = {
+        "events": len(events),
+        "seconds": seconds,
+        "events_per_second": len(events) / seconds if seconds else None,
+    }
 
 
 def test_counting_and_naive_agree(matchers, bench_events):
@@ -60,7 +78,7 @@ def test_counting_and_naive_agree(matchers, bench_events):
         assert sorted(counting.match(event)) == sorted(naive.match(event))
 
 
-def test_index_rebuild_cost(benchmark, bench_subscriptions):
+def test_index_rebuild_cost(benchmark, bench_subscriptions, bench_results):
     def rebuild():
         matcher = CountingMatcher()
         for subscription in bench_subscriptions:
@@ -70,6 +88,57 @@ def test_index_rebuild_cost(benchmark, bench_subscriptions):
 
     entries = benchmark(rebuild)
     benchmark.extra_info["entries"] = entries
+    seconds, _ = best_seconds(rebuild)
+    bench_results["full_rebuild"] = {
+        "subscriptions": len(bench_subscriptions),
+        "entries": entries,
+        "seconds": seconds,
+    }
+
+
+def test_incremental_update_vs_rebuild(benchmark, bench_subscriptions,
+                                       bench_results):
+    """Churn cost: k incremental replaces vs one full table rebuild.
+
+    The old engine rebuilt its whole ``PredicateIndexSet`` after any
+    register/unregister/replace; incremental maintenance makes churn
+    O(delta).  A small replace burst must therefore be much cheaper than
+    rebuilding the table — this is the acceptance gate of the
+    incremental refactor.
+    """
+    matcher = CountingMatcher()
+    for subscription in bench_subscriptions:
+        matcher.register(subscription)
+    churn = bench_subscriptions[: max(1, len(bench_subscriptions) // 20)]
+
+    def burst():
+        for subscription in churn:
+            matcher.replace(subscription)
+        return len(churn)
+
+    replaced = benchmark(burst)
+    benchmark.extra_info["replaced"] = replaced
+
+    incremental_seconds, _ = best_seconds(burst)
+
+    def full_rebuild():
+        fresh = CountingMatcher()
+        for subscription in bench_subscriptions:
+            fresh.register(subscription)
+        return fresh.entry_count
+
+    rebuild_seconds, _ = best_seconds(full_rebuild)
+    bench_results["churn"] = {
+        "replaces": len(churn),
+        "table_size": len(bench_subscriptions),
+        "incremental_seconds": incremental_seconds,
+        "rebuild_seconds": rebuild_seconds,
+        "speedup": (
+            rebuild_seconds / incremental_seconds if incremental_seconds else None
+        ),
+    }
+    # O(delta) must beat O(table) on a 5% churn burst.
+    assert incremental_seconds < rebuild_seconds
 
 
 def test_matching_fully_pruned_tables(benchmark, bench_context):
@@ -79,7 +148,6 @@ def test_matching_fully_pruned_tables(benchmark, bench_context):
     matcher = CountingMatcher()
     for subscription in pruned.values():
         matcher.register(subscription)
-    matcher.rebuild()
     events = bench_context.events.events[:50]
 
     def run():

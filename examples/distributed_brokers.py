@@ -11,7 +11,6 @@ matches, at any pruning level) and reports the network-load price.
 Run:  python examples/distributed_brokers.py
 """
 
-import itertools
 
 from repro import (
     AuctionWorkload,

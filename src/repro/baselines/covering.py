@@ -16,7 +16,7 @@ conservative: it may miss an optimization, never a delivery.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from repro.errors import MatchingError
 from repro.events import Event

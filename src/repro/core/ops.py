@@ -23,10 +23,10 @@ not itself contain an AND node.
 
 from __future__ import annotations
 
-from typing import Iterator, List, NamedTuple, Optional, Tuple
+from typing import List, NamedTuple, Tuple
 
 from repro.errors import PruningError
-from repro.subscriptions.nodes import AndNode, Node, Path, PredicateLeaf
+from repro.subscriptions.nodes import AndNode, Node, Path
 from repro.subscriptions.normalize import fold_constants, is_normalized
 from repro.subscriptions.subscription import Subscription
 

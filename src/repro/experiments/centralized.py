@@ -2,7 +2,8 @@
 
 One broker holds every subscription.  For each dimension, the pruning
 schedule is swept from 0 to 100% of possible prunings; at each grid point
-we rebuild the counting engine over the pruned trees and measure
+a fresh counting engine is built over the pruned trees and the event
+batch is matched through the vectorized batch path to measure
 
 * mean filtering time per event (Fig. 1(a)),
 * the proportional number of matching events — total matches normalized

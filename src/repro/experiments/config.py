@@ -10,7 +10,7 @@ original magnitudes for long offline runs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.core.heuristics import Dimension

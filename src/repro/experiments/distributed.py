@@ -22,7 +22,6 @@ events matching its original subscription, at every pruning level.
 
 from __future__ import annotations
 
-import itertools
 from typing import Dict, List, Optional
 
 from repro.core.heuristics import Dimension
@@ -118,16 +117,17 @@ class DistributedExperiment:
                 }
                 for broker_id in self.broker_ids
             }
+            # Pruned trees flow through the matcher's incremental replace
+            # path — no engine rebuild between grid points.
             network.apply_pruned_tables(per_broker)
-            for broker in network.brokers.values():
-                broker.matcher.rebuild()
             # Warm up so the timed pass reflects steady-state filtering.
-            network.publish_many(
-                itertools.cycle(self.broker_ids),
-                events.events[: min(16, len(events))],
+            network.publish_round_robin(
+                self.broker_ids, events.events[: min(16, len(events))]
             )
             network.reset_statistics()
-            network.publish_many(itertools.cycle(self.broker_ids), events)
+            # The timed pass publishes whole batches per origin broker, so
+            # brokers filter and forward through the vectorized batch path.
+            network.publish_round_robin(self.broker_ids, events.events)
             report = network.report()
 
             if self._baseline_messages is None:

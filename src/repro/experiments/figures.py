@@ -9,7 +9,7 @@ network-based, ``eff`` for throughput-based, ``mem`` for memory-based).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.heuristics import Dimension
 from repro.errors import ExperimentError

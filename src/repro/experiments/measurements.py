@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, NamedTuple, Tuple
+from typing import Iterable, NamedTuple, Tuple
 
 from repro.events import EventBatch
 from repro.matching.counting import CountingMatcher
@@ -39,21 +39,21 @@ def measure_matching(
 ) -> Tuple[float, float, CountingMatcher]:
     """Match all events against a fresh engine; return timing and fraction.
 
-    Returns ``(seconds_per_event, matching_fraction, matcher)``; the index
-    is built *before* timing starts so Fig. 1(a) measures pure filtering,
-    as in the paper.
+    Returns ``(seconds_per_event, matching_fraction, matcher)``.
+    Registration builds the indexes incrementally *before* timing starts,
+    so Fig. 1(a) measures pure filtering, as in the paper; the timed pass
+    runs through the vectorized batch path — the production hot path.
     """
     matcher = CountingMatcher()
     count = 0
     for subscription in subscriptions:
         matcher.register(subscription)
         count += 1
-    matcher.rebuild()
-    for event in events.events[: min(16, len(events))]:
-        matcher.match(event)  # warm caches so timing reflects steady state
+    # Warm caches (lazy bucket arrays, numpy scratch) so timing reflects
+    # steady state.
+    matcher.match_batch(events.events[: min(16, len(events))])
     matcher.statistics.reset()
-    for event in events:
-        matcher.match(event)
+    matcher.match_batch(events.events)
     stats = matcher.statistics
     matching_fraction = 0.0
     if stats.events and count:

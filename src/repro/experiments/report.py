@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import os
-from typing import Dict, Optional, Sequence
+from typing import Dict, Sequence
 
 from repro.experiments.figures import (
     FigureSeries,

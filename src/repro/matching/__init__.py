@@ -10,11 +10,25 @@ interface:
   least ``pmin`` of its predicates are fulfilled.
 * :class:`~repro.matching.naive.NaiveMatcher` — evaluates every subscription
   tree against every event; the correctness oracle and baseline.
+
+Both engines support ``match_batch`` (:mod:`repro.matching.batch`): the
+counting engine vectorizes the candidate test across the batch with a
+2-D fulfilled-count matrix, the naive engine loops — equal outputs are
+the batch path's correctness contract.  The counting engine's indexes
+are incrementally maintained: register/unregister/replace apply deltas
+to the touched predicate buckets only (O(subscription), not O(table)).
 """
 
+from repro.matching.batch import counting_match_batch
 from repro.matching.counting import CountingMatcher
 from repro.matching.interfaces import Matcher
 from repro.matching.naive import NaiveMatcher
 from repro.matching.stats import MatchStatistics
 
-__all__ = ["CountingMatcher", "Matcher", "MatchStatistics", "NaiveMatcher"]
+__all__ = [
+    "CountingMatcher",
+    "Matcher",
+    "MatchStatistics",
+    "NaiveMatcher",
+    "counting_match_batch",
+]

@@ -19,16 +19,20 @@ Pruning a subscription lowers its tree size and (usually) its ``pmin``;
 this engine is exactly where the paper's throughput dimension becomes
 measurable.
 
-Mutations (register/unregister/replace) mark the engine dirty; indexes are
-rebuilt lazily before the next match.  The experiment harness applies
-thousands of prunings between measurement points, so batched rebuilds are
-the right amortization.
+Mutations (register/unregister/replace) are applied **incrementally**:
+each one updates only the index buckets and slot arrays the subscription
+touches, so churn costs O(subscription size), not O(table).  Slot and
+entry ids come from free lists and are recycled; :meth:`rebuild` survives
+as an optional compaction that re-packs both id spaces in subscription-id
+order.  Batches of events go through :meth:`CountingMatcher.match_batch`
+(:mod:`repro.matching.batch`), which evaluates the candidate test for the
+whole batch with one 2-D bincount instead of per-event 1-D passes.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -45,6 +49,7 @@ from repro.subscriptions.nodes import (
     OrNode,
     PredicateLeaf,
 )
+from repro.subscriptions.predicates import Predicate
 from repro.subscriptions.subscription import Subscription
 
 _KIND_TRUE = 0
@@ -58,6 +63,9 @@ _KIND_TREE = 5
 _OP_LEAF = 0
 _OP_AND = 1
 _OP_OR = 2
+
+#: pmin sentinel of a free slot — no fulfilled-count can ever reach it.
+_PMIN_FREE = PMIN_UNSATISFIABLE + 1
 
 
 def _compile_tree(node: Node, leaf_entries: List[int], cursor: List[int]) -> Tuple:
@@ -102,12 +110,32 @@ def _evaluate_compiled(program: Tuple, flags: np.ndarray) -> bool:
 class _SlotState:
     """Per-subscription compiled state inside the engine."""
 
-    __slots__ = ("subscription", "kind", "program")
+    __slots__ = ("subscription", "kind", "program", "entries", "predicates")
 
-    def __init__(self, subscription: Subscription, kind: int, program: Optional[Tuple]):
+    def __init__(
+        self,
+        subscription: Subscription,
+        kind: int,
+        program: Optional[Tuple],
+        entries: List[int],
+        predicates: List[Predicate],
+    ) -> None:
         self.subscription = subscription
         self.kind = kind
         self.program = program
+        self.entries = entries
+        self.predicates = predicates
+
+
+def _grown(array: np.ndarray, needed: int, fill: int) -> np.ndarray:
+    """``array`` extended to at least ``needed`` elements (2x doubling)."""
+    capacity = len(array)
+    if needed <= capacity:
+        return array
+    new_capacity = max(16, capacity * 2, needed)
+    grown = np.full(new_capacity, fill, dtype=array.dtype)
+    grown[:capacity] = array
+    return grown
 
 
 class CountingMatcher(Matcher):
@@ -125,65 +153,100 @@ class CountingMatcher(Matcher):
 
     def __init__(self) -> None:
         self._subscriptions: Dict[int, Subscription] = {}
-        self._dirty = True
         self.statistics = MatchStatistics()
-        # Rebuilt structures:
         self._indexes = PredicateIndexSet()
-        self._slots: List[_SlotState] = []
+        #: Slot states; ``None`` marks a free slot awaiting reuse.
+        self._slots: List[Optional[_SlotState]] = []
+        self._free_slots: List[int] = []
+        self._slot_of: Dict[int, int] = {}
+        # Entry/slot-aligned arrays, capacity-doubled; logical lengths are
+        # ``len(self._slots)`` and ``self._indexes.entry_capacity``.
         self._slot_ids: np.ndarray = np.empty(0, dtype=np.int64)
-        self._entry_slot: np.ndarray = np.empty(0, dtype=np.int64)
         self._pmin: np.ndarray = np.empty(0, dtype=np.int64)
-        self._always_true_ids: List[int] = []
+        self._entry_slot: np.ndarray = np.empty(0, dtype=np.int64)
 
     # -- registration ---------------------------------------------------------
 
     def register(self, subscription: Subscription) -> None:
         self._require_unknown(subscription.id)
-        self._subscriptions[subscription.id] = subscription
-        self._dirty = True
+        self._insert(subscription)
 
     def unregister(self, subscription_id: int) -> None:
         self._require_known(subscription_id)
-        del self._subscriptions[subscription_id]
-        self._dirty = True
+        self._withdraw(subscription_id)
 
     def replace(self, subscription: Subscription) -> None:
         self._require_known(subscription.id)
-        self._subscriptions[subscription.id] = subscription
-        self._dirty = True
+        # The freed slot is reused immediately (LIFO free list), so a
+        # replace is an in-place index delta, not a table rebuild.
+        self._withdraw(subscription.id)
+        self._insert(subscription)
 
     def subscriptions(self) -> Dict[int, Subscription]:
         return self._subscriptions
 
-    # -- index construction ---------------------------------------------------
+    # -- incremental maintenance ----------------------------------------------
+
+    def _insert(self, subscription: Subscription) -> None:
+        if self._free_slots:
+            slot = self._free_slots.pop()
+        else:
+            slot = len(self._slots)
+            self._slots.append(None)
+            self._slot_ids = _grown(self._slot_ids, slot + 1, fill=-1)
+            self._pmin = _grown(self._pmin, slot + 1, fill=_PMIN_FREE)
+        tree = subscription.tree
+        leaf_entries: List[int] = []
+        leaf_predicates: List[Predicate] = []
+        for _path, node in tree.iter_nodes():
+            if isinstance(node, PredicateLeaf):
+                entry = self._indexes.add(node.predicate)
+                self._entry_slot = _grown(self._entry_slot, entry + 1, fill=-1)
+                self._entry_slot[entry] = slot
+                leaf_entries.append(entry)
+                leaf_predicates.append(node.predicate)
+        kind, program = self._classify(tree, leaf_entries)
+        self._slots[slot] = _SlotState(
+            subscription, kind, program, leaf_entries, leaf_predicates
+        )
+        self._slot_ids[slot] = subscription.id
+        self._pmin[slot] = min(subscription.pmin, PMIN_UNSATISFIABLE)
+        self._slot_of[subscription.id] = slot
+        self._subscriptions[subscription.id] = subscription
+
+    def _withdraw(self, subscription_id: int) -> None:
+        slot = self._slot_of.pop(subscription_id)
+        state = self._slots[slot]
+        for predicate, entry in zip(state.predicates, state.entries):
+            self._indexes.remove(predicate, entry)
+        self._slots[slot] = None
+        self._slot_ids[slot] = -1
+        self._pmin[slot] = _PMIN_FREE
+        self._free_slots.append(slot)
+        del self._subscriptions[subscription_id]
+
+    # -- compaction -----------------------------------------------------------
 
     def rebuild(self) -> None:
-        """Rebuild all index structures from the current subscription set."""
+        """Re-pack slot and entry id spaces in subscription-id order.
+
+        Matching never requires this — indexes are maintained
+        incrementally — but long churny lifetimes can fragment the free
+        lists; compaction restores dense, id-ordered layouts.
+        """
+        subscriptions = [
+            self._subscriptions[sub_id] for sub_id in sorted(self._subscriptions)
+        ]
+        self._subscriptions = {}
         self._indexes = PredicateIndexSet()
         self._slots = []
-        self._always_true_ids = []
-        entry_slot: List[int] = []
-        pmins: List[int] = []
-        ids = sorted(self._subscriptions)
-        for slot, sub_id in enumerate(ids):
-            subscription = self._subscriptions[sub_id]
-            tree = subscription.tree
-            leaf_entries: List[int] = []
-            for _path, node in tree.iter_nodes():
-                if isinstance(node, PredicateLeaf):
-                    entry = self._indexes.add(node.predicate)
-                    leaf_entries.append(entry)
-                    entry_slot.append(slot)
-            kind, program = self._classify(tree, leaf_entries)
-            if kind == _KIND_TRUE:
-                self._always_true_ids.append(sub_id)
-            self._slots.append(_SlotState(subscription, kind, program))
-            pmins.append(min(subscription.pmin, PMIN_UNSATISFIABLE))
-        self._indexes.finalize()
-        self._slot_ids = np.array(ids, dtype=np.int64)
-        self._entry_slot = np.array(entry_slot, dtype=np.int64)
-        self._pmin = np.array(pmins, dtype=np.int64)
-        self._dirty = False
+        self._free_slots = []
+        self._slot_of = {}
+        self._slot_ids = np.empty(0, dtype=np.int64)
+        self._pmin = np.empty(0, dtype=np.int64)
+        self._entry_slot = np.empty(0, dtype=np.int64)
+        for subscription in subscriptions:
+            self._insert(subscription)
 
     @staticmethod
     def _classify(tree: Node, leaf_entries: List[int]) -> Tuple[int, Optional[Tuple]]:
@@ -205,33 +268,33 @@ class CountingMatcher(Matcher):
 
     def match(self, event: Event) -> List[int]:
         started = time.perf_counter()
-        if self._dirty:
-            self.rebuild()
         positives: List[np.ndarray] = []
         negatives: List[np.ndarray] = []
         for attribute, value in event.items():
             self._indexes.collect(attribute, value, positives, negatives)
 
         slot_count = len(self._slots)
-        entry_count = self._indexes.entry_count
-        flags = np.zeros(entry_count, dtype=bool)
+        entry_capacity = self._indexes.entry_capacity
+        flags = np.zeros(entry_capacity, dtype=bool)
         counts = np.zeros(slot_count, dtype=np.int64)
+        entry_slot = self._entry_slot[:entry_capacity]
         if positives:
             hit_entries = np.concatenate(positives)
             flags[hit_entries] = True
             counts = np.bincount(
-                self._entry_slot[hit_entries], minlength=slot_count
+                entry_slot[hit_entries], minlength=slot_count
             ).astype(np.int64)
         if negatives:
             miss_entries = np.concatenate(negatives)
             flags[miss_entries] = False
             counts -= np.bincount(
-                self._entry_slot[miss_entries], minlength=slot_count
+                entry_slot[miss_entries], minlength=slot_count
             )
 
         fulfilled_total = int(counts.sum()) if slot_count else 0
         matched: List[int] = []
-        candidates = np.nonzero(counts >= self._pmin)[0] if slot_count else []
+        pmin = self._pmin[:slot_count]
+        candidates = np.nonzero(counts >= pmin)[0] if slot_count else []
         candidate_count = 0
         evaluations = 0
         for slot in candidates:
@@ -245,6 +308,7 @@ class CountingMatcher(Matcher):
             elif kind != _KIND_FALSE:
                 # TRUE, SINGLE, FLAT_AND, FLAT_OR: reaching pmin decides.
                 matched.append(int(self._slot_ids[slot]))
+        matched.sort()
 
         stats = self.statistics
         stats.events += 1
@@ -255,35 +319,38 @@ class CountingMatcher(Matcher):
         stats.elapsed_seconds += time.perf_counter() - started
         return matched
 
+    def match_batch(self, events: Sequence[Event]) -> List[List[int]]:
+        """Vectorized batch matching (see :mod:`repro.matching.batch`)."""
+        from repro.matching.batch import counting_match_batch
+
+        return counting_match_batch(self, events)
+
     # -- introspection ----------------------------------------------------------
 
     @property
     def entry_count(self) -> int:
-        """Number of predicate entries in the (possibly stale) index."""
-        if self._dirty:
-            self.rebuild()
+        """Number of live predicate entries in the index."""
         return self._indexes.entry_count
 
     def fulfilled_counts(self, event: Event) -> Dict[int, int]:
         """Fulfilled-predicate count per subscription id (diagnostics)."""
-        if self._dirty:
-            self.rebuild()
         positives: List[np.ndarray] = []
         negatives: List[np.ndarray] = []
         for attribute, value in event.items():
             self._indexes.collect(attribute, value, positives, negatives)
-        counts = np.zeros(len(self._slots), dtype=np.int64)
+        slot_count = len(self._slots)
+        entry_slot = self._entry_slot[: self._indexes.entry_capacity]
+        counts = np.zeros(slot_count, dtype=np.int64)
         if positives:
             counts = np.bincount(
-                self._entry_slot[np.concatenate(positives)],
-                minlength=len(self._slots),
+                entry_slot[np.concatenate(positives)],
+                minlength=slot_count,
             ).astype(np.int64)
         if negatives:
             counts -= np.bincount(
-                self._entry_slot[np.concatenate(negatives)],
-                minlength=len(self._slots),
+                entry_slot[np.concatenate(negatives)],
+                minlength=slot_count,
             )
         return {
-            int(self._slot_ids[slot]): int(counts[slot])
-            for slot in range(len(self._slots))
+            sub_id: int(counts[slot]) for sub_id, slot in self._slot_of.items()
         }

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Sequence
 
 from repro.errors import MatchingError
 from repro.events import Event
@@ -36,6 +36,16 @@ class Matcher:
     def match(self, event: Event) -> List[int]:
         """Ids of all registered subscriptions fulfilled by ``event``."""
         raise NotImplementedError
+
+    def match_batch(self, events: Sequence[Event]) -> List[List[int]]:
+        """Match a batch of events; one id list per event, in order.
+
+        The default implementation loops :meth:`match`; engines with a
+        vectorized batch path (the counting engine) override it.  Both
+        must produce identical match sets per event — the loop-based
+        default is the equivalence oracle for the vectorized path.
+        """
+        return [self.match(event) for event in events]
 
     def subscriptions(self) -> Dict[int, Subscription]:
         """Mapping of id to registered subscription (live view or copy)."""

@@ -14,7 +14,11 @@ from repro.subscriptions.subscription import Subscription
 
 
 class NaiveMatcher(Matcher):
-    """O(subscriptions × tree size) matcher with no index structures."""
+    """O(subscriptions × tree size) matcher with no index structures.
+
+    ``match_batch`` is inherited from :class:`Matcher` — the loop-based
+    default is exactly the batch oracle this engine exists to provide.
+    """
 
     def __init__(self) -> None:
         self._subscriptions: Dict[int, Subscription] = {}

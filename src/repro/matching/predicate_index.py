@@ -11,12 +11,20 @@ are almost always fulfilled when the attribute is present, so enumerating
 their fulfilled entries directly would be wasteful.  They are reported as
 an *all entries* positive array plus a small *excluded* negative array;
 the counting engine adds the first and subtracts the second.
+
+Indexes are **incrementally maintained**: :meth:`AttributeIndex.add` and
+:meth:`AttributeIndex.remove` update only the operator buckets the
+predicate touches, and each bucket re-materializes its numpy query arrays
+lazily the next time it is probed.  Subscription churn therefore costs
+O(touched buckets), not O(index).  Entry ids are allocated by
+:class:`PredicateIndexSet` from a free list so long-lived engines do not
+grow their id space under churn.
 """
 
 from __future__ import annotations
 
 import bisect
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 import numpy as np
 
@@ -41,34 +49,89 @@ def value_key(value: Value) -> Tuple[str, Value]:
     return (_KIND_STR, value)
 
 
+class _EntrySet:
+    """A mutable set of entry ids with a lazily cached numpy array."""
+
+    __slots__ = ("_entries", "_array")
+
+    def __init__(self) -> None:
+        self._entries: Set[int] = set()
+        self._array: Optional[np.ndarray] = _EMPTY
+
+    def add(self, entry: int) -> None:
+        self._entries.add(entry)
+        self._array = None
+
+    def remove(self, entry: int) -> None:
+        try:
+            self._entries.remove(entry)
+        except KeyError:
+            raise MatchingError("entry %d is not in this bucket" % entry)
+        self._array = None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def array(self) -> np.ndarray:
+        if self._array is None:
+            self._array = np.fromiter(
+                self._entries, dtype=np.int64, count=len(self._entries)
+            )
+        return self._array
+
+
 class _SortedConstants:
     """Constants of one ordered operator over one value kind, sorted.
 
     Suffix/prefix slices of the aligned entry array are exactly the
-    fulfilled entries for a probe value (see ``collect``).
+    fulfilled entries for a probe value (see ``collect``).  The sorted
+    pair list is maintained incrementally with ``bisect``; the aligned
+    numpy arrays are re-materialized lazily after a mutation.
     """
 
-    __slots__ = ("pairs", "constants", "entries")
+    __slots__ = ("pairs", "numeric", "_constants", "_entries")
 
-    def __init__(self) -> None:
+    def __init__(self, numeric: bool) -> None:
         self.pairs: List[Tuple[Value, int]] = []
-        self.constants: Union[np.ndarray, List[Value]] = _EMPTY
-        self.entries: np.ndarray = _EMPTY
+        self.numeric = numeric
+        self._constants: Union[np.ndarray, List[Value], None] = _EMPTY
+        self._entries: Optional[np.ndarray] = _EMPTY
 
     def add(self, constant: Value, entry: int) -> None:
-        self.pairs.append((constant, entry))
+        bisect.insort(self.pairs, (constant, entry))
+        self._entries = None
 
-    def finalize(self, numeric: bool) -> None:
-        self.pairs.sort(key=lambda pair: pair[0])
-        if numeric:
-            self.constants = np.array(
+    def remove(self, constant: Value, entry: int) -> None:
+        pair = (constant, entry)
+        position = bisect.bisect_left(self.pairs, pair)
+        if position >= len(self.pairs) or self.pairs[position] != pair:
+            raise MatchingError("range entry %d is not registered" % entry)
+        del self.pairs[position]
+        self._entries = None
+
+    def _materialize(self) -> None:
+        if self.numeric:
+            self._constants = np.array(
                 [float(constant) for constant, _entry in self.pairs], dtype=np.float64
             )
         else:
-            self.constants = [constant for constant, _entry in self.pairs]
-        self.entries = np.array(
+            self._constants = [constant for constant, _entry in self.pairs]
+        self._entries = np.array(
             [entry for _constant, entry in self.pairs], dtype=np.int64
         )
+
+    @property
+    def constants(self) -> Union[np.ndarray, List[Value]]:
+        if self._entries is None:
+            self._materialize()
+        return self._constants
+
+    @property
+    def entries(self) -> np.ndarray:
+        if self._entries is None:
+            self._materialize()
+        return self._entries
 
     def __len__(self) -> int:
         return len(self.pairs)
@@ -80,10 +143,10 @@ class _OrderedOps:
     __slots__ = ("lt", "le", "gt", "ge", "numeric")
 
     def __init__(self, numeric: bool) -> None:
-        self.lt = _SortedConstants()
-        self.le = _SortedConstants()
-        self.gt = _SortedConstants()
-        self.ge = _SortedConstants()
+        self.lt = _SortedConstants(numeric)
+        self.le = _SortedConstants(numeric)
+        self.gt = _SortedConstants(numeric)
+        self.ge = _SortedConstants(numeric)
         self.numeric = numeric
 
     def for_operator(self, operator: Operator) -> _SortedConstants:
@@ -94,10 +157,6 @@ class _OrderedOps:
         if operator is Operator.GT:
             return self.gt
         return self.ge
-
-    def finalize(self) -> None:
-        for bucket in (self.lt, self.le, self.gt, self.ge):
-            bucket.finalize(self.numeric)
 
     def _split(self, bucket: _SortedConstants, value: Value, side: str) -> int:
         if self.numeric:
@@ -123,9 +182,35 @@ class _OrderedOps:
         if len(self.ge):
             positives.append(self.ge.entries[: self._split(self.ge, value, "right")])
 
+    def __len__(self) -> int:
+        return len(self.lt) + len(self.le) + len(self.gt) + len(self.ge)
+
+
+def _bucket_add(
+    buckets: Dict, key, entry: int
+) -> None:
+    vector = buckets.get(key)
+    if vector is None:
+        vector = _EntrySet()
+        buckets[key] = vector
+    vector.add(entry)
+
+
+def _bucket_remove(buckets: Dict, key, entry: int) -> None:
+    vector = buckets.get(key)
+    if vector is None:
+        raise MatchingError("entry %d is not registered under %r" % (entry, key))
+    vector.remove(entry)
+    if not len(vector):
+        del buckets[key]
+
 
 class AttributeIndex:
-    """All predicate entries registered for one attribute name."""
+    """All predicate entries registered for one attribute name.
+
+    The index is always queryable; :meth:`add` and :meth:`remove` apply
+    deltas to the touched operator buckets only.
+    """
 
     __slots__ = (
         "attribute",
@@ -140,43 +225,45 @@ class AttributeIndex:
         "_contains",
         "_not_contains_all",
         "_not_contains",
-        "_finalized",
+        "_live",
     )
 
     def __init__(self, attribute: str) -> None:
         self.attribute = attribute
-        self._eq: Dict[Tuple[str, Value], List[int]] = {}
-        self._ne_all: List[int] = []
-        self._ne_by_value: Dict[Tuple[str, Value], List[int]] = {}
+        self._eq: Dict[Tuple[str, Value], _EntrySet] = {}
+        self._ne_all = _EntrySet()
+        self._ne_by_value: Dict[Tuple[str, Value], _EntrySet] = {}
         self._numeric = _OrderedOps(numeric=True)
         self._string = _OrderedOps(numeric=False)
-        self._prefix_by_length: Dict[int, Dict[str, List[int]]] = {}
-        self._not_prefix_all: List[int] = []
-        self._not_prefix_by_length: Dict[int, Dict[str, List[int]]] = {}
-        self._contains: List[Tuple[str, int]] = []
-        self._not_contains_all: List[int] = []
-        self._not_contains: List[Tuple[str, int]] = []
-        self._finalized = False
+        self._prefix_by_length: Dict[int, Dict[str, _EntrySet]] = {}
+        self._not_prefix_all = _EntrySet()
+        self._not_prefix_by_length: Dict[int, Dict[str, _EntrySet]] = {}
+        self._contains: Dict[int, str] = {}
+        self._not_contains_all = _EntrySet()
+        self._not_contains: Dict[int, str] = {}
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of live predicate entries in this attribute index."""
+        return self._live
 
     def add(self, predicate: Predicate, entry: int) -> None:
         """Register a predicate instance under entry id ``entry``."""
-        if self._finalized:
-            raise MatchingError("cannot add to a finalized index")
         if predicate.attribute != self.attribute:
             raise MatchingError("predicate attribute mismatch")
         operator = predicate.operator
         if operator is Operator.EQ:
-            self._eq.setdefault(value_key(predicate.value), []).append(entry)
+            _bucket_add(self._eq, value_key(predicate.value), entry)
         elif operator is Operator.IN_SET:
             for member in predicate.value:
-                self._eq.setdefault(value_key(member), []).append(entry)
+                _bucket_add(self._eq, value_key(member), entry)
         elif operator is Operator.NE:
-            self._ne_all.append(entry)
-            self._ne_by_value.setdefault(value_key(predicate.value), []).append(entry)
+            self._ne_all.add(entry)
+            _bucket_add(self._ne_by_value, value_key(predicate.value), entry)
         elif operator is Operator.NOT_IN_SET:
-            self._ne_all.append(entry)
+            self._ne_all.add(entry)
             for member in predicate.value:
-                self._ne_by_value.setdefault(value_key(member), []).append(entry)
+                _bucket_add(self._ne_by_value, value_key(member), entry)
         elif operator.is_ordered:
             if isinstance(predicate.value, str):
                 self._string.for_operator(operator).add(predicate.value, entry)
@@ -185,42 +272,79 @@ class AttributeIndex:
         elif operator is Operator.PREFIX:
             prefix = predicate.value
             bucket = self._prefix_by_length.setdefault(len(prefix), {})
-            bucket.setdefault(prefix, []).append(entry)
+            _bucket_add(bucket, prefix, entry)
         elif operator is Operator.NOT_PREFIX:
             prefix = predicate.value
-            self._not_prefix_all.append(entry)
+            self._not_prefix_all.add(entry)
             bucket = self._not_prefix_by_length.setdefault(len(prefix), {})
-            bucket.setdefault(prefix, []).append(entry)
+            _bucket_add(bucket, prefix, entry)
         elif operator is Operator.CONTAINS:
-            self._contains.append((predicate.value, entry))
+            self._contains[entry] = predicate.value
         elif operator is Operator.NOT_CONTAINS:
-            self._not_contains_all.append(entry)
-            self._not_contains.append((predicate.value, entry))
+            self._not_contains_all.add(entry)
+            self._not_contains[entry] = predicate.value
         else:  # pragma: no cover - all operators handled above
             raise MatchingError("unsupported operator %r" % operator)
+        self._live += 1
+
+    def remove(self, predicate: Predicate, entry: int) -> None:
+        """Withdraw the predicate instance registered under ``entry``."""
+        if predicate.attribute != self.attribute:
+            raise MatchingError("predicate attribute mismatch")
+        operator = predicate.operator
+        if operator is Operator.EQ:
+            _bucket_remove(self._eq, value_key(predicate.value), entry)
+        elif operator is Operator.IN_SET:
+            for member in predicate.value:
+                _bucket_remove(self._eq, value_key(member), entry)
+        elif operator is Operator.NE:
+            self._ne_all.remove(entry)
+            _bucket_remove(self._ne_by_value, value_key(predicate.value), entry)
+        elif operator is Operator.NOT_IN_SET:
+            self._ne_all.remove(entry)
+            for member in predicate.value:
+                _bucket_remove(self._ne_by_value, value_key(member), entry)
+        elif operator.is_ordered:
+            if isinstance(predicate.value, str):
+                self._string.for_operator(operator).remove(predicate.value, entry)
+            else:
+                self._numeric.for_operator(operator).remove(
+                    float(predicate.value), entry
+                )
+        elif operator is Operator.PREFIX:
+            prefix = predicate.value
+            bucket = self._prefix_by_length.get(len(prefix))
+            if bucket is None:
+                raise MatchingError("prefix entry %d is not registered" % entry)
+            _bucket_remove(bucket, prefix, entry)
+            if not bucket:
+                del self._prefix_by_length[len(prefix)]
+        elif operator is Operator.NOT_PREFIX:
+            prefix = predicate.value
+            self._not_prefix_all.remove(entry)
+            bucket = self._not_prefix_by_length.get(len(prefix))
+            if bucket is None:
+                raise MatchingError("not-prefix entry %d is not registered" % entry)
+            _bucket_remove(bucket, prefix, entry)
+            if not bucket:
+                del self._not_prefix_by_length[len(prefix)]
+        elif operator is Operator.CONTAINS:
+            if self._contains.pop(entry, None) is None:
+                raise MatchingError("contains entry %d is not registered" % entry)
+        elif operator is Operator.NOT_CONTAINS:
+            self._not_contains_all.remove(entry)
+            if self._not_contains.pop(entry, None) is None:
+                raise MatchingError("not-contains entry %d is not registered" % entry)
+        else:  # pragma: no cover - all operators handled above
+            raise MatchingError("unsupported operator %r" % operator)
+        self._live -= 1
 
     def finalize(self) -> None:
-        """Convert accumulation structures to their query representations."""
-        if self._finalized:
-            return
-        self._eq = {key: np.array(v, dtype=np.int64) for key, v in self._eq.items()}
-        self._ne_by_value = {
-            key: np.array(v, dtype=np.int64) for key, v in self._ne_by_value.items()
-        }
-        self._ne_all = np.array(self._ne_all, dtype=np.int64)
-        self._not_prefix_all = np.array(self._not_prefix_all, dtype=np.int64)
-        self._not_contains_all = np.array(self._not_contains_all, dtype=np.int64)
-        self._prefix_by_length = {
-            length: {p: np.array(v, dtype=np.int64) for p, v in bucket.items()}
-            for length, bucket in self._prefix_by_length.items()
-        }
-        self._not_prefix_by_length = {
-            length: {p: np.array(v, dtype=np.int64) for p, v in bucket.items()}
-            for length, bucket in self._not_prefix_by_length.items()
-        }
-        self._numeric.finalize()
-        self._string.finalize()
-        self._finalized = True
+        """Deprecated no-op, kept for API compatibility.
+
+        Indexes are incrementally maintained and always queryable; there
+        is no build step to trigger anymore.
+        """
 
     def collect(
         self,
@@ -234,17 +358,15 @@ class AttributeIndex:
         of fulfilled entries; every entry appears at most once in the net
         result.
         """
-        if not self._finalized:
-            raise MatchingError("index must be finalized before matching")
         key = value_key(value)
         hit = self._eq.get(key)
         if hit is not None:
-            positives.append(hit)
+            positives.append(hit.array)
         if len(self._ne_all):
-            positives.append(self._ne_all)
+            positives.append(self._ne_all.array)
             excluded = self._ne_by_value.get(key)
             if excluded is not None:
-                negatives.append(excluded)
+                negatives.append(excluded.array)
         if isinstance(value, bool):
             return  # booleans only support (in)equality
         if isinstance(value, str):
@@ -253,55 +375,94 @@ class AttributeIndex:
                 if length <= len(value):
                     hit = bucket.get(value[:length])
                     if hit is not None:
-                        positives.append(hit)
+                        positives.append(hit.array)
             if len(self._not_prefix_all):
-                positives.append(self._not_prefix_all)
+                positives.append(self._not_prefix_all.array)
                 for length, bucket in self._not_prefix_by_length.items():
                     if length <= len(value):
                         excluded = bucket.get(value[:length])
                         if excluded is not None:
-                            negatives.append(excluded)
-            for needle, entry in self._contains:
-                if needle in value:
-                    positives.append(np.array([entry], dtype=np.int64))
+                            negatives.append(excluded.array)
+            if self._contains:
+                hits = [
+                    entry
+                    for entry, needle in self._contains.items()
+                    if needle in value
+                ]
+                if hits:
+                    positives.append(np.array(hits, dtype=np.int64))
             if len(self._not_contains_all):
-                positives.append(self._not_contains_all)
-                for needle, entry in self._not_contains:
-                    if needle in value:
-                        negatives.append(np.array([entry], dtype=np.int64))
+                positives.append(self._not_contains_all.array)
+                misses = [
+                    entry
+                    for entry, needle in self._not_contains.items()
+                    if needle in value
+                ]
+                if misses:
+                    negatives.append(np.array(misses, dtype=np.int64))
         else:
             self._numeric.collect(float(value), positives)
 
 
 class PredicateIndexSet:
-    """The full per-attribute index family used by one counting engine."""
+    """The full per-attribute index family used by one counting engine.
 
-    __slots__ = ("_by_attribute", "_entry_count")
+    Entry ids are allocated from a free list: removing a predicate
+    returns its id for reuse, so ``entry_capacity`` (the size of the
+    caller's entry-aligned arrays) stays bounded by the live high-water
+    mark under register/unregister churn.
+    """
+
+    __slots__ = ("_by_attribute", "_free_entries", "_entry_capacity", "_live")
 
     def __init__(self) -> None:
         self._by_attribute: Dict[str, AttributeIndex] = {}
-        self._entry_count = 0
+        self._free_entries: List[int] = []
+        self._entry_capacity = 0
+        self._live = 0
 
     @property
     def entry_count(self) -> int:
-        """Total number of registered predicate entries."""
-        return self._entry_count
+        """Number of live registered predicate entries."""
+        return self._live
+
+    @property
+    def entry_capacity(self) -> int:
+        """Size of the entry id space (live entries + free-list holes)."""
+        return self._entry_capacity
 
     def add(self, predicate: Predicate) -> int:
-        """Register a predicate instance; returns its new entry id."""
+        """Register a predicate instance; returns its (possibly recycled)
+        entry id."""
         index = self._by_attribute.get(predicate.attribute)
         if index is None:
             index = AttributeIndex(predicate.attribute)
             self._by_attribute[predicate.attribute] = index
-        entry = self._entry_count
+        if self._free_entries:
+            entry = self._free_entries.pop()
+        else:
+            entry = self._entry_capacity
+            self._entry_capacity += 1
         index.add(predicate, entry)
-        self._entry_count += 1
+        self._live += 1
         return entry
 
+    def remove(self, predicate: Predicate, entry: int) -> None:
+        """Withdraw a predicate instance and recycle its entry id."""
+        index = self._by_attribute.get(predicate.attribute)
+        if index is None:
+            raise MatchingError(
+                "no index for attribute %r" % predicate.attribute
+            )
+        index.remove(predicate, entry)
+        if not len(index):
+            del self._by_attribute[predicate.attribute]
+        self._free_entries.append(entry)
+        self._live -= 1
+
     def finalize(self) -> None:
-        """Freeze all attribute indexes for querying."""
-        for index in self._by_attribute.values():
-            index.finalize()
+        """Deprecated no-op, kept for API compatibility (see
+        :meth:`AttributeIndex.finalize`)."""
 
     def collect(
         self,
@@ -317,5 +478,5 @@ class PredicateIndexSet:
 
     @property
     def attribute_names(self) -> List[str]:
-        """Names of all indexed attributes."""
+        """Names of all attributes with live entries."""
         return sorted(self._by_attribute)

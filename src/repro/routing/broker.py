@@ -13,7 +13,7 @@ broker can report both exact and pruned table sizes.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, NamedTuple, Optional, Tuple
+from typing import Dict, List, NamedTuple, Optional, Sequence
 
 from repro.errors import RoutingError
 from repro.events import Event
@@ -166,8 +166,27 @@ class Broker:
         ``exclude`` suppresses the broker interface the event arrived from
         (events are never sent back where they came from).
         """
+        return self._group_by_interface(self.matcher.match(event), exclude)
+
+    def route_batch(
+        self, events: Sequence[Event], exclude: Optional[str] = None
+    ) -> List[Dict[Interface, List[int]]]:
+        """Match a whole event batch; one interface grouping per event.
+
+        Matching runs through the engine's vectorized batch path, so
+        forwarding brokers pay one candidate test per batch instead of
+        one per event.
+        """
+        return [
+            self._group_by_interface(matched, exclude)
+            for matched in self.matcher.match_batch(events)
+        ]
+
+    def _group_by_interface(
+        self, subscription_ids: List[int], exclude: Optional[str]
+    ) -> Dict[Interface, List[int]]:
         routed: Dict[Interface, List[int]] = {}
-        for subscription_id in self.matcher.match(event):
+        for subscription_id in subscription_ids:
             interface = self.entries[subscription_id].interface
             if (
                 exclude is not None

@@ -9,7 +9,7 @@ testbed; message *counts* are exact, transmission *time* is modelled by
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, NamedTuple, Optional, Tuple
+from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.errors import RoutingError
 from repro.events import Event
@@ -142,38 +142,94 @@ class BrokerNetwork:
 
     def publish(self, broker_id: str, event: Event) -> PublishResult:
         """Publish one event and route it to all matching subscribers."""
+        return self.publish_batch(broker_id, [event])[0]
+
+    def publish_batch(
+        self, broker_id: str, events: Sequence[Event]
+    ) -> List[PublishResult]:
+        """Publish a whole event batch from one origin broker.
+
+        The batch travels the topology *as a batch*: each broker filters
+        the sub-batch of events that reached it with one vectorized
+        ``route_batch`` call, and each link forwards the sub-batch of
+        events routed over it.  Per-event message counts, deliveries, and
+        link accounting are identical to publishing the events one by
+        one; one :class:`PublishResult` is returned per event, in order.
+        """
+        events = list(events)
         self._broker(broker_id)
-        self._events_published += 1
-        deliveries: List[Delivery] = []
-        messages = 0
-        visited = 0
-        queue: List[Tuple[str, Optional[str]]] = [(broker_id, None)]
+        self._events_published += len(events)
+        count = len(events)
+        deliveries_per: List[List[Delivery]] = [[] for _ in range(count)]
+        messages_per = [0] * count
+        visited_per = [0] * count
+        # Queue items carry the event positions still riding this branch.
+        queue: List[Tuple[str, Optional[str], List[int]]] = [
+            (broker_id, None, list(range(count)))
+        ]
         while queue:
-            current_id, sender = queue.pop()
-            visited += 1
+            current_id, sender, positions = queue.pop()
             broker = self.brokers[current_id]
-            routed = broker.route(event, exclude=sender)
-            for interface in sorted(routed):
-                if interface.is_client:
-                    for subscription_id in sorted(routed[interface]):
-                        deliveries.append(
-                            Delivery(interface.name, current_id, subscription_id)
-                        )
-                else:
-                    self._record_link(current_id, interface.name, event.size_bytes)
-                    messages += 1
-                    queue.append((interface.name, current_id))
-        self._deliveries += len(deliveries)
-        return PublishResult(deliveries, messages, visited)
+            routed_batch = broker.route_batch(
+                [events[position] for position in positions], exclude=sender
+            )
+            forward: Dict[str, List[int]] = {}
+            for position, routed in zip(positions, routed_batch):
+                visited_per[position] += 1
+                for interface in sorted(routed):
+                    if interface.is_client:
+                        for subscription_id in sorted(routed[interface]):
+                            deliveries_per[position].append(
+                                Delivery(interface.name, current_id, subscription_id)
+                            )
+                    else:
+                        forward.setdefault(interface.name, []).append(position)
+            for neighbor in sorted(forward):
+                forwarded = forward[neighbor]
+                for position in forwarded:
+                    self._record_link(
+                        current_id, neighbor, events[position].size_bytes
+                    )
+                    messages_per[position] += 1
+                queue.append((neighbor, current_id, forwarded))
+        total_deliveries = sum(len(d) for d in deliveries_per)
+        self._deliveries += total_deliveries
+        return [
+            PublishResult(deliveries_per[i], messages_per[i], visited_per[i])
+            for i in range(count)
+        ]
 
     def publish_many(
         self, broker_ids: Iterable[str], events: Iterable[Event]
     ) -> List[PublishResult]:
-        """Publish events round-robin over ``broker_ids`` (zipped)."""
+        """Publish events one by one, round-robin over ``broker_ids``."""
         return [
             self.publish(broker_id, event)
             for broker_id, event in zip(broker_ids, events)
         ]
+
+    def publish_round_robin(
+        self, broker_ids: Sequence[str], events: Sequence[Event]
+    ) -> List[PublishResult]:
+        """Batch equivalent of round-robin publishing.
+
+        Events are grouped by their round-robin origin broker and each
+        group is published with :meth:`publish_batch`; results are
+        returned re-ordered to match the input event order.
+        """
+        events = list(events)
+        groups: Dict[str, List[int]] = {}
+        for position in range(len(events)):
+            origin = broker_ids[position % len(broker_ids)]
+            groups.setdefault(origin, []).append(position)
+        results: List[Optional[PublishResult]] = [None] * len(events)
+        for origin, positions in groups.items():
+            batch_results = self.publish_batch(
+                origin, [events[position] for position in positions]
+            )
+            for position, result in zip(positions, batch_results):
+                results[position] = result
+        return results  # type: ignore[return-value]
 
     # -- pruning -----------------------------------------------------------------------
 

@@ -8,7 +8,7 @@ provided.  networkx carries the graph mechanics.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Tuple
 
 import networkx as nx
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.baselines.combined import CoveringWithPruning, prune_to_merge
-from repro.core.heuristics import Dimension
 from repro.errors import PruningError
 from repro.subscriptions.builder import And, P
 from repro.subscriptions.metrics import count_leaves

@@ -9,7 +9,6 @@ from repro.subscriptions.builder import And, Or, P
 from repro.subscriptions.subscription import Subscription
 
 from tests import strategies
-from hypothesis import given, settings
 from hypothesis import strategies as st
 
 

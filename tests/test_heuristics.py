@@ -8,9 +8,9 @@ from repro.core.heuristics import (
     HeuristicVector,
     PruningHeuristics,
 )
-from repro.core.ops import PruningOp, PruningState, enumerate_prunings
+from repro.core.ops import PruningState, enumerate_prunings
 from repro.errors import PruningError
-from repro.subscriptions.builder import And, Or, P
+from repro.subscriptions.builder import And, P
 from repro.subscriptions.metrics import memory_bytes, pmin
 from repro.subscriptions.subscription import Subscription
 

@@ -6,7 +6,6 @@ a live broker network, and optimum search against distributed routing
 cost.
 """
 
-import itertools
 
 import pytest
 

@@ -1,0 +1,150 @@
+"""Property tests: batch matching ≡ per-event matching ≡ naive oracle,
+with the counting engine maintained **incrementally** (no rebuild calls)
+under interleaved register/unregister/replace churn.
+
+These are the correctness contract of the batch-vectorized pipeline:
+``CountingMatcher.match_batch`` must produce exactly the match sets of
+sequential ``match`` calls and of the loop-based ``NaiveMatcher`` path,
+at every point of an arbitrary churn history.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matching.counting import CountingMatcher
+from repro.matching.naive import NaiveMatcher
+from repro.subscriptions.subscription import Subscription
+
+from tests import strategies
+
+#: Churn op codes drawn by the stateful property below.
+_OP_REGISTER = "register"
+_OP_UNREGISTER = "unregister"
+_OP_REPLACE = "replace"
+
+
+def churn_ops():
+    """A random churn history: (op, tree) pairs over a small id space."""
+    return st.lists(
+        st.tuples(
+            st.sampled_from([_OP_REGISTER, _OP_REGISTER, _OP_REPLACE, _OP_UNREGISTER]),
+            strategies.trees(),
+        ),
+        min_size=1,
+        max_size=12,
+    )
+
+
+def apply_churn(ops):
+    """Apply ``ops`` to a counting engine and a naive oracle in lockstep.
+
+    Register/replace/unregister are resolved against the currently live
+    id set so every drawn op is applicable; ids are never recycled, which
+    exercises the engines' slot/entry free lists.
+    """
+    counting = CountingMatcher()
+    oracle = NaiveMatcher()
+    next_id = 0
+    live = []
+    for op, tree in ops:
+        if op == _OP_REGISTER or not live:
+            subscription = Subscription(next_id, tree)
+            next_id += 1
+            live.append(subscription.id)
+            counting.register(subscription)
+            oracle.register(subscription)
+        elif op == _OP_REPLACE:
+            target = live[len(live) // 2]
+            replacement = Subscription(target, tree)
+            counting.replace(replacement)
+            oracle.unregister(target)
+            oracle.register(replacement)
+        else:  # unregister
+            target = live.pop()
+            counting.unregister(target)
+            oracle.unregister(target)
+    return counting, oracle
+
+
+@given(
+    st.lists(strategies.trees(), min_size=1, max_size=8),
+    st.lists(strategies.events(), min_size=1, max_size=8),
+)
+@settings(max_examples=120, deadline=None)
+def test_batch_equals_sequential_and_naive(trees, events):
+    counting = CountingMatcher()
+    naive = NaiveMatcher()
+    for index, tree in enumerate(trees):
+        subscription = Subscription(index, tree)
+        counting.register(subscription)
+        naive.register(subscription)
+    batched = counting.match_batch(events)
+    naive_batched = naive.match_batch(events)
+    assert len(batched) == len(events)
+    for event, matched in zip(events, batched):
+        assert matched == sorted(counting.match(event))
+        assert matched == sorted(naive.match(event))
+    assert [sorted(ids) for ids in naive_batched] == batched
+
+
+@given(churn_ops(), st.lists(strategies.events(), min_size=1, max_size=6))
+@settings(max_examples=120, deadline=None)
+def test_incremental_engine_tracks_oracle_under_churn(ops, events):
+    counting, oracle = apply_churn(ops)
+    for event in events:
+        assert counting.match(event) == sorted(oracle.match(event))
+    assert counting.match_batch(events) == [
+        sorted(ids) for ids in oracle.match_batch(events)
+    ]
+
+
+@given(churn_ops(), st.lists(strategies.events(), min_size=1, max_size=6))
+@settings(max_examples=80, deadline=None)
+def test_compaction_is_invisible(ops, events):
+    """rebuild() (compaction) never changes match results."""
+    counting, _oracle = apply_churn(ops)
+    before = counting.match_batch(events)
+    counting.rebuild()
+    assert counting.match_batch(events) == before
+
+
+@given(churn_ops())
+@settings(max_examples=80, deadline=None)
+def test_entry_count_tracks_live_leaves(ops):
+    counting, _oracle = apply_churn(ops)
+    expected = sum(
+        subscription.leaf_count
+        for subscription in counting.subscriptions().values()
+    )
+    assert counting.entry_count == expected
+
+
+def test_entry_ids_are_recycled_under_replace_churn():
+    """Replacing in place must not grow the entry id space."""
+    from repro.subscriptions.builder import And, P
+
+    matcher = CountingMatcher()
+    matcher.register(Subscription(0, And(P("a") == 1, P("b") <= 2)))
+    capacity = matcher._indexes.entry_capacity
+    for round_number in range(50):
+        matcher.replace(Subscription(0, And(P("a") == round_number, P("b") <= 2)))
+    assert matcher._indexes.entry_capacity == capacity
+
+
+def test_batch_statistics_match_sequential(workload, auction_events,
+                                           auction_subscriptions):
+    """Batch and sequential paths account identical statistics."""
+    events = auction_events.events[:100]
+    sequential = CountingMatcher()
+    batched = CountingMatcher()
+    for subscription in auction_subscriptions[:80]:
+        sequential.register(subscription)
+        batched.register(subscription)
+    for event in events:
+        sequential.match(event)
+    batched.match_batch(events)
+    a, b = sequential.statistics, batched.statistics
+    assert (a.events, a.matches, a.candidates, a.tree_evaluations,
+            a.fulfilled_predicates) == (
+        b.events, b.matches, b.candidates, b.tree_evaluations,
+        b.fulfilled_predicates)

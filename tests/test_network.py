@@ -9,7 +9,7 @@ from repro.events import Event
 from repro.routing.metrics import CostModel
 from repro.routing.network import BrokerNetwork
 from repro.routing.topology import line_topology, star_topology
-from repro.subscriptions.builder import And, Or, P
+from repro.subscriptions.builder import And, P
 
 
 @pytest.fixture()

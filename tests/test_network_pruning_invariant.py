@@ -2,7 +2,6 @@
 guarantee of Sect. 2.2: pruning non-local routing entries may only add
 forwarded traffic, never change what clients receive."""
 
-import itertools
 
 import pytest
 

@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given, settings
 
 from repro.errors import NormalizationError
-from repro.events import Event
 from repro.subscriptions.builder import And, Not, Or, P
 from repro.subscriptions.nodes import (
     FALSE,

@@ -1,6 +1,5 @@
 """Direct tests of the per-attribute predicate index structures."""
 
-import numpy as np
 import pytest
 
 from repro.errors import MatchingError
@@ -133,17 +132,17 @@ class TestStringIndexing:
 
 
 class TestIndexLifecycle:
-    def test_add_after_finalize_rejected(self):
+    def test_add_after_finalize_allowed(self):
+        """Indexes are incrementally maintained; finalize is a no-op."""
         index = AttributeIndex("a")
         index.finalize()
-        with pytest.raises(MatchingError):
-            index.add(Predicate("a", Operator.EQ, 1), 0)
+        index.add(Predicate("a", Operator.EQ, 1), 0)
+        assert net(index, 1) == [0]
 
-    def test_collect_before_finalize_rejected(self):
+    def test_collect_without_finalize(self):
         index = AttributeIndex("a")
         index.add(Predicate("a", Operator.EQ, 1), 0)
-        with pytest.raises(MatchingError):
-            collect(index, 1)
+        assert net(index, 1) == [0]
 
     def test_attribute_mismatch_rejected(self):
         index = AttributeIndex("a")
@@ -156,6 +155,57 @@ class TestIndexLifecycle:
         index.finalize()
         index.finalize()
         assert net(index, 1) == [0]
+
+
+class TestIncrementalRemoval:
+    @pytest.mark.parametrize(
+        "predicate, hit_value",
+        [
+            (Predicate("a", Operator.EQ, 5), 5),
+            (Predicate("a", Operator.IN_SET, frozenset({1, 2})), 2),
+            (Predicate("a", Operator.NE, 5), 7),
+            (Predicate("a", Operator.NOT_IN_SET, frozenset({1, 2})), 3),
+            (Predicate("a", Operator.LT, 10), 5),
+            (Predicate("a", Operator.LE, 10), 10),
+            (Predicate("a", Operator.GT, 10), 15),
+            (Predicate("a", Operator.GE, 10), 10),
+            (Predicate("a", Operator.LE, "m"), "a"),
+            (Predicate("a", Operator.PREFIX, "ab"), "abc"),
+            (Predicate("a", Operator.NOT_PREFIX, "ab"), "zz"),
+            (Predicate("a", Operator.CONTAINS, "bc"), "abcd"),
+            (Predicate("a", Operator.NOT_CONTAINS, "bc"), "xyz"),
+        ],
+    )
+    def test_remove_reverses_add(self, predicate, hit_value):
+        index = AttributeIndex("a")
+        index.add(predicate, 0)
+        assert net(index, hit_value) == [0]
+        index.remove(predicate, 0)
+        assert net(index, hit_value) == []
+        assert len(index) == 0
+
+    def test_remove_keeps_siblings(self):
+        index = AttributeIndex("a")
+        index.add(Predicate("a", Operator.LT, 10), 0)
+        index.add(Predicate("a", Operator.LT, 20), 1)
+        index.remove(Predicate("a", Operator.LT, 10), 0)
+        assert net(index, 5) == [1]
+
+    def test_remove_unknown_entry_rejected(self):
+        index = AttributeIndex("a")
+        index.add(Predicate("a", Operator.EQ, 1), 0)
+        with pytest.raises(MatchingError):
+            index.remove(Predicate("a", Operator.EQ, 1), 9)
+
+    def test_interleaved_add_remove(self):
+        index = AttributeIndex("a")
+        index.add(Predicate("a", Operator.GE, 1), 0)
+        assert net(index, 3) == [0]
+        index.add(Predicate("a", Operator.GE, 2), 1)
+        assert net(index, 3) == [0, 1]
+        index.remove(Predicate("a", Operator.GE, 1), 0)
+        index.add(Predicate("a", Operator.EQ, 3), 2)
+        assert net(index, 3) == [1, 2]
 
 
 class TestPredicateIndexSet:
@@ -186,3 +236,19 @@ class TestPredicateIndexSet:
         index_set.add(Predicate("b", Operator.EQ, 1))
         index_set.add(Predicate("a", Operator.EQ, 1))
         assert index_set.attribute_names == ["a", "b"]
+
+    def test_remove_recycles_entry_ids(self):
+        index_set = PredicateIndexSet()
+        predicate = Predicate("a", Operator.EQ, 1)
+        entry = index_set.add(predicate)
+        index_set.remove(predicate, entry)
+        assert index_set.entry_count == 0
+        assert index_set.add(Predicate("a", Operator.EQ, 2)) == entry
+        assert index_set.entry_capacity == 1
+
+    def test_remove_drops_empty_attribute(self):
+        index_set = PredicateIndexSet()
+        predicate = Predicate("a", Operator.EQ, 1)
+        entry = index_set.add(predicate)
+        index_set.remove(predicate, entry)
+        assert index_set.attribute_names == []

@@ -11,7 +11,7 @@ from repro.core.ops import (
     pruned_child,
 )
 from repro.errors import PruningError
-from repro.subscriptions.builder import And, Not, Or, P
+from repro.subscriptions.builder import And, Or, P
 from repro.subscriptions.nodes import AndNode, OrNode, PredicateLeaf
 from repro.subscriptions.normalize import is_normalized, normalize
 from repro.subscriptions.subscription import Subscription

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import WorkloadError
-from repro.subscriptions.nodes import AndNode, OrNode, PredicateLeaf
+from repro.subscriptions.nodes import AndNode, OrNode
 from repro.subscriptions.normalize import is_normalized
 from repro.workloads.auction import (
     AuctionWorkload,
