@@ -126,8 +126,10 @@ class DistributedExperiment:
             )
             network.reset_statistics()
             # The timed pass publishes whole batches per origin broker, so
-            # brokers filter and forward through the vectorized batch path.
-            network.publish_round_robin(self.broker_ids, events.events)
+            # brokers filter and forward through the vectorized batch
+            # path; passing the EventBatch shares one columnar view of
+            # the events across all brokers and grid points.
+            network.publish_round_robin(self.broker_ids, events)
             report = network.report()
 
             if self._baseline_messages is None:

@@ -12,14 +12,16 @@ interface:
   tree against every event; the correctness oracle and baseline.
 
 Both engines support ``match_batch`` (:mod:`repro.matching.batch`): the
-counting engine vectorizes the candidate test across the batch with a
-2-D fulfilled-count matrix, the naive engine loops — equal outputs are
-the batch path's correctness contract.  The counting engine's indexes
-are incrementally maintained: register/unregister/replace apply deltas
-to the touched predicate buckets only (O(subscription), not O(table)).
+counting engine probes its indexes once per batch over the batch's
+columnar view and vectorizes the candidate test with a 2-D
+fulfilled-count matrix, the naive engine loops — equal outputs are the
+batch path's correctness contract.  The counting engine's indexes are
+incrementally maintained: register/unregister/replace apply deltas to
+the touched predicate buckets only (O(subscription), not O(table)), and
+tables self-compact when unregistration churn fragments them.
 """
 
-from repro.matching.batch import counting_match_batch
+from repro.matching.batch import counting_match_batch, counting_match_batch_rowwise
 from repro.matching.counting import CountingMatcher
 from repro.matching.interfaces import Matcher
 from repro.matching.naive import NaiveMatcher
@@ -31,4 +33,5 @@ __all__ = [
     "MatchStatistics",
     "NaiveMatcher",
     "counting_match_batch",
+    "counting_match_batch_rowwise",
 ]

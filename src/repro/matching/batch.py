@@ -3,36 +3,60 @@
 The per-event matcher answers one event at a time: collect fulfilled
 entries, one 1-D ``bincount`` per event, compare against ``pmin``.  For
 event *streams* that leaves most of numpy's throughput on the table —
-the candidate test is embarrassingly parallel across events.
+the candidate test is embarrassingly parallel across events, and so are
+the index probes themselves once the batch is **columnar**.
 
 :func:`counting_match_batch` evaluates a whole batch at once:
 
-1. fulfilled-entry arrays are collected per event (index probes are
-   inherently per-value) but concatenated into **one** flat array with an
-   aligned event-row array;
-2. a single ``bincount`` over ``row * slot_count + slot`` produces the
-   2-D fulfilled-count matrix ``counts[event, slot]`` for the batch;
+1. the batch is columnarized (per-attribute value arrays and presence
+   rows, built once per :class:`~repro.events.EventBatch` and cached on
+   it), and every index probe runs once per batch: range probes as one
+   vectorized ``searchsorted`` over the attribute's value column,
+   equality probes as one dictionary lookup per distinct value — the
+   probes emit aligned ``(row, entry)`` contribution pair arrays;
+2. a single ``bincount`` over ``row * slot_count + slot`` turns the
+   pairs into the 2-D fulfilled-count matrix ``counts[event, slot]``;
 3. the candidate test ``counts >= pmin`` runs as one 2-D comparison;
 4. only the surviving (event, candidate) pairs fall back to scalar work:
    flat shapes are decided by the counter, general trees are evaluated
    against that event's row of the 2-D entry-flag matrix.
 
+:func:`counting_match_batch_rowwise` keeps the previous per-event probe
+loop (scalar :meth:`~repro.matching.predicate_index.PredicateIndexSet.collect`
+per event, shared 2-D bincount): it is the reference the columnar path
+is benchmarked and property-tested against.  Both are equivalent to
+looping :meth:`~repro.matching.counting.CountingMatcher.match` — the
+per-event oracle.
+
 Batches are processed in bounded chunks so the 2-D scratch matrices
 (``chunk × slot_count`` counts and ``chunk × entry_capacity`` flags)
 stay cache- and memory-friendly regardless of batch length.
+
+>>> from repro.events import Event, EventBatch
+>>> from repro.matching.counting import CountingMatcher
+>>> from repro.subscriptions import P, Subscription
+>>> engine = CountingMatcher()
+>>> engine.register(Subscription(1, P("price") <= 10))
+>>> batch = EventBatch([Event({"price": 5}), Event({"price": 50})])
+>>> engine.match_batch(batch)
+[[1], []]
 """
 
 from __future__ import annotations
 
 import time
-from typing import TYPE_CHECKING, List, Sequence
+from typing import TYPE_CHECKING, List, Sequence, Union
 
 import numpy as np
 
-from repro.events import Event
+from repro.events import Event, EventBatch
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.matching.counting import CountingMatcher
+
+#: What batch entry points accept: a plain event sequence or a (possibly
+#: already columnarized) event batch.
+Events = Union[Sequence[Event], EventBatch]
 
 #: Soft bound on scratch-matrix cells per chunk (counts + flags rows).
 _CHUNK_CELL_BUDGET = 2_000_000
@@ -45,48 +69,147 @@ def _chunk_size(slot_count: int, entry_capacity: int) -> int:
     return max(1, min(_MAX_CHUNK, _CHUNK_CELL_BUDGET // cells_per_event))
 
 
+class _BatchRun:
+    """Shared scaffolding of one batch-matching pass over a matcher.
+
+    Snapshots the matcher's slot/entry arrays, owns the chunked
+    count-candidate-evaluate pipeline, and accounts statistics exactly as
+    the per-event path would (one event counted per batch element).
+    """
+
+    def __init__(self, matcher: "CountingMatcher") -> None:
+        self.matcher = matcher
+        self.slot_count = len(matcher._slots)
+        self.entry_capacity = matcher._indexes.entry_capacity
+        self.entry_slot = matcher._entry_slot[: self.entry_capacity]
+        self.pmin = matcher._pmin[: self.slot_count]
+        self.matches_total = 0
+        self.candidates_total = 0
+        self.evaluations_total = 0
+        self.fulfilled_total = 0
+
+    def resolve_chunk(
+        self,
+        chunk_rows: int,
+        pos_pairs,
+        neg_pairs,
+    ) -> List[List[int]]:
+        """Counts → candidate test → scalar fallback for one chunk.
+
+        ``pos_pairs`` / ``neg_pairs`` are ``(rows_arrays, entry_arrays)``
+        pair-list accumulators (aligned, equal-length arrays).
+        """
+        from repro.matching.counting import (
+            _KIND_FALSE,
+            _KIND_TREE,
+            _evaluate_compiled,
+        )
+
+        slot_count = self.slot_count
+        flags = np.zeros((chunk_rows, self.entry_capacity), dtype=bool)
+        counts = np.zeros((chunk_rows, slot_count), dtype=np.int64)
+        if pos_pairs[0]:
+            rows = np.concatenate(pos_pairs[0])
+            entries = np.concatenate(pos_pairs[1])
+            flags[rows, entries] = True
+            counts = np.bincount(
+                rows * slot_count + self.entry_slot[entries],
+                minlength=chunk_rows * slot_count,
+            ).reshape(chunk_rows, slot_count)
+        if neg_pairs[0]:
+            rows = np.concatenate(neg_pairs[0])
+            entries = np.concatenate(neg_pairs[1])
+            flags[rows, entries] = False
+            counts -= np.bincount(
+                rows * slot_count + self.entry_slot[entries],
+                minlength=chunk_rows * slot_count,
+            ).reshape(chunk_rows, slot_count)
+
+        self.fulfilled_total += int(counts.sum())
+
+        chunk_matched: List[List[int]] = [[] for _ in range(chunk_rows)]
+        if slot_count:
+            slots = self.matcher._slots
+            slot_ids = self.matcher._slot_ids
+            cand_rows, cand_slots = np.nonzero(counts >= self.pmin[np.newaxis, :])
+            self.candidates_total += len(cand_rows)
+            for row, slot in zip(cand_rows.tolist(), cand_slots.tolist()):
+                state = slots[slot]
+                kind = state.kind
+                if kind == _KIND_TREE:
+                    self.evaluations_total += 1
+                    if _evaluate_compiled(state.program, flags[row]):
+                        chunk_matched[row].append(int(slot_ids[slot]))
+                elif kind != _KIND_FALSE:
+                    chunk_matched[row].append(int(slot_ids[slot]))
+        for matched in chunk_matched:
+            matched.sort()
+            self.matches_total += len(matched)
+        return chunk_matched
+
+    def finish(self, event_count: int, started: float) -> None:
+        stats = self.matcher.statistics
+        stats.events += event_count
+        stats.matches += self.matches_total
+        stats.candidates += self.candidates_total
+        stats.tree_evaluations += self.evaluations_total
+        stats.fulfilled_predicates += self.fulfilled_total
+        stats.elapsed_seconds += time.perf_counter() - started
+
+
 def counting_match_batch(
-    matcher: "CountingMatcher", events: Sequence[Event]
+    matcher: "CountingMatcher", events: Events
 ) -> List[List[int]]:
     """Match every event of ``events``; returns one id list per event.
 
-    Produces exactly the same match sets as calling
-    :meth:`~repro.matching.counting.CountingMatcher.match` per event, and
-    updates the matcher's statistics identically (one event counted per
-    batch element).
+    The columnar fast path: probes run once per batch over the batch's
+    columns (built lazily and cached when ``events`` is an
+    :class:`EventBatch`).  Produces exactly the same match sets as
+    calling :meth:`~repro.matching.counting.CountingMatcher.match` per
+    event, and updates the matcher's statistics identically.
     """
-    from repro.matching.counting import (
-        _KIND_FALSE,
-        _KIND_TREE,
-        _evaluate_compiled,
-    )
-
     started = time.perf_counter()
-    events = list(events)
+    batch = EventBatch.coerce(events)
+    count = len(batch.events)
+    run = _BatchRun(matcher)
+    columns = batch.columns()
     results: List[List[int]] = []
-    slot_count = len(matcher._slots)
-    entry_capacity = matcher._indexes.entry_capacity
-    entry_slot = matcher._entry_slot[:entry_capacity]
-    pmin = matcher._pmin[:slot_count]
-    slot_ids = matcher._slot_ids
-    slots = matcher._slots
-    stats = matcher.statistics
+    chunk_size = _chunk_size(run.slot_count, run.entry_capacity)
+    for chunk_start in range(0, count, chunk_size):
+        chunk_stop = min(count, chunk_start + chunk_size)
+        if chunk_start == 0 and chunk_stop == count:
+            chunk_columns = columns
+        else:
+            chunk_columns = columns.slice_rows(chunk_start, chunk_stop)
+        pos_pairs: tuple = ([], [])
+        neg_pairs: tuple = ([], [])
+        matcher._indexes.collect_batch(chunk_columns, pos_pairs, neg_pairs)
+        results.extend(
+            run.resolve_chunk(chunk_stop - chunk_start, pos_pairs, neg_pairs)
+        )
+    run.finish(count, started)
+    return results
 
-    matches_total = 0
-    candidates_total = 0
-    evaluations_total = 0
-    fulfilled_total = 0
 
-    chunk_size = _chunk_size(slot_count, entry_capacity)
-    for chunk_start in range(0, len(events), chunk_size):
-        chunk = events[chunk_start:chunk_start + chunk_size]
-        chunk_rows = len(chunk)
+def counting_match_batch_rowwise(
+    matcher: "CountingMatcher", events: Events
+) -> List[List[int]]:
+    """Match a batch with per-event index probes (reference path).
 
-        # 1. Probe the indexes per event, accumulating flat arrays.
-        pos_arrays: List[np.ndarray] = []
-        pos_rows: List[int] = []
-        neg_arrays: List[np.ndarray] = []
-        neg_rows: List[int] = []
+    Identical results and statistics to :func:`counting_match_batch`;
+    the probes loop over events in Python and only the candidate test is
+    batch-vectorized.  Kept as the benchmark baseline and equivalence
+    reference for the columnar probe.
+    """
+    started = time.perf_counter()
+    event_list = EventBatch.coerce(events).events
+    run = _BatchRun(matcher)
+    results: List[List[int]] = []
+    chunk_size = _chunk_size(run.slot_count, run.entry_capacity)
+    for chunk_start in range(0, len(event_list), chunk_size):
+        chunk = event_list[chunk_start:chunk_start + chunk_size]
+        pos_pairs: tuple = ([], [])
+        neg_pairs: tuple = ([], [])
         for row, event in enumerate(chunk):
             positives: List[np.ndarray] = []
             negatives: List[np.ndarray] = []
@@ -94,65 +217,12 @@ def counting_match_batch(
                 matcher._indexes.collect(attribute, value, positives, negatives)
             for array in positives:
                 if len(array):
-                    pos_arrays.append(array)
-                    pos_rows.append(row)
+                    pos_pairs[0].append(np.full(len(array), row, dtype=np.int64))
+                    pos_pairs[1].append(array)
             for array in negatives:
                 if len(array):
-                    neg_arrays.append(array)
-                    neg_rows.append(row)
-
-        # 2. One 2-D fulfilled matrix for the whole chunk.
-        flags = np.zeros((chunk_rows, entry_capacity), dtype=bool)
-        counts = np.zeros((chunk_rows, slot_count), dtype=np.int64)
-        if pos_arrays:
-            pos_entries = np.concatenate(pos_arrays)
-            rows = np.repeat(
-                np.array(pos_rows, dtype=np.int64),
-                np.array([len(a) for a in pos_arrays], dtype=np.int64),
-            )
-            flags[rows, pos_entries] = True
-            counts = np.bincount(
-                rows * slot_count + entry_slot[pos_entries],
-                minlength=chunk_rows * slot_count,
-            ).reshape(chunk_rows, slot_count)
-        if neg_arrays:
-            neg_entries = np.concatenate(neg_arrays)
-            rows = np.repeat(
-                np.array(neg_rows, dtype=np.int64),
-                np.array([len(a) for a in neg_arrays], dtype=np.int64),
-            )
-            flags[rows, neg_entries] = False
-            counts -= np.bincount(
-                rows * slot_count + entry_slot[neg_entries],
-                minlength=chunk_rows * slot_count,
-            ).reshape(chunk_rows, slot_count)
-
-        fulfilled_total += int(counts.sum())
-
-        # 3. Candidate test, vectorized across the chunk.
-        chunk_matched: List[List[int]] = [[] for _ in range(chunk_rows)]
-        if slot_count:
-            cand_rows, cand_slots = np.nonzero(counts >= pmin[np.newaxis, :])
-            candidates_total += len(cand_rows)
-            # 4. Scalar fallback only for surviving candidates.
-            for row, slot in zip(cand_rows.tolist(), cand_slots.tolist()):
-                state = slots[slot]
-                kind = state.kind
-                if kind == _KIND_TREE:
-                    evaluations_total += 1
-                    if _evaluate_compiled(state.program, flags[row]):
-                        chunk_matched[row].append(int(slot_ids[slot]))
-                elif kind != _KIND_FALSE:
-                    chunk_matched[row].append(int(slot_ids[slot]))
-        for matched in chunk_matched:
-            matched.sort()
-            matches_total += len(matched)
-        results.extend(chunk_matched)
-
-    stats.events += len(events)
-    stats.matches += matches_total
-    stats.candidates += candidates_total
-    stats.tree_evaluations += evaluations_total
-    stats.fulfilled_predicates += fulfilled_total
-    stats.elapsed_seconds += time.perf_counter() - started
+                    neg_pairs[0].append(np.full(len(array), row, dtype=np.int64))
+                    neg_pairs[1].append(array)
+        results.extend(run.resolve_chunk(len(chunk), pos_pairs, neg_pairs))
+    run.finish(len(event_list), started)
     return results

@@ -23,21 +23,25 @@ Mutations (register/unregister/replace) are applied **incrementally**:
 each one updates only the index buckets and slot arrays the subscription
 touches, so churn costs O(subscription size), not O(table).  Slot and
 entry ids come from free lists and are recycled; :meth:`rebuild` survives
-as an optional compaction that re-packs both id spaces in subscription-id
-order.  Batches of events go through :meth:`CountingMatcher.match_batch`
-(:mod:`repro.matching.batch`), which evaluates the candidate test for the
+as compaction that re-packs both id spaces in subscription-id order, and
+runs automatically when unregistration leaves the free lists holding
+more than ``compact_free_fraction`` of the live population (long churny
+lifetimes would otherwise fragment the slot/entry arrays).  Batches of
+events go through :meth:`CountingMatcher.match_batch`
+(:mod:`repro.matching.batch`), which probes the indexes once per batch
+over the batch's columnar view and evaluates the candidate test for the
 whole batch with one 2-D bincount instead of per-event 1-D passes.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.errors import MatchingError
-from repro.events import Event
+from repro.events import Event, EventBatch
 from repro.matching.interfaces import Matcher
 from repro.matching.predicate_index import PredicateIndexSet
 from repro.matching.stats import MatchStatistics
@@ -66,6 +70,10 @@ _OP_OR = 2
 
 #: pmin sentinel of a free slot — no fulfilled-count can ever reach it.
 _PMIN_FREE = PMIN_UNSATISFIABLE + 1
+
+#: Compaction floor: below this many free ids, fragmentation is noise and
+#: auto-compaction never triggers (keeps small tables O(delta) under churn).
+_COMPACT_MIN_FREE = 64
 
 
 def _compile_tree(node: Node, leaf_entries: List[int], cursor: List[int]) -> Tuple:
@@ -151,7 +159,11 @@ class CountingMatcher(Matcher):
     []
     """
 
-    def __init__(self) -> None:
+    def __init__(self, compact_free_fraction: Optional[float] = 0.5) -> None:
+        #: Auto-compaction threshold: :meth:`unregister` calls
+        #: :meth:`rebuild` when either free list exceeds this fraction of
+        #: its live population (``None`` disables auto-compaction).
+        self.compact_free_fraction = compact_free_fraction
         self._subscriptions: Dict[int, Subscription] = {}
         self.statistics = MatchStatistics()
         self._indexes = PredicateIndexSet()
@@ -174,6 +186,7 @@ class CountingMatcher(Matcher):
     def unregister(self, subscription_id: int) -> None:
         self._require_known(subscription_id)
         self._withdraw(subscription_id)
+        self._maybe_compact()
 
     def replace(self, subscription: Subscription) -> None:
         self._require_known(subscription.id)
@@ -227,12 +240,37 @@ class CountingMatcher(Matcher):
 
     # -- compaction -----------------------------------------------------------
 
+    def _maybe_compact(self) -> None:
+        """Compact when a free list dominates its live population.
+
+        Called after every unregistration (never inside :meth:`replace`,
+        whose freed ids are reused immediately): once free slots or free
+        entries exceed ``compact_free_fraction`` of the live count — and
+        the absolute waste clears a floor so small tables never thrash —
+        the table is rebuilt into dense id-ordered layouts.
+        """
+        fraction = self.compact_free_fraction
+        if fraction is None:
+            return
+        free_slots = len(self._free_slots)
+        free_entries = self._indexes.free_entry_count
+        if free_slots < _COMPACT_MIN_FREE and free_entries < _COMPACT_MIN_FREE:
+            return
+        if (
+            free_slots > len(self._subscriptions) * fraction
+            or free_entries > self._indexes.entry_count * fraction
+        ):
+            self.rebuild()
+
     def rebuild(self) -> None:
         """Re-pack slot and entry id spaces in subscription-id order.
 
         Matching never requires this — indexes are maintained
         incrementally — but long churny lifetimes can fragment the free
-        lists; compaction restores dense, id-ordered layouts.
+        lists; compaction restores dense, id-ordered layouts.  Triggered
+        automatically by :meth:`unregister` via the
+        ``compact_free_fraction`` heuristic, or callable directly during
+        idle periods.
         """
         subscriptions = [
             self._subscriptions[sub_id] for sub_id in sorted(self._subscriptions)
@@ -319,8 +357,15 @@ class CountingMatcher(Matcher):
         stats.elapsed_seconds += time.perf_counter() - started
         return matched
 
-    def match_batch(self, events: Sequence[Event]) -> List[List[int]]:
-        """Vectorized batch matching (see :mod:`repro.matching.batch`)."""
+    def match_batch(
+        self, events: Union[Sequence[Event], EventBatch]
+    ) -> List[List[int]]:
+        """Vectorized batch matching (see :mod:`repro.matching.batch`).
+
+        Index probes run once per batch over the batch's columnar view;
+        passing an :class:`~repro.events.EventBatch` lets consecutive
+        matchers (e.g. brokers along a path) share one columnarization.
+        """
         from repro.matching.batch import counting_match_batch
 
         return counting_match_batch(self, events)

@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Sequence, Union
 
 from repro.errors import MatchingError
-from repro.events import Event
+from repro.events import Event, EventBatch
 from repro.subscriptions.subscription import Subscription
 
 
@@ -37,10 +37,14 @@ class Matcher:
         """Ids of all registered subscriptions fulfilled by ``event``."""
         raise NotImplementedError
 
-    def match_batch(self, events: Sequence[Event]) -> List[List[int]]:
+    def match_batch(
+        self, events: Union[Sequence[Event], EventBatch]
+    ) -> List[List[int]]:
         """Match a batch of events; one id list per event, in order.
 
-        The default implementation loops :meth:`match`; engines with a
+        Accepts a plain sequence or an :class:`~repro.events.EventBatch`
+        (whose cached columnar view vectorized engines exploit).  The
+        default implementation loops :meth:`match`; engines with a
         vectorized batch path (the counting engine) override it.  Both
         must produce identical match sets per event — the loop-based
         default is the equivalence oracle for the vectorized path.

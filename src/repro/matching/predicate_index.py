@@ -19,6 +19,25 @@ lazily the next time it is probed.  Subscription churn therefore costs
 O(touched buckets), not O(index).  Entry ids are allocated by
 :class:`PredicateIndexSet` from a free list so long-lived engines do not
 grow their id space under churn.
+
+Indexes answer in two granularities:
+
+* :meth:`AttributeIndex.collect` probes for **one** event value and
+  appends fulfilled-entry arrays;
+* :meth:`AttributeIndex.collect_batch` probes for a whole
+  :class:`~repro.events.AttributeColumn` at once and appends aligned
+  ``(row, entry)`` pair arrays.  Range probes run as a single vectorized
+  ``searchsorted`` over the column's value array, equality/membership
+  probes as one dictionary lookup per *distinct* value, so the per-event
+  Python loop disappears from the batch hot path.
+
+>>> from repro.subscriptions.predicates import Operator, Predicate
+>>> index_set = PredicateIndexSet()
+>>> entry = index_set.add(Predicate("price", Operator.LE, 10))
+>>> positives, negatives = [], []
+>>> index_set.collect("price", 7, positives, negatives)
+>>> [array.tolist() for array in positives]
+[[0]]
 """
 
 from __future__ import annotations
@@ -29,10 +48,53 @@ from typing import Dict, List, Optional, Set, Tuple, Union
 import numpy as np
 
 from repro.errors import MatchingError
-from repro.events import Value
+from repro.events import AttributeColumn, EventColumns, Value
 from repro.subscriptions.predicates import Operator, Predicate
 
 _EMPTY = np.empty(0, dtype=np.int64)
+
+#: Accumulator type of the batched probes: parallel lists of equal-length
+#: ``rows`` / ``entries`` arrays — each pair means "event ``rows[i]``
+#: fulfils (or, for negatives, un-fulfils) entry ``entries[i]``".
+PairLists = Tuple[List[np.ndarray], List[np.ndarray]]
+
+
+def _emit_cross(rows: np.ndarray, entries: np.ndarray, out: PairLists) -> None:
+    """Emit the cross product: every listed row fulfils every entry."""
+    if len(rows) and len(entries):
+        out[0].append(np.repeat(rows, len(entries)))
+        out[1].append(np.tile(entries, len(rows)))
+
+
+def _emit_slices(
+    rows: np.ndarray,
+    entries: np.ndarray,
+    starts: np.ndarray,
+    stops: np.ndarray,
+    out: PairLists,
+) -> None:
+    """Emit ragged slices: row ``rows[i]`` fulfils ``entries[starts[i]:stops[i]]``.
+
+    This is the vectorized equivalent of appending one suffix/prefix
+    slice per event in the scalar range probe.
+    """
+    lengths = stops - starts
+    mask = lengths > 0
+    if not mask.any():
+        return
+    rows = rows[mask]
+    starts = starts[mask]
+    lengths = lengths[mask]
+    total = int(lengths.sum())
+    out[0].append(np.repeat(rows, lengths))
+    # Flat index into ``entries``: a per-row arange re-based at starts.
+    ends = np.cumsum(lengths)
+    offsets = (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(ends - lengths, lengths)
+        + np.repeat(starts, lengths)
+    )
+    out[1].append(entries[offsets])
 
 #: Value-key kind tags; keep bool and int apart (Python hashes True == 1).
 _KIND_BOOL = "b"
@@ -181,6 +243,61 @@ class _OrderedOps:
             positives.append(self.gt.entries[: self._split(self.gt, value, "left")])
         if len(self.ge):
             positives.append(self.ge.entries[: self._split(self.ge, value, "right")])
+
+    def collect_batch_numeric(
+        self, rows: np.ndarray, values: np.ndarray, out: PairLists
+    ) -> None:
+        """Vectorized range probe: one ``searchsorted`` per bucket for the
+        whole value column (see :meth:`collect` for the slice semantics)."""
+        if len(self.lt):
+            splits = np.searchsorted(self.lt.constants, values, side="right")
+            count = len(self.lt)
+            _emit_slices(
+                rows, self.lt.entries, splits,
+                np.full(len(splits), count, dtype=np.int64), out,
+            )
+        if len(self.le):
+            splits = np.searchsorted(self.le.constants, values, side="left")
+            count = len(self.le)
+            _emit_slices(
+                rows, self.le.entries, splits,
+                np.full(len(splits), count, dtype=np.int64), out,
+            )
+        if len(self.gt):
+            splits = np.searchsorted(self.gt.constants, values, side="left")
+            _emit_slices(
+                rows, self.gt.entries,
+                np.zeros(len(splits), dtype=np.int64), splits, out,
+            )
+        if len(self.ge):
+            splits = np.searchsorted(self.ge.constants, values, side="right")
+            _emit_slices(
+                rows, self.ge.entries,
+                np.zeros(len(splits), dtype=np.int64), splits, out,
+            )
+
+    def collect_cross(self, value: Value, rows: np.ndarray, out: PairLists) -> None:
+        """Range probe for one distinct value shared by ``rows``.
+
+        Used for string columns, where rows are grouped by distinct value
+        first; the per-value bisect then runs once per distinct value.
+        """
+        if len(self.lt):
+            _emit_cross(
+                rows, self.lt.entries[self._split(self.lt, value, "right"):], out
+            )
+        if len(self.le):
+            _emit_cross(
+                rows, self.le.entries[self._split(self.le, value, "left"):], out
+            )
+        if len(self.gt):
+            _emit_cross(
+                rows, self.gt.entries[: self._split(self.gt, value, "left")], out
+            )
+        if len(self.ge):
+            _emit_cross(
+                rows, self.ge.entries[: self._split(self.ge, value, "right")], out
+            )
 
     def __len__(self) -> int:
         return len(self.lt) + len(self.le) + len(self.gt) + len(self.ge)
@@ -403,6 +520,105 @@ class AttributeIndex:
         else:
             self._numeric.collect(float(value), positives)
 
+    def collect_batch(
+        self, column: AttributeColumn, positives: PairLists, negatives: PairLists
+    ) -> None:
+        """Probe all buckets once for a whole attribute column.
+
+        Appends aligned ``(row, entry)`` pair arrays; positives minus
+        negatives (as per-row multisets) is exactly the per-event result
+        of :meth:`collect` for each row of the column.
+
+        ``column.groups()`` (a per-row Python grouping pass, cached on
+        the column) is only built when an eq/ne/string bucket actually
+        needs distinct-value lookups — purely range-indexed attributes
+        stay fully vectorized.
+        """
+        if self._eq:
+            numeric_groups, string_groups, bool_groups = column.groups()
+            for value, rows in numeric_groups:
+                hit = self._eq.get((_KIND_NUM, value))
+                if hit is not None:
+                    _emit_cross(rows, hit.array, positives)
+            for value, rows in string_groups:
+                hit = self._eq.get((_KIND_STR, value))
+                if hit is not None:
+                    _emit_cross(rows, hit.array, positives)
+            for value, rows in bool_groups:
+                hit = self._eq.get((_KIND_BOOL, value))
+                if hit is not None:
+                    _emit_cross(rows, hit.array, positives)
+        if len(self._ne_all):
+            _emit_cross(column.rows, self._ne_all.array, positives)
+            if self._ne_by_value:
+                numeric_groups, string_groups, bool_groups = column.groups()
+                for kind, groups in (
+                    (_KIND_NUM, numeric_groups),
+                    (_KIND_STR, string_groups),
+                    (_KIND_BOOL, bool_groups),
+                ):
+                    for value, rows in groups:
+                        excluded = self._ne_by_value.get((kind, value))
+                        if excluded is not None:
+                            _emit_cross(rows, excluded.array, negatives)
+        if len(self._numeric) and len(column.numeric_rows):
+            self._numeric.collect_batch_numeric(
+                column.numeric_rows, column.numeric_values, positives
+            )
+        if len(column.string_rows) and (
+            len(self._string)
+            or self._prefix_by_length
+            or len(self._not_prefix_all)
+            or self._contains
+            or len(self._not_contains_all)
+        ):
+            self._collect_batch_strings(column, positives, negatives)
+
+    def _collect_batch_strings(
+        self,
+        column: AttributeColumn,
+        positives: PairLists,
+        negatives: PairLists,
+    ) -> None:
+        """String-only operators over the distinct string values."""
+        string_groups = column.groups()[1]
+        if len(self._string):
+            for value, rows in string_groups:
+                self._string.collect_cross(value, rows, positives)
+        for length, bucket in self._prefix_by_length.items():
+            for value, rows in string_groups:
+                if length <= len(value):
+                    hit = bucket.get(value[:length])
+                    if hit is not None:
+                        _emit_cross(rows, hit.array, positives)
+        if len(self._not_prefix_all):
+            _emit_cross(column.string_rows, self._not_prefix_all.array, positives)
+            for length, bucket in self._not_prefix_by_length.items():
+                for value, rows in string_groups:
+                    if length <= len(value):
+                        excluded = bucket.get(value[:length])
+                        if excluded is not None:
+                            _emit_cross(rows, excluded.array, negatives)
+        if self._contains:
+            for value, rows in string_groups:
+                hits = [
+                    entry
+                    for entry, needle in self._contains.items()
+                    if needle in value
+                ]
+                if hits:
+                    _emit_cross(rows, np.array(hits, dtype=np.int64), positives)
+        if len(self._not_contains_all):
+            _emit_cross(column.string_rows, self._not_contains_all.array, positives)
+            for value, rows in string_groups:
+                misses = [
+                    entry
+                    for entry, needle in self._not_contains.items()
+                    if needle in value
+                ]
+                if misses:
+                    _emit_cross(rows, np.array(misses, dtype=np.int64), negatives)
+
 
 class PredicateIndexSet:
     """The full per-attribute index family used by one counting engine.
@@ -430,6 +646,11 @@ class PredicateIndexSet:
     def entry_capacity(self) -> int:
         """Size of the entry id space (live entries + free-list holes)."""
         return self._entry_capacity
+
+    @property
+    def free_entry_count(self) -> int:
+        """Number of recycled entry ids waiting on the free list."""
+        return len(self._free_entries)
 
     def add(self, predicate: Predicate) -> int:
         """Register a predicate instance; returns its (possibly recycled)
@@ -475,6 +696,21 @@ class PredicateIndexSet:
         index = self._by_attribute.get(attribute)
         if index is not None:
             index.collect(value, positives, negatives)
+
+    def collect_batch(
+        self, columns: EventColumns, positives: PairLists, negatives: PairLists
+    ) -> None:
+        """Collect fulfilled ``(row, entry)`` pairs for a whole batch.
+
+        Probes each attribute index once per batch (against the batch's
+        column for that attribute) instead of once per event; attributes
+        without live entries, and entries whose attribute no event
+        carries, cost nothing.
+        """
+        for attribute, column in columns.items():
+            index = self._by_attribute.get(attribute)
+            if index is not None:
+                index.collect_batch(column, positives, negatives)
 
     @property
     def attribute_names(self) -> List[str]:

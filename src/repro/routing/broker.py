@@ -13,10 +13,10 @@ broker can report both exact and pruned table sizes.
 
 from __future__ import annotations
 
-from typing import Dict, List, NamedTuple, Optional, Sequence
+from typing import Dict, List, NamedTuple, Optional, Sequence, Union
 
 from repro.errors import RoutingError
-from repro.events import Event
+from repro.events import Event, EventBatch
 from repro.matching.counting import CountingMatcher
 from repro.subscriptions.nodes import Node
 from repro.subscriptions.subscription import Subscription
@@ -169,13 +169,18 @@ class Broker:
         return self._group_by_interface(self.matcher.match(event), exclude)
 
     def route_batch(
-        self, events: Sequence[Event], exclude: Optional[str] = None
+        self,
+        events: Union[Sequence[Event], EventBatch],
+        exclude: Optional[str] = None,
     ) -> List[Dict[Interface, List[int]]]:
         """Match a whole event batch; one interface grouping per event.
 
         Matching runs through the engine's vectorized batch path, so
-        forwarding brokers pay one candidate test per batch instead of
-        one per event.
+        forwarding brokers pay one index probe and one candidate test
+        per batch instead of one per event.  Passing an
+        :class:`~repro.events.EventBatch` whose columns are already
+        built (e.g. a sub-batch the network derived from the published
+        batch) skips re-columnarizing the events at this broker.
         """
         return [
             self._group_by_interface(matched, exclude)

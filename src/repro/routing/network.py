@@ -9,10 +9,10 @@ testbed; message *counts* are exact, transmission *time* is modelled by
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple, Union
 
 from repro.errors import RoutingError
-from repro.events import Event
+from repro.events import Event, EventBatch
 from repro.routing.broker import Broker, Interface
 from repro.routing.metrics import CostModel, LinkStats, NetworkReport
 from repro.routing.topology import Topology
@@ -145,18 +145,22 @@ class BrokerNetwork:
         return self.publish_batch(broker_id, [event])[0]
 
     def publish_batch(
-        self, broker_id: str, events: Sequence[Event]
+        self, broker_id: str, events: Union[Sequence[Event], EventBatch]
     ) -> List[PublishResult]:
         """Publish a whole event batch from one origin broker.
 
         The batch travels the topology *as a batch*: each broker filters
         the sub-batch of events that reached it with one vectorized
         ``route_batch`` call, and each link forwards the sub-batch of
-        events routed over it.  Per-event message counts, deliveries, and
-        link accounting are identical to publishing the events one by
-        one; one :class:`PublishResult` is returned per event, in order.
+        events routed over it.  The origin broker columnarizes the batch
+        once; every downstream broker derives its sub-batch's columns by
+        row selection from that shared columnar view.  Per-event message
+        counts, deliveries, and link accounting are identical to
+        publishing the events one by one; one :class:`PublishResult` is
+        returned per event, in order.
         """
-        events = list(events)
+        batch = EventBatch.coerce(events)
+        events = batch.events
         self._broker(broker_id)
         self._events_published += len(events)
         count = len(events)
@@ -170,9 +174,8 @@ class BrokerNetwork:
         while queue:
             current_id, sender, positions = queue.pop()
             broker = self.brokers[current_id]
-            routed_batch = broker.route_batch(
-                [events[position] for position in positions], exclude=sender
-            )
+            sub_batch = batch if len(positions) == count else batch.subset(positions)
+            routed_batch = broker.route_batch(sub_batch, exclude=sender)
             forward: Dict[str, List[int]] = {}
             for position, routed in zip(positions, routed_batch):
                 visited_per[position] += 1
@@ -209,24 +212,26 @@ class BrokerNetwork:
         ]
 
     def publish_round_robin(
-        self, broker_ids: Sequence[str], events: Sequence[Event]
+        self, broker_ids: Sequence[str], events: Union[Sequence[Event], EventBatch]
     ) -> List[PublishResult]:
         """Batch equivalent of round-robin publishing.
 
         Events are grouped by their round-robin origin broker and each
         group is published with :meth:`publish_batch`; results are
-        returned re-ordered to match the input event order.
+        returned re-ordered to match the input event order.  Passing an
+        :class:`~repro.events.EventBatch` columnarizes once and shares
+        the columns across all origin groups (and across repeated calls
+        with the same batch, e.g. an experiment's pruning grid).
         """
-        events = list(events)
+        batch = EventBatch.coerce(events)
+        batch.columns()  # built once, shared by every subset below
         groups: Dict[str, List[int]] = {}
-        for position in range(len(events)):
+        for position in range(len(batch.events)):
             origin = broker_ids[position % len(broker_ids)]
             groups.setdefault(origin, []).append(position)
-        results: List[Optional[PublishResult]] = [None] * len(events)
+        results: List[Optional[PublishResult]] = [None] * len(batch.events)
         for origin, positions in groups.items():
-            batch_results = self.publish_batch(
-                origin, [events[position] for position in positions]
-            )
+            batch_results = self.publish_batch(origin, batch.subset(positions))
             for position, result in zip(positions, batch_results):
                 results[position] = result
         return results  # type: ignore[return-value]

@@ -11,7 +11,9 @@ import pytest
 import repro
 import repro.core.engine
 import repro.events
+import repro.matching.batch
 import repro.matching.counting
+import repro.matching.predicate_index
 import repro.routing.network
 import repro.selectivity.estimator
 import repro.subscriptions.predicates
@@ -28,7 +30,9 @@ MODULES = [
     repro,
     repro.core.engine,
     repro.events,
+    repro.matching.batch,
     repro.matching.counting,
+    repro.matching.predicate_index,
     repro.routing.network,
     repro.selectivity.estimator,
     repro.subscriptions.predicates,

@@ -1,8 +1,8 @@
-"""Tests for the event model."""
+"""Tests for the event model and its columnar batch view."""
 
 import pytest
 
-from repro.events import Event, EventBatch, event_signature
+from repro.events import Event, EventBatch, EventColumns, event_signature
 
 
 class TestEventConstruction:
@@ -116,3 +116,89 @@ class TestEventBatch:
     def test_total_size(self):
         batch = EventBatch([Event({}), Event({})])
         assert batch.total_size_bytes() == 32
+
+
+class TestEventColumns:
+    def _batch(self):
+        return EventBatch(
+            [
+                Event({"price": 5, "tag": "abc", "hot": True}),
+                Event({"tag": "abd"}),
+                Event({"price": 7.5, "hot": False}),
+                Event({}),
+                Event({"price": 5, "tag": "abc"}),
+            ]
+        )
+
+    def test_presence_rows_are_sparse_masks(self):
+        columns = self._batch().columns()
+        assert columns.row_count == 5
+        assert columns.attribute_names == ["hot", "price", "tag"]
+        assert columns.column("price").rows.tolist() == [0, 2, 4]
+        assert columns.column("tag").rows.tolist() == [0, 1, 4]
+        assert columns.column("missing") is None
+
+    def test_values_split_by_kind(self):
+        columns = self._batch().columns()
+        price = columns.column("price")
+        assert price.numeric_rows.tolist() == [0, 2, 4]
+        assert price.numeric_values.tolist() == [5.0, 7.5, 5.0]
+        assert len(price.string_rows) == len(price.bool_rows) == 0
+        hot = columns.column("hot")
+        assert hot.bool_rows.tolist() == [0, 2]
+        assert hot.bool_values.tolist() == [True, False]
+
+    def test_bool_is_not_numeric(self):
+        columns = EventColumns.from_events([Event({"a": True, "b": 1})])
+        assert len(columns.column("a").numeric_rows) == 0
+        assert len(columns.column("a").bool_rows) == 1
+        assert len(columns.column("b").numeric_rows) == 1
+
+    def test_groups_by_distinct_value(self):
+        price = self._batch().columns().column("price")
+        numeric_groups, string_groups, _bool_groups = price.groups()
+        assert sorted(
+            (value, rows.tolist()) for value, rows in numeric_groups
+        ) == [(5.0, [0, 4]), (7.5, [2])]
+        assert string_groups == []
+
+    def test_select_renumbers_rows(self):
+        columns = self._batch().columns().select([1, 2, 4])
+        assert columns.row_count == 3
+        assert columns.column("price").rows.tolist() == [1, 2]
+        assert columns.column("price").numeric_values.tolist() == [7.5, 5.0]
+        assert columns.column("tag").rows.tolist() == [0, 2]
+        # 'hot' only appears at original rows 0 and 2 -> kept row 2 -> new row 1
+        assert columns.column("hot").rows.tolist() == [1]
+
+    def test_select_drops_empty_columns(self):
+        columns = self._batch().columns().select([3])
+        assert columns.attribute_names == []
+
+    def test_slice_rows_matches_select(self):
+        columns = self._batch().columns()
+        sliced = columns.slice_rows(1, 4)
+        selected = columns.select([1, 2, 3])
+        assert sliced.attribute_names == selected.attribute_names
+        for name in sliced.attribute_names:
+            assert (
+                sliced.column(name).rows.tolist()
+                == selected.column(name).rows.tolist()
+            )
+
+    def test_batch_caches_columns(self):
+        batch = self._batch()
+        assert batch.columns() is batch.columns()
+
+    def test_subset_derives_columns_from_parent(self):
+        batch = self._batch()
+        batch.columns()
+        subset = batch.subset([0, 2])
+        assert subset.events == [batch.events[0], batch.events[2]]
+        assert subset._columns is not None
+        assert subset._columns.column("price").numeric_values.tolist() == [5.0, 7.5]
+
+    def test_subset_without_columns_stays_lazy(self):
+        subset = self._batch().subset([0, 1])
+        assert subset._columns is None
+        assert subset.columns().column("tag").rows.tolist() == [0, 1]

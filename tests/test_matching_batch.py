@@ -11,6 +11,8 @@ at every point of an arbitrary churn history.
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.events import EventBatch
+from repro.matching.batch import counting_match_batch_rowwise
 from repro.matching.counting import CountingMatcher
 from repro.matching.naive import NaiveMatcher
 from repro.subscriptions.subscription import Subscription
@@ -99,6 +101,28 @@ def test_incremental_engine_tracks_oracle_under_churn(ops, events):
 
 
 @given(churn_ops(), st.lists(strategies.events(), min_size=1, max_size=6))
+@settings(max_examples=120, deadline=None)
+def test_columnar_probe_equals_per_event_match_under_churn(ops, events):
+    """Columnar ``match_batch`` ≡ per-event ``match`` ≡ rowwise probe.
+
+    The strategies draw events with ~80% attribute presence, so the
+    columnar presence rows (missing-attribute semantics) are exercised,
+    and churn fragments the slot/entry id spaces the probes write into.
+    """
+    counting, _oracle = apply_churn(ops)
+    batch = EventBatch(events)
+    columnar = counting.match_batch(batch)
+    assert columnar == [counting.match(event) for event in events]
+    assert columnar == counting_match_batch_rowwise(counting, events)
+    # Sub-batch columns derived by row selection agree with columns
+    # built from the picked events directly.
+    positions = list(range(0, len(events), 2))
+    assert counting.match_batch(batch.subset(positions)) == [
+        columnar[position] for position in positions
+    ]
+
+
+@given(churn_ops(), st.lists(strategies.events(), min_size=1, max_size=6))
 @settings(max_examples=80, deadline=None)
 def test_compaction_is_invisible(ops, events):
     """rebuild() (compaction) never changes match results."""
@@ -129,6 +153,28 @@ def test_entry_ids_are_recycled_under_replace_churn():
     for round_number in range(50):
         matcher.replace(Subscription(0, And(P("a") == round_number, P("b") <= 2)))
     assert matcher._indexes.entry_capacity == capacity
+
+
+@given(
+    st.lists(strategies.trees(), min_size=1, max_size=6),
+    st.lists(strategies.events(), min_size=4, max_size=10),
+)
+@settings(max_examples=60, deadline=None)
+def test_columnar_chunking_is_invisible(trees, events):
+    """Forcing tiny chunks (column row-slicing per chunk) changes nothing."""
+    from repro.matching import batch as batch_module
+
+    counting = CountingMatcher()
+    for index, tree in enumerate(trees):
+        counting.register(Subscription(index, tree))
+    expected = counting.match_batch(events)
+    original = batch_module._MAX_CHUNK
+    batch_module._MAX_CHUNK = 3
+    try:
+        assert counting.match_batch(EventBatch(events)) == expected
+        assert counting_match_batch_rowwise(counting, events) == expected
+    finally:
+        batch_module._MAX_CHUNK = original
 
 
 def test_batch_statistics_match_sequential(workload, auction_events,

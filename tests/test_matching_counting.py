@@ -180,3 +180,72 @@ class TestDiagnostics:
         matcher.register(sub(2, P("a") == 1))
         # the new registration is visible on the next match
         assert matcher.match(Event({"a": 1})) == [1, 2]
+
+
+class TestAutoCompaction:
+    """The fragmentation heuristic: unregister churn triggers rebuild()."""
+
+    @staticmethod
+    def _fill(matcher, count):
+        for index in range(count):
+            matcher.register(sub(index, And(P("a") == index, P("b") <= index)))
+
+    def test_compaction_triggers_at_threshold(self):
+        # Single-leaf subscriptions keep the slot and entry free lists in
+        # lockstep: with 129 registered, the 64th unregistration is the
+        # first to clear both the absolute floor (64 free) and the
+        # fraction gate (64 > 65 live * 0.5), and must compact.
+        matcher = CountingMatcher()
+        for index in range(129):
+            matcher.register(sub(index, P("a") == index))
+        for index in range(63):
+            matcher.unregister(index)
+        assert len(matcher._free_slots) == 63  # not yet
+        matcher.unregister(63)
+        assert len(matcher._slots) == 65
+        assert not matcher._free_slots
+        assert matcher._indexes.entry_capacity == matcher.entry_count == 65
+        assert matcher.match(Event({"a": 100})) == [100]
+
+    def test_heavy_unregister_churn_keeps_table_dense(self):
+        matcher = CountingMatcher()
+        self._fill(matcher, 200)
+        for index in range(150):
+            matcher.unregister(index)
+        live = len(matcher._subscriptions)
+        assert live == 50
+        # Repeated compactions keep the id spaces near the live population
+        # (at most one un-triggered churn tail of fragmentation).
+        assert len(matcher._slots) - len(matcher._free_slots) == live
+        assert len(matcher._slots) < 100
+        assert matcher._indexes.entry_capacity < 200
+        assert matcher.match(Event({"a": 199, "b": 0})) == [199]
+
+    def test_small_tables_never_thrash(self):
+        matcher = CountingMatcher()
+        self._fill(matcher, 20)
+        for index in range(19):
+            matcher.unregister(index)
+        # Free lists stay below the absolute compaction floor.
+        assert len(matcher._slots) == 20
+        assert len(matcher._free_slots) == 19
+
+    def test_disabled_by_none(self):
+        matcher = CountingMatcher(compact_free_fraction=None)
+        self._fill(matcher, 200)
+        for index in range(199):
+            matcher.unregister(index)
+        assert len(matcher._slots) == 200
+        assert len(matcher._free_slots) == 199
+        assert matcher.match(Event({"a": 199, "b": 0})) == [199]
+
+    def test_replace_churn_never_compacts(self):
+        # Replace reuses its freed ids immediately; auto-compaction on the
+        # replace path would make it O(table) again.
+        matcher = CountingMatcher()
+        self._fill(matcher, 200)
+        slots_before = len(matcher._slots)
+        for index in range(200):
+            matcher.replace(sub(index, And(P("a") == -index, P("b") <= index)))
+        assert len(matcher._slots) == slots_before
+        assert matcher._indexes.entry_capacity == 400
