@@ -1,0 +1,93 @@
+"""Micro-benchmark of the service layer's micro-batching ingress.
+
+Events/s through ``Session.publish`` (one ``submit`` per event, final
+``flush``) at several ``max_batch`` sizes, against the direct
+``publish_batch`` substrate path as the upper bound.  Results land in
+``BENCH_matching.json`` under the ``ingress`` key (schema documented in
+``docs/BENCHMARKS.md``): the spread between ``max_batch=1`` and the
+larger sizes is the amortization the ingress buys single-event callers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import best_seconds
+from repro.events import EventBatch
+from repro.routing.topology import line_topology
+from repro.service import CountingSink, PubSubService
+
+MAX_BATCH_SIZES = (1, 16, 128)
+
+
+@pytest.fixture(scope="module")
+def ingress_service(bench_subscriptions):
+    """A one-broker service with the benchmark table behind one session."""
+    service = PubSubService(topology=line_topology(1), max_batch=64)
+    session = service.connect("b0", "subscriber", sink=CountingSink())
+    for subscription in bench_subscriptions:
+        session.subscribe(subscription.tree)
+    publisher = service.connect("b0", "publisher")
+    return service, publisher
+
+
+def test_ingress_deliveries_match_direct_batch(ingress_service, bench_events):
+    """The ingress path delivers exactly what the substrate matches."""
+    service, publisher = ingress_service
+    events = bench_events.events
+    sink = service.sessions[0].sink
+    sink.clear()
+    for event in events:
+        publisher.publish(event)
+    service.flush()
+    ingress_total = sink.total
+    # The direct publish below reaches the sink through the delivery
+    # hook too, so compare against its returned results, not the sink.
+    expected = sum(
+        len(result.deliveries)
+        for result in service.network.publish_batch("b0", EventBatch(events))
+    )
+    assert ingress_total == expected
+    sink.clear()
+
+
+def test_ingress_throughput(ingress_service, bench_events, bench_results):
+    service, publisher = ingress_service
+    events = bench_events.events
+
+    def run_at(max_batch):
+        service.ingress.max_batch = max_batch
+
+        def run():
+            for event in events:
+                publisher.publish(event)
+            return service.flush()
+
+        seconds, _ = best_seconds(run)
+        return seconds
+
+    def run_direct():
+        return len(service.publish_batch("b0", EventBatch(events)))
+
+    direct_seconds, _ = best_seconds(run_direct)
+    results = {
+        "events": len(events),
+        "direct_batch_seconds": direct_seconds,
+        "direct_batch_events_per_second": (
+            len(events) / direct_seconds if direct_seconds else None
+        ),
+    }
+    for max_batch in MAX_BATCH_SIZES:
+        seconds = run_at(max_batch)
+        results["max_batch_%d" % max_batch] = {
+            "seconds": seconds,
+            "events_per_second": len(events) / seconds if seconds else None,
+        }
+    bench_results["ingress"] = results
+
+    # Gross-regression gate only: batching must not be slower than
+    # flushing every single event through the batch machinery.
+    assert (
+        results["max_batch_128"]["seconds"]
+        < results["max_batch_1"]["seconds"] * 1.5
+    )

@@ -40,9 +40,10 @@ def main() -> None:
     network = BrokerNetwork(line_topology(BROKERS))
     broker_ids = network.topology.broker_ids
     for index, subscription in enumerate(subscriptions):
+        # Registered in workload order on a fresh network, so the
+        # auto-assigned ids coincide with the workload subscription ids.
         network.subscribe(
             broker_ids[index % BROKERS], "c%d" % index, subscription.tree,
-            subscription_id=subscription.id,
         )
 
     schedule = PruningSchedule.build(subscriptions, estimator, Dimension.NETWORK)

@@ -1,13 +1,17 @@
 #!/usr/bin/env python3
-"""Quickstart: subscriptions, matching, and dimension-based pruning.
+"""Quickstart: the service layer — sessions, handles, sinks, and pruning.
 
-Walks the full pipeline on a handful of subscriptions:
+Walks the full pipeline the way a client of the system sees it:
 
-1. build Boolean subscriptions with the P/And/Or/Not DSL,
-2. match events with the counting engine,
-3. estimate selectivities,
-4. prune with each of the paper's three dimensions and watch how the
-   heuristics disagree about what to remove first.
+1. start a `PubSubService` over a broker topology,
+2. connect client sessions and subscribe with the P/And/Or/Not DSL —
+   subscription identity is a server-assigned handle, never a
+   hand-chosen integer,
+3. publish events through the micro-batching ingress and read the
+   deliveries from each client's sink,
+4. change a live subscription with `handle.replace` / `.unsubscribe`,
+5. estimate selectivities and preview dimension-based pruning on the
+   registered subscriptions.
 
 Run:  python examples/quickstart.py
 """
@@ -16,7 +20,6 @@ from repro import (
     And,
     CategoricalStatistics,
     ContinuousStatistics,
-    CountingMatcher,
     Dimension,
     Event,
     EventStatistics,
@@ -24,34 +27,43 @@ from repro import (
     Or,
     P,
     PruningEngine,
+    PubSubService,
     SelectivityEstimator,
-    Subscription,
+    line_topology,
 )
 
 
 def main() -> None:
-    # -- 1. Boolean subscriptions over attribute-value events ---------------
-    subscriptions = [
-        Subscription(1, And(
+    # -- 1. A service over three brokers in a line ---------------------------
+    service = PubSubService(topology=line_topology(3), max_batch=8)
+
+    # -- 2. Sessions and subscriptions (ids are assigned by the service) -----
+    alice = service.connect("b0", "alice")
+    bob = service.connect("b1", "bob")
+    carol = service.connect("b2", "carol")
+
+    handles = {
+        "alice": alice.subscribe(And(
             P("category") == "fiction",
             P("price") <= 20.0,
             P("seller_rating") >= 4.0,
-        ), owner="alice"),
-        Subscription(2, And(
+        )),
+        "bob": bob.subscribe(And(
             Or(P("category") == "scifi", P("category") == "fantasy"),
             P("price") <= 35.0,
             Not(P("condition") == "poor"),
-        ), owner="bob"),
-        Subscription(3, Or(
+        )),
+        "carol": carol.subscribe(Or(
             And(P("author") == "author-007", P("price") <= 50.0),
             And(P("title") == "book-0042", P("buy_now") == True),  # noqa: E712
-        ), owner="carol"),
-    ]
+        )),
+    }
+    print("== Subscription handles (server-assigned identity) ==")
+    for name, handle in handles.items():
+        print("  %s -> %r" % (name, handle))
 
-    # -- 2. Matching with the counting engine -------------------------------
-    matcher = CountingMatcher()
-    matcher.register_all(subscriptions)
-
+    # -- 3. Publishing through the micro-batching ingress --------------------
+    publisher = service.connect("b1", "auction-site")
     events = [
         Event({"category": "fiction", "price": 12.0, "seller_rating": 4.5,
                "condition": "good"}),
@@ -61,14 +73,30 @@ def main() -> None:
                "buy_now": False, "category": "history",
                "seller_rating": 5.0, "condition": "new"}),
     ]
-    print("== Matching ==")
     for event in events:
-        matched = matcher.match_subscriptions(event)
-        owners = ", ".join(sub.owner for sub in matched) or "(nobody)"
-        print("  %r -> %s" % (dict(list(event.to_dict().items())[:2]), owners))
-    print("  engine stats:", matcher.statistics)
+        publisher.publish(event)       # buffered: rides the ingress
+    service.flush()                    # drain the partial micro-batch
 
-    # -- 3. Selectivity estimation -------------------------------------------
+    print("\n== Deliveries (per-session sinks) ==")
+    for session in (alice, bob, carol):
+        got = ["#%d %r" % (note.sequence, dict(list(note.event.items())[:2]))
+               for note in session.sink.notifications]
+        print("  %s: %s" % (session.client, ", ".join(got) or "(nothing)"))
+
+    # -- 4. Live subscription changes ---------------------------------------
+    # Bob narrows his alert mid-stream; the handle keeps its identity and
+    # pending events are flushed before the change takes effect.
+    handles["bob"].replace(And(P("category") == "scifi", P("price") <= 15.0))
+    publisher.publish(Event({"category": "scifi", "price": 30.0,
+                             "condition": "new"}))
+    publisher.publish(Event({"category": "scifi", "price": 9.0,
+                             "condition": "new"}))
+    service.flush()
+    print("\n== After bob.replace(scifi AND price<=15) ==")
+    print("  bob now has %d notifications (the $30 sci-fi no longer matches)"
+          % len(bob.sink.notifications))
+
+    # -- 5. Selectivity estimation and pruning preview -----------------------
     statistics = EventStatistics({
         "category": CategoricalStatistics(
             {"fiction": 0.4, "scifi": 0.2, "fantasy": 0.15, "history": 0.25}),
@@ -79,6 +107,7 @@ def main() -> None:
     }, default_probability=0.05)
     estimator = SelectivityEstimator(statistics)
 
+    subscriptions = [handle.subscription for handle in handles.values()]
     print("\n== Selectivity estimates (min/avg/max) ==")
     for subscription in subscriptions:
         estimate = estimator.estimate(subscription.tree)
@@ -86,7 +115,6 @@ def main() -> None:
               % (subscription.id, subscription.owner,
                  estimate.min, estimate.avg, estimate.max))
 
-    # -- 4. Dimension-based pruning ------------------------------------------
     print("\n== Pruning, one dimension at a time ==")
     for dimension in Dimension:
         engine = PruningEngine(subscriptions, estimator, dimension)
@@ -107,6 +135,8 @@ def main() -> None:
             if subscription.matches(event):
                 assert pruned[subscription.id].matches(event)
     print("  every original match is preserved by the pruned trees ✓")
+
+    service.close()
 
 
 if __name__ == "__main__":

@@ -10,7 +10,23 @@ evaluation.
 
 Quickstart
 ----------
->>> from repro import P, And, Or, Subscription, CountingMatcher, Event
+The primary surface is the service layer — sessions with server-assigned
+subscription handles, delivery sinks, and a micro-batching ingress:
+
+>>> from repro import PubSubService, P, And, Event, line_topology
+>>> service = PubSubService(topology=line_topology(2))
+>>> alice = service.connect("b1", "alice")
+>>> handle = alice.subscribe(And(P("category") == "fiction", P("price") <= 20.0))
+>>> service.publish("b0", Event({"category": "fiction", "price": 8.0}))
+False
+>>> service.flush()
+1
+>>> [note.event["price"] for note in alice.sink.notifications]
+[8.0]
+
+The matching engine is directly usable too:
+
+>>> from repro import Subscription, CountingMatcher
 >>> matcher = CountingMatcher()
 >>> matcher.register(Subscription(1, And(
 ...     P("category") == "fiction", P("price") <= 20.0)))
@@ -33,6 +49,7 @@ from repro.errors import (
     ReproError,
     RoutingError,
     SelectivityError,
+    ServiceError,
     SubscriptionError,
     TopologyError,
     WorkloadError,
@@ -55,6 +72,17 @@ from repro.routing.topology import (
     tree_topology,
 )
 from repro.selectivity.estimator import SelectivityEstimate, SelectivityEstimator
+from repro.service import (
+    CallbackSink,
+    CollectingSink,
+    CountingSink,
+    DeliverySink,
+    Ingress,
+    Notification,
+    PubSubService,
+    Session,
+    SubscriptionHandle,
+)
 from repro.selectivity.statistics import (
     CategoricalStatistics,
     ContinuousStatistics,
@@ -76,19 +104,27 @@ __version__ = "1.0.0"
 __all__ = [
     "AdaptivePruner",
     "And",
+    "apply_pruning",
+    "attr",
     "AuctionWorkload",
     "AuctionWorkloadConfig",
     "Broker",
     "BrokerNetwork",
+    "CallbackSink",
     "CategoricalStatistics",
     "CentralizedExperiment",
+    "CollectingSink",
+    "config_for_scale",
     "ContinuousStatistics",
     "CostModel",
     "CountingMatcher",
-    "DIMENSION_ORDERS",
+    "CountingSink",
+    "DeliverySink",
     "Dimension",
+    "DIMENSION_ORDERS",
     "DistributedExperiment",
     "EmpiricalStatistics",
+    "enumerate_prunings",
     "Event",
     "EventBatch",
     "EventStatistics",
@@ -96,11 +132,16 @@ __all__ = [
     "ExperimentContext",
     "ExperimentError",
     "HeuristicVector",
+    "Ingress",
     "Interface",
-    "MatchStatistics",
+    "is_prunable",
+    "line_topology",
     "MatchingError",
+    "MatchStatistics",
     "NaiveMatcher",
+    "normalize",
     "Not",
+    "Notification",
     "Operator",
     "Or",
     "P",
@@ -110,25 +151,22 @@ __all__ = [
     "PruningOp",
     "PruningRecord",
     "PruningSchedule",
+    "PubSubService",
     "ReproError",
     "RoutingError",
     "SelectivityError",
     "SelectivityEstimate",
     "SelectivityEstimator",
+    "ServiceError",
+    "Session",
+    "star_topology",
     "Subscription",
     "SubscriptionClassMix",
     "SubscriptionError",
+    "SubscriptionHandle",
     "SystemConditions",
     "Topology",
     "TopologyError",
-    "WorkloadError",
-    "attr",
-    "apply_pruning",
-    "config_for_scale",
-    "enumerate_prunings",
-    "is_prunable",
-    "line_topology",
-    "normalize",
-    "star_topology",
     "tree_topology",
+    "WorkloadError",
 ]

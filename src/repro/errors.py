@@ -53,3 +53,7 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised by the experiment harness for invalid configurations."""
+
+
+class ServiceError(ReproError):
+    """Raised by the service layer (sessions, handles, ingress)."""

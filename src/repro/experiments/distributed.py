@@ -1,10 +1,12 @@
 """The distributed (five brokers in a line) experiment: Fig. 1(d)–(f).
 
-Subscriptions are registered round-robin across brokers (each broker hosts
-``clients_per_broker`` local clients); subscription forwarding gives every
-broker a routing entry for every subscription.  Pruning applies only to
-the *non-local* entries of each broker, per the paper.  Events are
-published round-robin across all brokers.
+Subscriptions are registered round-robin across brokers through the
+service layer (each broker hosts ``clients_per_broker`` local client
+sessions with counting delivery sinks; subscription ids are assigned by
+the network, not taken from the workload); subscription forwarding gives
+every broker a routing entry for every subscription.  Pruning applies
+only to the *non-local* entries of each broker, per the paper.  Events
+are published round-robin across all brokers.
 
 Per grid point we measure
 
@@ -22,7 +24,7 @@ events matching its original subscription, at every pruning level.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.heuristics import Dimension
 from repro.errors import ExperimentError
@@ -36,6 +38,7 @@ from repro.routing.topology import (
     star_topology,
     tree_topology,
 )
+from repro.service import CountingSink, PubSubService, Session
 
 
 def _build_topology(kind: str, broker_count: int) -> Topology:
@@ -69,7 +72,12 @@ class DistributedExperiment:
                 per_message_overhead_s=config.per_message_overhead_s,
             ),
         )
+        self.service = PubSubService(self.network)
         self.broker_ids = self.network.topology.broker_ids
+        self._sinks: Dict[Tuple[str, str], CountingSink] = {}
+        #: network-assigned subscription id -> workload subscription id
+        #: (pruning schedules are keyed by the latter).
+        self._workload_id_for: Dict[int, int] = {}
         self._register_subscriptions()
         self._non_local: Dict[str, List[int]] = {
             broker_id: [
@@ -86,15 +94,22 @@ class DistributedExperiment:
 
     def _register_subscriptions(self) -> None:
         config = self.context.config
+        sessions: Dict[Tuple[str, str], Session] = {}
         for index, subscription in enumerate(self.context.subscriptions):
             broker_id = self.broker_ids[index % len(self.broker_ids)]
             client = "%s-client-%d" % (
                 broker_id,
                 index % config.clients_per_broker,
             )
-            self.network.subscribe(
-                broker_id, client, subscription.tree, subscription_id=subscription.id
-            )
+            key = (broker_id, client)
+            session = sessions.get(key)
+            if session is None:
+                sink = CountingSink()
+                session = self.service.connect(broker_id, client, sink=sink)
+                sessions[key] = session
+                self._sinks[key] = sink
+            handle = session.subscribe(subscription.tree)
+            self._workload_id_for[handle.id] = subscription.id
 
     # -- sweep ---------------------------------------------------------------
 
@@ -112,7 +127,7 @@ class DistributedExperiment:
         for index, (count, pruned) in enumerate(schedule.sweep(counts)):
             per_broker = {
                 broker_id: {
-                    sub_id: pruned[sub_id].tree
+                    sub_id: pruned[self._workload_id_for[sub_id]].tree
                     for sub_id in self._non_local[broker_id]
                 }
                 for broker_id in self.broker_ids
@@ -125,13 +140,22 @@ class DistributedExperiment:
                 self.broker_ids, events.events[: min(16, len(events))]
             )
             network.reset_statistics()
+            sink_deliveries_before = self._sink_deliveries()
             # The timed pass publishes whole batches per origin broker, so
             # brokers filter and forward through the vectorized batch
             # path; passing the EventBatch shares one columnar view of
-            # the events across all brokers and grid points.
+            # the events across all brokers and grid points.  Deliveries
+            # additionally fan out to the client sessions' counting
+            # sinks via the service's delivery hook.
             network.publish_round_robin(self.broker_ids, events)
             report = network.report()
+            sink_deliveries = self._sink_deliveries() - sink_deliveries_before
 
+            if report.deliveries != sink_deliveries:
+                raise ExperimentError(
+                    "sink deliveries diverge from link accounting: %d != %d"
+                    % (sink_deliveries, report.deliveries)
+                )
             if self._baseline_messages is None:
                 if proportions[index] != 0.0:
                     raise ExperimentError("first grid point must be proportion 0")
@@ -163,6 +187,10 @@ class DistributedExperiment:
                 )
             )
         return points
+
+    def _sink_deliveries(self) -> int:
+        """Total notifications seen by the client sessions' sinks."""
+        return sum(sink.total for sink in self._sinks.values())
 
     def run_all(self) -> Dict[Dimension, List[DistributedPoint]]:
         """Sweep every configured dimension (baseline shared across them)."""

@@ -108,6 +108,23 @@ class Broker:
         self.matcher.unregister(subscription_id)
         return entry.interface
 
+    def replace_entry(self, subscription: Subscription) -> None:
+        """Swap an entry's *registered* tree for a new one, keeping its id.
+
+        Unlike :meth:`prune_entry` this rebinds the entry's original
+        subscription (the client changed what it is subscribed to), so
+        any pruning previously applied to the old tree is dropped.
+        """
+        entry = self.entries.get(subscription.id)
+        if entry is None:
+            raise RoutingError(
+                "broker %s has no entry for subscription %d"
+                % (self.id, subscription.id)
+            )
+        entry.original = subscription
+        entry.current = subscription
+        self.matcher.replace(subscription)
+
     def prune_entry(self, subscription_id: int, pruned_tree: Node) -> None:
         """Replace a non-local entry's tree with a generalized version.
 

@@ -9,7 +9,19 @@ testbed; message *counts* are exact, transmission *time* is modelled by
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple, Union
+import warnings
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro.errors import RoutingError
 from repro.events import Event, EventBatch
@@ -39,6 +51,13 @@ class PublishResult(NamedTuple):
     deliveries: List[Delivery]        #: notifications to local clients
     event_messages: int               #: broker-to-broker event sends
     brokers_visited: int              #: brokers that filtered the event
+
+
+#: Called at the end of every :meth:`BrokerNetwork.publish_batch` with the
+#: batch's events and their per-event results, in batch order.  This is how
+#: the service layer (:mod:`repro.service`) observes deliveries regardless
+#: of which publish entry point produced them.
+DeliveryHook = Callable[[Sequence[Event], Sequence[PublishResult]], None]
 
 
 class BrokerNetwork:
@@ -72,6 +91,8 @@ class BrokerNetwork:
             self._links[(left, right)] = LinkStats()
             self._links[(right, left)] = LinkStats()
         self._next_subscription_id = 0
+        self._reserved_ids: Set[int] = set()
+        self._delivery_hook: Optional[DeliveryHook] = None
         self._home: Dict[int, Tuple[str, str]] = {}
         self._subscription_messages = 0
         self._subscription_bytes = 0
@@ -79,6 +100,19 @@ class BrokerNetwork:
         self._deliveries = 0
 
     # -- subscriptions -------------------------------------------------------------
+
+    def allocate_subscription_id(self) -> int:
+        """Reserve and return the next globally unique subscription id.
+
+        This is the server-assigned identity path used by the service
+        layer: the reserved id is accepted (exactly once) by
+        :meth:`subscribe` without the deprecation warning that
+        caller-chosen ids draw.
+        """
+        subscription_id = self._next_subscription_id
+        self._next_subscription_id += 1
+        self._reserved_ids.add(subscription_id)
+        return subscription_id
 
     def subscribe(
         self,
@@ -90,23 +124,53 @@ class BrokerNetwork:
         """Register a subscription at a client's home broker and forward it.
 
         Returns the registered :class:`Subscription` (with its global id).
+        Passing a caller-chosen ``subscription_id`` (one not reserved via
+        :meth:`allocate_subscription_id`) is deprecated — use the service
+        layer (:class:`repro.service.PubSubService`), which hands out
+        opaque handles instead of global ints.
         """
         home = self._broker(broker_id)
         if subscription_id is None:
             subscription_id = self._next_subscription_id
+            self._next_subscription_id += 1
+        elif subscription_id in self._reserved_ids:
+            self._reserved_ids.discard(subscription_id)
         elif subscription_id < self._next_subscription_id:
             raise RoutingError("subscription id %d already used" % subscription_id)
-        self._next_subscription_id = subscription_id + 1
+        else:
+            warnings.warn(
+                "caller-chosen subscription ids are deprecated; use "
+                "repro.service.PubSubService sessions (server-assigned "
+                "handles) or BrokerNetwork.allocate_subscription_id()",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            self._next_subscription_id = subscription_id + 1
         subscription = Subscription(subscription_id, tree, owner=client)
         home.add_entry(subscription, Interface.client(client))
         self._home[subscription.id] = (broker_id, client)
         wire_size = len(encode_node(subscription.tree)) + _SUBSCRIPTION_MESSAGE_OVERHEAD
-        self._flood_subscription(subscription, origin=broker_id, wire_size=wire_size)
+        self._flood(
+            broker_id,
+            wire_size,
+            lambda broker, sender: broker.add_entry(
+                subscription, Interface.broker(sender)
+            ),
+        )
         return subscription
 
-    def _flood_subscription(
-        self, subscription: Subscription, origin: str, wire_size: int
+    def _flood(
+        self,
+        origin: str,
+        wire_size: int,
+        apply: Callable[[Broker, str], None],
     ) -> None:
+        """Walk the tree away from ``origin``, applying a table change.
+
+        Records one subscription-traffic message of ``wire_size`` bytes
+        per traversed link and calls ``apply(broker, sender)`` at every
+        broker reached.
+        """
         queue: List[Tuple[str, str]] = [
             (neighbor, origin) for neighbor in self.brokers[origin].neighbors
         ]
@@ -114,7 +178,7 @@ class BrokerNetwork:
             broker_id, sender = queue.pop()
             self._record_link(sender, broker_id, wire_size, subscription_traffic=True)
             broker = self.brokers[broker_id]
-            broker.add_entry(subscription, Interface.broker(sender))
+            apply(broker, sender)
             for neighbor in broker.neighbors:
                 if neighbor != sender:
                     queue.append((neighbor, broker_id))
@@ -125,18 +189,34 @@ class BrokerNetwork:
             raise RoutingError("unknown subscription id %d" % subscription_id)
         origin, _client = self._home.pop(subscription_id)
         self._broker(origin).remove_entry(subscription_id)
-        wire_size = _SUBSCRIPTION_MESSAGE_OVERHEAD
-        queue: List[Tuple[str, str]] = [
-            (neighbor, origin) for neighbor in self.brokers[origin].neighbors
-        ]
-        while queue:
-            broker_id, sender = queue.pop()
-            self._record_link(sender, broker_id, wire_size, subscription_traffic=True)
-            broker = self.brokers[broker_id]
-            broker.remove_entry(subscription_id)
-            for neighbor in broker.neighbors:
-                if neighbor != sender:
-                    queue.append((neighbor, broker_id))
+        self._flood(
+            origin,
+            _SUBSCRIPTION_MESSAGE_OVERHEAD,
+            lambda broker, sender: broker.remove_entry(subscription_id),
+        )
+
+    def replace_subscription(self, subscription_id: int, tree: Node) -> Subscription:
+        """Swap the tree of a live subscription everywhere, keeping its id.
+
+        The new tree becomes the *registered* tree at every broker (any
+        pruning applied to the old entries is dropped), and the change is
+        flooded with the same subscription-traffic accounting as a fresh
+        subscribe.  This is the substrate behind
+        :meth:`repro.service.SubscriptionHandle.replace`.
+        """
+        home = self._home.get(subscription_id)
+        if home is None:
+            raise RoutingError("unknown subscription id %d" % subscription_id)
+        origin, client = home
+        subscription = Subscription(subscription_id, tree, owner=client)
+        self.brokers[origin].replace_entry(subscription)
+        wire_size = len(encode_node(subscription.tree)) + _SUBSCRIPTION_MESSAGE_OVERHEAD
+        self._flood(
+            origin,
+            wire_size,
+            lambda broker, sender: broker.replace_entry(subscription),
+        )
+        return subscription
 
     # -- events ----------------------------------------------------------------------
 
@@ -197,19 +277,42 @@ class BrokerNetwork:
                 queue.append((neighbor, current_id, forwarded))
         total_deliveries = sum(len(d) for d in deliveries_per)
         self._deliveries += total_deliveries
-        return [
+        results = [
             PublishResult(deliveries_per[i], messages_per[i], visited_per[i])
             for i in range(count)
         ]
+        if self._delivery_hook is not None:
+            self._delivery_hook(events, results)
+        return results
+
+    def set_delivery_hook(self, hook: Optional[DeliveryHook]) -> None:
+        """Install (or clear, with ``None``) the delivery hook.
+
+        The hook observes every published batch with its per-event
+        results, whatever entry point published it.  Only one hook may
+        be installed at a time — the service layer owns it when a
+        :class:`repro.service.PubSubService` wraps this network.
+        """
+        if hook is not None and self._delivery_hook is not None:
+            raise RoutingError("a delivery hook is already installed")
+        self._delivery_hook = hook
 
     def publish_many(
         self, broker_ids: Iterable[str], events: Iterable[Event]
     ) -> List[PublishResult]:
-        """Publish events one by one, round-robin over ``broker_ids``."""
-        return [
-            self.publish(broker_id, event)
-            for broker_id, event in zip(broker_ids, events)
-        ]
+        """Publish events round-robin over ``broker_ids``, one per event.
+
+        Delegates to :meth:`publish_batch` per origin-broker group (the
+        vectorized path) instead of looping :meth:`publish`; results,
+        deliveries, and link accounting are identical to the sequential
+        loop, and are returned in input-event order.
+        """
+        pairs = list(zip(broker_ids, events))
+        if not pairs:
+            return []
+        origins = [origin for origin, _event in pairs]
+        batch = EventBatch([event for _origin, event in pairs])
+        return self._publish_grouped(origins, batch)
 
     def publish_round_robin(
         self, broker_ids: Sequence[str], events: Union[Sequence[Event], EventBatch]
@@ -224,15 +327,30 @@ class BrokerNetwork:
         with the same batch, e.g. an experiment's pruning grid).
         """
         batch = EventBatch.coerce(events)
+        origins = [
+            broker_ids[position % len(broker_ids)]
+            for position in range(len(batch.events))
+        ]
+        return self._publish_grouped(origins, batch)
+
+    def _publish_grouped(
+        self, origins: Sequence[str], batch: EventBatch
+    ) -> List[PublishResult]:
+        """Publish ``batch`` with per-event origins, one sub-batch per origin.
+
+        The batch is columnarized once and shared by every origin
+        group's sub-batch; results are re-ordered to input-event order.
+        """
         batch.columns()  # built once, shared by every subset below
         groups: Dict[str, List[int]] = {}
-        for position in range(len(batch.events)):
-            origin = broker_ids[position % len(broker_ids)]
+        for position, origin in enumerate(origins):
             groups.setdefault(origin, []).append(position)
-        results: List[Optional[PublishResult]] = [None] * len(batch.events)
+        results: List[Optional[PublishResult]] = [None] * len(origins)
         for origin, positions in groups.items():
-            batch_results = self.publish_batch(origin, batch.subset(positions))
-            for position, result in zip(positions, batch_results):
+            sub_batch = (
+                batch if len(positions) == len(origins) else batch.subset(positions)
+            )
+            for position, result in zip(positions, self.publish_batch(origin, sub_batch)):
                 results[position] = result
         return results  # type: ignore[return-value]
 

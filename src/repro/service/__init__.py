@@ -1,0 +1,44 @@
+"""repro.service — the session/handle/sink API over the broker network.
+
+This package is the primary public surface for *using* the pub/sub
+system (as opposed to experimenting on its internals):
+
+* :class:`PubSubService` wraps a :class:`~repro.routing.network.
+  BrokerNetwork` (or builds one from a topology);
+* :meth:`PubSubService.connect` opens a :class:`Session` for one client
+  at one broker;
+* :meth:`Session.subscribe` registers a filter tree and returns an
+  opaque :class:`SubscriptionHandle` (server-assigned identity, with
+  ``replace``/``unsubscribe``) — no caller-chosen global ids;
+* deliveries are pushed into pluggable :class:`DeliverySink`\\ s
+  (:class:`CollectingSink`, :class:`CallbackSink`,
+  :class:`CountingSink`) as :class:`Notification` records;
+* publishing rides the micro-batching :class:`Ingress`, so even
+  one-event-at-a-time producers execute on the vectorized columnar
+  batch path.
+
+See ``docs/ARCHITECTURE.md`` ("Service layer") for the dataflow.
+"""
+
+from repro.service.ingress import Ingress
+from repro.service.service import PubSubService
+from repro.service.session import Session, SubscriptionHandle
+from repro.service.sinks import (
+    CallbackSink,
+    CollectingSink,
+    CountingSink,
+    DeliverySink,
+    Notification,
+)
+
+__all__ = [
+    "CallbackSink",
+    "CollectingSink",
+    "CountingSink",
+    "DeliverySink",
+    "Ingress",
+    "Notification",
+    "PubSubService",
+    "Session",
+    "SubscriptionHandle",
+]

@@ -1,0 +1,120 @@
+"""Micro-batching event admission for the service layer.
+
+Single-event publishing through the substrate pays the per-call
+overhead of :meth:`~repro.routing.network.BrokerNetwork.publish_batch`
+once per event.  The :class:`Ingress` buffers submitted events and
+drains them in micro-batches, so one-event-at-a-time callers ride the
+columnar batch path (one index probe per bucket per *batch*, see
+``docs/ARCHITECTURE.md``) for free.
+
+Draining groups pending events by their origin broker, preserving
+submission order within each group, and publishes one
+:class:`~repro.events.EventBatch` per origin.  Deliveries are observed
+through the network's delivery hook (installed by
+:class:`repro.service.PubSubService`), not through return values.
+Sequence numbers are allocated at *submission* time (through the
+service's sequencer callbacks), so the sequence a notification carries
+identifies the event's submission position no matter how the ingress
+grouped the stream.
+
+Ordering contract: a flush happens when the buffer reaches
+``max_batch``, on explicit :meth:`flush`, and — driven by the service
+layer — before any subscription churn (subscribe/unsubscribe/replace),
+so every event is matched against exactly the subscription table that
+was live when it was submitted.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import RoutingError, ServiceError
+from repro.events import Event, EventBatch
+from repro.routing.network import BrokerNetwork
+
+
+class Ingress:
+    """Buffers events per origin broker and drains them as batches.
+
+    ``allocate_sequence``/``expect_sequences`` are the service layer's
+    sequencer: the first reserves one submission-ordered sequence
+    number per submitted event, the second announces each drained
+    group's reserved numbers to the delivery dispatcher just before the
+    group is published.  Standalone use (no service) leaves both unset.
+    """
+
+    def __init__(
+        self,
+        network: BrokerNetwork,
+        max_batch: int = 64,
+        allocate_sequence: Optional[Callable[[], int]] = None,
+        expect_sequences: Optional[Callable[[Sequence[int]], None]] = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ServiceError("ingress max_batch must be >= 1, got %d" % max_batch)
+        self.network = network
+        self.max_batch = max_batch
+        self._allocate_sequence = allocate_sequence
+        self._expect_sequences = expect_sequences
+        self._pending: List[Tuple[str, Event, Optional[int]]] = []
+
+    @property
+    def pending_count(self) -> int:
+        """Events submitted but not yet drained."""
+        return len(self._pending)
+
+    def submit(self, broker_id: str, event: Event) -> bool:
+        """Enqueue one event for publication from ``broker_id``.
+
+        Returns ``True`` when the submission filled the buffer and
+        triggered a flush (unknown brokers are rejected at submit time,
+        not at flush time).
+        """
+        if broker_id not in self.network.brokers:
+            raise RoutingError("unknown broker %r" % broker_id)
+        sequence = (
+            self._allocate_sequence() if self._allocate_sequence is not None else None
+        )
+        self._pending.append((broker_id, event, sequence))
+        if len(self._pending) >= self.max_batch:
+            self.flush()
+            return True
+        return False
+
+    def flush(self) -> int:
+        """Drain the buffer; returns the number of events published.
+
+        Pending events are grouped by origin broker (groups in order of
+        first submission, submission order preserved within each group)
+        and each group goes out as one ``publish_batch`` call.  If a
+        group's publication raises (a broker error, a sink that
+        raises), the groups not yet attempted are re-queued in
+        submission order — with their already-reserved sequence
+        numbers — before the exception propagates, so no buffered event
+        is silently dropped.
+        """
+        if not self._pending:
+            return 0
+        pending, self._pending = self._pending, []
+        groups: Dict[str, List[Tuple[Event, Optional[int]]]] = {}
+        for origin, event, sequence in pending:
+            groups.setdefault(origin, []).append((event, sequence))
+        remaining = list(groups)
+        try:
+            for origin in list(groups):
+                entries = groups[origin]
+                if self._expect_sequences is not None:
+                    self._expect_sequences(
+                        [sequence for _event, sequence in entries if sequence is not None]
+                    )
+                self.network.publish_batch(
+                    origin, EventBatch([event for event, _sequence in entries])
+                )
+                remaining.remove(origin)
+        except BaseException:
+            unattempted = set(remaining) - {remaining[0]} if remaining else set()
+            self._pending = [
+                entry for entry in pending if entry[0] in unattempted
+            ] + self._pending
+            raise
+        return len(pending)

@@ -1,0 +1,290 @@
+"""The public service facade: sessions over a broker-network substrate.
+
+:class:`PubSubService` is the primary API of the library for clients of
+the pub/sub system (the substrate, :class:`repro.routing.network.
+BrokerNetwork`, stays directly usable for experiments and routing
+research).  It owns
+
+* a session registry — :meth:`connect` attaches one named client to one
+  broker and returns a :class:`~repro.service.session.Session`;
+* the service-wide micro-batching :class:`~repro.service.ingress.
+  Ingress` every session publishes through;
+* the network's delivery hook, through which every published batch's
+  deliveries are fanned out to the subscribers' sinks.
+
+Dataflow (see ``docs/ARCHITECTURE.md`` for the full diagram)::
+
+    Session.publish ──▶ Ingress buffer ──(max_batch / flush / churn)──▶
+      BrokerNetwork.publish_batch ──▶ delivery hook ──▶ DeliverySinks
+
+The service is synchronous and single-threaded, like the substrate it
+wraps: a flush runs matching to completion and sinks see their
+notifications before the flush returns.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import RoutingError, ServiceError
+from repro.events import Event, EventBatch
+from repro.routing.metrics import CostModel
+from repro.routing.network import BrokerNetwork, PublishResult
+from repro.routing.topology import Topology
+from repro.subscriptions.nodes import Node
+from repro.subscriptions.subscription import Subscription
+
+from repro.service.ingress import Ingress
+from repro.service.session import Session, SubscriptionHandle
+from repro.service.sinks import CollectingSink, DeliverySink, Notification
+
+
+class PubSubService:
+    """Sessions, handles, and sinks over a broker network.
+
+    Construct from a topology (the service builds the network) or wrap
+    an existing :class:`BrokerNetwork`:
+
+    >>> from repro.routing.topology import line_topology
+    >>> from repro.subscriptions import P
+    >>> service = PubSubService(topology=line_topology(2), max_batch=4)
+    >>> alice = service.connect("b1", "alice")
+    >>> handle = alice.subscribe(P("x") == 1)
+    >>> publisher = service.connect("b0", "publisher")
+    >>> publisher.publish(Event({"x": 1}))
+    False
+    >>> service.flush()
+    1
+    >>> [n.subscription_id for n in alice.sink.notifications]
+    [0]
+    """
+
+    def __init__(
+        self,
+        network: Optional[BrokerNetwork] = None,
+        *,
+        topology: Optional[Topology] = None,
+        cost_model: Optional[CostModel] = None,
+        max_batch: int = 64,
+    ) -> None:
+        if network is None:
+            if topology is None:
+                raise ServiceError(
+                    "PubSubService needs a network or a topology to build one"
+                )
+            network = BrokerNetwork(topology, cost_model)
+        elif topology is not None or cost_model is not None:
+            raise ServiceError(
+                "pass either an existing network or topology/cost_model, not both"
+            )
+        self._network = network
+        self.ingress = Ingress(
+            network,
+            max_batch=max_batch,
+            allocate_sequence=self._allocate_sequence,
+            expect_sequences=self._expect_sequences,
+        )
+        self._sessions: Dict[Tuple[str, str], Session] = {}
+        self._handle_sinks: Dict[int, DeliverySink] = {}
+        self._sequence = 0
+        self._expected_sequences: Deque[int] = deque()
+        self._closed = False
+        network.set_delivery_hook(self._dispatch)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def network(self) -> BrokerNetwork:
+        """The underlying broker-network substrate."""
+        return self._network
+
+    @property
+    def publish_count(self) -> int:
+        """Events sequenced by the service so far (the sequence number
+        the *next* submitted or dispatched event will be assigned)."""
+        return self._sequence
+
+    @property
+    def sessions(self) -> Tuple[Session, ...]:
+        """All open sessions."""
+        return tuple(self._sessions.values())
+
+    # -- sessions ------------------------------------------------------------
+
+    def connect(
+        self,
+        broker_id: str,
+        client: str,
+        sink: Optional[DeliverySink] = None,
+    ) -> Session:
+        """Open a session for ``client`` at ``broker_id``.
+
+        ``sink`` receives the session's deliveries; when omitted, a
+        fresh :class:`CollectingSink` is attached.  At most one open
+        session per ``(broker_id, client)`` pair — deliveries are
+        addressed to that pair by the substrate.
+        """
+        self._require_open()
+        if broker_id not in self._network.brokers:
+            raise RoutingError("unknown broker %r" % broker_id)
+        key = (broker_id, client)
+        if key in self._sessions:
+            raise ServiceError(
+                "client %r already has an open session at broker %s"
+                % (client, broker_id)
+            )
+        session = Session(self, broker_id, client, sink or CollectingSink())
+        self._sessions[key] = session
+        return session
+
+    def _forget_session(self, session: Session) -> None:
+        self._sessions.pop((session.broker_id, session.client), None)
+
+    # -- publishing ----------------------------------------------------------
+
+    def publish(self, broker_id: str, event: Event) -> bool:
+        """Submit one event via the micro-batching ingress.
+
+        Session-less publishing for producers that are not subscribers;
+        equivalent to ``connect(...).publish(event)`` without the
+        session.  Returns ``True`` when the submission triggered a
+        flush.
+        """
+        self._require_open()
+        return self.ingress.submit(broker_id, event)
+
+    def publish_batch(
+        self, broker_id: str, events: Union[Sequence[Event], EventBatch]
+    ) -> List[PublishResult]:
+        """Publish a pre-assembled batch immediately (no buffering).
+
+        Pending ingress events are flushed first so ordering is
+        preserved; deliveries flow to sinks *and* are returned.
+        """
+        self._require_open()
+        self.flush()
+        return self._network.publish_batch(broker_id, events)
+
+    def flush(self) -> int:
+        """Drain the ingress; returns the number of events published."""
+        return self.ingress.flush()
+
+    # -- subscription plumbing (called by Session / SubscriptionHandle) ------
+
+    def _subscribe(
+        self, session: Session, tree: Node, sink: Optional[DeliverySink]
+    ) -> SubscriptionHandle:
+        self.flush()  # events already submitted must not see the new table
+        subscription_id = self._network.allocate_subscription_id()
+        subscription = self._network.subscribe(
+            session.broker_id, session.client, tree, subscription_id=subscription_id
+        )
+        handle = SubscriptionHandle(session, subscription)
+        if sink is not None:
+            self._handle_sinks[subscription.id] = sink
+        return handle
+
+    def _unsubscribe(self, handle: SubscriptionHandle) -> None:
+        self.flush()
+        self._network.unsubscribe(handle.id)
+        self._handle_sinks.pop(handle.id, None)
+
+    def _replace(self, handle: SubscriptionHandle, tree: Node) -> Subscription:
+        self.flush()
+        return self._network.replace_subscription(handle.id, tree)
+
+    # -- delivery fan-out ----------------------------------------------------
+
+    def _allocate_sequence(self) -> int:
+        """Reserve the next service-wide event sequence number.
+
+        The ingress calls this at *submission* time, so the sequence a
+        notification carries identifies the event's submission position
+        regardless of how the ingress grouped the stream into batches.
+        """
+        sequence = self._sequence
+        self._sequence += 1
+        return sequence
+
+    def _expect_sequences(self, sequences: Sequence[int]) -> None:
+        """Announce the reserved sequences of the batch about to publish.
+
+        The previous batch consumed its announcement in full unless its
+        publication raised mid-dispatch; clearing first makes a failed
+        batch's leftovers harmless instead of mis-sequencing this one.
+        """
+        self._expected_sequences.clear()
+        self._expected_sequences.extend(sequences)
+
+    def _dispatch(
+        self, events: Sequence[Event], results: Sequence[PublishResult]
+    ) -> None:
+        """The network delivery hook: route deliveries to sinks.
+
+        Fires for *every* publish on the substrate, including direct
+        ``BrokerNetwork`` calls, so substrate users and service sessions
+        can coexist on one network.  Events arriving from the ingress
+        carry their submission-time sequence numbers (announced via
+        :meth:`_expect_sequences`); direct publishes are sequenced here.
+        Deliveries addressed to a client without an open session are
+        dropped (the publisher still sees them in its
+        ``PublishResult``).
+        """
+        for event, result in zip(events, results):
+            if self._expected_sequences:
+                sequence = self._expected_sequences.popleft()
+            else:
+                sequence = self._allocate_sequence()
+            for delivery in result.deliveries:
+                sink = self._handle_sinks.get(delivery.subscription_id)
+                if sink is None:
+                    session = self._sessions.get(
+                        (delivery.broker_id, delivery.client)
+                    )
+                    if session is None:
+                        continue
+                    sink = session.sink
+                sink.deliver(
+                    Notification(
+                        event,
+                        sequence,
+                        delivery.client,
+                        delivery.broker_id,
+                        delivery.subscription_id,
+                    )
+                )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush, close every session, and release the delivery hook.
+
+        The wrapped network remains usable as a plain substrate
+        afterwards (a new service can be attached to it).
+        """
+        if self._closed:
+            return
+        self.flush()
+        for session in list(self._sessions.values()):
+            session.close()
+        self._network.set_delivery_hook(None)
+        self._closed = True
+
+    def __enter__(self) -> "PubSubService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ServiceError("service is closed")
+
+    def __repr__(self) -> str:
+        return "PubSubService(%d brokers, %d sessions, pending=%d%s)" % (
+            len(self._network.brokers),
+            len(self._sessions),
+            self.ingress.pending_count,
+            ", closed" if self._closed else "",
+        )

@@ -1,0 +1,216 @@
+"""Client sessions and opaque subscription handles.
+
+A :class:`Session` is one client's attachment to one broker, created by
+:meth:`repro.service.PubSubService.connect`.  Subscribing through a
+session yields a :class:`SubscriptionHandle` — the service-layer
+replacement for the substrate's caller-chosen global integer ids: the
+id is allocated by the network, carried opaquely by the handle, and the
+handle itself is the capability to :meth:`~SubscriptionHandle.replace`
+or :meth:`~SubscriptionHandle.unsubscribe` the subscription.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Tuple, Type
+
+from repro.errors import ServiceError
+from repro.events import Event
+from repro.subscriptions.nodes import Node
+from repro.subscriptions.subscription import Subscription
+
+from repro.service.sinks import DeliverySink
+
+if TYPE_CHECKING:
+    from repro.service.service import PubSubService
+
+
+class SubscriptionHandle:
+    """An opaque, live reference to one registered subscription.
+
+    Created by :meth:`Session.subscribe`; never constructed by callers.
+    The underlying global id is exposed read-only (``handle.id``) for
+    interoperability with the substrate (pruning schedules, routing
+    tables), but service-layer code should treat handles as the
+    identity.
+    """
+
+    __slots__ = ("_session", "_subscription", "_active")
+
+    def __init__(self, session: "Session", subscription: Subscription) -> None:
+        self._session = session
+        self._subscription = subscription
+        self._active = True
+
+    @property
+    def id(self) -> int:
+        """The server-assigned global subscription id."""
+        return self._subscription.id
+
+    @property
+    def tree(self) -> Node:
+        """The currently registered (normalized) filter tree."""
+        return self._subscription.tree
+
+    @property
+    def subscription(self) -> Subscription:
+        """The registered :class:`Subscription` artifact."""
+        return self._subscription
+
+    @property
+    def session(self) -> "Session":
+        """The session that owns this handle."""
+        return self._session
+
+    @property
+    def active(self) -> bool:
+        """``False`` once unsubscribed (directly or via session close)."""
+        return self._active
+
+    def replace(self, tree: Node) -> None:
+        """Swap the subscription's filter tree everywhere, keeping its id.
+
+        Pending ingress events are flushed first, so the old tree sees
+        exactly the events submitted while it was live.
+        """
+        self._require_active()
+        self._subscription = self._session._service._replace(self, tree)
+
+    def unsubscribe(self) -> None:
+        """Withdraw the subscription from the whole network."""
+        self._require_active()
+        self._session._unsubscribe(self)
+
+    def _require_active(self) -> None:
+        if not self._active:
+            raise ServiceError(
+                "subscription handle %d is no longer active" % self._subscription.id
+            )
+
+    def __repr__(self) -> str:
+        return "SubscriptionHandle(id=%d, client=%r, active=%s)" % (
+            self._subscription.id,
+            self._session.client,
+            self._active,
+        )
+
+
+class Session:
+    """One client's attachment to one broker of the service.
+
+    Sessions publish through the service's micro-batching ingress and
+    receive deliveries through their :class:`DeliverySink`.  They are
+    context managers: leaving the ``with`` block closes the session and
+    withdraws all its subscriptions.
+    """
+
+    def __init__(
+        self,
+        service: "PubSubService",
+        broker_id: str,
+        client: str,
+        sink: DeliverySink,
+    ) -> None:
+        self._service = service
+        self._broker_id = broker_id
+        self._client = client
+        self._sink = sink
+        self._handles: List[SubscriptionHandle] = []
+        self._closed = False
+
+    @property
+    def broker_id(self) -> str:
+        """The broker this session is attached to."""
+        return self._broker_id
+
+    @property
+    def client(self) -> str:
+        """The client name deliveries are addressed to."""
+        return self._client
+
+    @property
+    def sink(self) -> DeliverySink:
+        """The session's delivery sink (per-handle sinks override it)."""
+        return self._sink
+
+    @property
+    def handles(self) -> Tuple[SubscriptionHandle, ...]:
+        """The session's active subscription handles."""
+        return tuple(handle for handle in self._handles if handle.active)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- subscribing ---------------------------------------------------------
+
+    def subscribe(
+        self, tree: Node, sink: Optional[DeliverySink] = None
+    ) -> SubscriptionHandle:
+        """Register a subscription; the service assigns its identity.
+
+        ``sink`` overrides the session sink for this subscription only.
+        Pending ingress events are flushed first, so they are matched
+        against the table without the new subscription.
+        """
+        self._require_open()
+        handle = self._service._subscribe(self, tree, sink)
+        self._handles.append(handle)
+        return handle
+
+    def _unsubscribe(self, handle: SubscriptionHandle) -> None:
+        self._service._unsubscribe(handle)
+        handle._active = False
+        self._handles.remove(handle)
+
+    # -- publishing ----------------------------------------------------------
+
+    def publish(self, event: Event) -> bool:
+        """Submit one event at this session's broker.
+
+        The event rides the micro-batching ingress; returns ``True``
+        when this submission triggered a flush.  Call
+        :meth:`flush` (or :meth:`PubSubService.flush`) to force out a
+        partial batch.
+        """
+        self._require_open()
+        return self._service.ingress.submit(self._broker_id, event)
+
+    def flush(self) -> int:
+        """Flush the service-wide ingress; returns events published."""
+        return self._service.flush()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush pending events and withdraw all subscriptions."""
+        if self._closed:
+            return
+        for handle in list(self._handles):
+            self._unsubscribe(handle)
+        self._closed = True
+        self._service._forget_session(self)
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        traceback: Optional[object],
+    ) -> None:
+        self.close()
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ServiceError(
+                "session %r@%s is closed" % (self._client, self._broker_id)
+            )
+
+    def __repr__(self) -> str:
+        return "Session(client=%r, broker=%r, subscriptions=%d%s)" % (
+            self._client,
+            self._broker_id,
+            len(self.handles),
+            ", closed" if self._closed else "",
+        )

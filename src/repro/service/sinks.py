@@ -1,0 +1,116 @@
+"""Delivery sinks: where the service layer pushes matched events.
+
+The substrate (:class:`repro.routing.network.BrokerNetwork`) *returns*
+match results as per-event id lists; the service layer inverts that into
+push delivery: every notification flows into the
+:class:`DeliverySink` attached to the subscriber's session (or to the
+individual subscription).  Sinks are called synchronously, in publish
+order, from whatever thread drained the ingress.
+
+Three ready-made sinks cover the common shapes: :class:`CollectingSink`
+(keep everything, for tests and interactive use), :class:`CallbackSink`
+(invoke a function per notification), and :class:`CountingSink`
+(accounting only, for high-volume measurement).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, NamedTuple, Protocol, runtime_checkable
+
+from repro.events import Event
+
+
+class Notification(NamedTuple):
+    """One delivery: ``event`` matched ``subscription_id`` of ``client``.
+
+    ``sequence`` is the service-wide publish sequence number of the
+    event (every event dispatched through the service's delivery hook
+    gets one, matched or not), so per-event delivery sets can be
+    reconstructed from a sink even when micro-batching reorders work.
+    """
+
+    event: Event
+    sequence: int
+    client: str
+    broker_id: str
+    subscription_id: int
+
+
+@runtime_checkable
+class DeliverySink(Protocol):
+    """Anything that accepts notifications from the service layer.
+
+    Implementations must not raise from :meth:`deliver`; the service
+    dispatches synchronously and does not isolate sinks from each other.
+    """
+
+    def deliver(self, notification: Notification) -> None:
+        """Accept one notification."""
+
+
+class CollectingSink:
+    """Keeps every notification, in delivery order.
+
+    >>> sink = CollectingSink()
+    >>> sink.deliver(Notification(Event({"x": 1}), 0, "alice", "b0", 3))
+    >>> len(sink), sink.events
+    (1, [Event(x=1)])
+    """
+
+    def __init__(self) -> None:
+        self.notifications: List[Notification] = []
+
+    def deliver(self, notification: Notification) -> None:
+        self.notifications.append(notification)
+
+    @property
+    def events(self) -> List[Event]:
+        """The delivered events, in delivery order (duplicates kept)."""
+        return [notification.event for notification in self.notifications]
+
+    def clear(self) -> None:
+        """Forget everything collected so far."""
+        self.notifications.clear()
+
+    def __len__(self) -> int:
+        return len(self.notifications)
+
+
+class CallbackSink:
+    """Invokes ``callback`` once per notification.
+
+    >>> seen = []
+    >>> sink = CallbackSink(seen.append)
+    >>> sink.deliver(Notification(Event({"x": 1}), 0, "alice", "b0", 3))
+    >>> seen[0].subscription_id
+    3
+    """
+
+    def __init__(self, callback: Callable[[Notification], None]) -> None:
+        self._callback = callback
+
+    def deliver(self, notification: Notification) -> None:
+        self._callback(notification)
+
+
+class CountingSink:
+    """Counts notifications without retaining them.
+
+    ``total`` is the overall count; ``by_subscription`` breaks it down
+    per subscription id.
+    """
+
+    def __init__(self) -> None:
+        self.total = 0
+        self.by_subscription: Dict[int, int] = {}
+
+    def deliver(self, notification: Notification) -> None:
+        self.total += 1
+        self.by_subscription[notification.subscription_id] = (
+            self.by_subscription.get(notification.subscription_id, 0) + 1
+        )
+
+    def clear(self) -> None:
+        """Zero all counters."""
+        self.total = 0
+        self.by_subscription.clear()

@@ -16,6 +16,8 @@ import repro.matching.counting
 import repro.matching.predicate_index
 import repro.routing.network
 import repro.selectivity.estimator
+import repro.service.service
+import repro.service.sinks
 import repro.subscriptions.predicates
 import repro.subscriptions.subscription
 import repro.util.heap
@@ -35,6 +37,8 @@ MODULES = [
     repro.matching.predicate_index,
     repro.routing.network,
     repro.selectivity.estimator,
+    repro.service.service,
+    repro.service.sinks,
     repro.subscriptions.predicates,
     repro.subscriptions.subscription,
     repro.util.heap,

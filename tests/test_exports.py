@@ -1,0 +1,41 @@
+"""The package surface: ``repro.__all__`` is complete, public, and live."""
+
+import inspect
+
+import repro
+import repro.service
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name
+
+
+def test_all_is_sorted_and_unique():
+    assert len(set(repro.__all__)) == len(repro.__all__)
+    assert list(repro.__all__) == sorted(
+        repro.__all__, key=lambda name: (name.lower(), name)
+    )
+
+
+def test_nothing_private_leaks():
+    assert all(not name.startswith("_") for name in repro.__all__)
+
+
+def test_star_import_matches_all():
+    namespace = {}
+    exec("from repro import *", namespace)
+    imported = {name for name in namespace if not name.startswith("_")}
+    assert imported == set(repro.__all__)
+
+
+def test_service_surface_is_exported():
+    for name in repro.service.__all__:
+        assert name in repro.__all__, name
+        assert getattr(repro, name) is getattr(repro.service, name)
+
+
+def test_exports_are_not_modules():
+    # Exporting a submodule by accident would leak the internal layout.
+    for name in repro.__all__:
+        assert not inspect.ismodule(getattr(repro, name)), name

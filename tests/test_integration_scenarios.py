@@ -38,7 +38,6 @@ class TestChurnUnderPruning:
         for index, subscription in enumerate(subscriptions):
             network.subscribe(
                 broker_ids[index % 3], "c%d" % index, subscription.tree,
-                subscription_id=subscription.id,
             )
         schedule = PruningSchedule.build(
             subscriptions, estimator, Dimension.NETWORK
@@ -79,7 +78,6 @@ class TestAdaptiveOnLiveNetwork:
         for index, subscription in enumerate(subscriptions):
             network.subscribe(
                 broker_ids[index % 3], "c%d" % index, subscription.tree,
-                subscription_id=subscription.id,
             )
         baseline = [
             sorted(

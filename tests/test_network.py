@@ -46,7 +46,10 @@ class TestSubscriptionPropagation:
         assert (first.id, second.id) == (0, 1)
 
     def test_explicit_id_respected(self, network):
-        subscription = network.subscribe("b0", "a", P("a") == 1, subscription_id=10)
+        with pytest.deprecated_call():
+            subscription = network.subscribe(
+                "b0", "a", P("a") == 1, subscription_id=10
+            )
         assert subscription.id == 10
         with pytest.raises(RoutingError):
             network.subscribe("b0", "a", P("a") == 1, subscription_id=5)
@@ -130,6 +133,55 @@ class TestEventRouting:
             }
             got = {delivery.subscription_id for delivery in result.deliveries}
             assert got == expected
+
+
+class TestPublishMany:
+    """publish_many rides publish_batch; accounting must not change."""
+
+    @staticmethod
+    def _populated_network(workload):
+        network = BrokerNetwork(line_topology(3))
+        for index, subscription in enumerate(workload.generate_subscriptions(50)):
+            broker_id = network.topology.broker_ids[index % 3]
+            network.subscribe(broker_id, "c-%d" % index, subscription.tree)
+        return network
+
+    def test_matches_sequential_loop_exactly(self, workload):
+        events = workload.generate_events(40)
+        batched = self._populated_network(workload)
+        sequential = self._populated_network(workload)
+        origins = [
+            batched.topology.broker_ids[index % 3] for index in range(len(events))
+        ]
+
+        batched_results = batched.publish_many(origins, events)
+        sequential_results = [
+            sequential.publish(origin, event)
+            for origin, event in zip(origins, events)
+        ]
+        assert batched_results == sequential_results
+
+        batched_report = batched.report()
+        sequential_report = sequential.report()
+        assert batched_report.event_messages == sequential_report.event_messages
+        assert batched_report.event_bytes == sequential_report.event_bytes
+        assert batched_report.per_link_messages == sequential_report.per_link_messages
+        assert batched_report.deliveries == sequential_report.deliveries
+        assert (
+            batched_report.events_published == sequential_report.events_published
+        )
+
+    def test_accepts_infinite_origin_iterables(self, network):
+        network.subscribe("b1", "alice", P("a") == 1)
+        results = network.publish_many(
+            itertools.cycle(["b0", "b1"]),
+            [Event({"a": 1}), Event({"a": 1}), Event({"a": 2})],
+        )
+        assert len(results) == 3
+        assert [len(result.deliveries) for result in results] == [1, 1, 0]
+
+    def test_empty(self, network):
+        assert network.publish_many([], []) == []
 
 
 class TestAccounting:

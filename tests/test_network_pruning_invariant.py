@@ -15,11 +15,12 @@ def register_workload(network, workload, count):
     broker_ids = network.topology.broker_ids
     subscriptions = workload.generate_subscriptions(count)
     for index, subscription in enumerate(subscriptions):
+        # Registered in workload order on a fresh network, so the
+        # auto-assigned ids coincide with the workload subscription ids.
         network.subscribe(
             broker_ids[index % len(broker_ids)],
             "client-%d" % index,
             subscription.tree,
-            subscription_id=subscription.id,
         )
     return subscriptions
 

@@ -1,0 +1,85 @@
+"""Property test: micro-batching is observationally invisible.
+
+Random interleavings of subscribe / unsubscribe / replace churn and
+publishes run against a :class:`PubSubService` at several ingress
+``max_batch`` sizes.  A mirror :class:`CountingMatcher` (whose per-event
+``match`` is the oracle, itself equivalence-tested against the naive
+matcher elsewhere) is kept in lockstep: every event's sink deliveries
+must equal the oracle's match set *for the table that was live when the
+event was submitted* — the service flushes pending events before any
+churn, so buffering never changes what an event is matched against.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.matching.counting import CountingMatcher
+from repro.routing.topology import line_topology
+from repro.service import CollectingSink, PubSubService
+from repro.subscriptions.subscription import Subscription
+
+from tests.strategies import events, trees
+
+BATCH_SIZES = [1, 7, 64]
+
+#: One step of the interleaving: (op, payload).
+steps = st.one_of(
+    st.tuples(st.just("subscribe"), trees()),
+    st.tuples(st.just("unsubscribe"), st.integers(min_value=0, max_value=999)),
+    st.tuples(
+        st.just("replace"),
+        st.tuples(st.integers(min_value=0, max_value=999), trees()),
+    ),
+    st.tuples(st.just("publish"), events()),
+    st.tuples(st.just("flush"), st.none()),
+)
+
+
+@pytest.mark.parametrize("max_batch", BATCH_SIZES)
+@given(script=st.lists(steps, min_size=1, max_size=40))
+@settings(max_examples=40, deadline=None)
+def test_sink_deliveries_equal_match_oracle(max_batch, script):
+    service = PubSubService(topology=line_topology(1), max_batch=max_batch)
+    session = service.connect("b0", "subscriber", sink=CollectingSink())
+    publisher = service.connect("b0", "publisher")
+
+    oracle = CountingMatcher()
+    handles = []
+    published = []  # (sequence, event, expected ids at submit time)
+    sequence = 0
+
+    for op, payload in script:
+        if op == "subscribe":
+            handle = session.subscribe(payload)
+            oracle.register(Subscription(handle.id, payload))
+            handles.append(handle)
+        elif op == "unsubscribe":
+            if handles:
+                handle = handles.pop(payload % len(handles))
+                handle.unsubscribe()
+                oracle.unregister(handle.id)
+        elif op == "replace":
+            index, tree = payload
+            if handles:
+                handle = handles[index % len(handles)]
+                handle.replace(tree)
+                oracle.replace(Subscription(handle.id, tree))
+        elif op == "publish":
+            # The oracle sees the table as it is *now*; flush-on-churn
+            # guarantees the buffered event is matched against the same.
+            published.append((sequence, payload, sorted(oracle.match(payload))))
+            publisher.publish(payload)
+            sequence += 1
+        else:
+            service.flush()
+
+    service.flush()
+    assert service.publish_count == len(published)
+
+    delivered = {}
+    for note in session.sink.notifications:
+        delivered.setdefault(note.sequence, []).append(note.subscription_id)
+    for expected_sequence, _event, expected_ids in published:
+        got = sorted(delivered.get(expected_sequence, []))
+        assert got == expected_ids
