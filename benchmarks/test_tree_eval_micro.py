@@ -1,0 +1,162 @@
+"""Micro-benchmark of the vectorized candidate fallback (tree evaluation).
+
+Runs the tree-heavy workload (deep OR-of-ANDs, nearly every subscription
+survives the ``pmin`` gate) through the batch matcher twice — once with
+the slot-major/dense vectorized tree evaluation, once with the scalar
+per-pair recursion it replaced — and records both the isolated fallback
+stage and the end-to-end ``match_batch`` comparison under the
+``tree_eval`` key of ``BENCH_matching.json``.
+
+Scale is adjustable through environment variables:
+
+    REPRO_BENCH_TREE_SUBSCRIPTIONS (default 500)
+    REPRO_BENCH_TREE_EVENTS        (default 256)
+
+The CI smoke gate runs this file at a tiny scale; the perf assertion
+only applies at benchmark scale (>= 128-event batches).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from conftest import best_seconds
+from repro.events import EventBatch
+from repro.matching import batch as batch_module
+from repro.matching.batch import _BatchRun
+from repro.matching.counting import _KIND_TREE, CountingMatcher
+from repro.workloads.tree_heavy import TreeHeavyConfig, TreeHeavyWorkload
+
+
+def _env_int(name: str, default: int) -> int:
+    value = os.environ.get(name)
+    return int(value) if value else default
+
+
+TREE_SUBSCRIPTIONS = _env_int("REPRO_BENCH_TREE_SUBSCRIPTIONS", 500)
+TREE_EVENTS = _env_int("REPRO_BENCH_TREE_EVENTS", 256)
+
+
+@pytest.fixture(scope="module")
+def tree_workload():
+    return TreeHeavyWorkload(TreeHeavyConfig(seed=42))
+
+
+@pytest.fixture(scope="module")
+def tree_matcher(tree_workload):
+    matcher = CountingMatcher()
+    for subscription in tree_workload.generate_subscriptions(TREE_SUBSCRIPTIONS):
+        matcher.register(subscription)
+    return matcher
+
+
+@pytest.fixture(scope="module")
+def tree_events(tree_workload):
+    return tree_workload.generate_events(TREE_EVENTS).events
+
+
+@pytest.fixture(autouse=True)
+def restore_toggle():
+    original = batch_module._VECTORIZE_TREES
+    yield
+    batch_module._VECTORIZE_TREES = original
+
+
+def _surviving_tree_pairs(matcher, events):
+    """One un-chunked pass up to the candidate test: the fallback's input.
+
+    Returns ``(flags, tree_rows, tree_slots)`` — exactly what
+    ``_BatchRun._resolve_tree_pairs`` receives, assembled by the same
+    ``assemble_chunk`` production uses, so the benchmark times the
+    fallback stage in isolation against the real pipeline input.
+    """
+    run = _BatchRun(matcher)
+    columns = EventBatch(events).columns()
+    pos_pairs, neg_pairs = ([], []), ([], [])
+    matcher._indexes.collect_batch(columns, pos_pairs, neg_pairs)
+    flags, counts = run.assemble_chunk(len(events), pos_pairs, neg_pairs)
+    cand_rows, cand_slots = np.nonzero(counts >= run.pmin[np.newaxis, :])
+    tree_mask = run.kinds[cand_slots] == _KIND_TREE
+    return flags, cand_rows[tree_mask], cand_slots[tree_mask]
+
+
+def test_vectorized_fallback_matches_scalar_and_per_event(
+    tree_matcher, tree_events
+):
+    """Both fallback paths produce exactly the per-event oracle's sets."""
+    batch_module._VECTORIZE_TREES = True
+    vectorized = tree_matcher.match_batch(EventBatch(tree_events))
+    batch_module._VECTORIZE_TREES = False
+    scalar = tree_matcher.match_batch(EventBatch(tree_events))
+    batch_module._VECTORIZE_TREES = True
+    assert vectorized == scalar
+    assert vectorized == [tree_matcher.match(event) for event in tree_events]
+
+
+def test_tree_eval_fallback_speedup(tree_matcher, tree_events, bench_results):
+    """Scalar vs vectorized candidate fallback, isolated and end-to-end."""
+    flags, tree_rows, tree_slots = _surviving_tree_pairs(
+        tree_matcher, tree_events
+    )
+    assert len(tree_rows), "workload must produce surviving tree candidates"
+
+    def run_fallback(vectorize):
+        batch_module._VECTORIZE_TREES = vectorize
+        run = _BatchRun(tree_matcher)
+        matched = [[] for _ in range(len(tree_events))]
+        run._resolve_tree_pairs(tree_rows, tree_slots, flags, matched)
+        return sum(len(ids) for ids in matched)
+
+    assert run_fallback(True) == run_fallback(False)
+    vectorized_fallback_seconds, _ = best_seconds(lambda: run_fallback(True))
+    scalar_fallback_seconds, _ = best_seconds(
+        lambda: run_fallback(False), repeats=3
+    )
+
+    def run_match(vectorize):
+        batch_module._VECTORIZE_TREES = vectorize
+        return sum(
+            len(ids)
+            for ids in tree_matcher.match_batch(EventBatch(tree_events))
+        )
+
+    assert run_match(True) == run_match(False)
+    vectorized_match_seconds, _ = best_seconds(lambda: run_match(True))
+    scalar_match_seconds, _ = best_seconds(lambda: run_match(False), repeats=3)
+    batch_module._VECTORIZE_TREES = True
+
+    stats = tree_matcher.statistics
+    stats.reset()
+    tree_matcher.match_batch(EventBatch(tree_events))
+    bench_results["tree_eval"] = {
+        "subscriptions": TREE_SUBSCRIPTIONS,
+        "events": len(tree_events),
+        "surviving_tree_pairs": int(len(tree_rows)),
+        "tree_evaluations": stats.tree_evaluations,
+        "candidates": stats.candidates,
+        "matches": stats.matches,
+        "scalar_fallback_seconds": scalar_fallback_seconds,
+        "vectorized_fallback_seconds": vectorized_fallback_seconds,
+        "fallback_speedup": (
+            scalar_fallback_seconds / vectorized_fallback_seconds
+            if vectorized_fallback_seconds
+            else None
+        ),
+        "scalar_match_seconds": scalar_match_seconds,
+        "vectorized_match_seconds": vectorized_match_seconds,
+        "match_speedup": (
+            scalar_match_seconds / vectorized_match_seconds
+            if vectorized_match_seconds
+            else None
+        ),
+    }
+    stats.reset()
+    # Gross-regression gate only (the measured speedup itself lands in
+    # BENCH_matching.json; typically >= 3x end-to-end and far higher for
+    # the isolated fallback at bench scale).  Tiny smoke runs are exempt:
+    # vectorization overhead only amortizes across real batches.
+    if len(tree_events) >= 128:
+        assert vectorized_fallback_seconds < scalar_fallback_seconds

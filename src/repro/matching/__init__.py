@@ -13,12 +13,17 @@ interface:
 
 Both engines support ``match_batch`` (:mod:`repro.matching.batch`): the
 counting engine probes its indexes once per batch over the batch's
-columnar view and vectorizes the candidate test with a 2-D
-fulfilled-count matrix, the naive engine loops — equal outputs are the
-batch path's correctness contract.  The counting engine's indexes are
-incrementally maintained: register/unregister/replace apply deltas to
-the touched predicate buckets only (O(subscription), not O(table)), and
-tables self-compact when unregistration churn fragments them.
+columnar view, vectorizes the candidate test with a 2-D
+fulfilled-count matrix, and evaluates surviving general-tree candidates
+through a shared flat compiled-tree program
+(:mod:`repro.matching.treeval`) — segment reductions over the batch's
+entry-flag matrix instead of per-pair recursion; the naive engine loops
+— equal outputs are the batch path's correctness contract.  The
+counting engine's indexes and compiled-tree program are incrementally
+maintained: register/unregister/replace apply deltas to the touched
+predicate buckets and program ranges only (O(subscription), not
+O(table)), and tables self-compact when unregistration churn fragments
+them.
 """
 
 from repro.matching.batch import counting_match_batch, counting_match_batch_rowwise
@@ -26,12 +31,14 @@ from repro.matching.counting import CountingMatcher
 from repro.matching.interfaces import Matcher
 from repro.matching.naive import NaiveMatcher
 from repro.matching.stats import MatchStatistics
+from repro.matching.treeval import TreePrograms
 
 __all__ = [
     "CountingMatcher",
     "Matcher",
     "MatchStatistics",
     "NaiveMatcher",
+    "TreePrograms",
     "counting_match_batch",
     "counting_match_batch_rowwise",
 ]

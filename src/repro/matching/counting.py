@@ -31,6 +31,11 @@ events go through :meth:`CountingMatcher.match_batch`
 (:mod:`repro.matching.batch`), which probes the indexes once per batch
 over the batch's columnar view and evaluates the candidate test for the
 whole batch with one 2-D bincount instead of per-event 1-D passes.
+General trees are additionally compiled into a shared flat program
+(:mod:`repro.matching.treeval`, maintained under the same incremental
+churn) so the batch path can evaluate each surviving tree against all
+of its candidate events at once; the recursive ``_evaluate_compiled``
+survives as the per-event path and the vectorized path's oracle.
 """
 
 from __future__ import annotations
@@ -45,6 +50,7 @@ from repro.events import Event, EventBatch
 from repro.matching.interfaces import Matcher
 from repro.matching.predicate_index import PredicateIndexSet
 from repro.matching.stats import MatchStatistics
+from repro.matching.treeval import OP_AND, OP_LEAF, OP_OR, TreePrograms
 from repro.subscriptions.metrics import PMIN_UNSATISFIABLE
 from repro.subscriptions.nodes import (
     AndNode,
@@ -63,10 +69,11 @@ _KIND_FLAT_AND = 3
 _KIND_FLAT_OR = 4
 _KIND_TREE = 5
 
-# Compiled evaluator opcodes (nested tuples).
-_OP_LEAF = 0
-_OP_AND = 1
-_OP_OR = 2
+# Compiled evaluator opcodes (nested tuples), shared with the columnar
+# evaluator in :mod:`repro.matching.treeval`.
+_OP_LEAF = OP_LEAF
+_OP_AND = OP_AND
+_OP_OR = OP_OR
 
 #: pmin sentinel of a free slot — no fulfilled-count can ever reach it.
 _PMIN_FREE = PMIN_UNSATISFIABLE + 1
@@ -175,7 +182,13 @@ class CountingMatcher(Matcher):
         # ``len(self._slots)`` and ``self._indexes.entry_capacity``.
         self._slot_ids: np.ndarray = np.empty(0, dtype=np.int64)
         self._pmin: np.ndarray = np.empty(0, dtype=np.int64)
+        self._kinds: np.ndarray = np.empty(0, dtype=np.int8)
         self._entry_slot: np.ndarray = np.empty(0, dtype=np.int64)
+        #: Shared flat compiled-tree program of every _KIND_TREE slot
+        #: (see :mod:`repro.matching.treeval`), maintained incrementally.
+        self._tree_programs = TreePrograms()
+        self._tree_slot_count = 0
+        self._negated_entry_count = 0
 
     # -- registration ---------------------------------------------------------
 
@@ -208,6 +221,7 @@ class CountingMatcher(Matcher):
             self._slots.append(None)
             self._slot_ids = _grown(self._slot_ids, slot + 1, fill=-1)
             self._pmin = _grown(self._pmin, slot + 1, fill=_PMIN_FREE)
+            self._kinds = _grown(self._kinds, slot + 1, fill=_KIND_FALSE)
         tree = subscription.tree
         leaf_entries: List[int] = []
         leaf_predicates: List[Predicate] = []
@@ -224,6 +238,14 @@ class CountingMatcher(Matcher):
         )
         self._slot_ids[slot] = subscription.id
         self._pmin[slot] = min(subscription.pmin, PMIN_UNSATISFIABLE)
+        self._kinds[slot] = kind
+        if kind == _KIND_TREE:
+            self._tree_slot_count += 1
+            # Oversized trees are refused and keep the scalar evaluator.
+            self._tree_programs.compile(slot, program)
+        self._negated_entry_count += sum(
+            1 for predicate in leaf_predicates if predicate.operator.is_negated
+        )
         self._slot_of[subscription.id] = slot
         self._subscriptions[subscription.id] = subscription
 
@@ -232,9 +254,16 @@ class CountingMatcher(Matcher):
         state = self._slots[slot]
         for predicate, entry in zip(state.predicates, state.entries):
             self._indexes.remove(predicate, entry)
+        if state.kind == _KIND_TREE:
+            self._tree_slot_count -= 1
+            self._tree_programs.discard(slot)
+        self._negated_entry_count -= sum(
+            1 for predicate in state.predicates if predicate.operator.is_negated
+        )
         self._slots[slot] = None
         self._slot_ids[slot] = -1
         self._pmin[slot] = _PMIN_FREE
+        self._kinds[slot] = _KIND_FALSE
         self._free_slots.append(slot)
         del self._subscriptions[subscription_id]
 
@@ -282,7 +311,11 @@ class CountingMatcher(Matcher):
         self._slot_of = {}
         self._slot_ids = np.empty(0, dtype=np.int64)
         self._pmin = np.empty(0, dtype=np.int64)
+        self._kinds = np.empty(0, dtype=np.int8)
         self._entry_slot = np.empty(0, dtype=np.int64)
+        self._tree_programs = TreePrograms()
+        self._tree_slot_count = 0
+        self._negated_entry_count = 0
         for subscription in subscriptions:
             self._insert(subscription)
 
@@ -376,6 +409,16 @@ class CountingMatcher(Matcher):
     def entry_count(self) -> int:
         """Number of live predicate entries in the index."""
         return self._indexes.entry_count
+
+    @property
+    def tree_slot_count(self) -> int:
+        """Number of live subscriptions holding a general (non-flat) tree."""
+        return self._tree_slot_count
+
+    @property
+    def negated_entry_count(self) -> int:
+        """Number of live negated-operator predicate entries."""
+        return self._negated_entry_count
 
     def fulfilled_counts(self, event: Event) -> Dict[int, int]:
         """Fulfilled-predicate count per subscription id (diagnostics)."""

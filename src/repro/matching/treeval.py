@@ -1,0 +1,477 @@
+"""Columnar compiled-tree evaluation: the shared flat tree program.
+
+The counting engine decides most candidates with the fulfilled-predicate
+counter alone; only *general* Boolean trees need evaluating against the
+per-entry truth flags.  Per event that is cheap, but in the batch path it
+used to be the last scalar hot spot: every surviving (event, candidate)
+pair recursed through ``_evaluate_compiled`` in Python.
+
+:class:`TreePrograms` removes that per-pair recursion.  All general trees
+of a matcher are compiled into one **shared flat program**: each tree
+owns a contiguous *node range* in a shared arena (positions are the rows
+of the evaluation working matrix; the arena column stores each leaf's
+entry id), plus a bottom-up *level order* computed once per tree at
+register/replace time — per level, one AND and one OR segment-reduction
+group ``(targets, seg_starts, children)`` in tree-local node ids, which
+is the tree's child structure laid out level-major, ready to execute.
+At match time the batch path groups surviving candidate rows by slot and
+evaluates each tree **once against all of its rows simultaneously**:
+
+1. leaf truth values are gathered from the chunk's 2-D
+   ``flags[event, entry]`` matrix with one fancy-indexing read per tree
+   (``node_count × rows`` working matrix);
+2. internal nodes are computed level by level (children always live in
+   strictly lower levels), each level as at most two segment reductions:
+   ``np.logical_and.reduceat`` over the concatenated AND children and
+   ``np.logical_or.reduceat`` over the concatenated OR children;
+3. the root row is the per-row verdict for the whole group.
+
+:meth:`TreePrograms.evaluate_dense` additionally concatenates every
+tree's level groups into **arena-global** ones (derived lazily, dropped
+on any mutation) so a whole table evaluates in a handful of numpy calls
+— the batch path switches to it when surviving candidates are dense.
+
+The program is **incrementally maintained** under subscription churn:
+compiling a tree appends (or recycles) one contiguous node range;
+withdrawing returns the range to a per-length free list.  All intra-tree
+references are *tree-local*, so a recycled or re-packed range needs no
+pointer rewriting.  When unregister churn leaves the arena dominated by
+holes, the program lazily re-materializes itself into dense arrays (the
+same policy :class:`~repro.matching.predicate_index.PredicateIndexSet`
+buckets use).
+
+Trees beyond :data:`MAX_TREE_DEPTH` levels or :data:`MAX_TREE_NODES`
+nodes are refused (``compile`` returns ``False``) and the caller falls
+back to the scalar recursive evaluator, which remains the correctness
+oracle the vectorized path is property-tested against.
+
+>>> import numpy as np
+>>> programs = TreePrograms()
+>>> # (a AND b) OR c over entry ids 0, 1, 2:
+>>> tree = (OP_OR, ((OP_AND, ((OP_LEAF, 0), (OP_LEAF, 1))), (OP_LEAF, 2)))
+>>> programs.compile(slot=4, program=tree)
+True
+>>> flags = np.array([[True, True, False], [False, True, False]])
+>>> programs.evaluate(4, np.array([0, 1]), flags).tolist()
+[True, False]
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import MatchingError
+
+#: Compiled evaluator opcodes (shared with the scalar recursive
+#: evaluator in :mod:`repro.matching.counting`).
+OP_LEAF = 0
+OP_AND = 1
+OP_OR = 2
+
+#: Auto-fallback bounds: a tree deeper or larger than this is not
+#: compiled into the shared program and keeps the scalar evaluator.
+MAX_TREE_DEPTH = 64
+MAX_TREE_NODES = 4096
+
+#: Lazy re-materialization policy: compact the arena when free cells
+#: exceed this fraction of the live cells *and* the absolute waste
+#: clears the floor (small programs never thrash).
+_COMPACT_FREE_FRACTION = 0.5
+_COMPACT_MIN_FREE = 1024
+
+
+class _DenseProgram:
+    """Arena-global evaluation order over *all* compiled trees at once.
+
+    Derived lazily from the live records (and dropped on any mutation,
+    the same lazy re-materialization the predicate-index buckets use):
+    per bottom-up level, one AND and one OR segment-reduction group
+    whose targets/children are **arena positions** spanning every tree.
+    Evaluating the whole program against a chunk is then a handful of
+    numpy calls regardless of how many trees it holds.
+    """
+
+    __slots__ = ("leaf_positions", "leaf_entries", "levels", "root_positions")
+
+    def __init__(
+        self,
+        leaf_positions: np.ndarray,
+        leaf_entries: np.ndarray,
+        levels: Tuple,
+        root_positions: np.ndarray,
+    ) -> None:
+        self.leaf_positions = leaf_positions
+        self.leaf_entries = leaf_entries
+        self.levels = levels
+        self.root_positions = root_positions
+
+
+class _TreeRecord:
+    """Placement and evaluation order of one compiled tree.
+
+    ``base`` locates the tree's contiguous node range inside the shared
+    arena; everything else is expressed in **tree-local** node ids so the
+    record survives range relocation unchanged.
+    """
+
+    __slots__ = ("base", "node_count", "leaf_locals", "levels", "depth")
+
+    def __init__(
+        self,
+        base: int,
+        node_count: int,
+        leaf_locals: np.ndarray,
+        levels: Tuple,
+        depth: int,
+    ) -> None:
+        self.base = base
+        self.node_count = node_count
+        self.leaf_locals = leaf_locals
+        self.levels = levels
+        self.depth = depth
+
+
+def _flatten(program: Tuple) -> Tuple[List[int], List[int], List[List[int]]]:
+    """Flatten nested opcode tuples into preorder parallel lists.
+
+    Returns ``(ops, entries, children)`` where ``children[i]`` holds the
+    local ids of node ``i``'s children (empty for leaves).  Preorder
+    guarantees every descendant has a higher local id than its ancestor,
+    which is what makes the reverse scan in :func:`_levels` bottom-up.
+    """
+    ops: List[int] = []
+    entries: List[int] = []
+    children: List[List[int]] = []
+    stack: List[Tuple[Tuple, int]] = [(program, -1)]
+    while stack:
+        node, parent = stack.pop()
+        opcode, operand = node
+        local = len(ops)
+        ops.append(opcode)
+        children.append([])
+        if parent >= 0:
+            children[parent].append(local)
+        if opcode == OP_LEAF:
+            entries.append(operand)
+        elif opcode in (OP_AND, OP_OR):
+            entries.append(-1)
+            for child in reversed(operand):
+                stack.append((child, local))
+        else:
+            raise MatchingError("unknown compiled opcode %r" % (opcode,))
+    return ops, entries, children
+
+
+def _levels(ops: List[int], children: List[List[int]]) -> Tuple[List[int], int]:
+    """Bottom-up level of every node (leaves are level 0)."""
+    level = [0] * len(ops)
+    for local in range(len(ops) - 1, -1, -1):
+        kids = children[local]
+        if kids:
+            level[local] = 1 + max(level[kid] for kid in kids)
+    return level, level[0] if ops else 0
+
+
+def _level_groups(
+    ops: List[int], children: List[List[int]], level: List[int], depth: int
+) -> Tuple:
+    """Per level, the two segment-reduction groups (AND and OR).
+
+    Each group is ``(targets, seg_starts, child_locals)``: evaluating a
+    level means gathering ``values[child_locals]`` and reducing the
+    segments that start at ``seg_starts`` into ``values[targets]``.
+    """
+    groups: List[Tuple] = []
+    for current in range(1, depth + 1):
+        per_op: List[Tuple] = []
+        for opcode in (OP_AND, OP_OR):
+            targets = [
+                local
+                for local in range(len(ops))
+                if level[local] == current and ops[local] == opcode
+            ]
+            starts: List[int] = []
+            child_locals: List[int] = []
+            for target in targets:
+                starts.append(len(child_locals))
+                child_locals.extend(children[target])
+            per_op.append(
+                (
+                    np.array(targets, dtype=np.int64),
+                    np.array(starts, dtype=np.int64),
+                    np.array(child_locals, dtype=np.int64),
+                )
+            )
+        groups.append((per_op[0], per_op[1]))
+    return tuple(groups)
+
+
+class TreePrograms:
+    """The shared flat compiled-tree program of one counting engine.
+
+    Keyed by the engine's *slot* ids: at most one tree per slot, with
+    the same lifetime as the slot's subscription (``replace`` withdraws
+    and re-compiles).  See the module docstring for representation and
+    evaluation; see :meth:`compile` / :meth:`discard` for maintenance.
+    """
+
+    def __init__(
+        self,
+        max_depth: Optional[int] = None,
+        max_nodes: Optional[int] = None,
+    ) -> None:
+        self.max_depth = MAX_TREE_DEPTH if max_depth is None else max_depth
+        self.max_nodes = MAX_TREE_NODES if max_nodes is None else max_nodes
+        #: The node arena: each leaf position holds its predicate entry
+        #: id (-1 at internal nodes); positions are the rows of the
+        #: evaluation working matrices.
+        self.node_entry = np.empty(0, dtype=np.int64)
+        self._node_top = 0
+        #: Exact-fit free list: range length -> list of range bases.
+        self._free_nodes: Dict[int, List[int]] = {}
+        self._free_node_total = 0
+        self._records: Dict[int, _TreeRecord] = {}
+        #: Arena-global evaluation order, rebuilt lazily after mutations.
+        self._dense: Optional[_DenseProgram] = None
+
+    # -- introspection --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def has(self, slot: int) -> bool:
+        """True when ``slot`` holds a compiled (vectorizable) tree."""
+        return slot in self._records
+
+    @property
+    def live_node_count(self) -> int:
+        """Arena cells referenced by live trees."""
+        return sum(record.node_count for record in self._records.values())
+
+    @property
+    def free_node_count(self) -> int:
+        """Arena cells parked on the free list awaiting reuse."""
+        return self._free_node_total
+
+    @property
+    def node_capacity(self) -> int:
+        """Size of the node arena (live cells + free-list holes); the
+        row count of a dense evaluation's working matrix."""
+        return self._node_top
+
+    # -- maintenance ----------------------------------------------------------
+
+    def compile(self, slot: int, program: Tuple) -> bool:
+        """Compile ``program`` (nested opcode tuples) into the shared
+        program under ``slot``.
+
+        Returns ``False`` — and stores nothing — when the tree exceeds
+        the depth/size bounds; the caller keeps the scalar evaluator for
+        that slot.
+        """
+        if slot in self._records:
+            raise MatchingError("slot %d already holds a compiled tree" % slot)
+        ops, entries, children = _flatten(program)
+        node_count = len(ops)
+        if node_count > self.max_nodes:
+            return False
+        level, depth = _levels(ops, children)
+        if depth > self.max_depth:
+            return False
+
+        base = self._allocate(node_count)
+        self.node_entry[base : base + node_count] = entries
+        leaf_locals = np.array(
+            [local for local in range(node_count) if ops[local] == OP_LEAF],
+            dtype=np.int64,
+        )
+        self._records[slot] = _TreeRecord(
+            base,
+            node_count,
+            leaf_locals,
+            _level_groups(ops, children, level, depth),
+            depth,
+        )
+        self._dense = None
+        return True
+
+    def discard(self, slot: int) -> None:
+        """Withdraw ``slot``'s tree (no-op when it was never compiled).
+
+        The freed node range goes to the exact-fit free list; when holes
+        dominate the arena the program re-materializes densely.
+        """
+        record = self._records.pop(slot, None)
+        if record is None:
+            return
+        self._dense = None
+        if record.node_count:
+            self._free_nodes.setdefault(record.node_count, []).append(record.base)
+            self._free_node_total += record.node_count
+        self._maybe_rematerialize()
+
+    def _allocate(self, length: int) -> int:
+        """A node range of exactly ``length`` cells: recycled when the
+        free list holds one, appended (arena grown) otherwise."""
+        bucket = self._free_nodes.get(length)
+        if bucket:
+            base = bucket.pop()
+            if not bucket:
+                del self._free_nodes[length]
+            self._free_node_total -= length
+            return base
+        base = self._node_top
+        self._node_top += length
+        if self._node_top > len(self.node_entry):
+            capacity = max(64, len(self.node_entry) * 2, self._node_top)
+            grown = np.full(capacity, -1, dtype=np.int64)
+            grown[: len(self.node_entry)] = self.node_entry
+            self.node_entry = grown
+        return base
+
+    def _maybe_rematerialize(self) -> None:
+        if self._free_node_total < _COMPACT_MIN_FREE:
+            return
+        if self._free_node_total > max(1, self.live_node_count) * (
+            _COMPACT_FREE_FRACTION
+        ):
+            self._rematerialize()
+
+    def _rematerialize(self) -> None:
+        """Re-pack the arena densely, slot order, dropping all holes.
+
+        Records only store their arena *base* plus tree-local data, so
+        moving a tree is one slice copy and one base update.
+        """
+        node_top = sum(record.node_count for record in self._records.values())
+        node_entry = np.empty(node_top, dtype=np.int64)
+        cursor = 0
+        for slot in sorted(self._records):
+            record = self._records[slot]
+            stop = cursor + record.node_count
+            node_entry[cursor:stop] = self.node_entry[
+                record.base : record.base + record.node_count
+            ]
+            record.base = cursor
+            cursor = stop
+        self.node_entry = node_entry
+        self._node_top = node_top
+        self._free_nodes = {}
+        self._free_node_total = 0
+        self._dense = None
+
+    # -- evaluation -----------------------------------------------------------
+
+    def evaluate(self, slot: int, rows: np.ndarray, flags: np.ndarray) -> np.ndarray:
+        """Evaluate ``slot``'s tree for every listed row at once.
+
+        ``rows`` indexes the chunk's ``flags[event, entry]`` matrix;
+        returns one boolean verdict per row.  Level by level, bottom-up:
+        one ``logical_and.reduceat`` over the concatenated AND children
+        and one ``logical_or.reduceat`` over the OR children per level.
+        """
+        record = self._records[slot]
+        leaf_entries = self.node_entry[record.base + record.leaf_locals]
+        values = np.empty((record.node_count, len(rows)), dtype=bool)
+        values[record.leaf_locals] = flags[rows[:, np.newaxis], leaf_entries].T
+        for and_group, or_group in record.levels:
+            targets, starts, child_locals = and_group
+            if len(targets):
+                values[targets] = np.logical_and.reduceat(
+                    values[child_locals], starts, axis=0
+                )
+            targets, starts, child_locals = or_group
+            if len(targets):
+                values[targets] = np.logical_or.reduceat(
+                    values[child_locals], starts, axis=0
+                )
+        return values[0]
+
+    def evaluate_dense(self, flags: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Evaluate **every** compiled tree against every row of ``flags``.
+
+        Returns ``(root_positions, values)``: ``root_positions[slot]`` is
+        the arena position of ``slot``'s root (``-1`` for slots without a
+        compiled tree, including slots past the array's end), and
+        ``values[root_positions[slot], row]`` is the verdict of that
+        slot's tree for ``row``.  One leaf gather plus two segment
+        reductions per level — a handful of numpy calls for the whole
+        table, regardless of tree count.  Worth it when most trees are
+        candidates for most rows of the chunk; the caller gates on pair
+        density and masks out the pairs it did not ask for.
+        """
+        dense = self._dense
+        if dense is None:
+            dense = self._dense = self._build_dense()
+        values = np.empty((self._node_top, flags.shape[0]), dtype=bool)
+        if len(dense.leaf_positions):
+            values[dense.leaf_positions] = flags[:, dense.leaf_entries].T
+        for and_group, or_group in dense.levels:
+            targets, starts, positions = and_group
+            if len(targets):
+                values[targets] = np.logical_and.reduceat(
+                    values[positions], starts, axis=0
+                )
+            targets, starts, positions = or_group
+            if len(targets):
+                values[targets] = np.logical_or.reduceat(
+                    values[positions], starts, axis=0
+                )
+        return dense.root_positions, values
+
+    def _build_dense(self) -> _DenseProgram:
+        """Concatenate every record's level groups into arena-global ones."""
+        leaf_positions: List[np.ndarray] = []
+        max_depth = 0
+        max_slot = -1
+        for slot, record in self._records.items():
+            leaf_positions.append(record.base + record.leaf_locals)
+            max_depth = max(max_depth, record.depth)
+            max_slot = max(max_slot, slot)
+        root_positions = np.full(max_slot + 1, -1, dtype=np.int64)
+        for slot, record in self._records.items():
+            root_positions[slot] = record.base
+        levels: List[Tuple] = []
+        for level_index in range(max_depth):
+            per_op: List[Tuple] = []
+            for op_index in (0, 1):
+                targets: List[np.ndarray] = []
+                starts: List[np.ndarray] = []
+                positions: List[np.ndarray] = []
+                offset = 0
+                for record in self._records.values():
+                    if level_index >= len(record.levels):
+                        continue
+                    group_targets, group_starts, group_children = (
+                        record.levels[level_index][op_index]
+                    )
+                    if not len(group_targets):
+                        continue
+                    targets.append(record.base + group_targets)
+                    starts.append(group_starts + offset)
+                    positions.append(record.base + group_children)
+                    offset += len(group_children)
+                per_op.append(
+                    (
+                        _concat(targets),
+                        _concat(starts),
+                        _concat(positions),
+                    )
+                )
+            levels.append((per_op[0], per_op[1]))
+        all_leaves = _concat(leaf_positions)
+        return _DenseProgram(
+            all_leaves,
+            self.node_entry[all_leaves],
+            tuple(levels),
+            root_positions,
+        )
+
+
+def _concat(arrays: List[np.ndarray]) -> np.ndarray:
+    """Concatenate int64 arrays (empty-safe)."""
+    if not arrays:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(arrays)

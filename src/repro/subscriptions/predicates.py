@@ -72,6 +72,17 @@ class Operator(enum.Enum):
             Operator.NOT_CONTAINS,
         )
 
+    @property
+    def is_negated(self) -> bool:
+        """True for the negated operators, which the predicate indexes
+        answer as *all entries* minus a small excluded set."""
+        return self in (
+            Operator.NE,
+            Operator.NOT_IN_SET,
+            Operator.NOT_PREFIX,
+            Operator.NOT_CONTAINS,
+        )
+
 
 _COMPLEMENTS = {
     Operator.EQ: Operator.NE,

@@ -9,6 +9,12 @@ DESIGN.md §4): skewed (Zipf) categorical attributes, piecewise-linear
 numeric distributions sampled by inverse CDF (so the analytic selectivity
 statistics are *exact*), and three parameterized subscription classes —
 specific-item, category-interest, and collector subscriptions.
+
+:mod:`repro.workloads.tree_heavy` complements the auction scenario with
+a synthetic worst case for the counting engine's candidate fallback:
+every subscription is a deep OR-of-ANDs general tree and nearly every
+one survives the ``pmin`` gate, so matching cost concentrates in the
+compiled-tree evaluation the batch path vectorizes.
 """
 
 from repro.workloads.auction import (
@@ -22,6 +28,7 @@ from repro.workloads.distributions import (
     zipf_weights,
 )
 from repro.workloads.schema import AuctionSchema, AttributeSpec
+from repro.workloads.tree_heavy import TreeHeavyConfig, TreeHeavyWorkload
 
 __all__ = [
     "AttributeSpec",
@@ -31,5 +38,7 @@ __all__ = [
     "Categorical",
     "PiecewiseLinear",
     "SubscriptionClassMix",
+    "TreeHeavyConfig",
+    "TreeHeavyWorkload",
     "zipf_weights",
 ]

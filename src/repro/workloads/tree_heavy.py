@@ -1,0 +1,141 @@
+"""The tree-heavy workload: deep OR-of-ANDs with high candidate survival.
+
+The auction workload is counter-friendly: most of its subscriptions are
+flat conjunctions the counting engine decides without ever evaluating a
+tree.  This workload is the opposite extreme — every subscription is a
+*general* Boolean tree (alternating OR-of-AND nesting).  An OR-of-ANDs
+tree has a low ``pmin`` (one clause's worth of predicates), while its
+leaves are moderately selective range predicates, so nearly **every**
+subscription clears the ``pmin`` gate on nearly every event — candidate
+survival ≈ 100% — and the engine's candidate fallback (compiled-tree
+evaluation) dominates matching cost.  It exists to exercise and
+benchmark exactly that fallback
+(``benchmarks/test_tree_eval_micro.py``, the ``tree_eval`` entry of
+``BENCH_matching.json``).
+
+Events carry ``attribute_count`` numeric attributes uniform on [0, 1);
+a leaf ``P(attr) <= c`` with ``c ≈ survival`` is therefore fulfilled
+with probability ``≈ survival``, independently per attribute.  The
+default ``survival`` leaves tree verdicts split roughly half/half,
+which defeats short-circuit evaluation — the scalar evaluator's best
+case — without thinning the candidate set.  All random choices go
+through one seeded generator per concern, so a config reproduces its
+workload bit-for-bit.
+
+>>> workload = TreeHeavyWorkload(TreeHeavyConfig(seed=7))
+>>> subs = workload.generate_subscriptions(3)
+>>> [sub.id for sub in subs]
+[0, 1, 2]
+>>> len(workload.generate_events(5))
+5
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.events import Event, EventBatch
+from repro.subscriptions.builder import And, Or, P
+from repro.subscriptions.nodes import Node
+from repro.subscriptions.subscription import Subscription
+from repro.util.rng import make_rng
+
+
+@dataclass
+class TreeHeavyConfig:
+    """Configuration of one reproducible tree-heavy workload.
+
+    ``depth`` counts OR-of-AND nesting levels: depth 1 is an OR of ANDs
+    of leaves, depth 2 nests another OR-of-AND under every AND, and so
+    on.  Leaves per subscription grow as ``(or_fanout * and_width) **
+    depth``.
+    """
+
+    seed: int = 42
+    attribute_count: int = 12
+    or_fanout: int = 3
+    and_width: int = 2
+    depth: int = 2
+    #: Per-leaf fulfillment probability.  ``pmin`` of an OR-of-ANDs is
+    #: one clause deep, so candidates survive at almost any setting;
+    #: this tunes how often the *tree verdict* comes out true.
+    survival: float = 0.45
+    #: Probability that an event carries each attribute.
+    presence: float = 1.0
+
+    def validate(self) -> None:
+        if self.attribute_count < 1:
+            raise WorkloadError("attribute_count must be >= 1")
+        if self.or_fanout < 2 or self.and_width < 2:
+            raise WorkloadError("or_fanout and and_width must be >= 2")
+        if self.depth < 1:
+            raise WorkloadError("depth must be >= 1")
+        if not 0.0 < self.survival < 1.0:
+            raise WorkloadError("survival must be in (0, 1)")
+        if not 0.0 < self.presence <= 1.0:
+            raise WorkloadError("presence must be in (0, 1]")
+
+
+class TreeHeavyWorkload:
+    """Generates events and general-tree subscriptions (see module doc)."""
+
+    def __init__(self, config: Optional[TreeHeavyConfig] = None) -> None:
+        self.config = config or TreeHeavyConfig()
+        self.config.validate()
+        self.attributes = [
+            "t%02d" % index for index in range(self.config.attribute_count)
+        ]
+
+    # -- events ---------------------------------------------------------------
+
+    def generate_events(self, count: int, stream: int = 0) -> EventBatch:
+        """Generate ``count`` events (``stream`` names independent batches)."""
+        config = self.config
+        rng = make_rng(config.seed, "tree-heavy-events", stream)
+        events = []
+        for _ in range(count):
+            payload = {}
+            for attribute in self.attributes:
+                if config.presence >= 1.0 or rng.random() < config.presence:
+                    payload[attribute] = float(rng.random())
+            events.append(Event(payload))
+        return EventBatch(events, label="tree-heavy-events-%d" % stream)
+
+    # -- subscriptions --------------------------------------------------------
+
+    def generate_subscriptions(
+        self, count: int, id_start: int = 0
+    ) -> List[Subscription]:
+        """Generate ``count`` general-tree subscriptions from ``id_start``."""
+        rng = make_rng(self.config.seed, "tree-heavy-subscriptions", id_start)
+        return [
+            Subscription(id_start + offset, self._tree(rng, self.config.depth))
+            for offset in range(count)
+        ]
+
+    def _leaf(self, rng: np.random.Generator) -> Node:
+        """A wide-open range predicate fulfilled w.p. ``≈ survival``."""
+        config = self.config
+        attribute = self.attributes[int(rng.integers(len(self.attributes)))]
+        threshold = float(
+            np.clip(config.survival + rng.uniform(-0.05, 0.05), 0.01, 0.99)
+        )
+        if rng.random() < 0.5:
+            return P(attribute) <= threshold
+        return P(attribute) >= 1.0 - threshold
+
+    def _tree(self, rng: np.random.Generator, depth: int) -> Node:
+        """OR of ANDs, recursing under every AND until ``depth`` runs out."""
+        config = self.config
+        clauses = []
+        for _ in range(config.or_fanout):
+            parts = [
+                self._tree(rng, depth - 1) if depth > 1 else self._leaf(rng)
+                for _ in range(config.and_width)
+            ]
+            clauses.append(And(*parts))
+        return Or(*clauses)

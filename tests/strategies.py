@@ -98,8 +98,12 @@ def leaves() -> st.SearchStrategy[PredicateLeaf]:
     return st.builds(PredicateLeaf, predicates())
 
 
-def trees(max_depth: int = 3) -> st.SearchStrategy:
-    """Random Boolean trees (possibly with NOT nodes, non-normalized)."""
+def trees(max_leaves: int = 8) -> st.SearchStrategy:
+    """Random Boolean trees (possibly with NOT nodes, non-normalized).
+
+    ``max_leaves`` bounds the recursion; raise it to draw the deeper,
+    wider general trees that exercise the compiled-tree program.
+    """
     return st.recursive(
         leaves(),
         lambda children: st.one_of(
@@ -107,7 +111,7 @@ def trees(max_depth: int = 3) -> st.SearchStrategy:
             st.builds(lambda kids: OrNode(kids), st.lists(children, min_size=2, max_size=4)),
             st.builds(NotNode, children),
         ),
-        max_leaves=8,
+        max_leaves=max_leaves,
     )
 
 

@@ -14,6 +14,7 @@ import repro.events
 import repro.matching.batch
 import repro.matching.counting
 import repro.matching.predicate_index
+import repro.matching.treeval
 import repro.routing.network
 import repro.selectivity.estimator
 import repro.service.service
@@ -26,6 +27,7 @@ import repro.util.tables
 import repro.util.timing
 import repro.workloads.auction
 import repro.workloads.distributions
+import repro.workloads.tree_heavy
 import repro.baselines.covering
 
 MODULES = [
@@ -35,6 +37,7 @@ MODULES = [
     repro.matching.batch,
     repro.matching.counting,
     repro.matching.predicate_index,
+    repro.matching.treeval,
     repro.routing.network,
     repro.selectivity.estimator,
     repro.service.service,
@@ -47,6 +50,7 @@ MODULES = [
     repro.util.timing,
     repro.workloads.auction,
     repro.workloads.distributions,
+    repro.workloads.tree_heavy,
     repro.baselines.covering,
 ]
 

@@ -177,6 +177,169 @@ def test_columnar_chunking_is_invisible(trees, events):
         batch_module._MAX_CHUNK = original
 
 
+def _statistics_tuple(matcher):
+    stats = matcher.statistics
+    return (stats.events, stats.matches, stats.candidates,
+            stats.tree_evaluations, stats.fulfilled_predicates)
+
+
+@given(churn_ops(), st.lists(strategies.events(), min_size=1, max_size=6))
+@settings(max_examples=100, deadline=None)
+def test_vectorized_tree_fallback_equals_scalar_under_churn(ops, events):
+    """Vectorized tree evaluation ≡ scalar ``_evaluate_compiled`` ≡ the
+    per-event oracle, with bit-identical statistics.
+
+    Two engines built through the same churn history answer the same
+    batch with the toggle on and off; a third answers per event.  All
+    three must agree on match sets *and* on (matches, candidates,
+    tree_evaluations, fulfilled_predicates).
+    """
+    from repro.matching import batch as batch_module
+
+    vectorized_engine, oracle = apply_churn(ops)
+    scalar_engine, _ = apply_churn(ops)
+    per_event_engine, _ = apply_churn(ops)
+    original = batch_module._VECTORIZE_TREES
+    try:
+        batch_module._VECTORIZE_TREES = True
+        vectorized = vectorized_engine.match_batch(EventBatch(events))
+        batch_module._VECTORIZE_TREES = False
+        scalar = scalar_engine.match_batch(EventBatch(events))
+    finally:
+        batch_module._VECTORIZE_TREES = original
+    per_event = [per_event_engine.match(event) for event in events]
+    assert vectorized == scalar == per_event
+    assert vectorized == [sorted(oracle.match(event)) for event in events]
+    assert (
+        _statistics_tuple(vectorized_engine)
+        == _statistics_tuple(scalar_engine)
+        == _statistics_tuple(per_event_engine)
+    )
+
+
+@given(
+    st.lists(strategies.trees(max_leaves=24), min_size=1, max_size=5),
+    st.lists(strategies.events(), min_size=1, max_size=6),
+)
+@settings(max_examples=60, deadline=None)
+def test_deep_trees_vectorize_equivalently(trees, events):
+    """Deeper/wider general trees than the default strategy draws."""
+    counting = CountingMatcher()
+    naive = NaiveMatcher()
+    for index, tree in enumerate(trees):
+        counting.register(Subscription(index, tree))
+        naive.register(Subscription(index, tree))
+    assert counting.match_batch(EventBatch(events)) == [
+        sorted(naive.match(event)) for event in events
+    ]
+
+
+@given(churn_ops(), st.lists(strategies.events(), min_size=1, max_size=6))
+@settings(max_examples=60, deadline=None)
+def test_pruned_trees_vectorize_equivalently(ops, events):
+    """Pruning (dropping an AND child, the paper's generalization) is a
+    ``replace``; the compiled program must track it exactly."""
+    from repro.subscriptions.nodes import AndNode
+
+    counting, oracle = apply_churn(ops)
+    for sub_id, subscription in sorted(counting.subscriptions().items()):
+        for path, node in subscription.tree.iter_nodes():
+            if isinstance(node, AndNode) and len(node.children) >= 2:
+                pruned_node = (
+                    node.children[0]
+                    if len(node.children) == 2
+                    else AndNode(node.children[1:])
+                )
+                pruned = subscription.tree.replace_at(path, pruned_node)
+                replacement = Subscription(sub_id, pruned)
+                counting.replace(replacement)
+                oracle.unregister(sub_id)
+                oracle.register(replacement)
+                break
+    assert counting.match_batch(EventBatch(events)) == [
+        sorted(oracle.match(event)) for event in events
+    ]
+
+
+@given(churn_ops(), st.lists(strategies.events(), min_size=1, max_size=6))
+@settings(max_examples=60, deadline=None)
+def test_evaluation_tiers_agree_under_churn(ops, events):
+    """Forcing each fallback tier (dense / per-slot / scalar groups)
+    changes nothing observable."""
+    from repro.matching import batch as batch_module
+
+    counting, oracle = apply_churn(ops)
+    expected = [sorted(oracle.match(event)) for event in events]
+    forced = [
+        # Always dense whenever any tree candidate survives.
+        {"_DENSE_EVAL_MIN_DENSITY": 0.0, "_SCALAR_GROUP_MAX_ROWS": 0},
+        # Never dense, always per-slot vectorized groups.
+        {"_DENSE_EVAL_MIN_DENSITY": 2.0, "_SCALAR_GROUP_MAX_ROWS": 0},
+        # Never dense, tiny groups stay scalar.
+        {"_DENSE_EVAL_MIN_DENSITY": 2.0, "_SCALAR_GROUP_MAX_ROWS": 10_000},
+    ]
+    originals = {
+        name: getattr(batch_module, name)
+        for name in ("_DENSE_EVAL_MIN_DENSITY", "_SCALAR_GROUP_MAX_ROWS")
+    }
+    try:
+        for overrides in forced:
+            for name, value in overrides.items():
+                setattr(batch_module, name, value)
+            assert counting.match_batch(EventBatch(events)) == expected
+    finally:
+        for name, value in originals.items():
+            setattr(batch_module, name, value)
+
+
+def test_oversized_trees_fall_back_to_scalar(monkeypatch):
+    """Trees beyond the program bounds keep the scalar evaluator, and
+    the batch path still matches the per-event oracle."""
+    from repro.matching import treeval
+    from repro.subscriptions.builder import And, Or, P
+
+    monkeypatch.setattr(treeval, "MAX_TREE_DEPTH", 1)
+    matcher = CountingMatcher()
+    naive = NaiveMatcher()
+    tree = Or(And(P("na") <= 2, P("nb") >= 0), And(P("na") >= 5, P("nc") == 1))
+    for sub_id in range(3):
+        matcher.register(Subscription(sub_id, tree))
+        naive.register(Subscription(sub_id, tree))
+    assert matcher.tree_slot_count == 3
+    assert len(matcher._tree_programs) == 0  # all refused -> scalar
+    from repro.events import Event
+
+    events = [Event({"na": 1, "nb": 3}), Event({"na": 9, "nc": 1}), Event({})]
+    assert matcher.match_batch(EventBatch(events)) == [
+        sorted(naive.match(event)) for event in events
+    ]
+
+
+def test_flags_matrix_skipped_for_flat_only_tables():
+    """Flat-only tables without negated entries never allocate flags."""
+    from repro.subscriptions.builder import And, Or, P
+    from repro.events import Event
+    from repro.matching.batch import _BatchRun
+
+    flat = CountingMatcher()
+    flat.register(Subscription(0, And(P("na") <= 2, P("nb") >= 0)))
+    flat.register(Subscription(1, P("sa") == "alpha"))
+    assert _BatchRun(flat).need_flags is False
+    assert flat.match_batch([Event({"na": 1, "nb": 1})]) == [[0]]
+
+    negated = CountingMatcher()
+    negated.register(Subscription(0, P("na") != 2))
+    assert negated.negated_entry_count == 1
+    assert _BatchRun(negated).need_flags is True
+
+    treed = CountingMatcher()
+    treed.register(
+        Subscription(0, And(P("na") <= 2, Or(P("nb") >= 0, P("nc") == 1)))
+    )
+    assert treed.tree_slot_count == 1
+    assert _BatchRun(treed).need_flags is True
+
+
 def test_batch_statistics_match_sequential(workload, auction_events,
                                            auction_subscriptions):
     """Batch and sequential paths account identical statistics."""

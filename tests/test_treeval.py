@@ -1,0 +1,220 @@
+"""Unit and property tests of the shared flat compiled-tree program.
+
+The vectorized evaluator (:mod:`repro.matching.treeval`) must agree with
+the scalar recursive oracle ``_evaluate_compiled`` on every tree and
+every flags matrix — per slot (grouped rows), densely (all trees at
+once), and across add/discard churn with range recycling and lazy
+re-materialization.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MatchingError
+from repro.matching import treeval
+from repro.matching.counting import _compile_tree, _evaluate_compiled
+from repro.matching.treeval import OP_AND, OP_LEAF, OP_OR, TreePrograms
+from repro.subscriptions.nodes import ConstNode, PredicateLeaf
+from repro.subscriptions.subscription import Subscription
+
+from tests import strategies
+
+
+def compiled_program(tree):
+    """Normalize ``tree`` and compile it over preorder entry ids 0..L-1.
+
+    Returns ``(program, leaf_count)`` or ``None`` when normalization
+    collapses the tree to a constant.
+    """
+    normalized = Subscription(0, tree).tree
+    if isinstance(normalized, ConstNode):
+        return None
+    leaf_count = sum(
+        1
+        for _path, node in normalized.iter_nodes()
+        if isinstance(node, PredicateLeaf)
+    )
+    program = _compile_tree(normalized, list(range(leaf_count)), [0])
+    return program, leaf_count
+
+
+def random_flags(seed, rows, width):
+    rng = np.random.default_rng(seed)
+    return rng.random((rows, max(width, 1))) < 0.5
+
+
+@given(strategies.trees(max_leaves=24), st.integers(0, 2**32 - 1))
+@settings(max_examples=150, deadline=None)
+def test_vectorized_evaluation_equals_scalar_oracle(tree, seed):
+    compiled = compiled_program(tree)
+    if compiled is None:
+        return
+    program, leaf_count = compiled
+    programs = TreePrograms()
+    assert programs.compile(7, program)
+    flags = random_flags(seed, rows=5, width=leaf_count)
+    rows = np.arange(5, dtype=np.int64)
+    vectorized = programs.evaluate(7, rows, flags)
+    expected = [_evaluate_compiled(program, flags[row]) for row in range(5)]
+    assert vectorized.tolist() == expected
+    root_positions, values = programs.evaluate_dense(flags)
+    assert values[root_positions[7], rows].tolist() == expected
+
+
+@given(
+    st.lists(strategies.trees(max_leaves=12), min_size=1, max_size=6),
+    st.integers(0, 2**32 - 1),
+)
+@settings(max_examples=60, deadline=None)
+def test_dense_evaluation_spans_every_compiled_tree(tree_list, seed):
+    """evaluate_dense answers for all slots exactly like per-slot calls."""
+    programs = TreePrograms()
+    compiled = {}
+    offset = 0
+    for slot, tree in enumerate(tree_list):
+        result = compiled_program(tree)
+        if result is None:
+            continue
+        program, leaf_count = result
+        shifted = _shift_entries(program, offset)
+        assert programs.compile(slot, shifted)
+        compiled[slot] = shifted
+        offset += leaf_count
+    if not compiled:
+        return
+    flags = random_flags(seed, rows=4, width=offset)
+    rows = np.arange(4, dtype=np.int64)
+    root_positions, values = programs.evaluate_dense(flags)
+    for slot, program in compiled.items():
+        per_slot = programs.evaluate(slot, rows, flags)
+        dense = values[root_positions[slot], rows]
+        expected = [_evaluate_compiled(program, flags[row]) for row in range(4)]
+        assert per_slot.tolist() == expected
+        assert dense.tolist() == expected
+
+
+def _shift_entries(program, offset):
+    opcode, operand = program
+    if opcode == OP_LEAF:
+        return (opcode, operand + offset)
+    return (opcode, tuple(_shift_entries(child, offset) for child in operand))
+
+
+@given(
+    st.lists(
+        st.tuples(st.booleans(), strategies.trees(max_leaves=10)),
+        min_size=2,
+        max_size=14,
+    ),
+    st.integers(0, 2**32 - 1),
+)
+@settings(max_examples=60, deadline=None)
+def test_recycling_churn_preserves_evaluation(ops, seed):
+    """Interleaved compile/discard recycles ranges without corruption."""
+    programs = TreePrograms()
+    live = {}
+    next_slot = 0
+    width = 64
+    for register, tree in ops:
+        if register or not live:
+            compiled = compiled_program(tree)
+            if compiled is None:
+                continue
+            program, leaf_count = compiled
+            if leaf_count > width:
+                continue
+            if programs.compile(next_slot, program):
+                live[next_slot] = program
+            next_slot += 1
+        else:
+            slot = sorted(live)[len(live) // 2]
+            programs.discard(slot)
+            del live[slot]
+        flags = random_flags(seed, rows=3, width=width)
+        rows = np.arange(3, dtype=np.int64)
+        for slot, program in live.items():
+            expected = [
+                _evaluate_compiled(program, flags[row]) for row in range(3)
+            ]
+            assert programs.evaluate(slot, rows, flags).tolist() == expected
+
+
+def test_exact_fit_recycling_reuses_ranges():
+    program = (OP_OR, ((OP_AND, ((OP_LEAF, 0), (OP_LEAF, 1))), (OP_LEAF, 2)))
+    programs = TreePrograms()
+    assert programs.compile(0, program)
+    top = programs.node_capacity
+    for round_number in range(20):
+        programs.discard(0)
+        assert programs.compile(0, program)
+    assert programs.node_capacity == top
+    assert programs.free_node_count == 0
+
+
+def test_rematerialization_repacks_and_preserves_results():
+    programs = TreePrograms()
+    trees = {}
+    for slot in range(8):
+        program = (
+            OP_AND,
+            ((OP_LEAF, slot), (OP_OR, ((OP_LEAF, 8 + slot), (OP_LEAF, 16 + slot)))),
+        )
+        assert programs.compile(slot, program)
+        trees[slot] = program
+    for slot in (1, 3, 5):
+        programs.discard(slot)
+        del trees[slot]
+    assert programs.free_node_count > 0
+    flags = random_flags(3, rows=4, width=24)
+    rows = np.arange(4, dtype=np.int64)
+    before = {
+        slot: programs.evaluate(slot, rows, flags).tolist() for slot in trees
+    }
+    programs._rematerialize()
+    assert programs.free_node_count == 0
+    assert programs.node_capacity == programs.live_node_count
+    for slot, program in trees.items():
+        assert programs.evaluate(slot, rows, flags).tolist() == before[slot]
+        assert before[slot] == [
+            _evaluate_compiled(program, flags[row]) for row in range(4)
+        ]
+
+
+def test_rematerialization_triggers_automatically(monkeypatch):
+    monkeypatch.setattr(treeval, "_COMPACT_MIN_FREE", 4)
+    programs = TreePrograms()
+    program = (OP_OR, ((OP_AND, ((OP_LEAF, 0), (OP_LEAF, 1))), (OP_LEAF, 2)))
+    wide = (OP_AND, tuple((OP_LEAF, index) for index in range(6)))
+    assert programs.compile(0, program)
+    assert programs.compile(1, wide)
+    # Discarding the wide tree leaves more free than live cells.
+    programs.discard(1)
+    assert programs.free_node_count == 0  # re-materialized away
+
+
+def test_depth_and_size_bounds_refuse_compilation(monkeypatch):
+    program = (OP_OR, ((OP_AND, ((OP_LEAF, 0), (OP_LEAF, 1))), (OP_LEAF, 2)))
+    assert not TreePrograms(max_depth=1).compile(0, program)
+    assert not TreePrograms(max_nodes=3).compile(0, program)
+    accepted = TreePrograms(max_depth=2, max_nodes=5)
+    assert accepted.compile(0, program)
+    monkeypatch.setattr(treeval, "MAX_TREE_DEPTH", 1)
+    refused = TreePrograms()
+    assert not refused.compile(0, program)
+    assert not refused.has(0)
+
+
+def test_duplicate_slot_compilation_rejected():
+    programs = TreePrograms()
+    program = (OP_AND, ((OP_LEAF, 0), (OP_LEAF, 1)))
+    assert programs.compile(0, program)
+    with pytest.raises(MatchingError):
+        programs.compile(0, program)
+
+
+def test_discard_unknown_slot_is_noop():
+    programs = TreePrograms()
+    programs.discard(99)
+    assert len(programs) == 0

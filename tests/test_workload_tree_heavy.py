@@ -1,0 +1,73 @@
+"""Tests of the tree-heavy workload generator."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.matching.counting import CountingMatcher
+from repro.workloads.tree_heavy import TreeHeavyConfig, TreeHeavyWorkload
+
+
+@pytest.fixture()
+def workload():
+    return TreeHeavyWorkload(TreeHeavyConfig(seed=11))
+
+
+def test_generation_is_deterministic(workload):
+    again = TreeHeavyWorkload(TreeHeavyConfig(seed=11))
+    first = workload.generate_subscriptions(10)
+    second = again.generate_subscriptions(10)
+    assert [sub.tree for sub in first] == [sub.tree for sub in second]
+    events = workload.generate_events(10).events
+    assert [dict(event.items()) for event in events] == [
+        dict(event.items()) for event in again.generate_events(10).events
+    ]
+    other_stream = workload.generate_events(10, stream=1).events
+    assert [dict(event.items()) for event in events] != [
+        dict(event.items()) for event in other_stream
+    ]
+
+
+def test_every_subscription_is_a_general_tree(workload):
+    matcher = CountingMatcher()
+    for subscription in workload.generate_subscriptions(40):
+        matcher.register(subscription)
+    assert matcher.tree_slot_count == 40
+    assert len(matcher._tree_programs) == 40
+
+
+def test_candidate_survival_is_high(workload):
+    """Nearly every subscription clears pmin on nearly every event —
+    the property that makes this workload fallback-dominated."""
+    matcher = CountingMatcher()
+    count = 50
+    for subscription in workload.generate_subscriptions(count):
+        matcher.register(subscription)
+    events = workload.generate_events(40).events
+    matcher.match_batch(events)
+    stats = matcher.statistics
+    assert stats.candidates >= 0.9 * count * len(events)
+    assert stats.tree_evaluations == stats.candidates
+    # Verdicts split: matching is neither vacuous nor empty.
+    assert 0 < stats.matches < stats.candidates
+
+
+def test_leaf_count_grows_with_depth():
+    shallow = TreeHeavyWorkload(TreeHeavyConfig(seed=3, depth=1))
+    deep = TreeHeavyWorkload(TreeHeavyConfig(seed=3, depth=2))
+    shallow_leaves = shallow.generate_subscriptions(1)[0].leaf_count
+    deep_leaves = deep.generate_subscriptions(1)[0].leaf_count
+    assert shallow_leaves == 3 * 2
+    assert deep_leaves == (3 * 2) ** 2
+
+
+def test_invalid_configs_rejected():
+    for bad in (
+        TreeHeavyConfig(attribute_count=0),
+        TreeHeavyConfig(or_fanout=1),
+        TreeHeavyConfig(and_width=1),
+        TreeHeavyConfig(depth=0),
+        TreeHeavyConfig(survival=0.0),
+        TreeHeavyConfig(presence=0.0),
+    ):
+        with pytest.raises(WorkloadError):
+            TreeHeavyWorkload(bad)
