@@ -18,23 +18,15 @@ only applies at benchmark scale (>= 128-event batches).
 
 from __future__ import annotations
 
-import os
-
 import numpy as np
 import pytest
 
-from conftest import best_seconds
+from conftest import _env_int, best_seconds
 from repro.events import EventBatch
 from repro.matching import batch as batch_module
 from repro.matching.batch import _BatchRun
 from repro.matching.counting import _KIND_TREE, CountingMatcher
 from repro.workloads.tree_heavy import TreeHeavyConfig, TreeHeavyWorkload
-
-
-def _env_int(name: str, default: int) -> int:
-    value = os.environ.get(name)
-    return int(value) if value else default
-
 
 TREE_SUBSCRIPTIONS = _env_int("REPRO_BENCH_TREE_SUBSCRIPTIONS", 500)
 TREE_EVENTS = _env_int("REPRO_BENCH_TREE_EVENTS", 256)

@@ -61,6 +61,7 @@ from repro.experiments.context import ExperimentContext
 from repro.experiments.distributed import DistributedExperiment
 from repro.matching.counting import CountingMatcher
 from repro.matching.naive import NaiveMatcher
+from repro.matching.sharded import ShardedMatcher
 from repro.matching.stats import MatchStatistics
 from repro.routing.broker import Broker, Interface
 from repro.routing.metrics import CostModel
@@ -159,6 +160,7 @@ __all__ = [
     "SelectivityEstimator",
     "ServiceError",
     "Session",
+    "ShardedMatcher",
     "star_topology",
     "Subscription",
     "SubscriptionClassMix",

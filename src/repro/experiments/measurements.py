@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Iterable, NamedTuple, Tuple
+from typing import Iterable, NamedTuple, Optional, Tuple, Union
 
 from repro.events import EventBatch
 from repro.matching.counting import CountingMatcher
+from repro.matching.sharded import ExecutorSpec, ShardedMatcher
 from repro.subscriptions.subscription import Subscription
 
 
@@ -35,16 +36,27 @@ class DistributedPoint(NamedTuple):
 
 
 def measure_matching(
-    subscriptions: Iterable[Subscription], events: EventBatch
-) -> Tuple[float, float, CountingMatcher]:
+    subscriptions: Iterable[Subscription],
+    events: EventBatch,
+    *,
+    shards: Optional[int] = None,
+    executor: ExecutorSpec = "threads",
+) -> Tuple[float, float, Union[CountingMatcher, ShardedMatcher]]:
     """Match all events against a fresh engine; return timing and fraction.
 
     Returns ``(seconds_per_event, matching_fraction, matcher)``.
     Registration builds the indexes incrementally *before* timing starts,
     so Fig. 1(a) measures pure filtering, as in the paper; the timed pass
     runs through the vectorized batch path — the production hot path.
+    ``shards=K`` measures a :class:`ShardedMatcher` over K slot shards
+    instead of the single-pipeline engine (identical results; the timing
+    then includes the fan-out/merge overhead and any parallel speedup).
     """
-    matcher = CountingMatcher()
+    matcher: Union[CountingMatcher, ShardedMatcher] = (
+        CountingMatcher()
+        if shards is None
+        else ShardedMatcher(shards, executor=executor)
+    )
     count = 0
     for subscription in subscriptions:
         matcher.register(subscription)

@@ -11,6 +11,14 @@ interface:
 * :class:`~repro.matching.naive.NaiveMatcher` — evaluates every subscription
   tree against every event; the correctness oracle and baseline.
 
+A third engine composes the first:
+:class:`~repro.matching.sharded.ShardedMatcher` partitions the table
+into K independent counting-engine shards (stable ``sub_id → shard``
+hash) and fans ``match_batch`` out to per-shard workers — numpy releases
+the GIL, so shards run in parallel on threads — merging per-event id
+lists and summing statistics so results are bit-identical to one
+unsharded engine.
+
 Both engines support ``match_batch`` (:mod:`repro.matching.batch`): the
 counting engine probes its indexes once per batch over the batch's
 columnar view, vectorizes the candidate test with a 2-D
@@ -30,6 +38,7 @@ from repro.matching.batch import counting_match_batch, counting_match_batch_roww
 from repro.matching.counting import CountingMatcher
 from repro.matching.interfaces import Matcher
 from repro.matching.naive import NaiveMatcher
+from repro.matching.sharded import ShardedMatcher, shard_of
 from repro.matching.stats import MatchStatistics
 from repro.matching.treeval import TreePrograms
 
@@ -38,7 +47,9 @@ __all__ = [
     "Matcher",
     "MatchStatistics",
     "NaiveMatcher",
+    "ShardedMatcher",
     "TreePrograms",
     "counting_match_batch",
     "counting_match_batch_rowwise",
+    "shard_of",
 ]

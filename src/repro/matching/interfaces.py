@@ -55,6 +55,14 @@ class Matcher:
         """Mapping of id to registered subscription (live view or copy)."""
         raise NotImplementedError
 
+    def close(self) -> None:
+        """Release engine-owned resources (idempotent; default no-op).
+
+        Engines holding no external resources need nothing here; the
+        sharded engine overrides it to shut down its worker pool.
+        Brokers call this from :meth:`repro.routing.broker.Broker.close`.
+        """
+
     # -- derived conveniences -------------------------------------------------
 
     def register_all(self, subscriptions: Iterable[Subscription]) -> None:

@@ -1,0 +1,360 @@
+"""Sharded parallel matching: slot-shard a broker table behind ``match_batch``.
+
+A single :class:`~repro.matching.counting.CountingMatcher` runs one
+serial numpy pipeline per table, however many cores the host has.  The
+table is trivially *partitionable*, though: the candidate test, the
+index probes, and tree evaluation are all per-slot computations, so
+splitting the subscription set into K disjoint shards — each a fully
+independent counting engine with its own
+:class:`~repro.matching.predicate_index.PredicateIndexSet` and compiled
+tree program — changes nothing about any individual verdict.  Matching
+a batch then fans out to the shards (threads release the GIL inside
+numpy's kernels) and merges the per-event id lists.
+
+Design invariants:
+
+* **Stable shard routing.**  ``shard_of(subscription_id)`` is a pure
+  function of the id (a splitmix64-style integer mix, mod K), so
+  register/unregister/replace all land on the same shard without any
+  routing table, churn stays O(subscription), and sequential *or*
+  clustered id allocations spread evenly across shards.
+* **Bit-identical results.**  Every shard returns its per-event id
+  lists sorted; the merge concatenates in shard order and sorts, which
+  is exactly the unsharded engine's sorted output.  The aggregated
+  :class:`~repro.matching.stats.MatchStatistics` counters (matches,
+  candidates, tree evaluations, fulfilled predicates) are sums over the
+  slot partition — identical, counter for counter, to the unsharded
+  engine on the same table (property-tested in
+  ``tests/test_sharded.py``).
+* **Deterministic merging.**  Worker results are collected in shard
+  index order regardless of completion order, so a threaded run is
+  indistinguishable from a serial one.
+* **Coarse external locking.**  One lock serializes the public mutating
+  and matching entry points, so concurrent callers interleave at call
+  granularity (each call still fans out internally).  Shard-internal
+  state is only ever touched by the one worker assigned to that shard.
+
+>>> from repro.subscriptions import P, Subscription
+>>> from repro.events import Event
+>>> engine = ShardedMatcher(shards=4, executor="serial")
+>>> engine.register(Subscription(7, P("a") == 1))
+>>> engine.register(Subscription(8, P("a") >= 1))
+>>> engine.match(Event({"a": 1}))
+[7, 8]
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Executor, ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar, Union
+
+from repro.errors import MatchingError
+from repro.events import Event, EventBatch
+from repro.matching.counting import CountingMatcher
+from repro.matching.interfaces import Matcher
+from repro.matching.stats import MatchStatistics
+from repro.subscriptions.subscription import Subscription
+
+_T = TypeVar("_T")
+
+_MASK64 = (1 << 64) - 1
+
+#: Executor selection: ``"serial"`` (in-caller loop, fully deterministic
+#: scheduling), ``"threads"`` (an owned ``ThreadPoolExecutor``, one
+#: worker per shard), or any ``concurrent.futures.Executor`` instance.
+ExecutorSpec = Union[str, Executor]
+
+
+def shard_of(subscription_id: int, shard_count: int) -> int:
+    """Stable shard index of ``subscription_id`` among ``shard_count``.
+
+    A splitmix64-style finalizer decorrelates the id bits before the
+    modulo, so the sequential ids handed out by
+    :meth:`repro.routing.network.BrokerNetwork.allocate_subscription_id`
+    (and any other clustered allocation) spread evenly across shards.
+    Pure and process-independent: the same id maps to the same shard
+    forever, which is what keeps churn O(subscription).
+
+    >>> shard_of(7, 4) == shard_of(7, 4)
+    True
+    >>> sorted({shard_of(i, 2) for i in range(16)})
+    [0, 1]
+    """
+    z = (subscription_id + 0x9E3779B97F4A7C15) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    z ^= z >> 31
+    return z % shard_count
+
+
+class ShardedMatcher(Matcher):
+    """K independent counting-engine shards behind one ``Matcher`` face.
+
+    ``shards`` fixes the partition width for the matcher's lifetime;
+    ``executor`` picks how a batch fans out (see :data:`ExecutorSpec`).
+    ``compact_free_fraction`` is forwarded to every shard's
+    :class:`CountingMatcher`.
+
+    The matcher is a drop-in replacement for a single
+    :class:`CountingMatcher` — same results, same statistics — that a
+    :class:`~repro.routing.broker.Broker` (and, through it,
+    :class:`~repro.routing.network.BrokerNetwork` and
+    :class:`~repro.service.PubSubService`) enables with ``shards=K``.
+    """
+
+    def __init__(
+        self,
+        shards: int = 4,
+        *,
+        executor: ExecutorSpec = "threads",
+        compact_free_fraction: Optional[float] = 0.5,
+    ) -> None:
+        if shards < 1:
+            raise MatchingError("shard count must be >= 1, got %d" % shards)
+        self._matchers: Tuple[CountingMatcher, ...] = tuple(
+            CountingMatcher(compact_free_fraction) for _ in range(shards)
+        )
+        self.statistics = MatchStatistics()
+        self._lock = threading.Lock()
+        self._executor: Optional[Executor] = None
+        self._owns_executor = False
+        if isinstance(executor, Executor):
+            self._executor = executor
+            self._threaded = True
+        elif executor == "serial":
+            self._threaded = False
+        elif executor == "threads":
+            self._threaded = True
+        else:
+            raise MatchingError(
+                "executor must be 'serial', 'threads', or an Executor, got %r"
+                % (executor,)
+            )
+
+    # -- shard routing --------------------------------------------------------
+
+    @property
+    def shard_count(self) -> int:
+        """Number of slot shards the table is partitioned into."""
+        return len(self._matchers)
+
+    @property
+    def shards(self) -> Tuple[CountingMatcher, ...]:
+        """The per-shard engines, in shard-index order (read-only uses)."""
+        return self._matchers
+
+    def shard_of(self, subscription_id: int) -> int:
+        """The shard owning ``subscription_id`` (stable; see module doc).
+
+        Overridable hook: tests force worst-case skew (every id on one
+        shard) by overriding this in a subclass — results must not
+        change, only the load balance.
+        """
+        return shard_of(subscription_id, len(self._matchers))
+
+    def _owner(self, subscription_id: int) -> CountingMatcher:
+        shard = self.shard_of(subscription_id)
+        if not 0 <= shard < len(self._matchers):
+            raise MatchingError(
+                "shard_of(%d) returned %d, outside [0, %d)"
+                % (subscription_id, shard, len(self._matchers))
+            )
+        return self._matchers[shard]
+
+    # -- registration ---------------------------------------------------------
+
+    def register(self, subscription: Subscription) -> None:
+        with self._lock:
+            self._owner(subscription.id).register(subscription)
+
+    def unregister(self, subscription_id: int) -> None:
+        with self._lock:
+            self._owner(subscription_id).unregister(subscription_id)
+
+    def replace(self, subscription: Subscription) -> None:
+        # Same id, same shard (routing is a pure function of the id), so
+        # a replace is an in-place delta on one shard.
+        with self._lock:
+            self._owner(subscription.id).replace(subscription)
+
+    def subscriptions(self) -> Dict[int, Subscription]:
+        with self._lock:
+            merged: Dict[int, Subscription] = {}
+            for matcher in self._matchers:
+                merged.update(matcher.subscriptions())
+            return merged
+
+    def rebuild(self) -> None:
+        """Compact every shard (see :meth:`CountingMatcher.rebuild`)."""
+        with self._lock:
+            for matcher in self._matchers:
+                matcher.rebuild()
+
+    # -- matching -------------------------------------------------------------
+
+    def match(self, event: Event) -> List[int]:
+        with self._lock:
+            # Timed inside the lock: a caller's queue wait is not
+            # matching work, and must not inflate ``elapsed_seconds``
+            # (brokers report it as filtering time).
+            started = time.perf_counter()
+            before = self._counter_totals()
+            per_shard = self._map(lambda matcher: matcher.match(event))
+            merged = sorted(
+                sub_id for matched in per_shard for sub_id in matched
+            )
+            self._account(1, before, started)
+        return merged
+
+    def match_batch(
+        self, events: Union[Sequence[Event], EventBatch]
+    ) -> List[List[int]]:
+        """Fan the batch out to the shards and merge per-event id lists.
+
+        The batch is columnarized once, in the calling thread, before
+        dispatch — the shards share one read-only columnar view, exactly
+        as consecutive brokers on a path do.
+        """
+        batch = EventBatch.coerce(events)
+        batch.columns()
+        count = len(batch.events)
+        with self._lock:
+            started = time.perf_counter()
+            before = self._counter_totals()
+            per_shard = self._map(
+                lambda matcher: matcher.match_batch(batch)
+                if matcher.subscription_count
+                else None
+            )
+            results = [
+                sorted(
+                    sub_id
+                    for matched in per_shard
+                    if matched is not None
+                    for sub_id in matched[row]
+                )
+                for row in range(count)
+            ]
+            self._account(count, before, started)
+        return results
+
+    def _map(
+        self, fn: Callable[[CountingMatcher], _T]
+    ) -> List[_T]:
+        """``fn`` over every shard; results in shard-index order."""
+        matchers = self._matchers
+        if not self._threaded or len(matchers) == 1:
+            return [fn(matcher) for matcher in matchers]
+        executor = self._ensure_executor()
+        futures = [executor.submit(fn, matcher) for matcher in matchers]
+        return [future.result() for future in futures]
+
+    def _ensure_executor(self) -> Executor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=len(self._matchers),
+                thread_name_prefix="repro-shard",
+            )
+            self._owns_executor = True
+        return self._executor
+
+    # -- statistics -----------------------------------------------------------
+
+    def _counter_totals(self) -> Tuple[int, int, int, int]:
+        """Sum of the shards' path-independent counters.
+
+        ``events`` and ``elapsed_seconds`` are deliberately excluded:
+        every shard counts the whole batch as its own events and its own
+        wall clock, while the *table* processed each event once — the
+        aggregate tracks those itself in :meth:`_account`.
+        """
+        matches = candidates = evaluations = fulfilled = 0
+        for matcher in self._matchers:
+            stats = matcher.statistics
+            matches += stats.matches
+            candidates += stats.candidates
+            evaluations += stats.tree_evaluations
+            fulfilled += stats.fulfilled_predicates
+        return matches, candidates, evaluations, fulfilled
+
+    def _account(
+        self,
+        event_count: int,
+        before: Tuple[int, int, int, int],
+        started: float,
+    ) -> None:
+        after = self._counter_totals()
+        stats = self.statistics
+        stats.events += event_count
+        stats.matches += after[0] - before[0]
+        stats.candidates += after[1] - before[1]
+        stats.tree_evaluations += after[2] - before[2]
+        stats.fulfilled_predicates += after[3] - before[3]
+        stats.elapsed_seconds += time.perf_counter() - started
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def entry_count(self) -> int:
+        """Live predicate entries across all shards."""
+        with self._lock:
+            return sum(matcher.entry_count for matcher in self._matchers)
+
+    @property
+    def tree_slot_count(self) -> int:
+        """Live general-tree subscriptions across all shards."""
+        with self._lock:
+            return sum(matcher.tree_slot_count for matcher in self._matchers)
+
+    @property
+    def negated_entry_count(self) -> int:
+        """Live negated-operator entries across all shards."""
+        with self._lock:
+            return sum(
+                matcher.negated_entry_count for matcher in self._matchers
+            )
+
+    @property
+    def shard_populations(self) -> List[int]:
+        """Registered subscriptions per shard (balance diagnostics)."""
+        with self._lock:
+            return [matcher.subscription_count for matcher in self._matchers]
+
+    def fulfilled_counts(self, event: Event) -> Dict[int, int]:
+        """Fulfilled-predicate count per subscription id (diagnostics)."""
+        with self._lock:
+            merged: Dict[int, int] = {}
+            for matcher in self._matchers:
+                merged.update(matcher.fulfilled_counts(event))
+            return merged
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the owned thread pool (idempotent).
+
+        Only the executor the matcher created itself is shut down;
+        injected executors belong to the caller.  The matcher stays
+        usable afterwards — the next threaded batch lazily builds a
+        fresh pool.
+        """
+        with self._lock:
+            if self._owns_executor and self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None
+                self._owns_executor = False
+
+    def __enter__(self) -> "ShardedMatcher":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return "ShardedMatcher(%d shards, %d subscriptions, %s)" % (
+            len(self._matchers),
+            self.subscription_count,
+            "threaded" if self._threaded else "serial",
+        )

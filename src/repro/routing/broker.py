@@ -18,6 +18,8 @@ from typing import Dict, List, NamedTuple, Optional, Sequence, Union
 from repro.errors import RoutingError
 from repro.events import Event, EventBatch
 from repro.matching.counting import CountingMatcher
+from repro.matching.interfaces import Matcher
+from repro.matching.sharded import ExecutorSpec, ShardedMatcher
 from repro.subscriptions.nodes import Node
 from repro.subscriptions.subscription import Subscription
 
@@ -62,12 +64,30 @@ class RoutingEntry:
 
 
 class Broker:
-    """One broker: routing table, counting matcher, neighbor links."""
+    """One broker: routing table, counting matcher, neighbor links.
 
-    def __init__(self, broker_id: str) -> None:
+    ``shards`` switches the broker's engine from one
+    :class:`CountingMatcher` to a :class:`ShardedMatcher` over that many
+    independent slot shards; ``executor`` picks how sharded batches fan
+    out (``"threads"``, ``"serial"``, or an ``Executor`` — see
+    :mod:`repro.matching.sharded`).  Results are identical either way;
+    sharding only changes how many cores one table can use.
+    """
+
+    def __init__(
+        self,
+        broker_id: str,
+        *,
+        shards: Optional[int] = None,
+        executor: ExecutorSpec = "threads",
+    ) -> None:
         self.id = broker_id
         self.neighbors: List[str] = []
-        self.matcher = CountingMatcher()
+        self.matcher: Matcher = (
+            CountingMatcher()
+            if shards is None
+            else ShardedMatcher(shards, executor=executor)
+        )
         self.entries: Dict[int, RoutingEntry] = {}
 
     # -- wiring -----------------------------------------------------------------
@@ -248,6 +268,16 @@ class Broker:
     def reset_statistics(self) -> None:
         """Zero the matcher counters (between measurement points)."""
         self.matcher.statistics.reset()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release matcher resources (a sharded engine's worker pool).
+
+        Idempotent, and the broker stays usable: a sharded matcher
+        lazily rebuilds its pool on the next threaded batch.
+        """
+        self.matcher.close()
 
     def __repr__(self) -> str:
         return "Broker(%s, %d entries, neighbors=%s)" % (

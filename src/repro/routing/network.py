@@ -25,6 +25,7 @@ from typing import (
 
 from repro.errors import RoutingError
 from repro.events import Event, EventBatch
+from repro.matching.sharded import ExecutorSpec
 from repro.routing.broker import Broker, Interface
 from repro.routing.metrics import CostModel, LinkStats, NetworkReport
 from repro.routing.topology import Topology
@@ -63,6 +64,12 @@ DeliveryHook = Callable[[Sequence[Event], Sequence[PublishResult]], None]
 class BrokerNetwork:
     """A network of brokers over an acyclic topology.
 
+    ``shards``/``executor`` configure every broker's matching engine:
+    with ``shards=K`` each broker partitions its table into K
+    independent slot shards and fans batches out to per-shard workers
+    (see :mod:`repro.matching.sharded`); results and accounting are
+    identical to the unsharded default.
+
     >>> from repro.routing.topology import line_topology
     >>> from repro.subscriptions import P, And
     >>> from repro.events import Event
@@ -76,12 +83,18 @@ class BrokerNetwork:
     """
 
     def __init__(
-        self, topology: Topology, cost_model: Optional[CostModel] = None
+        self,
+        topology: Topology,
+        cost_model: Optional[CostModel] = None,
+        *,
+        shards: Optional[int] = None,
+        executor: ExecutorSpec = "threads",
     ) -> None:
         self.topology = topology
         self.cost_model = cost_model or CostModel()
         self.brokers: Dict[str, Broker] = {
-            broker_id: Broker(broker_id) for broker_id in topology.broker_ids
+            broker_id: Broker(broker_id, shards=shards, executor=executor)
+            for broker_id in topology.broker_ids
         }
         for left, right in topology.edges:
             self.brokers[left].connect(right)
@@ -423,6 +436,16 @@ class BrokerNetwork:
             filter_seconds=filter_seconds,
             cost_model=self.cost_model,
         )
+
+    def close(self) -> None:
+        """Release every broker's matcher resources (shard worker pools).
+
+        Idempotent; the network stays usable afterwards (sharded
+        matchers rebuild their pools lazily on the next batch).  A
+        no-op for unsharded networks.
+        """
+        for broker in self.brokers.values():
+            broker.close()
 
     def reset_statistics(self) -> None:
         """Zero link counters, broker matcher stats, and event counters.

@@ -29,6 +29,7 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import RoutingError, ServiceError
 from repro.events import Event, EventBatch
+from repro.matching.sharded import ExecutorSpec
 from repro.routing.metrics import CostModel
 from repro.routing.network import BrokerNetwork, PublishResult
 from repro.routing.topology import Topology
@@ -44,7 +45,12 @@ class PubSubService:
     """Sessions, handles, and sinks over a broker network.
 
     Construct from a topology (the service builds the network) or wrap
-    an existing :class:`BrokerNetwork`:
+    an existing :class:`BrokerNetwork`.  With a topology,
+    ``shards=K`` builds every broker with a sharded matching engine —
+    ``PubSubService(topology=..., shards=4)`` lets each broker's
+    ``match_batch`` use up to four cores (see
+    :mod:`repro.matching.sharded`); results are identical to the
+    unsharded default.
 
     >>> from repro.routing.topology import line_topology
     >>> from repro.subscriptions import P
@@ -67,16 +73,29 @@ class PubSubService:
         topology: Optional[Topology] = None,
         cost_model: Optional[CostModel] = None,
         max_batch: int = 64,
+        shards: Optional[int] = None,
+        executor: Optional[ExecutorSpec] = None,
     ) -> None:
         if network is None:
             if topology is None:
                 raise ServiceError(
                     "PubSubService needs a network or a topology to build one"
                 )
-            network = BrokerNetwork(topology, cost_model)
-        elif topology is not None or cost_model is not None:
+            network = BrokerNetwork(
+                topology,
+                cost_model,
+                shards=shards,
+                executor="threads" if executor is None else executor,
+            )
+        elif (
+            topology is not None
+            or cost_model is not None
+            or shards is not None
+            or executor is not None
+        ):
             raise ServiceError(
-                "pass either an existing network or topology/cost_model, not both"
+                "pass either an existing network or "
+                "topology/cost_model/shards/executor, not both"
             )
         self._network = network
         self.ingress = Ingress(
@@ -261,7 +280,9 @@ class PubSubService:
         """Flush, close every session, and release the delivery hook.
 
         The wrapped network remains usable as a plain substrate
-        afterwards (a new service can be attached to it).
+        afterwards (a new service can be attached to it): broker shard
+        pools are shut down here, but sharded matchers rebuild theirs
+        lazily on the next batch.
         """
         if self._closed:
             return
@@ -269,6 +290,7 @@ class PubSubService:
         for session in list(self._sessions.values()):
             session.close()
         self._network.set_delivery_hook(None)
+        self._network.close()
         self._closed = True
 
     def __enter__(self) -> "PubSubService":

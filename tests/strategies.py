@@ -10,6 +10,8 @@ from __future__ import annotations
 from hypothesis import strategies as st
 
 from repro.events import Event
+from repro.matching.counting import CountingMatcher
+from repro.matching.sharded import ShardedMatcher
 from repro.subscriptions.nodes import (
     AndNode,
     NotNode,
@@ -113,6 +115,19 @@ def trees(max_leaves: int = 8) -> st.SearchStrategy:
         ),
         max_leaves=max_leaves,
     )
+
+
+#: Matcher construction recipes for equivalence suites that should run
+#: their corpus against both the unsharded engine and the sharded path
+#: (serial for shrinkability, threaded for the production fan-out).
+#: Usable as ``@pytest.mark.parametrize("make_matcher", MATCHER_FACTORIES,
+#: ids=MATCHER_FACTORY_IDS)``.
+MATCHER_FACTORIES = [
+    CountingMatcher,
+    lambda: ShardedMatcher(3, executor="serial"),
+    lambda: ShardedMatcher(2, executor="threads"),
+]
+MATCHER_FACTORY_IDS = ["counting", "sharded-serial-3", "sharded-threads-2"]
 
 
 def events() -> st.SearchStrategy[Event]:

@@ -14,6 +14,7 @@ import repro.events
 import repro.matching.batch
 import repro.matching.counting
 import repro.matching.predicate_index
+import repro.matching.sharded
 import repro.matching.treeval
 import repro.routing.network
 import repro.selectivity.estimator
@@ -37,6 +38,7 @@ MODULES = [
     repro.matching.batch,
     repro.matching.counting,
     repro.matching.predicate_index,
+    repro.matching.sharded,
     repro.matching.treeval,
     repro.routing.network,
     repro.selectivity.estimator,
