@@ -68,6 +68,12 @@ def bench_results(bench_config):
         "suite": "matching",
         "python": platform.python_version(),
         "numpy": numpy.__version__,
+        # Host parallelism context: speedup numbers (the sharding sweep
+        # especially) are meaningless without knowing how many cores —
+        # and which platform — produced them.
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
         "config": {
             "subscriptions": bench_config.subscription_count,
             "events": bench_config.event_count,

@@ -1,20 +1,24 @@
 """Micro-benchmark of sharded parallel matching.
 
-Times ``match_batch`` through a :class:`ShardedMatcher` at shard counts
-{1, 2, 4, 8} (threaded executor) against the unsharded
-:class:`CountingMatcher` baseline, on both benchmark workloads:
+Times ``match_batch`` through a :class:`ShardedMatcher` over the full
+executor × shard-count grid — ``serial``, ``threads``, and
+``processes`` (persistent workers fed shared-memory batches) at shard
+counts {1, 2, 4, 8} — against the unsharded :class:`CountingMatcher`
+baseline, on both benchmark workloads:
 
-* the auction workload at bench scale (probe-dominated, flat-heavy);
-* the tree-heavy workload (deep OR-of-ANDs — the compiled-tree
-  evaluation dominates, which is the numpy-bound region where threads
-  actually overlap because the kernels release the GIL).
+* the auction workload at bench scale (probe-dominated, flat-heavy —
+  the region where threads stay GIL-bound and only the process
+  executor can win);
+* the tree-heavy workload (deep OR-of-ANDs — numpy-bound, where
+  threads overlap because the kernels release the GIL).
 
 Results land under the ``sharding`` key of ``BENCH_matching.json``
-(schema in ``docs/BENCHMARKS.md``) so the parallel-speedup trajectory
-is tracked across PRs and hardware.  The speedup is recorded *measured
-as-is*: on single-core CI runners it is expected to dip below 1×
-(fan-out overhead with no parallelism to pay for it) — the equivalence
-assertions, not the ratio, are the gate here.
+(schema in ``docs/BENCHMARKS.md``), with the host's ``cpu_count`` at
+the payload top level, so the parallel-speedup trajectory is tracked
+across PRs and hardware.  The speedup is recorded *measured as-is*: on
+single-core CI runners every parallel executor is expected to dip
+below 1× (fan-out/IPC overhead with no parallelism to pay for it) —
+the equivalence assertions, not the ratio, are the gate here.
 
 Scale riders: the auction side uses the shared bench config
 (``REPRO_BENCH_SUBSCRIPTIONS``/``REPRO_BENCH_EVENTS``); the tree-heavy
@@ -23,8 +27,6 @@ like the tree-eval benchmark.
 """
 
 from __future__ import annotations
-
-import os
 
 import pytest
 
@@ -35,6 +37,7 @@ from repro.matching.sharded import ShardedMatcher
 from repro.workloads.tree_heavy import TreeHeavyConfig, TreeHeavyWorkload
 
 SHARD_COUNTS = [1, 2, 4, 8]
+EXECUTORS = ["serial", "threads", "processes"]
 
 TREE_SUBSCRIPTIONS = _env_int("REPRO_BENCH_TREE_SUBSCRIPTIONS", 500)
 TREE_EVENTS = _env_int("REPRO_BENCH_TREE_EVENTS", 256)
@@ -46,7 +49,7 @@ def tree_workload():
 
 
 def _measure_workload(subscriptions, events):
-    """Baseline vs per-shard-count timings for one workload.
+    """Baseline vs executor × shard-count timings for one workload.
 
     Returns the ``BENCH_matching.json`` fragment; asserts every sharded
     configuration produces exactly the unsharded id lists first, so a
@@ -66,35 +69,35 @@ def _measure_workload(subscriptions, events):
         "subscriptions": len(subscriptions),
         "events": len(batch.events),
         "unsharded_seconds": baseline_seconds,
-        "shards": {},
+        "executors": {executor: {} for executor in EXECUTORS},
     }
-    for shard_count in SHARD_COUNTS:
-        with ShardedMatcher(shard_count, executor="threads") as sharded:
-            for subscription in subscriptions:
-                sharded.register(subscription)
-            assert sharded.match_batch(batch) == expected
-            seconds, _ = best_seconds(lambda: sharded.match_batch(batch))
-            fragment["shards"][str(shard_count)] = {
-                "seconds": seconds,
-                "speedup_vs_unsharded": (
-                    baseline_seconds / seconds if seconds else None
-                ),
-                "populations": sharded.shard_populations,
-            }
+    for executor in EXECUTORS:
+        for shard_count in SHARD_COUNTS:
+            with ShardedMatcher(shard_count, executor=executor) as sharded:
+                for subscription in subscriptions:
+                    sharded.register(subscription)
+                assert sharded.match_batch(batch) == expected
+                seconds, _ = best_seconds(lambda: sharded.match_batch(batch))
+                fragment["executors"][executor][str(shard_count)] = {
+                    "seconds": seconds,
+                    "speedup_vs_unsharded": (
+                        baseline_seconds / seconds if seconds else None
+                    ),
+                    "populations": sharded.shard_populations,
+                }
     return fragment
 
 
 def test_sharding_speedup(
     bench_subscriptions, bench_events, tree_workload, bench_results
 ):
-    """Record the sharding speedup curve on both workloads."""
+    """Record the executor × shards speedup grid on both workloads."""
     auction = _measure_workload(bench_subscriptions, bench_events.events)
     tree_heavy = _measure_workload(
         tree_workload.generate_subscriptions(TREE_SUBSCRIPTIONS),
         tree_workload.generate_events(TREE_EVENTS).events,
     )
     bench_results["sharding"] = {
-        "cpu_count": os.cpu_count(),
         "auction": auction,
         "tree_heavy": tree_heavy,
     }

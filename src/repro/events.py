@@ -311,6 +311,34 @@ class EventColumns:
         """Sorted names of all attributes present in the batch."""
         return sorted(self._columns)
 
+    def event_at(self, row: int) -> Event:
+        """Materialize the event at ``row`` back from the columns.
+
+        The inverse of :meth:`from_events` up to numeric type: value
+        columns store numbers as ``float64``, so an event built from
+        integers comes back with ``float`` values (``5`` → ``5.0``).
+        Used by :meth:`EventBatch.from_columns` batches, whose events
+        exist only as columns (e.g. on the far side of a shared-memory
+        transport); the matching hot path never calls this.
+        """
+        if not 0 <= row < self.row_count:
+            raise IndexError("row %d outside batch of %d" % (row, self.row_count))
+        attributes: Dict[str, Value] = {}
+        for name, column in self._columns.items():
+            for kind_rows, values in (
+                (column.numeric_rows, column.numeric_values),
+                (column.string_rows, column.string_values),
+                (column.bool_rows, column.bool_values),
+            ):
+                position = int(np.searchsorted(kind_rows, row))
+                if position < len(kind_rows) and kind_rows[position] == row:
+                    value = values[position]
+                    attributes[name] = (
+                        value.item() if isinstance(value, np.generic) else value
+                    )
+                    break
+        return Event(attributes)
+
     def select(self, positions: Sequence[int]) -> "EventColumns":
         """Columns of the sub-batch at ``positions`` (ascending), with
         rows renumbered ``0 .. len(positions)-1``."""
@@ -334,6 +362,41 @@ class EventColumns:
         return EventColumns(stop - start, columns)
 
 
+class _LazyEvents:
+    """A read-only event sequence materialized on demand from columns.
+
+    Batches rebuilt from a transported columnar view
+    (:meth:`EventBatch.from_columns`) have no :class:`Event` objects;
+    the vectorized matching path only ever asks such a batch for its
+    length, so this sequence defers :meth:`EventColumns.event_at` until
+    someone actually indexes into it.
+    """
+
+    __slots__ = ("_columns",)
+
+    def __init__(self, columns: EventColumns) -> None:
+        self._columns = columns
+
+    def __len__(self) -> int:
+        return self._columns.row_count
+
+    def __getitem__(
+        self, index: Union[int, slice]
+    ) -> Union[Event, List[Event]]:
+        if isinstance(index, slice):
+            return [
+                self._columns.event_at(row)
+                for row in range(*index.indices(len(self)))
+            ]
+        if index < 0:
+            index += len(self)
+        return self._columns.event_at(index)
+
+    def __iter__(self) -> Iterator[Event]:
+        for row in range(len(self)):
+            yield self._columns.event_at(row)
+
+
 class EventBatch:
     """An ordered collection of events published as one logical workload.
 
@@ -355,6 +418,24 @@ class EventBatch:
         self.events = list(events)
         self.label = label
         self._columns: Optional[EventColumns] = None
+
+    @classmethod
+    def from_columns(cls, columns: EventColumns, label: str = "") -> "EventBatch":
+        """A batch whose events exist only as a columnar view.
+
+        This is how a worker process rebuilds the batch it received
+        through the shared-memory transport (:mod:`repro.matching.shm`):
+        the columns *are* the batch, and the ``events`` sequence
+        materializes :class:`Event` objects lazily (and lossily for
+        numerics — see :meth:`EventColumns.event_at`) only if someone
+        indexes into it.  ``match_batch`` never does; it reads the
+        cached columns and the row count.
+        """
+        batch = cls.__new__(cls)
+        batch.events = _LazyEvents(columns)  # type: ignore[assignment]
+        batch.label = label
+        batch._columns = columns
+        return batch
 
     @classmethod
     def coerce(cls, events: Union[Sequence[Event], "EventBatch"]) -> "EventBatch":

@@ -50,7 +50,11 @@ def measure_matching(
     runs through the vectorized batch path — the production hot path.
     ``shards=K`` measures a :class:`ShardedMatcher` over K slot shards
     instead of the single-pipeline engine (identical results; the timing
-    then includes the fan-out/merge overhead and any parallel speedup).
+    then includes the fan-out/merge overhead and any parallel speedup);
+    ``executor`` selects the fan-out — ``"serial"``, ``"threads"``, or
+    ``"processes"`` for worker processes fed shared-memory batches.
+    Callers measuring with ``"processes"`` should ``close()`` the
+    returned matcher (or use it as a context manager) to stop the pool.
     """
     matcher: Union[CountingMatcher, ShardedMatcher] = (
         CountingMatcher()

@@ -8,8 +8,26 @@ splitting the subscription set into K disjoint shards — each a fully
 independent counting engine with its own
 :class:`~repro.matching.predicate_index.PredicateIndexSet` and compiled
 tree program — changes nothing about any individual verdict.  Matching
-a batch then fans out to the shards (threads release the GIL inside
-numpy's kernels) and merges the per-event id lists.
+a batch then fans out to the shards and merges the per-event id lists.
+
+Three executors fan a batch out:
+
+* ``"serial"`` — an in-caller loop, fully deterministic scheduling;
+* ``"threads"`` — an owned ``ThreadPoolExecutor``; overlap is limited
+  to where numpy releases the GIL;
+* ``"processes"`` — each shard's engine lives in a persistent **worker
+  process** (:mod:`repro.matching.process_pool`), so shards run on real
+  cores.  The batch ships once per ``match_batch`` through a shared
+  -memory segment (:mod:`repro.matching.shm`); workers rebuild
+  zero-copy views.  The parent keeps each shard's authority table (for
+  synchronous duplicate/unknown-id errors and introspection) and syncs
+  the worker replicas through a **subscription log**: every register/
+  unregister/replace appends one compact op
+  (:func:`repro.subscriptions.serialize.op_to_dict`) to the shard's
+  pending log, drained with the next request.  A fresh or restarted
+  pool is seeded by replaying the full table into the log — the broker
+  restart/migration machinery — and a worker failure tears the pool
+  down so the next match transparently rebuilds it.
 
 Design invariants:
 
@@ -24,11 +42,11 @@ Design invariants:
   :class:`~repro.matching.stats.MatchStatistics` counters (matches,
   candidates, tree evaluations, fulfilled predicates) are sums over the
   slot partition — identical, counter for counter, to the unsharded
-  engine on the same table (property-tested in
-  ``tests/test_sharded.py``).
+  engine on the same table, whichever executor ran the shards
+  (property-tested in ``tests/test_sharded.py``).
 * **Deterministic merging.**  Worker results are collected in shard
-  index order regardless of completion order, so a threaded run is
-  indistinguishable from a serial one.
+  index order regardless of completion order, so a threaded or
+  process-pooled run is indistinguishable from a serial one.
 * **Coarse external locking.**  One lock serializes the public mutating
   and matching entry points, so concurrent callers interleave at call
   granularity (each call still fans out internally).  Shard-internal
@@ -54,7 +72,10 @@ from repro.errors import MatchingError
 from repro.events import Event, EventBatch
 from repro.matching.counting import CountingMatcher
 from repro.matching.interfaces import Matcher
+from repro.matching.process_pool import ShardWorkerPool
+from repro.matching.shm import pack_columns, release_columns
 from repro.matching.stats import MatchStatistics
+from repro.subscriptions.serialize import op_to_dict
 from repro.subscriptions.subscription import Subscription
 
 _T = TypeVar("_T")
@@ -63,7 +84,9 @@ _MASK64 = (1 << 64) - 1
 
 #: Executor selection: ``"serial"`` (in-caller loop, fully deterministic
 #: scheduling), ``"threads"`` (an owned ``ThreadPoolExecutor``, one
-#: worker per shard), or any ``concurrent.futures.Executor`` instance.
+#: worker per shard), ``"processes"`` (persistent shard worker
+#: processes fed shared-memory batches), or any
+#: ``concurrent.futures.Executor`` instance (treated like threads).
 ExecutorSpec = Union[str, Executor]
 
 
@@ -95,7 +118,10 @@ class ShardedMatcher(Matcher):
     ``shards`` fixes the partition width for the matcher's lifetime;
     ``executor`` picks how a batch fans out (see :data:`ExecutorSpec`).
     ``compact_free_fraction`` is forwarded to every shard's
-    :class:`CountingMatcher`.
+    :class:`CountingMatcher`.  ``start_method`` (processes only)
+    overrides the :mod:`multiprocessing` start method; ``None`` defers
+    to the ``REPRO_SHARD_START_METHOD`` environment variable, then the
+    platform default.
 
     The matcher is a drop-in replacement for a single
     :class:`CountingMatcher` — same results, same statistics — that a
@@ -110,39 +136,60 @@ class ShardedMatcher(Matcher):
         *,
         executor: ExecutorSpec = "threads",
         compact_free_fraction: Optional[float] = 0.5,
+        start_method: Optional[str] = None,
     ) -> None:
         if shards < 1:
             raise MatchingError("shard count must be >= 1, got %d" % shards)
-        self._matchers: Tuple[CountingMatcher, ...] = tuple(
-            CountingMatcher(compact_free_fraction) for _ in range(shards)
-        )
+        self._shard_count = shards
+        self._compact_free_fraction = compact_free_fraction
+        self._start_method = start_method
         self.statistics = MatchStatistics()
         self._lock = threading.Lock()
         self._executor: Optional[Executor] = None
         self._owns_executor = False
+        self._threaded = False
+        self._processes = False
+        self._pool: Optional[ShardWorkerPool] = None
         if isinstance(executor, Executor):
             self._executor = executor
             self._threaded = True
         elif executor == "serial":
-            self._threaded = False
+            pass
         elif executor == "threads":
             self._threaded = True
+        elif executor == "processes":
+            self._processes = True
         else:
             raise MatchingError(
-                "executor must be 'serial', 'threads', or an Executor, got %r"
-                % (executor,)
+                "executor must be 'serial', 'threads', 'processes', or an "
+                "Executor, got %r" % (executor,)
             )
+        # In-process shard engines (empty in "processes" mode, where the
+        # engines live in the workers and the parent keeps only tables).
+        self._matchers: Tuple[CountingMatcher, ...] = (
+            ()
+            if self._processes
+            else tuple(CountingMatcher(compact_free_fraction) for _ in range(shards))
+        )
+        # "processes" mode: per-shard authority tables plus the pending
+        # subscription log drained to each worker with its next request.
+        self._tables: List[Dict[int, Subscription]] = [{} for _ in range(shards)]
+        self._pending: List[List[Dict[str, object]]] = [[] for _ in range(shards)]
 
     # -- shard routing --------------------------------------------------------
 
     @property
     def shard_count(self) -> int:
         """Number of slot shards the table is partitioned into."""
-        return len(self._matchers)
+        return self._shard_count
 
     @property
     def shards(self) -> Tuple[CountingMatcher, ...]:
-        """The per-shard engines, in shard-index order (read-only uses)."""
+        """The per-shard engines, in shard-index order (read-only uses).
+
+        Empty in ``"processes"`` mode — the engines live in the worker
+        processes; use the introspection properties instead.
+        """
         return self._matchers
 
     def shard_of(self, subscription_id: int) -> int:
@@ -152,49 +199,106 @@ class ShardedMatcher(Matcher):
         shard) by overriding this in a subclass — results must not
         change, only the load balance.
         """
-        return shard_of(subscription_id, len(self._matchers))
+        return shard_of(subscription_id, self._shard_count)
 
-    def _owner(self, subscription_id: int) -> CountingMatcher:
+    def _shard_index(self, subscription_id: int) -> int:
         shard = self.shard_of(subscription_id)
-        if not 0 <= shard < len(self._matchers):
+        if not 0 <= shard < self._shard_count:
             raise MatchingError(
                 "shard_of(%d) returned %d, outside [0, %d)"
-                % (subscription_id, shard, len(self._matchers))
+                % (subscription_id, shard, self._shard_count)
             )
-        return self._matchers[shard]
+        return shard
+
+    def _owner(self, subscription_id: int) -> CountingMatcher:
+        return self._matchers[self._shard_index(subscription_id)]
 
     # -- registration ---------------------------------------------------------
 
     def register(self, subscription: Subscription) -> None:
         with self._lock:
-            self._owner(subscription.id).register(subscription)
+            if not self._processes:
+                self._owner(subscription.id).register(subscription)
+                return
+            shard = self._shard_index(subscription.id)
+            table = self._tables[shard]
+            if subscription.id in table:
+                raise MatchingError(
+                    "subscription id %d is already registered" % subscription.id
+                )
+            table[subscription.id] = subscription
+            self._log(shard, "register", subscription)
 
     def unregister(self, subscription_id: int) -> None:
         with self._lock:
-            self._owner(subscription_id).unregister(subscription_id)
+            if not self._processes:
+                self._owner(subscription_id).unregister(subscription_id)
+                return
+            shard = self._shard_index(subscription_id)
+            table = self._tables[shard]
+            if subscription_id not in table:
+                raise MatchingError(
+                    "subscription id %d is not registered" % subscription_id
+                )
+            del table[subscription_id]
+            self._log(shard, "unregister", subscription_id)
 
     def replace(self, subscription: Subscription) -> None:
         # Same id, same shard (routing is a pure function of the id), so
         # a replace is an in-place delta on one shard.
         with self._lock:
-            self._owner(subscription.id).replace(subscription)
+            if not self._processes:
+                self._owner(subscription.id).replace(subscription)
+                return
+            shard = self._shard_index(subscription.id)
+            table = self._tables[shard]
+            if subscription.id not in table:
+                raise MatchingError(
+                    "subscription id %d is not registered" % subscription.id
+                )
+            table[subscription.id] = subscription
+            self._log(shard, "replace", subscription)
 
     def subscriptions(self) -> Dict[int, Subscription]:
         with self._lock:
             merged: Dict[int, Subscription] = {}
-            for matcher in self._matchers:
-                merged.update(matcher.subscriptions())
+            if self._processes:
+                for table in self._tables:
+                    merged.update(table)
+            else:
+                for matcher in self._matchers:
+                    merged.update(matcher.subscriptions())
             return merged
 
     def rebuild(self) -> None:
         """Compact every shard (see :meth:`CountingMatcher.rebuild`)."""
         with self._lock:
+            if self._processes:
+                # Only live replicas need the op: a pool started later
+                # replays the table from scratch, which is compact.
+                if self._pool is not None:
+                    for shard in range(self._shard_count):
+                        if self._tables[shard] or self._pending[shard]:
+                            self._pending[shard].append(op_to_dict("rebuild"))
+                return
             for matcher in self._matchers:
                 matcher.rebuild()
+
+    def _log(self, shard: int, action: str, payload: object = None) -> None:
+        """Append one op to a shard's pending subscription log.
+
+        Only live worker replicas need deltas; while no pool is running
+        the authority tables alone describe the state, and pool startup
+        seeds the logs wholesale in :meth:`_ensure_pool`.
+        """
+        if self._pool is not None:
+            self._pending[shard].append(op_to_dict(action, payload))
 
     # -- matching -------------------------------------------------------------
 
     def match(self, event: Event) -> List[int]:
+        if self._processes:
+            return self._match_batch_remote(EventBatch([event]))[0]
         with self._lock:
             # Timed inside the lock: a caller's queue wait is not
             # matching work, and must not inflate ``elapsed_seconds``
@@ -215,9 +319,13 @@ class ShardedMatcher(Matcher):
 
         The batch is columnarized once, in the calling thread, before
         dispatch — the shards share one read-only columnar view, exactly
-        as consecutive brokers on a path do.
+        as consecutive brokers on a path do.  In ``"processes"`` mode
+        the columns additionally cross into the workers through one
+        shared-memory segment (see :mod:`repro.matching.shm`).
         """
         batch = EventBatch.coerce(events)
+        if self._processes:
+            return self._match_batch_remote(batch)
         batch.columns()
         count = len(batch.events)
         with self._lock:
@@ -260,6 +368,109 @@ class ShardedMatcher(Matcher):
             self._owns_executor = True
         return self._executor
 
+    # -- process-shard path ---------------------------------------------------
+
+    def _ensure_pool(self) -> ShardWorkerPool:
+        """The live worker pool, starting (and seeding) one if needed.
+
+        A fresh pool starts from empty worker replicas, so each shard's
+        pending log is seeded with the full authority table as
+        ``register`` ops, in id order — the same replay that migrates a
+        table into a restarted broker shard.
+        """
+        if self._pool is None:
+            self._pool = ShardWorkerPool(
+                self._shard_count,
+                self._compact_free_fraction,
+                self._start_method,
+            )
+            for shard, table in enumerate(self._tables):
+                self._pending[shard] = [
+                    op_to_dict("register", subscription)
+                    for _, subscription in sorted(table.items())
+                ]
+        return self._pool
+
+    def _teardown_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        # Stale deltas die with the pool; a future pool replays tables.
+        self._pending = [[] for _ in range(self._shard_count)]
+
+    def _sync_targets(self) -> List[int]:
+        """Shards that must see this request (non-empty table or log)."""
+        return [
+            shard
+            for shard in range(self._shard_count)
+            if self._tables[shard] or self._pending[shard]
+        ]
+
+    def _match_batch_remote(self, batch: EventBatch) -> List[List[int]]:
+        count = len(batch.events)
+        columns = batch.columns()
+        with self._lock:
+            started = time.perf_counter()
+            pool = self._ensure_pool()
+            merged: List[List[int]] = [[] for _ in range(count)]
+            deltas = (0, 0, 0, 0)
+            packed = pack_columns(columns)
+            try:
+                targets = self._sync_targets()
+                try:
+                    for shard in targets:
+                        ops = self._pending[shard]
+                        self._pending[shard] = []
+                        pool.send(shard, "match", ops, packed)
+                    for shard in targets:
+                        matched, shard_deltas = pool.recv(shard)
+                        deltas = tuple(
+                            total + delta
+                            for total, delta in zip(deltas, shard_deltas)
+                        )
+                        for row, ids in enumerate(matched):
+                            if ids:
+                                merged[row].extend(ids)
+                except MatchingError:
+                    # A failed worker invalidates the replicas: drop the
+                    # pool; the next call replays the tables into a
+                    # fresh one.
+                    self._teardown_pool()
+                    raise
+            finally:
+                release_columns(packed)
+            results = [sorted(ids) for ids in merged]
+            stats = self.statistics
+            stats.events += count
+            stats.matches += deltas[0]
+            stats.candidates += deltas[1]
+            stats.tree_evaluations += deltas[2]
+            stats.fulfilled_predicates += deltas[3]
+            stats.elapsed_seconds += time.perf_counter() - started
+        return results
+
+    def _remote_counts(self) -> Tuple[int, int, int, int]:
+        """Summed worker introspection (subs, entries, trees, negated).
+
+        Caller must hold the lock.  Drains pending ops on the way, so
+        the answer reflects every mutation made so far.
+        """
+        pool = self._ensure_pool()
+        totals = [0, 0, 0, 0]
+        targets = self._sync_targets()
+        try:
+            for shard in targets:
+                ops = self._pending[shard]
+                self._pending[shard] = []
+                pool.send(shard, "introspect", ops)
+            for shard in targets:
+                counts = pool.recv(shard)
+                totals = [total + count for total, count in zip(totals, counts)]
+        except MatchingError:
+            self._teardown_pool()
+            raise
+        return totals[0], totals[1], totals[2], totals[3]
+
     # -- statistics -----------------------------------------------------------
 
     def _counter_totals(self) -> Tuple[int, int, int, int]:
@@ -268,7 +479,9 @@ class ShardedMatcher(Matcher):
         ``events`` and ``elapsed_seconds`` are deliberately excluded:
         every shard counts the whole batch as its own events and its own
         wall clock, while the *table* processed each event once — the
-        aggregate tracks those itself in :meth:`_account`.
+        aggregate tracks those itself in :meth:`_account`.  (The
+        process pool reports the same four counters as per-request
+        deltas instead.)
         """
         matches = candidates = evaluations = fulfilled = 0
         for matcher in self._matchers:
@@ -300,18 +513,24 @@ class ShardedMatcher(Matcher):
     def entry_count(self) -> int:
         """Live predicate entries across all shards."""
         with self._lock:
+            if self._processes:
+                return self._remote_counts()[1]
             return sum(matcher.entry_count for matcher in self._matchers)
 
     @property
     def tree_slot_count(self) -> int:
         """Live general-tree subscriptions across all shards."""
         with self._lock:
+            if self._processes:
+                return self._remote_counts()[2]
             return sum(matcher.tree_slot_count for matcher in self._matchers)
 
     @property
     def negated_entry_count(self) -> int:
         """Live negated-operator entries across all shards."""
         with self._lock:
+            if self._processes:
+                return self._remote_counts()[3]
             return sum(
                 matcher.negated_entry_count for matcher in self._matchers
             )
@@ -320,12 +539,28 @@ class ShardedMatcher(Matcher):
     def shard_populations(self) -> List[int]:
         """Registered subscriptions per shard (balance diagnostics)."""
         with self._lock:
+            if self._processes:
+                return [len(table) for table in self._tables]
             return [matcher.subscription_count for matcher in self._matchers]
 
     def fulfilled_counts(self, event: Event) -> Dict[int, int]:
         """Fulfilled-predicate count per subscription id (diagnostics)."""
         with self._lock:
             merged: Dict[int, int] = {}
+            if self._processes:
+                pool = self._ensure_pool()
+                targets = self._sync_targets()
+                try:
+                    for shard in targets:
+                        ops = self._pending[shard]
+                        self._pending[shard] = []
+                        pool.send(shard, "fulfilled", ops, event.to_dict())
+                    for shard in targets:
+                        merged.update(pool.recv(shard))
+                except MatchingError:
+                    self._teardown_pool()
+                    raise
+                return merged
             for matcher in self._matchers:
                 merged.update(matcher.fulfilled_counts(event))
             return merged
@@ -333,18 +568,20 @@ class ShardedMatcher(Matcher):
     # -- lifecycle ------------------------------------------------------------
 
     def close(self) -> None:
-        """Shut down the owned thread pool (idempotent).
+        """Shut down the owned thread pool / worker pool (idempotent).
 
         Only the executor the matcher created itself is shut down;
         injected executors belong to the caller.  The matcher stays
-        usable afterwards — the next threaded batch lazily builds a
-        fresh pool.
+        usable afterwards — the next batch lazily builds a fresh pool
+        (in ``"processes"`` mode by replaying the authority tables into
+        new workers).
         """
         with self._lock:
             if self._owns_executor and self._executor is not None:
                 self._executor.shutdown(wait=True)
                 self._executor = None
                 self._owns_executor = False
+            self._teardown_pool()
 
     def __enter__(self) -> "ShardedMatcher":
         return self
@@ -353,8 +590,14 @@ class ShardedMatcher(Matcher):
         self.close()
 
     def __repr__(self) -> str:
+        if self._processes:
+            mode = "processes"
+        elif self._threaded:
+            mode = "threaded"
+        else:
+            mode = "serial"
         return "ShardedMatcher(%d shards, %d subscriptions, %s)" % (
-            len(self._matchers),
+            self._shard_count,
             self.subscription_count,
-            "threaded" if self._threaded else "serial",
+            mode,
         )

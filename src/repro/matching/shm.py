@@ -1,0 +1,287 @@
+"""Shared-memory transport for columnar event batches.
+
+The process-shard executor (:mod:`repro.matching.process_pool`) must
+hand each worker the batch being matched.  Pickling the event objects —
+or even the numpy columns — would copy the batch once per shard, on
+both sides of the pipe.  This module ships a batch **once** instead:
+all fixed-width arrays of an :class:`~repro.events.EventColumns` view
+(presence rows, numeric/bool row and value arrays) are flattened into a
+single :class:`multiprocessing.shared_memory.SharedMemory` segment, and
+a small picklable :class:`PackedColumns` header records each array's
+``(offset, length)``.  Workers attach the segment by name and rebuild
+the columns as **zero-copy numpy views** over the shared buffer;
+string/object columns — which cannot live in a flat buffer — ride the
+header as pickled sidecars (tuples of ``str``).
+
+Tiny batches skip the segment entirely (``segment_name is None``) and
+inline the arrays in the header: below :data:`INLINE_MAX_BYTES` the
+pickle cost is smaller than two shared-memory syscalls, and empty
+batches cannot allocate a zero-byte segment at all.
+
+Lifecycle and leak-freedom:
+
+* the **creating** side owns the segment: :func:`pack_columns` registers
+  it in a module-level registry and :func:`release_columns` closes and
+  unlinks it.  An ``atexit`` hook unlinks everything still registered,
+  so an aborted benchmark or a killed test run never leaves segments
+  behind in ``/dev/shm`` (satellite-tested in ``tests/test_shm.py``);
+* the **attaching** side (:func:`unpack_columns` in a worker) receives
+  the :class:`~multiprocessing.shared_memory.SharedMemory` handle back
+  and must ``close()`` it once the views are dropped; attachment is
+  excluded from the ``multiprocessing`` resource tracker (the creator
+  unlinks, a tracker double-unlink would race it).
+
+>>> from repro.events import Event, EventBatch
+>>> batch = EventBatch([Event({"price": 5}), Event({"tag": "x"})])
+>>> packed = pack_columns(batch.columns())
+>>> columns, segment = unpack_columns(packed)
+>>> columns.column("price").numeric_values.tolist()
+[5.0]
+>>> columns.column("tag").string_values.tolist()
+['x']
+>>> release_columns(packed)
+"""
+
+from __future__ import annotations
+
+import atexit
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.events import AttributeColumn, EventColumns
+
+#: Batches whose fixed-width payload is at most this many bytes are
+#: inlined in the header (pickled) instead of copied into a segment —
+#: two shm syscalls cost more than pickling a few hundred bytes.
+INLINE_MAX_BYTES = 2048
+
+#: Offsets are rounded up to this alignment so every view is naturally
+#: aligned for its dtype (the widest is 8 bytes).
+_ALIGN = 8
+
+#: dtypes of the six fixed-width arrays of an :class:`AttributeColumn`,
+#: in header-tuple order (string *values* travel as a pickled sidecar).
+_FIELD_DTYPES = (
+    np.dtype(np.int64),    # rows
+    np.dtype(np.int64),    # numeric_rows
+    np.dtype(np.float64),  # numeric_values
+    np.dtype(np.int64),    # string_rows
+    np.dtype(np.int64),    # bool_rows
+    np.dtype(bool),        # bool_values
+)
+
+#: Segments created by this process that are still live, by name.  The
+#: atexit hook below unlinks whatever a crashed run left here.
+_LIVE_SEGMENTS: Dict[str, shared_memory.SharedMemory] = {}
+
+
+class PackedColumns:
+    """The picklable header of one packed columnar batch.
+
+    ``segment_name`` names the shared segment holding the fixed-width
+    arrays, or is ``None`` when the batch was inlined.  ``columns`` maps
+    attribute name → a 7-tuple: six array fields (each an ``(offset,
+    length)`` ref into the segment, or the array itself when inlined)
+    in :data:`_FIELD_DTYPES` order with the string-value sidecar (a
+    tuple of ``str``) spliced in after ``string_rows``.
+    """
+
+    __slots__ = ("segment_name", "row_count", "columns", "nbytes")
+
+    def __init__(
+        self,
+        segment_name: Optional[str],
+        row_count: int,
+        columns: Dict[str, Tuple],
+        nbytes: int,
+    ) -> None:
+        self.segment_name = segment_name
+        self.row_count = row_count
+        self.columns = columns
+        self.nbytes = nbytes
+
+    @property
+    def inline(self) -> bool:
+        """Whether the arrays ride the header instead of a segment."""
+        return self.segment_name is None
+
+    def __getstate__(self):
+        return (self.segment_name, self.row_count, self.columns, self.nbytes)
+
+    def __setstate__(self, state) -> None:
+        self.segment_name, self.row_count, self.columns, self.nbytes = state
+
+    def __repr__(self) -> str:
+        return "PackedColumns(%s, %d rows, %d attrs, %d bytes)" % (
+            "inline" if self.inline else self.segment_name,
+            self.row_count,
+            len(self.columns),
+            self.nbytes,
+        )
+
+
+def _column_arrays(column: AttributeColumn) -> Tuple[np.ndarray, ...]:
+    """The six fixed-width arrays of ``column`` in header order."""
+    return (
+        column.rows,
+        column.numeric_rows,
+        column.numeric_values,
+        column.string_rows,
+        column.bool_rows,
+        column.bool_values,
+    )
+
+
+def _aligned(nbytes: int) -> int:
+    return (nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def pack_columns(
+    columns: EventColumns, *, inline_max_bytes: int = INLINE_MAX_BYTES
+) -> PackedColumns:
+    """Pack ``columns`` for shipment to worker processes.
+
+    One copy into the shared segment here is the only copy the batch
+    ever pays: every worker rebuilds views over the same pages.  The
+    caller owns the returned header's segment and must call
+    :func:`release_columns` when all workers have answered.
+    """
+    total = 0
+    for _name, column in columns.items():
+        for array in _column_arrays(column):
+            total += _aligned(array.nbytes)
+    segment: Optional[shared_memory.SharedMemory] = None
+    if total > inline_max_bytes:
+        segment = shared_memory.SharedMemory(create=True, size=total)
+        _LIVE_SEGMENTS[segment.name] = segment
+    specs: Dict[str, Tuple] = {}
+    offset = 0
+    for name, column in columns.items():
+        fields = []
+        for array in _column_arrays(column):
+            if segment is None:
+                fields.append(np.ascontiguousarray(array))
+            else:
+                view = np.frombuffer(
+                    segment.buf,
+                    dtype=array.dtype,
+                    count=len(array),
+                    offset=offset,
+                )
+                view[:] = array
+                fields.append((offset, len(array)))
+                offset += _aligned(array.nbytes)
+        strings = tuple(column.string_values.tolist())
+        specs[name] = (
+            fields[0], fields[1], fields[2], fields[3], strings,
+            fields[4], fields[5],
+        )
+    return PackedColumns(
+        segment.name if segment is not None else None,
+        columns.row_count,
+        specs,
+        total,
+    )
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing segment without resource-tracker ownership.
+
+    The creating process unlinks the segment; if the attaching side's
+    resource tracker also registered it, the tracker would try a second
+    unlink at interpreter exit and warn about a "leak" that never
+    happened.  Python 3.13 grew ``track=False`` for exactly this;
+    earlier versions need the manual unregister.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        # Python < 3.13: suppress registration during construction.  An
+        # unregister-after-attach would instead *steal* the creator's
+        # registration (fork children share the parent's tracker
+        # process) and make the creator's later unlink warn.
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register
+
+
+def unpack_columns(
+    packed: PackedColumns,
+) -> Tuple[EventColumns, Optional[shared_memory.SharedMemory]]:
+    """Rebuild the :class:`EventColumns` view of a packed batch.
+
+    For segment-backed headers the arrays are zero-copy read-only views
+    over the shared pages and the attached segment is returned alongside
+    the columns — the caller must drop every array reference and then
+    ``close()`` it.  Inline headers return ``(columns, None)``.
+    """
+    segment = None if packed.inline else _attach(packed.segment_name)
+    columns: Dict[str, AttributeColumn] = {}
+    for name, spec in packed.columns.items():
+        rows_s, nrows_s, nvals_s, srows_s, strings, brows_s, bvals_s = spec
+        fields = []
+        for field_spec, dtype in zip(
+            (rows_s, nrows_s, nvals_s, srows_s, brows_s, bvals_s), _FIELD_DTYPES
+        ):
+            if segment is None:
+                fields.append(field_spec)
+            else:
+                offset, length = field_spec
+                view = np.frombuffer(
+                    segment.buf, dtype=dtype, count=length, offset=offset
+                )
+                view.flags.writeable = False
+                fields.append(view)
+        string_values = (
+            np.array(strings, dtype=object)
+            if strings
+            else np.empty(0, dtype=object)
+        )
+        columns[name] = AttributeColumn(
+            name, fields[0], fields[1], fields[2], fields[3], string_values,
+            fields[4], fields[5],
+        )
+    return EventColumns(packed.row_count, columns), segment
+
+
+def release_columns(packed: PackedColumns) -> None:
+    """Close and unlink the segment behind ``packed`` (idempotent).
+
+    Only meaningful in the creating process; inline headers and already
+    released segments are no-ops.
+    """
+    if packed.segment_name is None:
+        return
+    segment = _LIVE_SEGMENTS.pop(packed.segment_name, None)
+    if segment is None:
+        return
+    segment.close()
+    try:
+        segment.unlink()
+    except FileNotFoundError:  # pragma: no cover - unlinked out of band
+        pass
+
+
+def live_segment_names() -> Tuple[str, ...]:
+    """Names of segments this process created and has not released."""
+    return tuple(_LIVE_SEGMENTS)
+
+
+@atexit.register
+def _release_leaked_segments() -> None:
+    """Last-chance cleanup: unlink whatever a dying run left behind.
+
+    Normal operation releases each segment right after its batch is
+    merged; this hook only fires for runs that error or get killed
+    between pack and release, keeping ``/dev/shm`` clean regardless.
+    """
+    for name in list(_LIVE_SEGMENTS):
+        try:
+            release_columns(PackedColumns(name, 0, {}, 0))
+        except Exception:  # pragma: no cover - best effort at exit
+            pass

@@ -69,9 +69,12 @@ class Broker:
     ``shards`` switches the broker's engine from one
     :class:`CountingMatcher` to a :class:`ShardedMatcher` over that many
     independent slot shards; ``executor`` picks how sharded batches fan
-    out (``"threads"``, ``"serial"``, or an ``Executor`` — see
+    out (``"threads"``, ``"serial"``, ``"processes"`` for worker
+    processes fed shared-memory batches, or an ``Executor`` — see
     :mod:`repro.matching.sharded`).  Results are identical either way;
-    sharding only changes how many cores one table can use.
+    sharding only changes how many cores one table can use.  Brokers
+    are context managers: ``with Broker(...) as broker:`` tears the
+    engine down (worker pools, shared segments) on exit.
     """
 
     def __init__(
@@ -275,9 +278,15 @@ class Broker:
         """Release matcher resources (a sharded engine's worker pool).
 
         Idempotent, and the broker stays usable: a sharded matcher
-        lazily rebuilds its pool on the next threaded batch.
+        lazily rebuilds its pool on the next batch.
         """
         self.matcher.close()
+
+    def __enter__(self) -> "Broker":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def __repr__(self) -> str:
         return "Broker(%s, %d entries, neighbors=%s)" % (

@@ -66,9 +66,11 @@ class BrokerNetwork:
 
     ``shards``/``executor`` configure every broker's matching engine:
     with ``shards=K`` each broker partitions its table into K
-    independent slot shards and fans batches out to per-shard workers
-    (see :mod:`repro.matching.sharded`); results and accounting are
-    identical to the unsharded default.
+    independent slot shards and fans batches out to per-shard workers —
+    threads by default, or persistent worker processes with
+    ``executor="processes"`` (see :mod:`repro.matching.sharded`);
+    results and accounting are identical to the unsharded default.
+    The network is a context manager; exiting closes every broker.
 
     >>> from repro.routing.topology import line_topology
     >>> from repro.subscriptions import P, And
@@ -446,6 +448,12 @@ class BrokerNetwork:
         """
         for broker in self.brokers.values():
             broker.close()
+
+    def __enter__(self) -> "BrokerNetwork":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def reset_statistics(self) -> None:
         """Zero link counters, broker matcher stats, and event counters.

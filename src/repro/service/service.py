@@ -48,9 +48,11 @@ class PubSubService:
     an existing :class:`BrokerNetwork`.  With a topology,
     ``shards=K`` builds every broker with a sharded matching engine —
     ``PubSubService(topology=..., shards=4)`` lets each broker's
-    ``match_batch`` use up to four cores (see
-    :mod:`repro.matching.sharded`); results are identical to the
-    unsharded default.
+    ``match_batch`` use up to four cores, and ``executor="processes"``
+    moves each shard into a persistent worker process fed shared-memory
+    batches (see :mod:`repro.matching.sharded`); results are identical
+    to the unsharded default.  Use the service as a context manager (or
+    call :meth:`close`) so worker pools are torn down.
 
     >>> from repro.routing.topology import line_topology
     >>> from repro.subscriptions import P

@@ -106,6 +106,65 @@ def subscription_from_dict(data: Dict[str, Any]) -> "Subscription":
 
 
 # ---------------------------------------------------------------------------
+# subscription-log ops
+# ---------------------------------------------------------------------------
+
+#: Actions a subscription-log operation may carry.  ``register``,
+#: ``replace``, and ``unregister`` mirror the :class:`~repro.matching.
+#: interfaces.Matcher` mutators; ``rebuild`` requests table compaction.
+OP_ACTIONS = ("register", "replace", "unregister", "rebuild")
+
+
+def op_to_dict(action: str, payload: Union["Subscription", int, None] = None) -> Dict[str, Any]:
+    """One subscription-log operation as a JSON-compatible dict.
+
+    The log is how replicated matcher state stays in sync without
+    re-shipping whole tables: every table mutation appends one compact
+    op (riding :func:`subscription_to_dict` for the tree-carrying
+    actions), and a replica that drains the log in order reaches
+    exactly the table of the writer — which is also what replays a
+    table into a restarted or migrated broker shard
+    (:mod:`repro.matching.process_pool`).
+
+    ``payload`` is the :class:`Subscription` for ``register``/
+    ``replace``, the subscription id for ``unregister``, and omitted
+    for ``rebuild``.
+    """
+    if action in ("register", "replace"):
+        from repro.subscriptions.subscription import Subscription
+
+        if not isinstance(payload, Subscription):
+            raise SubscriptionError(
+                "%s op needs a Subscription payload, got %r" % (action, payload)
+            )
+        return {"op": action, "subscription": subscription_to_dict(payload)}
+    if action == "unregister":
+        if not isinstance(payload, int) or isinstance(payload, bool):
+            raise SubscriptionError(
+                "unregister op needs a subscription id, got %r" % (payload,)
+            )
+        return {"op": action, "id": payload}
+    if action == "rebuild":
+        return {"op": action}
+    raise SubscriptionError("unknown subscription-log action %r" % (action,))
+
+
+def op_from_dict(data: Dict[str, Any]) -> Tuple[str, Union["Subscription", int, None]]:
+    """Inverse of :func:`op_to_dict`: ``(action, payload)``."""
+    try:
+        action = data["op"]
+    except (TypeError, KeyError):
+        raise SubscriptionError("subscription-log op requires an 'op' field")
+    if action in ("register", "replace"):
+        return action, subscription_from_dict(data["subscription"])
+    if action == "unregister":
+        return action, data["id"]
+    if action == "rebuild":
+        return action, None
+    raise SubscriptionError("unknown subscription-log action %r" % (action,))
+
+
+# ---------------------------------------------------------------------------
 # binary codec
 # ---------------------------------------------------------------------------
 

@@ -126,8 +126,14 @@ MATCHER_FACTORIES = [
     CountingMatcher,
     lambda: ShardedMatcher(3, executor="serial"),
     lambda: ShardedMatcher(2, executor="threads"),
+    lambda: ShardedMatcher(2, executor="processes"),
 ]
-MATCHER_FACTORY_IDS = ["counting", "sharded-serial-3", "sharded-threads-2"]
+MATCHER_FACTORY_IDS = [
+    "counting",
+    "sharded-serial-3",
+    "sharded-threads-2",
+    "sharded-processes-2",
+]
 
 
 def events() -> st.SearchStrategy[Event]:

@@ -1,0 +1,227 @@
+"""Tests for the persistent shard worker pool (`matching/process_pool`).
+
+The worker request loop is driven two ways: in a thread over an
+in-process pipe (so the loop itself is exercised under coverage, op by
+op) and through real worker processes via :class:`ShardWorkerPool` —
+including error replies, worker death detection, and graceful,
+idempotent shutdown.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+
+import pytest
+
+from repro.errors import MatchingError
+from repro.events import Event, EventBatch
+from repro.matching.counting import CountingMatcher
+from repro.matching.process_pool import (
+    ShardWorkerPool,
+    apply_op,
+    serve_introspect,
+    serve_match,
+    shard_worker_main,
+)
+from repro.matching.shm import live_segment_names, pack_columns, release_columns
+from repro.subscriptions.builder import And, P
+from repro.subscriptions.serialize import op_to_dict
+from repro.subscriptions.subscription import Subscription
+
+SUBSCRIPTIONS = [
+    Subscription(1, And(P("price") > 10, P("cat") == "book")),
+    Subscription(2, P("price") <= 50),
+    Subscription(3, P("cat").in_({"book", "cd"})),
+]
+
+EVENTS = [
+    Event({"price": 20, "cat": "book"}),
+    Event({"price": 60, "cat": "cd"}),
+    Event({"other": "x"}),
+] * 8
+
+
+def reference_matcher() -> CountingMatcher:
+    matcher = CountingMatcher()
+    for subscription in SUBSCRIPTIONS:
+        matcher.register(subscription)
+    return matcher
+
+
+class InThreadWorker:
+    """The worker loop running in a thread over a real mp pipe."""
+
+    def __init__(self) -> None:
+        self.connection, child = multiprocessing.Pipe()
+        self.thread = threading.Thread(
+            target=shard_worker_main, args=(child, 0.5), daemon=True
+        )
+        self.thread.start()
+
+    def request(self, command, ops=(), payload=None):
+        self.connection.send((command, list(ops), payload))
+        return self.connection.recv()
+
+    def stop(self) -> None:
+        if self.thread.is_alive():
+            self.connection.send(("stop", (), None))
+            self.connection.recv()
+        self.thread.join(5.0)
+        assert not self.thread.is_alive()
+
+
+@pytest.fixture
+def worker():
+    worker = InThreadWorker()
+    yield worker
+    worker.stop()
+
+
+def test_worker_loop_serves_the_full_protocol(worker):
+    reference = reference_matcher()
+    register_ops = [op_to_dict("register", sub) for sub in SUBSCRIPTIONS]
+    assert worker.request("sync", register_ops) == ("ok", None)
+
+    packed = pack_columns(EventBatch(EVENTS).columns(), inline_max_bytes=0)
+    try:
+        status, (matched, deltas) = worker.request("match", (), packed)
+    finally:
+        release_columns(packed)
+    assert status == "ok"
+    assert matched == reference.match_batch(EventBatch(EVENTS))
+    stats = reference.statistics
+    assert tuple(deltas) == (
+        stats.matches,
+        stats.candidates,
+        stats.tree_evaluations,
+        stats.fulfilled_predicates,
+    )
+    assert live_segment_names() == ()
+
+    assert worker.request("introspect") == (
+        "ok",
+        (
+            reference.subscription_count,
+            reference.entry_count,
+            reference.tree_slot_count,
+            reference.negated_entry_count,
+        ),
+    )
+    probe = EVENTS[0]
+    assert worker.request("fulfilled", (), probe.to_dict()) == (
+        "ok",
+        reference.fulfilled_counts(probe),
+    )
+
+
+def test_worker_loop_applies_churn_and_rebuild_ops(worker):
+    reference = reference_matcher()
+    ops = [op_to_dict("register", sub) for sub in SUBSCRIPTIONS]
+    ops.append(op_to_dict("unregister", 2))
+    ops.append(op_to_dict("replace", Subscription(3, P("cat") == "cd")))
+    ops.append(op_to_dict("rebuild"))
+    reference.unregister(2)
+    reference.replace(Subscription(3, P("cat") == "cd"))
+    reference.rebuild()
+
+    packed = pack_columns(EventBatch(EVENTS).columns())
+    try:
+        status, (matched, _deltas) = worker.request("match", ops, packed)
+    finally:
+        release_columns(packed)
+    assert status == "ok"
+    assert matched == reference.match_batch(EventBatch(EVENTS))
+
+
+def test_worker_loop_matches_with_an_empty_table(worker):
+    packed = pack_columns(EventBatch(EVENTS[:3]).columns())
+    try:
+        status, (matched, deltas) = worker.request("match", (), packed)
+    finally:
+        release_columns(packed)
+    assert status == "ok"
+    assert matched == [[], [], []]
+    assert tuple(deltas) == (0, 0, 0, 0)
+
+
+def test_worker_loop_reports_errors_and_survives_them(worker):
+    status, message = worker.request("frobnicate")
+    assert status == "error"
+    assert "unknown shard command" in message
+    status, message = worker.request("sync", [op_to_dict("unregister", 99)])
+    assert status == "error"
+    assert "not registered" in message
+    # The loop survived both bad requests.
+    assert worker.request("sync") == ("ok", None)
+
+
+def test_helpers_mirror_a_local_matcher():
+    matcher = reference_matcher()
+    assert serve_introspect(matcher)[0] == 3
+    apply_op(matcher, op_to_dict("unregister", 1))
+    assert serve_introspect(matcher)[0] == 2
+    packed = pack_columns(EventBatch(EVENTS[:3]).columns())
+    try:
+        matched, _deltas = serve_match(matcher, packed)
+    finally:
+        release_columns(packed)
+    assert matched == [[2, 3], [3], []]
+
+
+# -- real worker processes ----------------------------------------------------
+
+
+def test_pool_round_trips_and_closes_idempotently():
+    pool = ShardWorkerPool(2)
+    try:
+        assert len(pool) == 2
+        assert pool.alive
+        for shard in range(2):
+            assert pool.request(shard, "sync") is None
+        assert "2 workers" in repr(pool)
+    finally:
+        pool.close()
+    assert not pool.alive
+    pool.close()  # idempotent
+    assert "closed" in repr(pool)
+    with pytest.raises(MatchingError):
+        pool.send(0, "sync")
+
+
+def test_pool_reports_worker_errors():
+    pool = ShardWorkerPool(1)
+    try:
+        with pytest.raises(MatchingError, match="failed"):
+            pool.request(0, "frobnicate")
+        # The worker survives its own error replies.
+        assert pool.request(0, "sync") is None
+    finally:
+        pool.close()
+
+
+def test_pool_detects_dead_workers():
+    pool = ShardWorkerPool(1)
+    try:
+        pool._processes[0].terminate()
+        pool._processes[0].join(5.0)
+        with pytest.raises(MatchingError):
+            pool.request(0, "sync")
+    finally:
+        pool.close()
+
+
+def test_pool_with_explicit_spawn_start_method():
+    """The spawn path (every platform's lowest common denominator)."""
+    pool = ShardWorkerPool(1, start_method="spawn")
+    try:
+        ops = [op_to_dict("register", sub) for sub in SUBSCRIPTIONS]
+        packed = pack_columns(EventBatch(EVENTS).columns(), inline_max_bytes=0)
+        try:
+            matched, _deltas = pool.request(0, "match", ops, packed)
+        finally:
+            release_columns(packed)
+        assert matched == reference_matcher().match_batch(EventBatch(EVENTS))
+        assert live_segment_names() == ()
+    finally:
+        pool.close()

@@ -2,6 +2,7 @@
 
 import pytest
 from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import SubscriptionError
 from repro.subscriptions.builder import And, Not, Or, P
@@ -9,10 +10,13 @@ from repro.subscriptions.nodes import ConstNode, PredicateLeaf
 from repro.subscriptions.normalize import normalize
 from repro.subscriptions.predicates import Operator, Predicate
 from repro.subscriptions.serialize import (
+    OP_ACTIONS,
     decode_node,
     encode_node,
     node_from_dict,
     node_to_dict,
+    op_from_dict,
+    op_to_dict,
     subscription_from_dict,
     subscription_to_dict,
 )
@@ -89,6 +93,64 @@ class TestBinaryCodec:
     @settings(max_examples=60)
     def test_roundtrip_random_trees(self, tree):
         assert decode_node(encode_node(tree)) == tree
+
+
+class TestOpCodec:
+    """The subscription-log operations syncing replicated matcher state."""
+
+    @given(strategies.trees(), st.integers(min_value=0, max_value=1 << 40))
+    @settings(max_examples=60)
+    def test_register_and_replace_roundtrip_random_trees(self, tree, sub_id):
+        subscription = Subscription(sub_id, tree, owner="alice")
+        for action in ("register", "replace"):
+            data = op_to_dict(action, subscription)
+            assert data["op"] == action
+            restored_action, payload = op_from_dict(data)
+            assert restored_action == action
+            assert payload == subscription
+            assert payload.owner == "alice"
+
+    def test_ops_are_json_compatible(self):
+        import json
+
+        subscription = Subscription(3, And(P("a") == 1, Not(P("b") == 2)))
+        for data in (
+            op_to_dict("register", subscription),
+            op_to_dict("unregister", 3),
+            op_to_dict("rebuild"),
+        ):
+            action, payload = op_from_dict(json.loads(json.dumps(data)))
+            assert action in OP_ACTIONS
+            if action == "unregister":
+                assert payload == 3
+            elif action == "rebuild":
+                assert payload is None
+            else:
+                assert payload == subscription
+
+    def test_unregister_roundtrip(self):
+        assert op_from_dict(op_to_dict("unregister", 42)) == ("unregister", 42)
+
+    def test_rebuild_roundtrip(self):
+        assert op_from_dict(op_to_dict("rebuild")) == ("rebuild", None)
+
+    def test_bad_payloads_rejected(self):
+        with pytest.raises(SubscriptionError):
+            op_to_dict("register", 7)  # needs a Subscription
+        with pytest.raises(SubscriptionError):
+            op_to_dict("unregister", "seven")  # needs an int id
+        with pytest.raises(SubscriptionError):
+            op_to_dict("unregister", True)  # bools are not ids
+        with pytest.raises(SubscriptionError):
+            op_to_dict("defragment")  # unknown action
+
+    def test_bad_dicts_rejected(self):
+        with pytest.raises(SubscriptionError):
+            op_from_dict({})
+        with pytest.raises(SubscriptionError):
+            op_from_dict({"op": "defragment"})
+        with pytest.raises(SubscriptionError):
+            op_from_dict(None)
 
 
 class TestSubscriptionObject:

@@ -3,7 +3,8 @@
 The equivalence harness of the sharded engine
 (:mod:`repro.matching.sharded`): at every point of an arbitrary
 register/unregister/replace churn history, for every shard count and
-both executors, a :class:`ShardedMatcher` must produce exactly the
+every executor — serial, threaded, and process workers fed
+shared-memory batches — a :class:`ShardedMatcher` must produce exactly the
 per-event id lists of one unsharded :class:`CountingMatcher` over the
 same table — and exactly its path-independent ``MatchStatistics``
 counters — including empty shards and worst-case all-subscriptions-in-
@@ -34,7 +35,7 @@ from tests import strategies
 _OPS = ["register", "register", "replace", "unregister"]
 
 SHARD_COUNTS = [1, 2, 3, 8]
-EXECUTORS = ["serial", "threads"]
+EXECUTORS = ["serial", "threads", "processes"]
 
 
 def churn_ops():
@@ -317,6 +318,112 @@ def test_threaded_churn_between_hammering_rounds(workload):
             plain.unregister(victim)
             sharded.unregister(victim)
         assert plain.match_batch(events) == sharded.match_batch(events)
+
+
+# -- process executor lifecycle ----------------------------------------------
+
+
+def test_process_pool_restart_replays_the_table(workload):
+    """close() + next match rebuilds workers from the authority tables.
+
+    This is the broker restart/migration path: the subscription log is
+    re-seeded with the full table and drained into the fresh pool, so
+    results (and counters) are as if the pool had never died.
+    """
+    subscriptions = workload.generate_subscriptions(40)
+    events = workload.generate_events(48)
+    plain = CountingMatcher()
+    with ShardedMatcher(3, executor="processes") as sharded:
+        for subscription in subscriptions:
+            plain.register(subscription)
+            sharded.register(subscription)
+        expected = plain.match_batch(events)
+        assert sharded.match_batch(events) == expected
+        sharded.close()  # pool gone; matcher still usable
+        assert sharded.match_batch(events) == expected
+        # Churn against a *stopped* pool lands in the tables only and
+        # must still be replayed correctly into the next pool.
+        sharded.close()
+        victim = subscriptions[0].id
+        plain.unregister(victim)
+        sharded.unregister(victim)
+        assert sharded.match_batch(events) == plain.match_batch(events)
+
+
+def test_process_executor_recovers_from_killed_workers(workload):
+    """A dead worker fails the in-flight call, then the pool self-heals."""
+    subscriptions = workload.generate_subscriptions(20)
+    events = workload.generate_events(16)
+    plain = CountingMatcher()
+    with ShardedMatcher(2, executor="processes") as sharded:
+        for subscription in subscriptions:
+            plain.register(subscription)
+            sharded.register(subscription)
+        expected = plain.match_batch(events)
+        assert sharded.match_batch(events) == expected
+        for process in sharded._pool._processes:
+            process.terminate()
+            process.join(5.0)
+        with pytest.raises(MatchingError):
+            sharded.match_batch(events)
+        # The failed call tore the pool down; the next one replays the
+        # tables into fresh workers and answers correctly again.
+        assert sharded.match_batch(events) == expected
+
+
+def test_process_executor_leaves_no_shared_segments(workload):
+    """Every packed batch is released, even across close/restart."""
+    from repro.matching.shm import live_segment_names
+
+    subscriptions = workload.generate_subscriptions(30)
+    events = workload.generate_events(512)  # large: forces segment mode
+    with ShardedMatcher(2, executor="processes") as sharded:
+        for subscription in subscriptions:
+            sharded.register(subscription)
+        sharded.match_batch(events)
+        assert live_segment_names() == ()
+        sharded.close()
+        sharded.match_batch(events)
+        assert live_segment_names() == ()
+    assert live_segment_names() == ()
+
+
+def test_process_executor_rebuild_and_introspection(workload):
+    """rebuild() on live replicas stays invisible; counts match remote."""
+    subscriptions = workload.generate_subscriptions(25)
+    events = workload.generate_events(32)
+    plain = CountingMatcher()
+    with ShardedMatcher(3, executor="processes") as sharded:
+        for subscription in subscriptions:
+            plain.register(subscription)
+            sharded.register(subscription)
+        before = sharded.match_batch(events)
+        sharded.rebuild()
+        plain.rebuild()
+        assert sharded.match_batch(events) == before == plain.match_batch(events)
+        assert sharded.entry_count == plain.entry_count
+        assert sharded.tree_slot_count == plain.tree_slot_count
+        assert sharded.negated_entry_count == plain.negated_entry_count
+        probe = events.events[0]
+        assert sharded.fulfilled_counts(probe) == plain.fulfilled_counts(probe)
+        assert sum(sharded.shard_populations) == plain.subscription_count
+
+
+def test_measure_matching_with_process_shards(workload):
+    """The experiment helper measures identically through worker processes."""
+    from repro.experiments.measurements import measure_matching
+
+    subscriptions = workload.generate_subscriptions(40)
+    events = workload.generate_events(32)
+    _seconds, fraction, matcher = measure_matching(
+        subscriptions, events, shards=2, executor="processes"
+    )
+    with matcher:
+        _plain_seconds, plain_fraction, plain = measure_matching(
+            subscriptions, events
+        )
+        assert fraction == plain_fraction
+        assert counters(matcher.statistics) == counters(plain.statistics)
 
 
 def test_measure_matching_with_shards(workload):

@@ -1,0 +1,222 @@
+"""Tests for the shared-memory columnar batch transport (`matching/shm`).
+
+Round-trips hypothesis-generated event batches through both header
+modes (inline and segment-backed), proves the creator-side registry
+releases segments leak-free — including the ``atexit`` last-chance
+hook for aborted runs — and covers the lazy ``EventBatch.from_columns``
+view workers match over.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.events import Event, EventBatch, EventColumns
+from repro.matching.counting import CountingMatcher
+from repro.matching.shm import (
+    INLINE_MAX_BYTES,
+    PackedColumns,
+    _release_leaked_segments,
+    live_segment_names,
+    pack_columns,
+    release_columns,
+    unpack_columns,
+)
+from repro.subscriptions.builder import P
+from repro.subscriptions.subscription import Subscription
+
+from tests import strategies
+
+
+def assert_columns_equal(left: EventColumns, right: EventColumns) -> None:
+    """Field-for-field equality of two columnar views."""
+    assert left.row_count == right.row_count
+    assert left.attribute_names == right.attribute_names
+    for name in left.attribute_names:
+        a, b = left.column(name), right.column(name)
+        assert np.array_equal(a.rows, b.rows)
+        assert np.array_equal(a.numeric_rows, b.numeric_rows)
+        assert np.array_equal(a.numeric_values, b.numeric_values)
+        assert np.array_equal(a.string_rows, b.string_rows)
+        assert list(a.string_values) == list(b.string_values)
+        assert np.array_equal(a.bool_rows, b.bool_rows)
+        assert np.array_equal(a.bool_values, b.bool_values)
+
+
+def roundtrip(columns: EventColumns, **kwargs) -> EventColumns:
+    """pack → pickle → unpack → release; returns the rebuilt columns."""
+    packed = pack_columns(columns, **kwargs)
+    try:
+        revived = pickle.loads(pickle.dumps(packed))
+        rebuilt, segment = unpack_columns(revived)
+        assert_columns_equal(columns, rebuilt)
+        # Copy out before the segment goes away so the caller can keep
+        # using the result (mirrors what a worker's reply forces too).
+        detached = EventColumns.from_events(
+            [rebuilt.event_at(row) for row in range(rebuilt.row_count)]
+        )
+        if segment is not None:
+            rebuilt = None
+            segment.close()
+        return detached
+    finally:
+        release_columns(packed)
+
+
+@given(events=st.lists(strategies.events(), max_size=12))
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_segment_and_inline_agree(events):
+    columns = EventBatch(events).columns()
+    # Force both representations regardless of payload size.
+    segment_backed = pack_columns(columns, inline_max_bytes=0)
+    inlined = pack_columns(columns, inline_max_bytes=1 << 30)
+    try:
+        assert inlined.inline
+        rebuilt_inline, no_segment = unpack_columns(inlined)
+        assert no_segment is None
+        assert_columns_equal(columns, rebuilt_inline)
+        if segment_backed.inline:
+            # Only an attribute-free batch has zero fixed-width bytes.
+            assert segment_backed.nbytes == 0
+        else:
+            rebuilt, segment = unpack_columns(segment_backed)
+            assert_columns_equal(columns, rebuilt)
+            rebuilt = None
+            segment.close()
+    finally:
+        release_columns(segment_backed)
+        release_columns(inlined)
+    assert live_segment_names() == ()
+
+
+@given(events=st.lists(strategies.events(), min_size=1, max_size=10))
+@settings(max_examples=25, deadline=None)
+def test_matching_over_rebuilt_columns_is_identical(events):
+    """A matcher fed the reconstructed batch answers exactly the same."""
+    matcher = CountingMatcher()
+    for sub_id, attribute in enumerate(strategies.ALL_ATTRIBUTES):
+        matcher.register(Subscription(sub_id, P(attribute) != "nope"))
+    batch = EventBatch(events)
+    packed = pack_columns(batch.columns(), inline_max_bytes=0)
+    try:
+        rebuilt, segment = unpack_columns(packed)
+        lazy = EventBatch.from_columns(rebuilt)
+        assert matcher.match_batch(lazy) == matcher.match_batch(batch)
+        lazy = rebuilt = None
+        if segment is not None:
+            segment.close()
+    finally:
+        release_columns(packed)
+
+
+def _price_batch(rows: int) -> EventBatch:
+    return EventBatch(
+        [Event({"price": row, "tag": "t%d" % (row % 3)}) for row in range(rows)]
+    )
+
+
+def test_large_batch_uses_a_segment_and_small_stays_inline():
+    small = pack_columns(_price_batch(4).columns())
+    large = pack_columns(_price_batch(4096).columns())
+    try:
+        assert small.inline
+        assert not large.inline
+        assert large.nbytes > INLINE_MAX_BYTES
+        assert large.segment_name in live_segment_names()
+    finally:
+        release_columns(small)
+        release_columns(large)
+    assert live_segment_names() == ()
+
+
+def test_segment_views_are_read_only():
+    packed = pack_columns(_price_batch(4096).columns())
+    try:
+        rebuilt, segment = unpack_columns(packed)
+        column = rebuilt.column("price")
+        with pytest.raises(ValueError):
+            column.numeric_values[0] = 99.0
+        column = rebuilt = None
+        segment.close()
+    finally:
+        release_columns(packed)
+
+
+def test_release_is_idempotent_and_unlinks_the_segment():
+    packed = pack_columns(_price_batch(4096).columns())
+    name = packed.segment_name
+    assert name in live_segment_names()
+    release_columns(packed)
+    release_columns(packed)  # second release: no-op
+    assert live_segment_names() == ()
+    if os.path.isdir("/dev/shm"):  # Linux: the backing file is gone
+        assert not os.path.exists("/dev/shm/" + name.lstrip("/"))
+
+
+def test_atexit_hook_releases_leaked_segments():
+    """An aborted run's segments are unlinked by the last-chance hook."""
+    leaked = pack_columns(_price_batch(4096).columns())
+    assert leaked.segment_name in live_segment_names()
+    _release_leaked_segments()
+    assert live_segment_names() == ()
+    # The hook must also cope with nothing to do.
+    _release_leaked_segments()
+    # And a stale header pointing at the released segment stays a no-op.
+    release_columns(leaked)
+
+
+def test_packed_header_repr_and_empty_batch():
+    empty = pack_columns(EventBatch([]).columns())
+    try:
+        assert empty.inline
+        assert empty.row_count == 0
+        assert "inline" in repr(empty)
+        rebuilt, segment = unpack_columns(empty)
+        assert segment is None
+        assert rebuilt.row_count == 0
+    finally:
+        release_columns(empty)
+    named = PackedColumns("psm_test", 3, {}, 64)
+    assert "psm_test" in repr(named)
+
+
+# -- the lazy worker-side batch view ------------------------------------------
+
+
+def test_event_at_materializes_rows():
+    batch = EventBatch(
+        [
+            Event({"price": 3, "tag": "book", "hot": True}),
+            Event({"other": 1.5}),
+            Event({}),
+        ]
+    )
+    columns = batch.columns()
+    first = columns.event_at(0)
+    # Numeric values come back from the float64 column: ints turn float.
+    assert first == Event({"price": 3.0, "tag": "book", "hot": True})
+    assert columns.event_at(1) == Event({"other": 1.5})
+    assert columns.event_at(2) == Event({})
+    with pytest.raises(IndexError):
+        columns.event_at(3)
+
+
+def test_from_columns_batch_behaves_like_a_sequence():
+    source = _price_batch(5)
+    lazy = EventBatch.from_columns(source.columns(), label="lazy")
+    assert len(lazy.events) == 5
+    assert lazy.label == "lazy"
+    assert lazy.events[0]["tag"] == "t0"
+    assert lazy.events[-1]["tag"] == "t1"
+    assert [event["price"] for event in lazy.events] == [0.0, 1.0, 2.0, 3.0, 4.0]
+    assert [event["price"] for event in lazy.events[1:3]] == [1.0, 2.0]
+    with pytest.raises(IndexError):
+        lazy.events[5]
+    # The lazy batch reuses the existing columns object as its cache.
+    assert lazy.columns() is source.columns()
