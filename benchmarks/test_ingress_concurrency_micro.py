@@ -1,0 +1,102 @@
+"""Micro-benchmark of concurrent producers on one shared ingress.
+
+Events/s through ``Session.publish`` with 1, 2, 4, and 8 producer
+threads splitting the same event set, at a small and a large
+``max_batch``.  Results land in ``BENCH_matching.json`` under the
+``ingress_concurrency`` key (schema in ``docs/BENCHMARKS.md``).
+
+The interesting numbers are the *ratios*: the drain itself is
+serialized under the publish lock (matching is single-flusher by
+design), so producer threads only overlap in buffering and in whatever
+Python releases the GIL for — the sweep pins how much the locking
+discipline costs or hides, not a parallel speedup claim.  A correctness
+probe (delivered count equals the single-producer count) runs inside
+every configuration.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from conftest import best_seconds
+from repro.routing.topology import line_topology
+from repro.service import CountingSink, PubSubService
+
+PRODUCER_COUNTS = (1, 2, 4, 8)
+MAX_BATCH_SIZES = (16, 128)
+
+
+@pytest.fixture(scope="module")
+def concurrency_service(bench_subscriptions):
+    """A one-broker service with the benchmark table and one publisher."""
+    service = PubSubService(topology=line_topology(1), max_batch=64)
+    session = service.connect("b0", "subscriber", sink=CountingSink())
+    for subscription in bench_subscriptions:
+        session.subscribe(subscription.tree)
+    publisher = service.connect("b0", "publisher")
+    return service, publisher
+
+
+def test_ingress_concurrency_throughput(
+    concurrency_service, bench_events, bench_results
+):
+    service, publisher = concurrency_service
+    events = bench_events.events
+    sink = service.sessions[0].sink
+
+    def run_with(producers):
+        shards = [events[i::producers] for i in range(producers)]
+
+        def produce(shard):
+            for event in shard:
+                publisher.publish(event)
+
+        def once():
+            if producers == 1:
+                produce(shards[0])
+            else:
+                threads = [
+                    threading.Thread(target=produce, args=(shard,))
+                    for shard in shards
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+            service.flush()
+
+        seconds, _ = best_seconds(once, repeats=3)
+        return seconds
+
+    results = {"events": len(events)}
+    expected_per_pass = None
+    for max_batch in MAX_BATCH_SIZES:
+        service.ingress.max_batch = max_batch
+        per_batch = {}
+        for producers in PRODUCER_COUNTS:
+            sink.clear()
+            seconds = run_with(producers)
+            # Correctness probe: every configuration (any producer
+            # count, any batch size) delivers the same total — 3
+            # best_seconds passes over the full event set.
+            if expected_per_pass is None:
+                expected_per_pass = sink.total // 3
+            assert sink.total == 3 * expected_per_pass
+            per_batch["producers_%d" % producers] = {
+                "seconds": seconds,
+                "events_per_second": len(events) / seconds if seconds else None,
+            }
+        results["max_batch_%d" % max_batch] = per_batch
+    bench_results["ingress_concurrency"] = results
+
+    # Gross-regression gate only: adding producer threads to a
+    # lock-serialized drain must not collapse throughput (generous 4x
+    # bound — this is contention, not a parallelism claim).
+    for max_batch in MAX_BATCH_SIZES:
+        per_batch = results["max_batch_%d" % max_batch]
+        assert (
+            per_batch["producers_8"]["seconds"]
+            < per_batch["producers_1"]["seconds"] * 4
+        )

@@ -43,6 +43,7 @@ from repro.core.heuristics import DIMENSION_ORDERS, Dimension, HeuristicVector
 from repro.core.ops import PruningOp, apply_pruning, enumerate_prunings, is_prunable
 from repro.core.planner import PruningSchedule
 from repro.errors import (
+    DeliveryError,
     ExperimentError,
     MatchingError,
     PruningError,
@@ -74,9 +75,14 @@ from repro.routing.topology import (
 )
 from repro.selectivity.estimator import SelectivityEstimate, SelectivityEstimator
 from repro.service import (
+    POLICIES,
+    AsyncDeliverySink,
+    BoundedDeliveryQueue,
     CallbackSink,
     CollectingSink,
     CountingSink,
+    DeadLetter,
+    DeadLetterSink,
     DeliverySink,
     Ingress,
     Notification,
@@ -106,9 +112,11 @@ __all__ = [
     "AdaptivePruner",
     "And",
     "apply_pruning",
+    "AsyncDeliverySink",
     "attr",
     "AuctionWorkload",
     "AuctionWorkloadConfig",
+    "BoundedDeliveryQueue",
     "Broker",
     "BrokerNetwork",
     "CallbackSink",
@@ -120,6 +128,9 @@ __all__ = [
     "CostModel",
     "CountingMatcher",
     "CountingSink",
+    "DeadLetter",
+    "DeadLetterSink",
+    "DeliveryError",
     "DeliverySink",
     "Dimension",
     "DIMENSION_ORDERS",
@@ -146,6 +157,7 @@ __all__ = [
     "Operator",
     "Or",
     "P",
+    "POLICIES",
     "Predicate",
     "PruningEngine",
     "PruningError",

@@ -6,6 +6,8 @@ catch everything raised by this package with a single ``except`` clause.
 
 from __future__ import annotations
 
+from typing import Any, List, Sequence, Tuple
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
@@ -57,3 +59,22 @@ class ExperimentError(ReproError):
 
 class ServiceError(ReproError):
     """Raised by the service layer (sessions, handles, ingress)."""
+
+
+class DeliveryError(ServiceError):
+    """One or more delivery sinks raised while a batch was dispatched.
+
+    Dispatch contains sink failures: every *other* sink still received
+    its notifications for the batch before this error was raised, and
+    the ingress that triggered the dispatch remains usable.
+    ``failures`` holds the ``(notification, exception)`` pairs that were
+    contained, in delivery order.
+    """
+
+    def __init__(self, failures: Sequence[Tuple[Any, BaseException]]) -> None:
+        self.failures: List[Tuple[Any, BaseException]] = list(failures)
+        first = self.failures[0][1] if self.failures else None
+        super().__init__(
+            "%d delivery sink failure(s) during dispatch (first: %r)"
+            % (len(self.failures), first)
+        )

@@ -257,6 +257,11 @@ class BrokerNetwork:
         batch = EventBatch.coerce(events)
         events = batch.events
         self._broker(broker_id)
+        # Snapshot the hook before routing: a concurrent
+        # set_delivery_hook(None) (a service detaching) must not turn
+        # the hook into None between the routing work and the dispatch
+        # of its results.
+        hook = self._delivery_hook
         self._events_published += len(events)
         count = len(events)
         deliveries_per: List[List[Delivery]] = [[] for _ in range(count)]
@@ -296,8 +301,8 @@ class BrokerNetwork:
             PublishResult(deliveries_per[i], messages_per[i], visited_per[i])
             for i in range(count)
         ]
-        if self._delivery_hook is not None:
-            self._delivery_hook(events, results)
+        if hook is not None:
+            hook(events, results)
         return results
 
     def set_delivery_hook(self, hook: Optional[DeliveryHook]) -> None:
@@ -307,6 +312,13 @@ class BrokerNetwork:
         results, whatever entry point published it.  Only one hook may
         be installed at a time — the service layer owns it when a
         :class:`repro.service.PubSubService` wraps this network.
+
+        Threading: the substrate itself takes no locks — the hook must
+        be safe to call from whichever thread publishes (the service's
+        dispatcher serializes internally on its publish lock).  Each
+        ``publish_batch`` snapshots the hook before routing, so clearing
+        it concurrently lets in-flight publishes finish their dispatch
+        instead of silently dropping it.
         """
         if hook is not None and self._delivery_hook is not None:
             raise RoutingError("a delivery hook is already installed")

@@ -12,18 +12,31 @@ system (as opposed to experimenting on its internals):
   ``replace``/``unsubscribe``) — no caller-chosen global ids;
 * deliveries are pushed into pluggable :class:`DeliverySink`\\ s
   (:class:`CollectingSink`, :class:`CallbackSink`,
-  :class:`CountingSink`) as :class:`Notification` records;
-* publishing rides the micro-batching :class:`Ingress`, so even
-  one-event-at-a-time producers execute on the vectorized columnar
-  batch path.
+  :class:`CountingSink`, and the loop-bridging
+  :class:`AsyncDeliverySink`) as :class:`Notification` records;
+* publishing rides the micro-batching :class:`Ingress` — thread-safe,
+  so any number of concurrent producers execute on the vectorized
+  columnar batch path;
+* slow consumers get explicit backpressure: sessions connected with
+  ``queue_capacity`` stage deliveries in a :class:`BoundedDeliveryQueue`
+  with a ``block``/``drop_oldest``/``disconnect`` overflow policy, and
+  everything refused is recorded in a :class:`DeadLetterSink`.
 
-See ``docs/ARCHITECTURE.md`` ("Service layer") for the dataflow.
+See ``docs/ARCHITECTURE.md`` ("Service layer" and "Concurrent ingress &
+backpressure") for the dataflow and locking discipline.
 """
 
+from repro.service.backpressure import (
+    POLICIES,
+    BoundedDeliveryQueue,
+    DeadLetter,
+    DeadLetterSink,
+)
 from repro.service.ingress import Ingress
 from repro.service.service import PubSubService
 from repro.service.session import Session, SubscriptionHandle
 from repro.service.sinks import (
+    AsyncDeliverySink,
     CallbackSink,
     CollectingSink,
     CountingSink,
@@ -32,12 +45,17 @@ from repro.service.sinks import (
 )
 
 __all__ = [
+    "AsyncDeliverySink",
+    "BoundedDeliveryQueue",
     "CallbackSink",
     "CollectingSink",
     "CountingSink",
+    "DeadLetter",
+    "DeadLetterSink",
     "DeliverySink",
     "Ingress",
     "Notification",
+    "POLICIES",
     "PubSubService",
     "Session",
     "SubscriptionHandle",

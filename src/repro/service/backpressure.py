@@ -1,0 +1,307 @@
+"""Bounded delivery queues: explicit policy for slow consumers.
+
+The synchronous delivery path pushes notifications straight into a
+session's :class:`~repro.service.sinks.DeliverySink` from whatever
+thread drained the ingress — a slow consumer therefore slows every
+producer behind the same flush.  A :class:`BoundedDeliveryQueue` breaks
+that coupling and makes the trade-off explicit: deliveries are staged in
+a bounded, thread-safe queue owned by the session, the consumer drains
+it at its own pace (:meth:`repro.service.session.Session.poll` /
+:meth:`~repro.service.session.Session.drain`), and when the queue is
+full one of three **backpressure policies** decides who pays:
+
+``block``
+    The producing flush blocks until the consumer frees a slot — true
+    backpressure, nothing is ever lost.  (An optional ``timeout`` on
+    :meth:`BoundedDeliveryQueue.put` converts an over-long wait into a
+    dead-lettered drop instead of an unbounded stall.)
+
+``drop_oldest``
+    The *oldest* staged notification is evicted to the dead-letter sink
+    and the new one is queued — a lagging consumer sees the freshest
+    window of traffic, like a bounded retention buffer.
+
+``disconnect``
+    The *incoming* notification is dead-lettered and the queue enters a
+    terminal ``disconnected`` state: every later delivery is
+    dead-lettered too (reason ``"disconnected"``), while whatever was
+    already staged stays drainable.  This models the broker dropping a
+    consumer that cannot keep up.
+
+Everything a queue refuses — whatever the policy or the reason — lands
+in its :class:`DeadLetterSink`, so ``delivered + dead-lettered`` is
+always exactly the set of notifications dispatched to the session
+(property-tested against a naive unbounded-queue model in
+``tests/test_backpressure_property.py``).  Queue depth, high-water mark,
+and drop counters are exposed for observability.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, List, NamedTuple, Optional, Tuple
+
+from repro.errors import ServiceError
+from repro.service.sinks import Notification
+
+#: The overflow policies a :class:`BoundedDeliveryQueue` can apply.
+POLICIES: Tuple[str, ...] = ("block", "drop_oldest", "disconnect")
+
+#: Dead-letter reasons recorded by :class:`BoundedDeliveryQueue`.
+REASON_DROP_OLDEST = "drop_oldest"       #: evicted to make room (``drop_oldest``)
+REASON_DISCONNECT = "disconnect"         #: the overflow that disconnected the queue
+REASON_DISCONNECTED = "disconnected"     #: arrived after the queue disconnected
+REASON_CLOSED = "closed"                 #: arrived after (or while) the queue closed
+REASON_BLOCK_TIMEOUT = "block_timeout"   #: a bounded ``block`` wait expired
+
+
+class DeadLetter(NamedTuple):
+    """One refused delivery: ``notification`` was dropped for ``reason``."""
+
+    notification: Notification
+    reason: str
+
+
+class DeadLetterSink:
+    """Thread-safe record of everything a bounded queue refused.
+
+    >>> from repro.events import Event
+    >>> sink = DeadLetterSink()
+    >>> sink.record(Notification(Event({"x": 1}), 0, "alice", "b0", 3),
+    ...             REASON_DROP_OLDEST)
+    >>> len(sink), sink.letters[0].reason
+    (1, 'drop_oldest')
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._letters: List[DeadLetter] = []
+
+    def record(self, notification: Notification, reason: str) -> None:
+        """Append one dead letter (called by the queue, any thread)."""
+        with self._lock:
+            self._letters.append(DeadLetter(notification, reason))
+
+    @property
+    def letters(self) -> List[DeadLetter]:
+        """A snapshot of all dead letters, in drop order."""
+        with self._lock:
+            return list(self._letters)
+
+    @property
+    def notifications(self) -> List[Notification]:
+        """The dropped notifications only, in drop order."""
+        return [letter.notification for letter in self.letters]
+
+    def clear(self) -> None:
+        """Forget everything recorded so far."""
+        with self._lock:
+            self._letters.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._letters)
+
+
+class BoundedDeliveryQueue:
+    """A bounded, thread-safe staging queue between dispatch and consumer.
+
+    Producers (the flush path) call :meth:`put`; the consumer calls
+    :meth:`get` or :meth:`drain`.  ``capacity`` bounds the number of
+    staged notifications; ``policy`` (one of :data:`POLICIES`) decides
+    what happens to an overflowing delivery; everything refused is
+    recorded in ``dead_letter`` with a reason.
+
+    Counters: ``enqueued`` (accepted puts), ``delivered`` (consumed
+    gets), ``dropped`` (dead-lettered puts/evictions), ``high_water``
+    (maximum observed depth).  ``depth`` is the current staging count.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        policy: str = "block",
+        dead_letter: Optional[DeadLetterSink] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ServiceError(
+                "delivery queue capacity must be >= 1, got %d" % capacity
+            )
+        if policy not in POLICIES:
+            raise ServiceError(
+                "unknown backpressure policy %r (choose from %s)"
+                % (policy, ", ".join(POLICIES))
+            )
+        self.capacity = capacity
+        self.policy = policy
+        self.dead_letter = dead_letter if dead_letter is not None else DeadLetterSink()
+        self._items: Deque[Notification] = deque()
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+        self._disconnected = False
+        self.enqueued = 0
+        self.delivered = 0
+        self.dropped = 0
+        self.high_water = 0
+
+    # -- producer side -------------------------------------------------------
+
+    def put(self, notification: Notification, timeout: Optional[float] = None) -> bool:
+        """Stage one notification; returns ``True`` iff it was queued.
+
+        Applies the queue's policy when full.  ``timeout`` only matters
+        under ``block``: ``None`` waits indefinitely (until the consumer
+        frees a slot or the queue closes/disconnects), a number bounds
+        the wait and dead-letters the notification (reason
+        ``"block_timeout"``) when it expires.  Refused notifications are
+        dead-lettered, never raised.
+        """
+        with self._lock:
+            refusal = self._refusal_reason()
+            if refusal is None and len(self._items) >= self.capacity:
+                if self.policy == "drop_oldest":
+                    evicted = self._items.popleft()
+                    self.dead_letter.record(evicted, REASON_DROP_OLDEST)
+                    self.dropped += 1
+                elif self.policy == "disconnect":
+                    self._disconnected = True
+                    self._not_empty.notify_all()
+                    self._not_full.notify_all()
+                    refusal = REASON_DISCONNECT
+                else:  # block
+                    refusal = self._wait_not_full(timeout)
+            if refusal is not None:
+                self.dead_letter.record(notification, refusal)
+                self.dropped += 1
+                return False
+            self._items.append(notification)
+            self.enqueued += 1
+            if len(self._items) > self.high_water:
+                self.high_water = len(self._items)
+            self._not_empty.notify()
+            return True
+
+    def _refusal_reason(self) -> Optional[str]:
+        """Why a put must be refused outright, or ``None``.  Lock held."""
+        if self._closed:
+            return REASON_CLOSED
+        if self._disconnected:
+            return REASON_DISCONNECTED
+        return None
+
+    def _wait_not_full(self, timeout: Optional[float]) -> Optional[str]:
+        """Block until a slot frees; returns a refusal reason or ``None``.
+
+        Lock held on entry and exit (``Condition.wait`` releases it
+        while waiting, so the consumer can drain concurrently).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while len(self._items) >= self.capacity:
+            if self._closed:
+                return REASON_CLOSED
+            if self._disconnected:
+                return REASON_DISCONNECTED
+            if deadline is None:
+                self._not_full.wait()
+            else:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._not_full.wait(remaining):
+                    if len(self._items) >= self.capacity:
+                        return REASON_BLOCK_TIMEOUT
+        if self._closed:
+            return REASON_CLOSED
+        if self._disconnected:
+            return REASON_DISCONNECTED
+        return None
+
+    # -- consumer side -------------------------------------------------------
+
+    def get(self, timeout: Optional[float] = None) -> Optional[Notification]:
+        """Consume the oldest staged notification.
+
+        ``timeout=None`` waits until one arrives (or the queue closes);
+        ``timeout=0`` polls without waiting.  Returns ``None`` when
+        nothing arrived in time.  A closed or disconnected queue still
+        hands out whatever was staged before.
+        """
+        with self._lock:
+            deadline = None if timeout is None else time.monotonic() + timeout
+            while not self._items:
+                if self._closed or self._disconnected:
+                    return None
+                if deadline is None:
+                    self._not_empty.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._not_empty.wait(remaining):
+                        if not self._items:
+                            return None
+            notification = self._items.popleft()
+            self.delivered += 1
+            self._not_full.notify()
+            return notification
+
+    def drain(self) -> List[Notification]:
+        """Consume everything currently staged, oldest first."""
+        with self._lock:
+            notifications = list(self._items)
+            self._items.clear()
+            self.delivered += len(notifications)
+            self._not_full.notify_all()
+            return notifications
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop accepting puts and release every blocked producer.
+
+        Producers blocked in a ``block``-policy :meth:`put` wake up and
+        dead-letter their notification (reason ``"closed"``); staged
+        notifications remain drainable.  Idempotent.
+        """
+        with self._lock:
+            self._closed = True
+            self._not_full.notify_all()
+            self._not_empty.notify_all()
+
+    def disconnect(self) -> None:
+        """Force the terminal ``disconnected`` state (any policy)."""
+        with self._lock:
+            self._disconnected = True
+            self._not_full.notify_all()
+            self._not_empty.notify_all()
+
+    # -- observability -------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Notifications currently staged."""
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def disconnected(self) -> bool:
+        """``True`` once the ``disconnect`` policy fired (terminal)."""
+        return self._disconnected
+
+    def __repr__(self) -> str:
+        return (
+            "BoundedDeliveryQueue(capacity=%d, policy=%r, depth=%d, "
+            "dropped=%d%s%s)"
+            % (
+                self.capacity,
+                self.policy,
+                self.depth,
+                self.dropped,
+                ", disconnected" if self._disconnected else "",
+                ", closed" if self._closed else "",
+            )
+        )

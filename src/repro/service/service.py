@@ -17,17 +17,26 @@ Dataflow (see ``docs/ARCHITECTURE.md`` for the full diagram)::
     Session.publish ──▶ Ingress buffer ──(max_batch / flush / churn)──▶
       BrokerNetwork.publish_batch ──▶ delivery hook ──▶ DeliverySinks
 
-The service is synchronous and single-threaded, like the substrate it
-wraps: a flush runs matching to completion and sinks see their
-notifications before the flush returns.
+The service is safe for **concurrent producers**: any number of threads
+may publish at once (submissions batch under the ingress buffer lock),
+and one re-entrant *publish lock* serializes the drain/dispatch pipeline
+with subscription churn and session registry changes, so a flush still
+runs matching to completion and sinks see their notifications before the
+flush returns.  Slow consumers get explicit backpressure policy through
+per-session :class:`~repro.service.backpressure.BoundedDeliveryQueue`\\ s
+(``connect(queue_capacity=...)``); sink failures are contained per sink
+and surfaced as :class:`~repro.errors.DeliveryError` (or routed to an
+``on_sink_error`` handler).  See ``docs/ARCHITECTURE.md`` ("Concurrent
+ingress & backpressure") for the locking discipline.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import deque
-from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.errors import RoutingError, ServiceError
+from repro.errors import DeliveryError, RoutingError, ServiceError
 from repro.events import Event, EventBatch
 from repro.matching.sharded import ExecutorSpec
 from repro.routing.metrics import CostModel
@@ -36,6 +45,7 @@ from repro.routing.topology import Topology
 from repro.subscriptions.nodes import Node
 from repro.subscriptions.subscription import Subscription
 
+from repro.service.backpressure import BoundedDeliveryQueue, DeadLetterSink
 from repro.service.ingress import Ingress
 from repro.service.session import Session, SubscriptionHandle
 from repro.service.sinks import CollectingSink, DeliverySink, Notification
@@ -77,6 +87,7 @@ class PubSubService:
         max_batch: int = 64,
         shards: Optional[int] = None,
         executor: Optional[ExecutorSpec] = None,
+        on_sink_error: Optional[Callable[[Notification, BaseException], None]] = None,
     ) -> None:
         if network is None:
             if topology is None:
@@ -100,14 +111,24 @@ class PubSubService:
                 "topology/cost_model/shards/executor, not both"
             )
         self._network = network
+        # The publish lock serializes ingress drains, delivery dispatch,
+        # subscription churn, and session-registry changes.  Re-entrant:
+        # a flush dispatches under it, and churn flushes under it.
+        self._publish_lock = threading.RLock()
+        # Sequence allocation gets its own tiny lock so concurrent
+        # producers can reserve numbers while a drain holds the publish
+        # lock (lock order: buffer/publish -> sequence, never reversed).
+        self._sequence_lock = threading.Lock()
         self.ingress = Ingress(
             network,
             max_batch=max_batch,
             allocate_sequence=self._allocate_sequence,
             expect_sequences=self._expect_sequences,
+            lock=self._publish_lock,
         )
         self._sessions: Dict[Tuple[str, str], Session] = {}
         self._handle_sinks: Dict[int, DeliverySink] = {}
+        self._on_sink_error = on_sink_error
         self._sequence = 0
         self._expected_sequences: Deque[int] = deque()
         self._closed = False
@@ -138,6 +159,10 @@ class PubSubService:
         broker_id: str,
         client: str,
         sink: Optional[DeliverySink] = None,
+        *,
+        queue_capacity: Optional[int] = None,
+        policy: str = "block",
+        dead_letter: Optional[DeadLetterSink] = None,
     ) -> Session:
         """Open a session for ``client`` at ``broker_id``.
 
@@ -145,22 +170,53 @@ class PubSubService:
         fresh :class:`CollectingSink` is attached.  At most one open
         session per ``(broker_id, client)`` pair — deliveries are
         addressed to that pair by the substrate.
+
+        ``queue_capacity`` switches the session from direct (in-flush)
+        delivery to a :class:`~repro.service.backpressure.
+        BoundedDeliveryQueue` of that capacity: dispatch stages
+        notifications, the consumer drives delivery with
+        ``session.poll()``/``session.drain()``, and ``policy`` (one of
+        ``"block"``/``"drop_oldest"``/``"disconnect"``) decides what an
+        overflow does.  Everything refused lands in ``dead_letter`` (a
+        fresh :class:`~repro.service.backpressure.DeadLetterSink` when
+        omitted) — ``policy``/``dead_letter`` therefore require
+        ``queue_capacity``.
         """
         self._require_open()
         if broker_id not in self._network.brokers:
             raise RoutingError("unknown broker %r" % broker_id)
-        key = (broker_id, client)
-        if key in self._sessions:
-            raise ServiceError(
-                "client %r already has an open session at broker %s"
-                % (client, broker_id)
+        queue: Optional[BoundedDeliveryQueue] = None
+        if queue_capacity is not None:
+            queue = BoundedDeliveryQueue(
+                queue_capacity, policy=policy, dead_letter=dead_letter
             )
-        session = Session(self, broker_id, client, sink or CollectingSink())
-        self._sessions[key] = session
+        elif policy != "block" or dead_letter is not None:
+            raise ServiceError(
+                "policy/dead_letter only apply to bounded-queue sessions; "
+                "pass queue_capacity as well"
+            )
+        with self._publish_lock:
+            key = (broker_id, client)
+            if key in self._sessions:
+                raise ServiceError(
+                    "client %r already has an open session at broker %s"
+                    % (client, broker_id)
+                )
+            session = Session(
+                self,
+                broker_id,
+                client,
+                # ``is not None``, not truthiness: an empty CollectingSink
+                # has len() == 0 and would be silently replaced.
+                sink if sink is not None else CollectingSink(),
+                queue=queue,
+            )
+            self._sessions[key] = session
         return session
 
     def _forget_session(self, session: Session) -> None:
-        self._sessions.pop((session.broker_id, session.client), None)
+        with self._publish_lock:
+            self._sessions.pop((session.broker_id, session.client), None)
 
     # -- publishing ----------------------------------------------------------
 
@@ -184,8 +240,9 @@ class PubSubService:
         preserved; deliveries flow to sinks *and* are returned.
         """
         self._require_open()
-        self.flush()
-        return self._network.publish_batch(broker_id, events)
+        with self._publish_lock:
+            self.flush()
+            return self._network.publish_batch(broker_id, events)
 
     def flush(self) -> int:
         """Drain the ingress; returns the number of events published."""
@@ -196,24 +253,33 @@ class PubSubService:
     def _subscribe(
         self, session: Session, tree: Node, sink: Optional[DeliverySink]
     ) -> SubscriptionHandle:
-        self.flush()  # events already submitted must not see the new table
-        subscription_id = self._network.allocate_subscription_id()
-        subscription = self._network.subscribe(
-            session.broker_id, session.client, tree, subscription_id=subscription_id
-        )
-        handle = SubscriptionHandle(session, subscription)
-        if sink is not None:
-            self._handle_sinks[subscription.id] = sink
-        return handle
+        # The publish lock is held across flush *and* table change, so a
+        # concurrent producer's events land either wholly before or
+        # wholly after the churn — never against a half-applied table.
+        with self._publish_lock:
+            self.flush()  # events already submitted must not see the new table
+            subscription_id = self._network.allocate_subscription_id()
+            subscription = self._network.subscribe(
+                session.broker_id,
+                session.client,
+                tree,
+                subscription_id=subscription_id,
+            )
+            handle = SubscriptionHandle(session, subscription)
+            if sink is not None:
+                self._handle_sinks[subscription.id] = sink
+            return handle
 
     def _unsubscribe(self, handle: SubscriptionHandle) -> None:
-        self.flush()
-        self._network.unsubscribe(handle.id)
-        self._handle_sinks.pop(handle.id, None)
+        with self._publish_lock:
+            self.flush()
+            self._network.unsubscribe(handle.id)
+            self._handle_sinks.pop(handle.id, None)
 
     def _replace(self, handle: SubscriptionHandle, tree: Node) -> Subscription:
-        self.flush()
-        return self._network.replace_subscription(handle.id, tree)
+        with self._publish_lock:
+            self.flush()
+            return self._network.replace_subscription(handle.id, tree)
 
     # -- delivery fan-out ----------------------------------------------------
 
@@ -223,10 +289,12 @@ class PubSubService:
         The ingress calls this at *submission* time, so the sequence a
         notification carries identifies the event's submission position
         regardless of how the ingress grouped the stream into batches.
+        Thread-safe: concurrent producers each get a distinct number.
         """
-        sequence = self._sequence
-        self._sequence += 1
-        return sequence
+        with self._sequence_lock:
+            sequence = self._sequence
+            self._sequence += 1
+            return sequence
 
     def _expect_sequences(self, sequences: Sequence[int]) -> None:
         """Announce the reserved sequences of the batch about to publish.
@@ -237,6 +305,15 @@ class PubSubService:
         """
         self._expected_sequences.clear()
         self._expected_sequences.extend(sequences)
+
+    def _sink_for(self, session: Session, subscription_id: int) -> DeliverySink:
+        """The sink a (possibly queued) notification should reach.
+
+        Per-handle sinks override the session sink; once a handle is
+        unsubscribed, still-staged notifications fall back to the
+        session sink.
+        """
+        return self._handle_sinks.get(subscription_id, session.sink)
 
     def _dispatch(
         self, events: Sequence[Event], results: Sequence[PublishResult]
@@ -251,30 +328,60 @@ class PubSubService:
         Deliveries addressed to a client without an open session are
         dropped (the publisher still sees them in its
         ``PublishResult``).
+
+        Runs under the publish lock (re-entrantly when the publish came
+        from our own flush), so dispatch — and therefore sink order and
+        per-session ``delivery_seq`` stamping — is serialized even when
+        the substrate is published directly from several threads.
+
+        Sink failures are **contained**: a raising sink never stops the
+        remaining deliveries of the batch.  Contained failures go to the
+        service's ``on_sink_error`` handler, or — when none is set — are
+        re-raised together as one :class:`~repro.errors.DeliveryError`
+        after the batch fully dispatched.  Bounded-queue sessions never
+        raise here at all: their queue applies its backpressure policy
+        and dead-letters refusals.
         """
-        for event, result in zip(events, results):
-            if self._expected_sequences:
-                sequence = self._expected_sequences.popleft()
-            else:
-                sequence = self._allocate_sequence()
-            for delivery in result.deliveries:
-                sink = self._handle_sinks.get(delivery.subscription_id)
-                if sink is None:
+        with self._publish_lock:
+            failures: List[Tuple[Notification, BaseException]] = []
+            for event, result in zip(events, results):
+                if self._expected_sequences:
+                    sequence = self._expected_sequences.popleft()
+                else:
+                    sequence = self._allocate_sequence()
+                for delivery in result.deliveries:
                     session = self._sessions.get(
                         (delivery.broker_id, delivery.client)
                     )
-                    if session is None:
+                    handle_sink = self._handle_sinks.get(delivery.subscription_id)
+                    if session is None and handle_sink is None:
                         continue
-                    sink = session.sink
-                sink.deliver(
-                    Notification(
+                    notification = Notification(
                         event,
                         sequence,
                         delivery.client,
                         delivery.broker_id,
                         delivery.subscription_id,
+                        session._next_delivery_seq() if session is not None else -1,
                     )
-                )
+                    if session is not None and session.queue is not None:
+                        session._enqueue(notification)
+                        continue
+                    if handle_sink is not None:
+                        sink = handle_sink
+                    else:
+                        assert session is not None
+                        sink = session.sink
+                    try:
+                        sink.deliver(notification)
+                    except Exception as error:
+                        failures.append((notification, error))
+            if failures:
+                if self._on_sink_error is not None:
+                    for notification, error in failures:
+                        self._on_sink_error(notification, error)
+                else:
+                    raise DeliveryError(failures)
 
     # -- lifecycle -----------------------------------------------------------
 

@@ -18,7 +18,8 @@ from repro.events import Event
 from repro.subscriptions.nodes import Node
 from repro.subscriptions.subscription import Subscription
 
-from repro.service.sinks import DeliverySink
+from repro.service.backpressure import BoundedDeliveryQueue
+from repro.service.sinks import DeliverySink, Notification
 
 if TYPE_CHECKING:
     from repro.service.service import PubSubService
@@ -98,7 +99,12 @@ class Session:
     """One client's attachment to one broker of the service.
 
     Sessions publish through the service's micro-batching ingress and
-    receive deliveries through their :class:`DeliverySink`.  They are
+    receive deliveries through their :class:`DeliverySink` — pushed
+    synchronously from the flush by default, or staged in a
+    :class:`~repro.service.backpressure.BoundedDeliveryQueue` when the
+    session was connected with ``queue_capacity`` (the consumer then
+    drives delivery with :meth:`poll`/:meth:`drain`, and the queue's
+    backpressure policy decides what happens when it lags).  They are
     context managers: leaving the ``with`` block closes the session and
     withdraws all its subscriptions.
     """
@@ -109,13 +115,19 @@ class Session:
         broker_id: str,
         client: str,
         sink: DeliverySink,
+        queue: Optional[BoundedDeliveryQueue] = None,
     ) -> None:
         self._service = service
         self._broker_id = broker_id
         self._client = client
         self._sink = sink
+        self._queue = queue
         self._handles: List[SubscriptionHandle] = []
         self._closed = False
+        #: Next per-session delivery sequence number; bumped by the
+        #: service's dispatcher (under its publish lock) for every
+        #: notification addressed to this session.
+        self._delivery_seq = 0
 
     @property
     def broker_id(self) -> str:
@@ -131,6 +143,22 @@ class Session:
     def sink(self) -> DeliverySink:
         """The session's delivery sink (per-handle sinks override it)."""
         return self._sink
+
+    @property
+    def queue(self) -> Optional[BoundedDeliveryQueue]:
+        """The bounded delivery queue, or ``None`` for direct delivery."""
+        return self._queue
+
+    @property
+    def disconnected(self) -> bool:
+        """``True`` once the queue's ``disconnect`` policy dropped us."""
+        return self._queue is not None and self._queue.disconnected
+
+    @property
+    def delivery_count(self) -> int:
+        """Notifications addressed to this session so far (delivered,
+        queued, or dead-lettered); also the next ``delivery_seq``."""
+        return self._delivery_seq
 
     @property
     def handles(self) -> Tuple[SubscriptionHandle, ...]:
@@ -179,12 +207,78 @@ class Session:
         """Flush the service-wide ingress; returns events published."""
         return self._service.flush()
 
+    # -- consuming (bounded-queue sessions only) -----------------------------
+
+    def poll(self, timeout: Optional[float] = None) -> Optional[Notification]:
+        """Consume one staged notification and deliver it to its sink.
+
+        Only meaningful for sessions connected with ``queue_capacity``.
+        ``timeout=None`` waits for a notification (or queue close);
+        ``timeout=0`` polls.  Returns the notification, or ``None`` when
+        nothing arrived in time.
+        """
+        queue = self._require_queue()
+        notification = queue.get(timeout)
+        if notification is not None:
+            self._deliver(notification)
+        return notification
+
+    def drain(self) -> List[Notification]:
+        """Consume everything staged now, delivering each to its sink."""
+        queue = self._require_queue()
+        notifications = queue.drain()
+        for notification in notifications:
+            self._deliver(notification)
+        return notifications
+
+    def _deliver(self, notification: Notification) -> None:
+        """Push one consumed notification into the right sink."""
+        self._service._sink_for(self, notification.subscription_id).deliver(
+            notification
+        )
+
+    def _enqueue(self, notification: Notification) -> None:
+        """Stage one dispatched notification (called by the service).
+
+        The queue applies its backpressure policy; refusals go to its
+        dead-letter sink, never back to the dispatcher.
+        """
+        assert self._queue is not None
+        self._queue.put(notification)
+
+    def _next_delivery_seq(self) -> int:
+        """Reserve this session's next gapless delivery sequence number.
+
+        Called by the service's dispatcher under its publish lock, which
+        is what makes the bare increment safe.
+        """
+        sequence = self._delivery_seq
+        self._delivery_seq += 1
+        return sequence
+
+    def _require_queue(self) -> BoundedDeliveryQueue:
+        if self._queue is None:
+            raise ServiceError(
+                "session %r@%s has no delivery queue (connect with "
+                "queue_capacity=... to stage deliveries)"
+                % (self._client, self._broker_id)
+            )
+        return self._queue
+
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
-        """Flush pending events and withdraw all subscriptions."""
+        """Flush pending events and withdraw all subscriptions.
+
+        The delivery queue (if any) is closed *first*, so a flusher
+        blocked on this session's full queue wakes up (dead-lettering
+        the notification) instead of deadlocking against the
+        unsubscribe flush below; staged notifications stay drainable.
+        """
         if self._closed:
             return
+        if self._queue is not None:
+            self._queue.close()
         for handle in list(self._handles):
             self._unsubscribe(handle)
         self._closed = True

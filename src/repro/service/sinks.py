@@ -10,13 +10,28 @@ order, from whatever thread drained the ingress.
 Three ready-made sinks cover the common shapes: :class:`CollectingSink`
 (keep everything, for tests and interactive use), :class:`CallbackSink`
 (invoke a function per notification), and :class:`CountingSink`
-(accounting only, for high-volume measurement).
+(accounting only, for high-volume measurement).  A fourth,
+:class:`AsyncDeliverySink`, bridges the synchronous flush path into an
+asyncio event loop: ``deliver`` hands the notification to the loop and
+returns immediately, so an async consumer can fan out without ever
+blocking the flusher.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, NamedTuple, Protocol, runtime_checkable
+import asyncio
+from typing import (
+    Awaitable,
+    Callable,
+    Dict,
+    List,
+    NamedTuple,
+    Optional,
+    Protocol,
+    runtime_checkable,
+)
 
+from repro.errors import ServiceError
 from repro.events import Event
 
 
@@ -27,6 +42,14 @@ class Notification(NamedTuple):
     event (every event dispatched through the service's delivery hook
     gets one, matched or not), so per-event delivery sets can be
     reconstructed from a sink even when micro-batching reorders work.
+
+    ``delivery_seq`` is the recipient *session's* gapless delivery
+    counter, stamped by the service at dispatch time — the n-th
+    notification ever addressed to that session carries ``n`` (counting
+    from 0), whether it was delivered, queued, or dead-lettered by a
+    bounded queue.  ``delivered + dead-lettered`` therefore always
+    covers a gapless ``delivery_seq`` range per session.  ``-1`` when
+    constructed outside a service (tests, hand-fed sinks).
     """
 
     event: Event
@@ -34,6 +57,7 @@ class Notification(NamedTuple):
     client: str
     broker_id: str
     subscription_id: int
+    delivery_seq: int = -1
 
 
 @runtime_checkable
@@ -91,6 +115,87 @@ class CallbackSink:
 
     def deliver(self, notification: Notification) -> None:
         self._callback(notification)
+
+
+class AsyncDeliverySink:
+    """Bridges synchronous dispatch into an asyncio drain loop.
+
+    The service calls :meth:`deliver` from whatever thread drained the
+    ingress; the notification is handed to the event loop with
+    ``call_soon_threadsafe`` and :meth:`deliver` returns immediately —
+    the flush never waits on the async consumer.  A drain task (started
+    with :meth:`start`, inside the loop) pops notifications off an
+    ``asyncio.Queue`` and awaits ``handler`` once per notification, in
+    delivery order.
+
+    The staging queue is unbounded by design: *bounding* a slow async
+    consumer is the job of a session-level
+    :class:`~repro.service.backpressure.BoundedDeliveryQueue` (put one
+    in front via ``connect(queue_capacity=...)``), while this sink's
+    :attr:`pending` exposes the current lag for observability.  Stop
+    with :meth:`aclose`, which drains everything already accepted
+    through the handler before returning.
+    """
+
+    def __init__(self, handler: Callable[[Notification], Awaitable[None]]) -> None:
+        self._handler = handler
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._queue: Optional["asyncio.Queue[Optional[Notification]]"] = None
+        self._task: Optional["asyncio.Task[None]"] = None
+        self.delivered = 0
+
+    def start(
+        self, loop: Optional[asyncio.AbstractEventLoop] = None
+    ) -> "asyncio.Task[None]":
+        """Create the staging queue and spawn the drain task.
+
+        Must run inside the target loop unless ``loop`` is passed
+        explicitly.  Returns the drain task (also awaited by
+        :meth:`aclose`).
+        """
+        if self._task is not None and not self._task.done():
+            raise ServiceError("AsyncDeliverySink is already draining")
+        self._loop = loop if loop is not None else asyncio.get_running_loop()
+        self._queue = asyncio.Queue()
+        self._task = self._loop.create_task(self._drain())
+        return self._task
+
+    @property
+    def pending(self) -> int:
+        """Notifications accepted but not yet handled (consumer lag)."""
+        return self._queue.qsize() if self._queue is not None else 0
+
+    def deliver(self, notification: Notification) -> None:
+        """Hand one notification to the loop; never blocks the caller."""
+        loop, queue = self._loop, self._queue
+        if loop is None or queue is None:
+            raise ServiceError(
+                "AsyncDeliverySink.start() must run before deliveries arrive"
+            )
+        loop.call_soon_threadsafe(queue.put_nowait, notification)
+
+    async def _drain(self) -> None:
+        queue = self._queue
+        assert queue is not None
+        while True:
+            notification = await queue.get()
+            if notification is None:
+                break
+            await self._handler(notification)
+            self.delivered += 1
+
+    async def aclose(self) -> None:
+        """Handle everything already accepted, then stop the drain task.
+
+        Idempotent; safe to call even if :meth:`start` never ran.
+        """
+        if self._loop is None or self._queue is None or self._task is None:
+            return
+        # The sentinel queues *behind* every accepted notification, so
+        # the drain task finishes the backlog before exiting.
+        self._loop.call_soon_threadsafe(self._queue.put_nowait, None)
+        await self._task
+        self._task = None
 
 
 class CountingSink:

@@ -1,6 +1,19 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Also provides a minimal fallback for the ``timeout`` marker when the
+``pytest-timeout`` plugin is not installed (CI installs it; bare local
+environments may not).  The fallback arms a SIGALRM-based interval
+timer around each marked test, which interrupts even stuck
+``lock.acquire()``/``Condition.wait()``/``Thread.join()`` calls in the
+main thread — enough to keep a deadlocked concurrency test from
+hanging the whole suite.  Only active on platforms with ``SIGALRM``
+(i.e. not Windows); elsewhere the marker is registered but inert.
+"""
 
 from __future__ import annotations
+
+import signal
+from typing import Iterator
 
 import pytest
 
@@ -11,6 +24,52 @@ from repro.selectivity.statistics import (
     EventStatistics,
 )
 from repro.workloads.auction import AuctionWorkload, AuctionWorkloadConfig
+
+try:
+    import pytest_timeout  # noqa: F401
+
+    _HAVE_PYTEST_TIMEOUT = True
+except ImportError:
+    _HAVE_PYTEST_TIMEOUT = False
+
+
+class _TestTimeout(Exception):
+    """Raised by the SIGALRM fallback when a marked test overruns."""
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    if not _HAVE_PYTEST_TIMEOUT:
+        config.addinivalue_line(
+            "markers",
+            "timeout(seconds): fail the test if it runs longer than "
+            "``seconds`` (SIGALRM fallback; pytest-timeout not installed)",
+        )
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item: pytest.Item) -> Iterator[None]:
+    marker = item.get_closest_marker("timeout")
+    if (
+        _HAVE_PYTEST_TIMEOUT
+        or marker is None
+        or not hasattr(signal, "SIGALRM")
+    ):
+        yield
+        return
+    seconds = float(marker.args[0]) if marker.args else 300.0
+
+    def _on_alarm(signum: int, frame: object) -> None:
+        raise _TestTimeout(
+            "%s exceeded the %.0fs timeout" % (item.nodeid, seconds)
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,402 @@
+"""Unit tests for bounded delivery queues, dead letters, async sinks.
+
+The model-based policy tests live in ``test_backpressure_property.py``
+and the multi-producer soak tests in ``test_service_concurrency.py``;
+this file pins the single-threaded (or two-thread) semantics of each
+piece: queue policies and counters, dead-letter bookkeeping, the
+session-level ``poll``/``drain`` consumer API, and the asyncio bridge.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.events import Event
+from repro.routing.topology import line_topology
+from repro.service import (
+    AsyncDeliverySink,
+    BoundedDeliveryQueue,
+    DeadLetterSink,
+    Notification,
+    POLICIES,
+    PubSubService,
+)
+from repro.service.backpressure import (
+    REASON_BLOCK_TIMEOUT,
+    REASON_CLOSED,
+    REASON_DISCONNECT,
+    REASON_DISCONNECTED,
+    REASON_DROP_OLDEST,
+)
+from repro.subscriptions.builder import P
+
+
+def note(i):
+    """A distinguishable notification; ``sequence`` carries the payload."""
+    return Notification(Event({"x": i}), i, "alice", "b0", 0, i)
+
+
+def payloads(notifications):
+    return [n.sequence for n in notifications]
+
+
+class TestBoundedDeliveryQueue:
+    def test_constructor_validation(self):
+        with pytest.raises(ServiceError):
+            BoundedDeliveryQueue(0)
+        with pytest.raises(ServiceError):
+            BoundedDeliveryQueue(4, policy="spill_to_disk")
+        assert POLICIES == ("block", "drop_oldest", "disconnect")
+        for policy in POLICIES:
+            assert BoundedDeliveryQueue(1, policy=policy).policy == policy
+
+    def test_fifo_put_get(self):
+        queue = BoundedDeliveryQueue(4)
+        for i in range(3):
+            assert queue.put(note(i))
+        assert queue.depth == 3
+        assert payloads([queue.get() for _ in range(3)]) == [0, 1, 2]
+        assert queue.depth == 0
+        assert queue.get(timeout=0) is None
+
+    def test_counters_and_high_water(self):
+        queue = BoundedDeliveryQueue(4)
+        for i in range(3):
+            queue.put(note(i))
+        queue.get()
+        queue.put(note(3))
+        assert queue.enqueued == 4
+        assert queue.delivered == 1
+        assert queue.dropped == 0
+        assert queue.high_water == 3
+        assert queue.depth == 3
+
+    def test_drain_consumes_everything(self):
+        queue = BoundedDeliveryQueue(8)
+        for i in range(5):
+            queue.put(note(i))
+        assert payloads(queue.drain()) == [0, 1, 2, 3, 4]
+        assert queue.drain() == []
+        assert queue.delivered == 5
+
+    def test_drop_oldest_evicts_to_dead_letters(self):
+        queue = BoundedDeliveryQueue(2, policy="drop_oldest")
+        for i in range(5):
+            assert queue.put(note(i))  # accepted: the *oldest* pays
+        assert payloads(queue.drain()) == [3, 4]
+        letters = queue.dead_letter.letters
+        assert payloads([letter.notification for letter in letters]) == [0, 1, 2]
+        assert {letter.reason for letter in letters} == {REASON_DROP_OLDEST}
+        assert queue.dropped == 3 and queue.enqueued == 5
+
+    def test_disconnect_policy_is_terminal(self):
+        queue = BoundedDeliveryQueue(2, policy="disconnect")
+        assert queue.put(note(0)) and queue.put(note(1))
+        assert not queue.put(note(2))  # overflow disconnects
+        assert queue.disconnected
+        assert not queue.put(note(3))  # later puts refused too
+        reasons = [letter.reason for letter in queue.dead_letter.letters]
+        assert reasons == [REASON_DISCONNECT, REASON_DISCONNECTED]
+        # Staged items survive the disconnect.
+        assert payloads(queue.drain()) == [0, 1]
+        assert queue.get(timeout=0) is None
+
+    def test_explicit_disconnect_any_policy(self):
+        queue = BoundedDeliveryQueue(4, policy="block")
+        queue.put(note(0))
+        queue.disconnect()
+        assert queue.disconnected
+        assert not queue.put(note(1))
+        assert queue.dead_letter.letters[0].reason == REASON_DISCONNECTED
+        assert payloads(queue.drain()) == [0]
+
+    def test_closed_queue_refuses_puts_keeps_staged(self):
+        queue = BoundedDeliveryQueue(4)
+        queue.put(note(0))
+        queue.close()
+        queue.close()  # idempotent
+        assert queue.closed
+        assert not queue.put(note(1))
+        assert queue.dead_letter.letters[0].reason == REASON_CLOSED
+        assert payloads([queue.get(timeout=0)]) == [0]
+        assert queue.get(timeout=0) is None
+        assert queue.get() is None  # closed: no indefinite wait
+
+    @pytest.mark.timeout(30)
+    def test_block_waits_for_consumer(self):
+        queue = BoundedDeliveryQueue(1, policy="block")
+        queue.put(note(0))
+        accepted = []
+
+        def producer():
+            accepted.append(queue.put(note(1)))
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        try:
+            # The producer is stuck until we consume.
+            assert payloads([queue.get(timeout=5)]) == [0]
+            thread.join(timeout=5)
+            assert not thread.is_alive()
+        finally:
+            queue.close()
+            thread.join(timeout=5)
+        assert accepted == [True]
+        assert payloads([queue.get(timeout=0)]) == [1]
+        assert len(queue.dead_letter) == 0
+
+    def test_block_timeout_dead_letters(self):
+        queue = BoundedDeliveryQueue(1, policy="block")
+        queue.put(note(0))
+        assert not queue.put(note(1), timeout=0.01)
+        letter, = queue.dead_letter.letters
+        assert letter.reason == REASON_BLOCK_TIMEOUT
+        assert letter.notification.sequence == 1
+        assert payloads(queue.drain()) == [0]
+
+    @pytest.mark.timeout(30)
+    def test_close_releases_blocked_producer(self):
+        queue = BoundedDeliveryQueue(1, policy="block")
+        queue.put(note(0))
+        results = []
+
+        def producer():
+            results.append(queue.put(note(1)))
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        try:
+            queue.close()
+            thread.join(timeout=5)
+            assert not thread.is_alive()
+        finally:
+            queue.close()
+            thread.join(timeout=5)
+        assert results == [False]
+        assert queue.dead_letter.letters[0].reason == REASON_CLOSED
+
+    @pytest.mark.timeout(30)
+    def test_disconnect_releases_blocked_producer(self):
+        queue = BoundedDeliveryQueue(1, policy="block")
+        queue.put(note(0))
+        results = []
+
+        def producer():
+            results.append(queue.put(note(1)))
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        try:
+            queue.disconnect()
+            thread.join(timeout=5)
+            assert not thread.is_alive()
+        finally:
+            queue.close()
+            thread.join(timeout=5)
+        assert results == [False]
+        assert queue.dead_letter.letters[0].reason == REASON_DISCONNECTED
+
+    def test_repr_mentions_state(self):
+        queue = BoundedDeliveryQueue(2, policy="drop_oldest")
+        queue.put(note(0))
+        text = repr(queue)
+        assert "capacity=2" in text and "drop_oldest" in text
+        queue.close()
+        assert "closed" in repr(queue)
+
+
+class TestDeadLetterSink:
+    def test_record_snapshot_clear(self):
+        sink = DeadLetterSink()
+        sink.record(note(0), REASON_DROP_OLDEST)
+        sink.record(note(1), REASON_CLOSED)
+        assert len(sink) == 2
+        assert [letter.reason for letter in sink.letters] == [
+            REASON_DROP_OLDEST,
+            REASON_CLOSED,
+        ]
+        assert payloads(sink.notifications) == [0, 1]
+        # ``letters`` is a snapshot, not a live view.
+        sink.letters.append(None)
+        assert len(sink) == 2
+        sink.clear()
+        assert len(sink) == 0 and sink.letters == []
+
+    def test_shared_across_queues(self):
+        shared = DeadLetterSink()
+        first = BoundedDeliveryQueue(1, policy="drop_oldest", dead_letter=shared)
+        second = BoundedDeliveryQueue(1, policy="drop_oldest", dead_letter=shared)
+        first.put(note(0)), first.put(note(1))
+        second.put(note(2)), second.put(note(3))
+        assert payloads(shared.notifications) == [0, 2]
+
+
+class TestBoundedQueueSessions:
+    def make_service(self, **kwargs):
+        return PubSubService(topology=line_topology(2), max_batch=100, **kwargs)
+
+    def test_connect_validation(self):
+        service = self.make_service()
+        with pytest.raises(ServiceError):
+            service.connect("b0", "alice", policy="drop_oldest")
+        with pytest.raises(ServiceError):
+            service.connect("b0", "bob", dead_letter=DeadLetterSink())
+        with pytest.raises(ServiceError):
+            service.connect("b0", "carol", queue_capacity=0)
+        with pytest.raises(ServiceError):
+            service.connect("b0", "dave", queue_capacity=4, policy="nope")
+
+    def test_poll_drain_require_queue(self):
+        service = self.make_service()
+        direct = service.connect("b0", "alice")
+        with pytest.raises(ServiceError):
+            direct.poll(timeout=0)
+        with pytest.raises(ServiceError):
+            direct.drain()
+        assert direct.queue is None and not direct.disconnected
+
+    def test_queued_session_stages_then_delivers(self):
+        service = self.make_service()
+        session = service.connect("b0", "alice", queue_capacity=8)
+        session.subscribe(P("x") >= 0)
+        for x in range(3):
+            service.publish("b0", Event({"x": x}))
+        service.flush()
+        # Nothing reached the sink yet: deliveries are staged.
+        assert session.sink.notifications == []
+        assert session.queue.depth == 3
+        first = session.poll(timeout=0)
+        assert first.event["x"] == 0
+        rest = session.drain()
+        assert [n.event["x"] for n in rest] == [1, 2]
+        assert [n.event["x"] for n in session.sink.notifications] == [0, 1, 2]
+        assert [n.delivery_seq for n in session.sink.notifications] == [0, 1, 2]
+        assert session.delivery_count == 3
+
+    def test_drop_oldest_session_keeps_freshest_window(self):
+        dead = DeadLetterSink()
+        service = self.make_service()
+        session = service.connect(
+            "b0",
+            "alice",
+            queue_capacity=2,
+            policy="drop_oldest",
+            dead_letter=dead,
+        )
+        session.subscribe(P("x") >= 0)
+        for x in range(5):
+            service.publish("b0", Event({"x": x}))
+        service.flush()
+        assert [n.event["x"] for n in session.drain()] == [3, 4]
+        assert [n.notification.event["x"] for n in dead.letters] == [0, 1, 2]
+        # Delivered + dead-lettered delivery_seqs form a gapless range.
+        seqs = [n.delivery_seq for n in session.sink.notifications]
+        seqs += [n.delivery_seq for n in dead.notifications]
+        assert sorted(seqs) == list(range(5))
+
+    def test_disconnect_session_goes_terminal(self):
+        service = self.make_service()
+        session = service.connect(
+            "b0", "alice", queue_capacity=1, policy="disconnect"
+        )
+        session.subscribe(P("x") >= 0)
+        for x in range(3):
+            service.publish("b0", Event({"x": x}))
+        service.flush()
+        assert session.disconnected
+        assert [n.event["x"] for n in session.drain()] == [0]
+        reasons = [
+            letter.reason for letter in session.queue.dead_letter.letters
+        ]
+        assert reasons == [REASON_DISCONNECT, REASON_DISCONNECTED]
+
+    def test_session_close_closes_queue(self):
+        service = self.make_service()
+        session = service.connect("b0", "alice", queue_capacity=4)
+        session.subscribe(P("x") >= 0)
+        service.publish("b0", Event({"x": 1}))
+        service.flush()
+        session.close()
+        assert session.queue.closed
+        # Staged notifications stay drainable after close.
+        assert [n.event["x"] for n in session.drain()] == [1]
+
+
+class TestAsyncDeliverySink:
+    def test_deliver_before_start_rejected(self):
+        sink = AsyncDeliverySink(lambda n: None)
+        with pytest.raises(ServiceError):
+            sink.deliver(note(0))
+
+    def test_round_trip_and_lifecycle(self):
+        received = []
+
+        async def handler(notification):
+            received.append(notification.sequence)
+
+        async def main():
+            sink = AsyncDeliverySink(handler)
+            sink.start()
+            with pytest.raises(ServiceError):
+                sink.start()  # already draining
+            for i in range(5):
+                sink.deliver(note(i))
+            # Nothing is staged yet: deliver() only *schedules* the put
+            # on the loop, so a blocked flusher never waits on it.
+            assert sink.pending == 0
+            await sink.aclose()
+            await sink.aclose()  # idempotent
+            assert sink.delivered == 5
+            # Restartable after aclose.
+            sink.start()
+            sink.deliver(note(5))
+            await sink.aclose()
+
+        asyncio.run(main())
+        assert received == [0, 1, 2, 3, 4, 5]
+
+    @pytest.mark.timeout(30)
+    def test_threaded_producer_into_event_loop(self):
+        received = []
+
+        async def handler(notification):
+            received.append(notification.sequence)
+
+        async def main():
+            sink = AsyncDeliverySink(handler)
+            sink.start()
+            thread = threading.Thread(
+                target=lambda: [sink.deliver(note(i)) for i in range(20)]
+            )
+            thread.start()
+            await asyncio.get_running_loop().run_in_executor(
+                None, thread.join
+            )
+            await sink.aclose()
+
+        asyncio.run(main())
+        assert received == list(range(20))
+
+    def test_service_delivers_through_async_sink(self):
+        received = []
+
+        async def handler(notification):
+            received.append(notification.event["x"])
+
+        async def main():
+            service = PubSubService(
+                topology=line_topology(2), max_batch=100
+            )
+            sink = AsyncDeliverySink(handler)
+            sink.start()
+            session = service.connect("b1", "alice", sink=sink)
+            session.subscribe(P("x") >= 0)
+            for x in range(3):
+                service.publish("b0", Event({"x": x}))
+            service.flush()  # synchronous: enqueues via the running loop
+            await sink.aclose()
+
+        asyncio.run(main())
+        assert received == [0, 1, 2]

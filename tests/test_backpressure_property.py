@@ -1,0 +1,281 @@
+"""Model-based property tests for bounded-queue backpressure.
+
+Each :class:`~repro.service.backpressure.BoundedDeliveryQueue` policy is
+run against a *naive* executable model — an unbounded Python list plus
+the policy applied by hand — over random interleavings of puts, gets,
+and drains:
+
+* ``drop_oldest`` and ``disconnect`` are deterministic, so the real
+  queue must match the model exactly: staged order, every dead letter
+  (payload *and* reason, in drop order), the terminal flag, and the
+  ``enqueued``/``delivered``/``dropped`` counters.
+* ``block`` genuinely blocks, so its interleavings run with one real
+  producer thread fed from a FIFO command queue while the main thread
+  consumes; the invariant is lossless FIFO delivery — every issued
+  payload comes out exactly once, in order, with zero dead letters.
+
+A service-level variant replays subscribe/unsubscribe/publish/consume
+churn through a full :class:`~repro.service.PubSubService` with a
+bounded-queue session, checking the same policy model end-to-end
+(including gapless per-session ``delivery_seq`` stamping) against a
+:class:`~repro.matching.counting.CountingMatcher` match oracle.
+"""
+
+import queue as stdlib_queue
+import threading
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.events import Event
+from repro.matching.counting import CountingMatcher
+from repro.routing.topology import line_topology
+from repro.service import (
+    BoundedDeliveryQueue,
+    DeadLetterSink,
+    Notification,
+    PubSubService,
+)
+from repro.subscriptions.subscription import Subscription
+
+from tests.strategies import events, trees
+
+
+def note(i):
+    """A distinguishable notification; ``sequence`` carries the payload."""
+    return Notification(Event({"x": i}), i, "alice", "b0", 0, i)
+
+
+#: One step of a queue interleaving (payloads are assigned in order).
+queue_steps = st.lists(
+    st.sampled_from(["put", "get", "drain"]), min_size=1, max_size=60
+)
+
+capacities = st.integers(min_value=1, max_value=4)
+
+
+class NaiveQueueModel:
+    """The unbounded-list reference model of one policy."""
+
+    def __init__(self, capacity, policy):
+        self.capacity = capacity
+        self.policy = policy
+        self.staged = []  # payloads in FIFO order
+        self.dead = []  # (payload, reason) in drop order
+        self.disconnected = False
+        self.enqueued = 0
+        self.delivered = 0
+
+    def put(self, payload):
+        """Stage (or refuse) one payload; True iff it was staged."""
+        if self.disconnected:
+            self.dead.append((payload, "disconnected"))
+            return False
+        if len(self.staged) >= self.capacity:
+            if self.policy == "drop_oldest":
+                self.dead.append((self.staged.pop(0), "drop_oldest"))
+            else:  # disconnect
+                self.disconnected = True
+                self.dead.append((payload, "disconnect"))
+                return False
+        self.staged.append(payload)
+        self.enqueued += 1
+        return True
+
+    def get(self):
+        if not self.staged:
+            return None
+        self.delivered += 1
+        return self.staged.pop(0)
+
+    def drain(self):
+        staged, self.staged = self.staged, []
+        self.delivered += len(staged)
+        return staged
+
+
+@pytest.mark.parametrize("policy", ["drop_oldest", "disconnect"])
+@given(script=queue_steps, capacity=capacities)
+@settings(max_examples=60, deadline=None)
+def test_queue_matches_naive_model(policy, script, capacity):
+    real = BoundedDeliveryQueue(capacity, policy=policy)
+    model = NaiveQueueModel(capacity, policy)
+    payload = 0
+
+    for op in script:
+        if op == "put":
+            # ``put`` returns True iff the model staged this payload.
+            assert real.put(note(payload)) == model.put(payload)
+            payload += 1
+        elif op == "get":
+            got = real.get(timeout=0)
+            expected = model.get()
+            assert (got.sequence if got is not None else None) == expected
+        else:
+            assert [n.sequence for n in real.drain()] == model.drain()
+        assert real.depth == len(model.staged)
+        assert real.disconnected == model.disconnected
+
+    # Final state: staged order, dead letters (payload, reason, order),
+    # and counters all match the model exactly.
+    assert [n.sequence for n in real.drain()] == model.drain()
+    assert [
+        (letter.notification.sequence, letter.reason)
+        for letter in real.dead_letter.letters
+    ] == model.dead
+    assert real.enqueued == model.enqueued
+    assert real.delivered == model.delivered
+    assert real.dropped == len(model.dead)
+
+
+@pytest.mark.timeout(120)
+@given(script=queue_steps, capacity=capacities)
+@settings(max_examples=15, deadline=None)
+def test_block_policy_is_lossless_fifo(script, capacity):
+    """``block``: every payload is delivered exactly once, in order.
+
+    One producer thread executes the puts in issue order (blocking when
+    the queue is full); the main thread consumes.  Because consuming is
+    the only thing that frees a slot, ``get`` with a generous timeout is
+    guaranteed to observe ``issued[consumed]`` next.
+    """
+    real = BoundedDeliveryQueue(capacity, policy="block")
+    commands = stdlib_queue.Queue()
+
+    def producer():
+        while True:
+            payload = commands.get()
+            if payload is None:
+                return
+            real.put(note(payload))
+
+    thread = threading.Thread(target=producer)
+    thread.start()
+    issued = []
+    consumed = 0
+    try:
+        for op in script:
+            if op == "put":
+                commands.put(len(issued))
+                issued.append(len(issued))
+            elif op == "get":
+                if consumed < len(issued):
+                    got = real.get(timeout=10)
+                    assert got is not None and got.sequence == issued[consumed]
+                    consumed += 1
+                else:
+                    # Producer has nothing pending: stays empty.
+                    assert real.get(timeout=0.02) is None
+            else:
+                # Drain order is a prefix-correct FIFO slice.
+                for got in real.drain():
+                    assert got.sequence == issued[consumed]
+                    consumed += 1
+        while consumed < len(issued):
+            got = real.get(timeout=10)
+            assert got is not None and got.sequence == issued[consumed]
+            consumed += 1
+    finally:
+        commands.put(None)
+        thread.join(timeout=10)
+    assert not thread.is_alive()
+    assert consumed == len(issued)
+    assert len(real.dead_letter) == 0
+    assert real.enqueued == len(issued)
+    assert real.delivered == len(issued)
+
+
+#: One step of the service-level interleaving.
+service_steps = st.one_of(
+    st.tuples(st.just("subscribe"), trees()),
+    st.tuples(st.just("unsubscribe"), st.integers(min_value=0, max_value=999)),
+    st.tuples(st.just("publish"), events()),
+    st.tuples(st.just("poll"), st.none()),
+    st.tuples(st.just("drain"), st.none()),
+)
+
+
+@pytest.mark.parametrize("policy", ["drop_oldest", "disconnect"])
+@given(
+    script=st.lists(service_steps, min_size=1, max_size=40),
+    capacity=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=25, deadline=None)
+def test_bounded_session_matches_model_end_to_end(policy, script, capacity):
+    dead = DeadLetterSink()
+    service = PubSubService(topology=line_topology(1), max_batch=1)
+    session = service.connect(
+        "b0",
+        "subscriber",
+        queue_capacity=capacity,
+        policy=policy,
+        dead_letter=dead,
+    )
+    publisher = service.connect("b0", "publisher")
+
+    oracle = CountingMatcher()
+    model = NaiveQueueModel(capacity, policy)
+    handles = []
+    sequence = 0  # service-wide, allocated per publish (max_batch=1)
+    delivery_seq = 0  # per-session, stamped even on dead-lettered drops
+    consumed = []  # keys the model consumed, in order
+
+    def key_of(notification):
+        return (
+            notification.sequence,
+            notification.subscription_id,
+            notification.delivery_seq,
+        )
+
+    for op, payload in script:
+        if op == "subscribe":
+            handle = session.subscribe(payload)
+            oracle.register(Subscription(handle.id, payload))
+            handles.append(handle)
+        elif op == "unsubscribe":
+            if handles:
+                handle = handles.pop(payload % len(handles))
+                handle.unsubscribe()
+                oracle.unregister(handle.id)
+        elif op == "publish":
+            # max_batch=1: the publish flushes and dispatches in place.
+            # Within one event, the substrate delivers sub ids ascending.
+            publisher.publish(payload)
+            for sub_id in sorted(oracle.match(payload)):
+                model.put((sequence, sub_id, delivery_seq))
+                delivery_seq += 1
+            sequence += 1
+        elif op == "poll":
+            got = session.poll(timeout=0)
+            expected = model.get()
+            if expected is not None:
+                consumed.append(expected)
+            assert (key_of(got) if got is not None else None) == expected
+        else:
+            drained = [key_of(n) for n in session.drain()]
+            expected_batch = model.drain()
+            consumed.extend(expected_batch)
+            assert drained == expected_batch
+        assert session.queue.depth == len(model.staged)
+        assert session.disconnected == model.disconnected
+
+    # Everything still staged drains in model order.
+    final_batch = model.drain()
+    assert [key_of(n) for n in session.drain()] == final_batch
+    consumed.extend(final_batch)
+    # Dead letters match the model: payloads, reasons, and drop order.
+    assert [
+        (key_of(letter.notification), letter.reason) for letter in dead.letters
+    ] == model.dead
+    # The sink saw exactly what the consumer pulled, in consume order.
+    assert [key_of(n) for n in session.sink.notifications] == consumed
+    # Gapless per-session delivery_seq: delivered + staged + dead-lettered
+    # cover 0..delivery_seq-1 exactly once.
+    seen = (
+        [n.delivery_seq for n in session.sink.notifications]
+        + [letter.notification.delivery_seq for letter in dead.letters]
+    )
+    assert sorted(seen) == list(range(delivery_seq))
+    assert session.delivery_count == delivery_seq
+    assert session.queue.dropped == len(model.dead)

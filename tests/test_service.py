@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import RoutingError, ServiceError
+from repro.errors import DeliveryError, RoutingError, ServiceError
 from repro.events import Event
 from repro.routing.network import BrokerNetwork
 from repro.routing.topology import line_topology
@@ -253,10 +253,11 @@ class TestIngress:
         alice.subscribe(P("x") >= 0)
         service.publish("b0", Event({"x": 0}))
         service.publish("b1", Event({"x": 1}))
-        with pytest.raises(RuntimeError):
+        with pytest.raises(DeliveryError):
             service.flush()
-        # The b0 group was attempted (and its sink raised); the b1 group
-        # was never attempted and must still be buffered.
+        # The b0 group was attempted (its sink failure was contained and
+        # re-raised after dispatch); the b1 group was never attempted
+        # and must still be buffered.
         assert service.ingress.pending_count == 1
         sink.armed = False
         collector = CollectingSink()
@@ -438,3 +439,106 @@ class TestShardedService:
         assert network.publish("b0", Event({"x": 2})).deliveries
         network.close()
         assert all(matcher._executor is None for matcher in matchers)
+
+
+class TestDeliveryContainment:
+    """Sink failures in ``Ingress.flush`` are contained per-sink.
+
+    Regression tests for the error-containment contract: one raising
+    sink must not starve the other sinks of the batch, must not wedge
+    the ingress, and must not leave stale sequence announcements behind.
+    """
+
+    class ExplodingSink:
+        def __init__(self, fail_times=None):
+            self.armed = True
+            self.fail_times = fail_times
+            self.notifications = []
+
+        def deliver(self, notification):
+            if self.armed and (
+                self.fail_times is None or self.fail_times > 0
+            ):
+                if self.fail_times is not None:
+                    self.fail_times -= 1
+                raise RuntimeError("boom")
+            self.notifications.append(notification)
+
+    def test_remaining_sinks_receive_batch_when_one_raises(self):
+        service = make_service(brokers=2, max_batch=100)
+        bad = self.ExplodingSink()
+        good = CollectingSink()
+        alice = service.connect("b0", "alice", sink=bad)
+        bob = service.connect("b0", "bob", sink=good)
+        alice.subscribe(P("x") >= 0)
+        bob.subscribe(P("x") >= 0)
+        service.publish("b0", Event({"x": 0}))
+        service.publish("b0", Event({"x": 1}))
+        with pytest.raises(DeliveryError) as excinfo:
+            service.flush()
+        # Both events' deliveries to the good sink happened even though
+        # the bad sink raised on each of them.
+        assert [n.event["x"] for n in good.notifications] == [0, 1]
+        assert len(excinfo.value.failures) == 2
+        assert all(
+            isinstance(exc, RuntimeError)
+            for _, exc in excinfo.value.failures
+        )
+
+    def test_ingress_stays_usable_after_sink_failure(self):
+        service = make_service(brokers=2, max_batch=100)
+        bad = self.ExplodingSink()
+        alice = service.connect("b0", "alice", sink=bad)
+        alice.subscribe(P("x") >= 0)
+        service.publish("b0", Event({"x": 0}))
+        with pytest.raises(DeliveryError):
+            service.flush()
+        bad.armed = False
+        # The failed flush consumed its batch; later publishes flow
+        # through the same ingress with fresh, correct sequences.
+        service.publish("b0", Event({"x": 1}))
+        assert service.flush() == 1
+        assert [n.event["x"] for n in bad.notifications] == [1]
+        # Sequences stay monotonic across the failed flush: the failed
+        # event consumed sequence 0, the delivered one got 1.
+        assert [n.sequence for n in bad.notifications] == [1]
+
+    def test_failed_flush_clears_stale_sequence_announcements(self):
+        # Regression: a flush whose dispatch raises used to leave its
+        # sequence announcements queued, so the *next* flush would stamp
+        # the old sequences onto new events.
+        service = make_service(brokers=2, max_batch=100)
+        bad = self.ExplodingSink(fail_times=1)
+        alice = service.connect("b0", "alice", sink=bad)
+        alice.subscribe(P("x") >= 0)
+        for x in range(3):
+            service.publish("b0", Event({"x": x}))
+        with pytest.raises(DeliveryError):
+            service.flush()
+        service.publish("b0", Event({"x": 99}))
+        service.flush()
+        # The post-failure event must carry its own (allocated-at-submit)
+        # sequence, not a stale announcement from the failed batch.
+        assert [n.event["x"] for n in bad.notifications] == [1, 2, 99]
+        assert [n.sequence for n in bad.notifications] == [1, 2, 3]
+
+    def test_on_sink_error_handler_swallows_failures(self):
+        seen = []
+        service = PubSubService(
+            topology=line_topology(2),
+            max_batch=100,
+            on_sink_error=lambda notification, exc: seen.append(
+                (notification.event["x"], type(exc).__name__)
+            ),
+        )
+        bad = self.ExplodingSink()
+        good = CollectingSink()
+        alice = service.connect("b0", "alice", sink=bad)
+        bob = service.connect("b0", "bob", sink=good)
+        alice.subscribe(P("x") >= 0)
+        bob.subscribe(P("x") >= 0)
+        service.publish("b0", Event({"x": 7}))
+        # With a handler installed the flush does not raise.
+        assert service.flush() == 1
+        assert seen == [(7, "RuntimeError")]
+        assert [n.event["x"] for n in good.notifications] == [7]

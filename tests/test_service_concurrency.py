@@ -1,0 +1,195 @@
+"""Multi-producer soak tests: concurrency is observationally invisible.
+
+``PRODUCERS`` threads hammer one shared :class:`~repro.service.Ingress`
+(through plain ``service.publish`` calls) while rounds of
+subscribe/unsubscribe/replace churn run at barriers between them.  The
+delivered multiset of ``(event, subscription_id)`` pairs must be
+*identical* to a sequential oracle — the same schedule replayed
+single-threaded on a fresh service — and the subscriber's per-session
+``delivery_seq`` numbers must form a gapless range.  Variants cover the
+direct (unbounded) path, a ``block``-policy bounded queue drained by a
+concurrent consumer thread (lossless), and a ``drop_oldest`` queue
+(lossy, but conservation holds: delivered + dead-lettered == oracle).
+
+Events are unique (producer, value, round triples), so multiset
+equality is exact.  Sizes scale with ``REPRO_SOAK_PRODUCERS``,
+``REPRO_SOAK_EVENTS`` (per producer per round) and ``REPRO_SOAK_ROUNDS``
+environment knobs; defaults keep one run well under a second so the
+suite can absorb many repetitions.
+"""
+
+import os
+import threading
+from collections import Counter
+
+import pytest
+
+from repro.events import Event
+from repro.routing.topology import line_topology
+from repro.service import CollectingSink, DeadLetterSink, PubSubService
+from repro.subscriptions.builder import P
+
+PRODUCERS = int(os.environ.get("REPRO_SOAK_PRODUCERS", "8"))
+EVENTS_PER_PRODUCER = int(os.environ.get("REPRO_SOAK_EVENTS", "25"))
+ROUNDS = int(os.environ.get("REPRO_SOAK_ROUNDS", "3"))
+
+assert PRODUCERS >= 8, "the soak must exercise at least 8 producers"
+
+
+def make_service(max_batch=7):
+    # An awkward max_batch (not a divisor of anything) so flushes are
+    # triggered from many different producer threads mid-round.
+    return PubSubService(topology=line_topology(2), max_batch=max_batch)
+
+
+def produce(service, producer, round_no):
+    origin = "b0" if producer % 2 == 0 else "b1"
+    for value in range(EVENTS_PER_PRODUCER):
+        service.publish(
+            origin,
+            Event(
+                {
+                    "producer": producer,
+                    "parity": producer % 2,
+                    "value": value,
+                    "round": round_no,
+                }
+            ),
+        )
+
+
+def churn(session, handles, round_no):
+    """Deterministic subscription churn before round ``round_no``.
+
+    Runs single-threaded (at the barrier between rounds) in both the
+    concurrent run and the sequential oracle, in the same order — so
+    the server-assigned subscription ids line up between the two runs.
+    """
+    if round_no == 0:
+        handles["all"] = session.subscribe(P("value") >= 0)
+        handles["even"] = session.subscribe(P("parity") == 0)
+    elif round_no == 1:
+        handles["even"].unsubscribe()
+        handles["low"] = session.subscribe(P("value") <= EVENTS_PER_PRODUCER // 2)
+        handles["all"].replace(P("value") >= 1)
+    else:
+        handles["odd"] = session.subscribe(P("parity") == 1)
+
+
+def run_schedule(service, session, concurrent):
+    """Drive the full soak schedule; flush-join barriers between rounds."""
+    handles = {}
+    for round_no in range(ROUNDS):
+        churn(session, handles, round_no)
+        if concurrent:
+            threads = [
+                threading.Thread(target=produce, args=(service, p, round_no))
+                for p in range(PRODUCERS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        else:
+            for producer in range(PRODUCERS):
+                produce(service, producer, round_no)
+        service.flush()
+
+
+def delivered_multiset(notifications):
+    return Counter((n.event, n.subscription_id) for n in notifications)
+
+
+def sequential_oracle(**connect_kwargs):
+    """The same schedule, replayed single-threaded on a fresh service."""
+    service = make_service()
+    session = service.connect("b0", "subscriber", **connect_kwargs)
+    run_schedule(service, session, concurrent=False)
+    if session.queue is not None:
+        session.drain()
+    return delivered_multiset(session.sink.notifications)
+
+
+@pytest.mark.timeout(90)
+def test_concurrent_producers_match_sequential_oracle():
+    service = make_service()
+    session = service.connect("b0", "subscriber", sink=CollectingSink())
+    run_schedule(service, session, concurrent=True)
+
+    notifications = session.sink.notifications
+    assert delivered_multiset(notifications) == sequential_oracle()
+    # Per-session delivery sequence numbers are gapless: every
+    # notification got exactly one, 0..n-1, no duplicates, no holes.
+    assert sorted(n.delivery_seq for n in notifications) == list(
+        range(len(notifications))
+    )
+    assert session.delivery_count == len(notifications)
+    # Nothing left buffered, and the substrate agrees on volume.
+    assert service.ingress.pending_count == 0
+    assert service.publish_count == PRODUCERS * EVENTS_PER_PRODUCER * ROUNDS
+
+
+@pytest.mark.timeout(90)
+def test_block_policy_soak_is_lossless():
+    """A slow-ish consumer on a tiny block queue loses nothing."""
+    dead = DeadLetterSink()
+    service = make_service()
+    session = service.connect(
+        "b0",
+        "subscriber",
+        queue_capacity=8,
+        policy="block",
+        dead_letter=dead,
+    )
+    done = threading.Event()
+
+    def consumer():
+        while True:
+            if session.poll(timeout=0.05) is None and done.is_set():
+                if session.poll(timeout=0) is None:
+                    return
+
+    thread = threading.Thread(target=consumer)
+    thread.start()
+    try:
+        run_schedule(service, session, concurrent=True)
+    finally:
+        done.set()
+        thread.join(timeout=60)
+    assert not thread.is_alive()
+
+    notifications = session.sink.notifications
+    assert len(dead) == 0
+    assert delivered_multiset(notifications) == sequential_oracle()
+    assert sorted(n.delivery_seq for n in notifications) == list(
+        range(len(notifications))
+    )
+
+
+@pytest.mark.timeout(90)
+def test_drop_oldest_soak_conserves_every_notification():
+    """Lossy policy, lossless accounting: delivered + dead == oracle."""
+    dead = DeadLetterSink()
+    service = make_service()
+    session = service.connect(
+        "b0",
+        "subscriber",
+        queue_capacity=4,
+        policy="drop_oldest",
+        dead_letter=dead,
+    )
+    run_schedule(service, session, concurrent=True)
+    session.drain()
+
+    combined = delivered_multiset(session.sink.notifications)
+    combined.update(delivered_multiset(dead.notifications))
+    assert combined == sequential_oracle()
+    # Conservation of delivery_seq across both outcomes.
+    seqs = [n.delivery_seq for n in session.sink.notifications]
+    seqs += [n.delivery_seq for n in dead.notifications]
+    assert sorted(seqs) == list(range(len(seqs)))
+    # Every addressed notification was accepted (drop_oldest evicts the
+    # *staged* one, so the incoming put always lands) and every eviction
+    # is accounted for in the dead letters.
+    assert session.queue.enqueued == len(seqs)
+    assert session.queue.dropped == len(dead)
