@@ -1,0 +1,114 @@
+"""Loopback micro-benchmark of the TCP transport edge.
+
+One :class:`~repro.transport.server.PubSubServer` on a loopback socket,
+N concurrent subscriber clients (each matching every event) and one
+publisher client driving the wire as fast as awaited round trips allow.
+For each fan-out the benchmark records achieved publish rate, delivered
+events/s across all clients, and per-delivery p50/p99 latency (publish
+``send→`` client decode, measured through a timestamp attribute riding
+the event itself).  Results land in ``BENCH_matching.json`` under the
+``transport`` key (schema in ``docs/BENCHMARKS.md``).
+
+The acceptance bar from the PR-8 issue rides along as an assertion: the
+loopback server must sustain at least 8 concurrent clients without
+losing or duplicating a single delivery.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+
+from repro.events import Event
+from repro.routing.topology import line_topology
+from repro.service import PubSubService
+from repro.subscriptions.builder import P
+from repro.transport import PubSubClient, PubSubServer
+
+CLIENT_COUNTS = (1, 2, 4, 8)
+EVENT_COUNT = int(os.environ.get("REPRO_BENCH_TRANSPORT_EVENTS", "200"))
+
+
+def _quantile(sorted_values, q):
+    if not sorted_values:
+        return None
+    index = min(len(sorted_values) - 1, int(q * (len(sorted_values) - 1)))
+    return sorted_values[index]
+
+
+async def _run_fan_out(clients):
+    service = PubSubService(topology=line_topology(1), max_batch=8)
+    latencies = []
+
+    def on_event(notification):
+        latencies.append(time.perf_counter() - notification.event["t"])
+
+    async with PubSubServer(service, "b0") as server:
+        subscribers = []
+        for index in range(clients):
+            subscriber = PubSubClient(
+                "127.0.0.1",
+                server.port,
+                "sub-%d" % index,
+                queue_capacity=512,
+                on_event=on_event,
+            )
+            await subscriber.connect()
+            await subscriber.subscribe(P("i") >= 0)
+            subscribers.append(subscriber)
+        publisher = PubSubClient("127.0.0.1", server.port, "pub")
+        await publisher.connect()
+
+        started = time.perf_counter()
+        for i in range(EVENT_COUNT):
+            await publisher.publish(Event({"i": i, "t": time.perf_counter()}))
+        for subscriber in subscribers:
+            await subscriber.wait_for_notifications(EVENT_COUNT, timeout=60)
+        seconds = time.perf_counter() - started
+
+        delivered = sum(len(s.notifications) for s in subscribers)
+        duplicates = sum(s.duplicates for s in subscribers)
+        for subscriber in subscribers:
+            # No loss, no duplication, gapless per-session sequencing.
+            assert [
+                n.event["i"] for n in subscriber.notifications
+            ] == list(range(EVENT_COUNT))
+            assert [n.delivery_seq for n in subscriber.notifications] == list(
+                range(EVENT_COUNT)
+            )
+        assert duplicates == 0
+
+        await publisher.close()
+        for subscriber in subscribers:
+            await subscriber.close()
+    service.close()
+
+    latencies.sort()
+    return {
+        "clients": clients,
+        "events": EVENT_COUNT,
+        "delivered": delivered,
+        "seconds": seconds,
+        "publish_rate": EVENT_COUNT / seconds if seconds else None,
+        "events_per_second": delivered / seconds if seconds else None,
+        "p50_latency_ms": (
+            _quantile(latencies, 0.50) * 1e3 if latencies else None
+        ),
+        "p99_latency_ms": (
+            _quantile(latencies, 0.99) * 1e3 if latencies else None
+        ),
+    }
+
+
+def test_transport_loopback_fan_out(bench_results):
+    results = {}
+    for clients in CLIENT_COUNTS:
+        measured = asyncio.run(_run_fan_out(clients))
+        results["clients_%d" % clients] = measured
+        # Every client saw every event — checked inside the run; here
+        # the aggregate pins it once more for the record.
+        assert measured["delivered"] == clients * EVENT_COUNT
+    bench_results["transport"] = results
+    # The acceptance bar: 8 concurrent clients sustained.
+    assert results["clients_8"]["events_per_second"] > 0

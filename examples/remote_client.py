@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Network serving: a pub/sub broker on a TCP socket, clients over the wire.
+
+Everything earlier examples did in-process — sessions, handles, sinks —
+moves across a socket here: a :class:`repro.PubSubServer` puts the
+service's broker network behind a length-prefixed JSON wire protocol,
+and :class:`repro.PubSubClient` speaks it from the other side.  The
+bounded delivery queues of the service layer become per-connection send
+buffers, so a slow or absent reader is a *policy decision*, not a
+stalled broker.
+
+The example runs three acts on a loopback socket:
+
+1. **Remote subscribe/publish** — an alert client registers Boolean
+   subscriptions over the wire and a feed client publishes auction
+   events; deliveries stream back with gapless per-session sequence
+   numbers.
+2. **Crash and resume** — the alert client is killed mid-stream (no
+   goodbye, just a dead socket).  Events keep flowing into its
+   server-side queue.  It reconnects with its session token and the
+   server replays exactly the unseen tail: nothing lost, nothing
+   duplicated.
+3. **Authenticated handshake** — a second server requires per-client
+   tokens; a wrong token is refused with a structured error.
+
+Run:  python examples/remote_client.py
+"""
+
+import asyncio
+
+from repro import (
+    And,
+    Event,
+    P,
+    PubSubClient,
+    PubSubServer,
+    PubSubService,
+    TransportError,
+    line_topology,
+)
+
+FEED = [
+    {"category": "fiction", "price": 8.0, "title": "Pale Fire"},
+    {"category": "tech", "price": 120.0, "title": "TAOCP"},
+    {"category": "fiction", "price": 35.0, "title": "First Folio"},
+    {"category": "fiction", "price": 6.5, "title": "Dubliners"},
+    {"category": "history", "price": 15.0, "title": "Decline and Fall"},
+    {"category": "fiction", "price": 9.0, "title": "Molloy"},
+]
+
+
+async def act_one_and_two() -> None:
+    service = PubSubService(topology=line_topology(2), max_batch=1)
+    async with PubSubServer(service, "b0") as server:
+        print("serving on 127.0.0.1:%d" % server.port)
+
+        alerts = PubSubClient(
+            "127.0.0.1", server.port, "alerts", broker="b1", queue_capacity=32
+        )
+        await alerts.connect()
+        await alerts.subscribe(
+            And(P("category") == "fiction", P("price") <= 10.0)
+        )
+        feed = PubSubClient("127.0.0.1", server.port, "feed")
+        await feed.connect()
+
+        # Act 1: three events over the wire, matched server-side.
+        for attributes in FEED[:3]:
+            await feed.publish(Event(attributes))
+        await alerts.wait_for_notifications(1)
+        for note in alerts.notifications:
+            print(
+                "  alert #%d: %s ($%.2f)"
+                % (note.delivery_seq, note.event["title"], note.event["price"])
+            )
+
+        # Act 2: kill the alert client without so much as a goodbye.
+        token = alerts.token
+        await alerts.abort()
+        print("alert client crashed (token %s... survives)" % token[:8])
+        for attributes in FEED[3:]:
+            await feed.publish(Event(attributes))
+
+        replayed = await alerts.reconnect()
+        await alerts.wait_for_notifications(3)
+        print("resumed: server replayed %d in-flight deliveries" % replayed)
+        for note in alerts.notifications:
+            print(
+                "  alert #%d: %s ($%.2f)"
+                % (note.delivery_seq, note.event["title"], note.event["price"])
+            )
+        assert [n.delivery_seq for n in alerts.notifications] == [0, 1, 2]
+        assert alerts.duplicates == 0
+
+        await feed.close()
+        await alerts.close()
+    service.close()
+
+
+async def act_three() -> None:
+    service = PubSubService(topology=line_topology(1), max_batch=1)
+    async with PubSubServer(
+        service, "b0", auth_tokens={"alerts": "opensesame"}
+    ) as server:
+        impostor = PubSubClient(
+            "127.0.0.1", server.port, "alerts", auth="guessing"
+        )
+        try:
+            await impostor.connect()
+        except TransportError as error:
+            print("impostor refused: [%s] %s" % (error.code, error))
+        genuine = PubSubClient(
+            "127.0.0.1", server.port, "alerts", auth="opensesame"
+        )
+        await genuine.connect()
+        print("authenticated session %s..." % genuine.token[:8])
+        await genuine.close()
+    service.close()
+
+
+def main() -> None:
+    asyncio.run(act_one_and_two())
+    asyncio.run(act_three())
+
+
+if __name__ == "__main__":
+    main()

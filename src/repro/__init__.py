@@ -46,6 +46,7 @@ from repro.errors import (
     DeliveryError,
     ExperimentError,
     MatchingError,
+    ProtocolError,
     PruningError,
     ReproError,
     RoutingError,
@@ -53,6 +54,7 @@ from repro.errors import (
     ServiceError,
     SubscriptionError,
     TopologyError,
+    TransportError,
     WorkloadError,
 )
 from repro.events import Event, EventBatch
@@ -97,6 +99,15 @@ from repro.selectivity.statistics import (
     EventStatistics,
 )
 from repro.subscriptions.builder import And, Not, Or, P, attr
+from repro.transport import (
+    ENVELOPE_TYPES,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    PubSubClient,
+    PubSubServer,
+    RemoteSubscriptionHandle,
+    encode_frame,
+)
 from repro.subscriptions.normalize import normalize
 from repro.subscriptions.predicates import Operator, Predicate
 from repro.subscriptions.subscription import Subscription
@@ -136,13 +147,16 @@ __all__ = [
     "DIMENSION_ORDERS",
     "DistributedExperiment",
     "EmpiricalStatistics",
+    "encode_frame",
     "enumerate_prunings",
+    "ENVELOPE_TYPES",
     "Event",
     "EventBatch",
     "EventStatistics",
     "ExperimentConfig",
     "ExperimentContext",
     "ExperimentError",
+    "FrameDecoder",
     "HeuristicVector",
     "Ingress",
     "Interface",
@@ -159,12 +173,17 @@ __all__ = [
     "P",
     "POLICIES",
     "Predicate",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
     "PruningEngine",
     "PruningError",
     "PruningOp",
     "PruningRecord",
     "PruningSchedule",
+    "PubSubClient",
+    "PubSubServer",
     "PubSubService",
+    "RemoteSubscriptionHandle",
     "ReproError",
     "RoutingError",
     "SelectivityError",
@@ -181,6 +200,7 @@ __all__ = [
     "SystemConditions",
     "Topology",
     "TopologyError",
+    "TransportError",
     "tree_topology",
     "WorkloadError",
 ]

@@ -61,6 +61,37 @@ class ServiceError(ReproError):
     """Raised by the service layer (sessions, handles, ingress)."""
 
 
+class TransportError(ReproError):
+    """Raised by the network transport (server, client, connections).
+
+    Carries an optional machine-readable ``code`` mirroring the wire
+    protocol's ``error`` envelope codes (``"auth"``, ``"bad-frame"``,
+    ``"unknown-token"``, ...), so callers can branch without string
+    matching on the human-readable message.
+    """
+
+    def __init__(self, message: str, code: str = "transport") -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class ProtocolError(TransportError):
+    """A malformed wire frame or envelope.
+
+    ``recoverable`` distinguishes a bad *payload* inside an intact
+    frame (the stream stays synchronized; the peer gets a structured
+    ``error`` reply and the connection lives on) from a framing-layer
+    violation such as an oversized length prefix (the stream cannot be
+    resynchronized and the connection must close).
+    """
+
+    def __init__(
+        self, message: str, code: str = "bad-frame", recoverable: bool = True
+    ) -> None:
+        super().__init__(message, code=code)
+        self.recoverable = recoverable
+
+
 class DeliveryError(ServiceError):
     """One or more delivery sinks raised while a batch was dispatched.
 

@@ -55,6 +55,8 @@ REASON_DISCONNECT = "disconnect"         #: the overflow that disconnected the q
 REASON_DISCONNECTED = "disconnected"     #: arrived after the queue disconnected
 REASON_CLOSED = "closed"                 #: arrived after (or while) the queue closed
 REASON_BLOCK_TIMEOUT = "block_timeout"   #: a bounded ``block`` wait expired
+REASON_SINK_CLOSED = "sink_closed"       #: delivered to an :class:`~repro.service.sinks.AsyncDeliverySink` after ``aclose``
+REASON_LOOP_CLOSED = "loop_closed"       #: the async sink's event loop had shut down
 
 
 class DeadLetter(NamedTuple):

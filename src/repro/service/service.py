@@ -127,6 +127,7 @@ class PubSubService:
             lock=self._publish_lock,
         )
         self._sessions: Dict[Tuple[str, str], Session] = {}
+        self._session_tokens: Dict[str, Session] = {}
         self._handle_sinks: Dict[int, DeliverySink] = {}
         self._on_sink_error = on_sink_error
         self._sequence = 0
@@ -163,6 +164,7 @@ class PubSubService:
         queue_capacity: Optional[int] = None,
         policy: str = "block",
         dead_letter: Optional[DeadLetterSink] = None,
+        token: Optional[str] = None,
     ) -> Session:
         """Open a session for ``client`` at ``broker_id``.
 
@@ -181,6 +183,13 @@ class PubSubService:
         fresh :class:`~repro.service.backpressure.DeadLetterSink` when
         omitted) — ``policy``/``dead_letter`` therefore require
         ``queue_capacity``.
+
+        ``token`` registers the session in the service's resume
+        registry: as long as the session stays open, :meth:`resume`
+        returns it for that token.  This is the hook the network
+        transport (:mod:`repro.transport`) uses to reattach a
+        reconnecting client to its still-open session (and with it the
+        bounded queue holding its undelivered tail).
         """
         self._require_open()
         if broker_id not in self._network.brokers:
@@ -202,6 +211,10 @@ class PubSubService:
                     "client %r already has an open session at broker %s"
                     % (client, broker_id)
                 )
+            if token is not None and token in self._session_tokens:
+                raise ServiceError(
+                    "session token %r is already registered" % token
+                )
             session = Session(
                 self,
                 broker_id,
@@ -210,13 +223,37 @@ class PubSubService:
                 # has len() == 0 and would be silently replaced.
                 sink if sink is not None else CollectingSink(),
                 queue=queue,
+                token=token,
             )
             self._sessions[key] = session
+            if token is not None:
+                self._session_tokens[token] = session
         return session
+
+    def resume(self, token: str) -> Session:
+        """The still-open session registered under ``token``.
+
+        The resume hook for reconnecting transports: a client that
+        presents its session token gets its original :class:`Session`
+        back — same subscriptions, same bounded queue (and therefore
+        the undelivered tail staged in it), same ``delivery_seq``
+        counter.  Raises :class:`~repro.errors.ServiceError` when the
+        token is unknown or the session has since closed.
+        """
+        self._require_open()
+        with self._publish_lock:
+            session = self._session_tokens.get(token)
+            if session is None or session.closed:
+                raise ServiceError(
+                    "no open session registered under token %r" % token
+                )
+            return session
 
     def _forget_session(self, session: Session) -> None:
         with self._publish_lock:
             self._sessions.pop((session.broker_id, session.client), None)
+            if session.token is not None:
+                self._session_tokens.pop(session.token, None)
 
     # -- publishing ----------------------------------------------------------
 

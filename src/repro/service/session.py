@@ -11,6 +11,7 @@ or :meth:`~SubscriptionHandle.unsubscribe` the subscription.
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, List, Optional, Tuple, Type
 
 from repro.errors import ServiceError
@@ -116,14 +117,23 @@ class Session:
         client: str,
         sink: DeliverySink,
         queue: Optional[BoundedDeliveryQueue] = None,
+        token: Optional[str] = None,
     ) -> None:
         self._service = service
         self._broker_id = broker_id
         self._client = client
         self._sink = sink
         self._queue = queue
+        self._token = token
         self._handles: List[SubscriptionHandle] = []
         self._closed = False
+        # close() must be idempotent under concurrency: a transport
+        # tearing down a lost connection and a service-wide close may
+        # race, and the loser must return instead of double-withdrawing
+        # subscriptions.  check-and-set only — teardown runs outside
+        # the lock so a sink that closes its own session re-entrantly
+        # (during the unsubscribe flush) cannot deadlock.
+        self._close_lock = threading.Lock()
         #: Next per-session delivery sequence number; bumped by the
         #: service's dispatcher (under its publish lock) for every
         #: notification addressed to this session.
@@ -148,6 +158,11 @@ class Session:
     def queue(self) -> Optional[BoundedDeliveryQueue]:
         """The bounded delivery queue, or ``None`` for direct delivery."""
         return self._queue
+
+    @property
+    def token(self) -> Optional[str]:
+        """The resume token this session is registered under, if any."""
+        return self._token
 
     @property
     def disconnected(self) -> bool:
@@ -274,14 +289,17 @@ class Session:
         blocked on this session's full queue wakes up (dead-lettering
         the notification) instead of deadlocking against the
         unsubscribe flush below; staged notifications stay drainable.
+        Thread-safe and idempotent: concurrent closers race on an
+        internal check-and-set and exactly one runs the teardown.
         """
-        if self._closed:
-            return
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
         if self._queue is not None:
             self._queue.close()
         for handle in list(self._handles):
             self._unsubscribe(handle)
-        self._closed = True
         self._service._forget_session(self)
 
     def __enter__(self) -> "Session":

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import asyncio
 from typing import (
+    TYPE_CHECKING,
     Awaitable,
     Callable,
     Dict,
@@ -33,6 +34,9 @@ from typing import (
 
 from repro.errors import ServiceError
 from repro.events import Event
+
+if TYPE_CHECKING:
+    from repro.service.backpressure import DeadLetterSink
 
 
 class Notification(NamedTuple):
@@ -135,13 +139,27 @@ class AsyncDeliverySink:
     :attr:`pending` exposes the current lag for observability.  Stop
     with :meth:`aclose`, which drains everything already accepted
     through the handler before returning.
+
+    Deliveries that arrive *after* :meth:`aclose` — or after the target
+    loop itself has shut down — are recorded in :attr:`dead_letter`
+    (reasons ``"sink_closed"``/``"loop_closed"``) instead of raising:
+    a session torn down while a flush is still in flight must surface
+    as a dead-letter record in the flusher, never as an exception (see
+    ``tests/test_backpressure.py``).  Deliveries *before* :meth:`start`
+    remain a programming error and raise.
     """
 
-    def __init__(self, handler: Callable[[Notification], Awaitable[None]]) -> None:
+    def __init__(
+        self,
+        handler: Callable[[Notification], Awaitable[None]],
+        dead_letter: Optional["DeadLetterSink"] = None,
+    ) -> None:
         self._handler = handler
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._queue: Optional["asyncio.Queue[Optional[Notification]]"] = None
         self._task: Optional["asyncio.Task[None]"] = None
+        self._dead_letter = dead_letter
+        self._closed = False
         self.delivered = 0
 
     def start(
@@ -151,19 +169,37 @@ class AsyncDeliverySink:
 
         Must run inside the target loop unless ``loop`` is passed
         explicitly.  Returns the drain task (also awaited by
-        :meth:`aclose`).
+        :meth:`aclose`).  Restarting a sink closed by :meth:`aclose`
+        resumes normal delivery.
         """
         if self._task is not None and not self._task.done():
             raise ServiceError("AsyncDeliverySink is already draining")
         self._loop = loop if loop is not None else asyncio.get_running_loop()
         self._queue = asyncio.Queue()
         self._task = self._loop.create_task(self._drain())
+        self._closed = False
         return self._task
 
     @property
     def pending(self) -> int:
         """Notifications accepted but not yet handled (consumer lag)."""
         return self._queue.qsize() if self._queue is not None else 0
+
+    @property
+    def closed(self) -> bool:
+        """``True`` between :meth:`aclose` and the next :meth:`start`."""
+        return self._closed
+
+    @property
+    def dead_letter(self) -> "DeadLetterSink":
+        """Deliveries refused because the sink or its loop had closed."""
+        if self._dead_letter is None:
+            # Imported lazily: backpressure imports this module for
+            # Notification, so a module-level import would be circular.
+            from repro.service.backpressure import DeadLetterSink
+
+            self._dead_letter = DeadLetterSink()
+        return self._dead_letter
 
     def deliver(self, notification: Notification) -> None:
         """Hand one notification to the loop; never blocks the caller."""
@@ -172,7 +208,19 @@ class AsyncDeliverySink:
             raise ServiceError(
                 "AsyncDeliverySink.start() must run before deliveries arrive"
             )
-        loop.call_soon_threadsafe(queue.put_nowait, notification)
+        from repro.service.backpressure import (
+            REASON_LOOP_CLOSED,
+            REASON_SINK_CLOSED,
+        )
+
+        if self._closed:
+            self.dead_letter.record(notification, REASON_SINK_CLOSED)
+            return
+        try:
+            loop.call_soon_threadsafe(queue.put_nowait, notification)
+        except RuntimeError:
+            # The loop shut down underneath a still-flushing producer.
+            self.dead_letter.record(notification, REASON_LOOP_CLOSED)
 
     async def _drain(self) -> None:
         queue = self._queue
@@ -191,6 +239,10 @@ class AsyncDeliverySink:
         """
         if self._loop is None or self._queue is None or self._task is None:
             return
+        # Refuse new deliveries first, so a flusher racing this close
+        # dead-letters instead of queueing behind the sentinel (where
+        # its notification would be silently discarded).
+        self._closed = True
         # The sentinel queues *behind* every accepted notification, so
         # the drain task finishes the backlog before exiting.
         self._loop.call_soon_threadsafe(self._queue.put_nowait, None)

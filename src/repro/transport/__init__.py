@@ -1,0 +1,47 @@
+"""The network transport edge: a wire protocol over the service layer.
+
+``repro.transport`` puts a socket in front of
+:class:`~repro.service.service.PubSubService`: a stdlib-only asyncio
+TCP server (:class:`~repro.transport.server.PubSubServer`) and client
+(:class:`~repro.transport.client.PubSubClient`) speaking length-prefixed
+JSON frames (:mod:`repro.transport.protocol`).  The PR-7 bounded
+delivery queues become per-connection send buffers, disconnected
+clients resume their session by token with no loss or duplication, and
+the remote API mirrors the in-process session surface.  See
+``docs/ARCHITECTURE.md`` ("Transport").
+"""
+
+from repro.transport.client import PubSubClient, RemoteSubscriptionHandle
+from repro.transport.protocol import (
+    ENVELOPE_SCHEMA,
+    ENVELOPE_TYPES,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    Envelope,
+    FrameDecoder,
+    encode_frame,
+    event_envelope,
+    event_from_wire,
+    event_to_wire,
+    notification_from_envelope,
+    validate_envelope,
+)
+from repro.transport.server import PubSubServer
+
+__all__ = [
+    "encode_frame",
+    "Envelope",
+    "ENVELOPE_SCHEMA",
+    "ENVELOPE_TYPES",
+    "event_envelope",
+    "event_from_wire",
+    "event_to_wire",
+    "FrameDecoder",
+    "MAX_FRAME_BYTES",
+    "notification_from_envelope",
+    "PROTOCOL_VERSION",
+    "PubSubClient",
+    "PubSubServer",
+    "RemoteSubscriptionHandle",
+    "validate_envelope",
+]

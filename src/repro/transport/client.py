@@ -1,0 +1,522 @@
+"""The asyncio client: a remote session that mirrors the in-process API.
+
+:class:`PubSubClient` dials a :class:`~repro.transport.server.
+PubSubServer`, performs the ``hello``/``welcome`` handshake, and then
+exposes the session surface remotely: ``subscribe`` returns a
+:class:`RemoteSubscriptionHandle` (the async mirror of
+:class:`~repro.service.session.SubscriptionHandle`), ``publish`` rides
+the server's micro-batching ingress, and matched deliveries arrive as
+:class:`~repro.service.sinks.Notification` records in
+:attr:`PubSubClient.notifications` — field-for-field what an in-process
+sink would have seen, which is exactly how the E2E suite compares a
+remote client against its oracle.
+
+Requests carry correlation ids; a background reader task resolves them
+and folds ``event`` frames into the notification log, acknowledging the
+highest ``delivery_seq`` seen after each read so the server can trim its
+retransmit buffer.  Deliveries already seen (a replay overlap after
+reconnect) are counted in :attr:`duplicates` and dropped — the log is
+exactly-once.
+
+Reconnect is first-class: :meth:`abort` kills the socket without any
+goodbye (simulating a crash), :meth:`reconnect` dials again presenting
+the session token and the last seen ``delivery_seq``, and the server
+replays the unacknowledged tail.  Use as an async context manager::
+
+    async with PubSubClient("127.0.0.1", port, "alice") as client:
+        handle = await client.subscribe(P("x") == 1)
+        await client.publish(Event({"x": 1}))
+        await client.wait_for_notifications(1)
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Dict, List, Optional, Type
+
+from repro.errors import ProtocolError, TransportError
+from repro.events import Event
+from repro.service.sinks import Notification
+from repro.subscriptions.nodes import Node
+from repro.subscriptions.serialize import node_to_dict
+from repro.transport.protocol import (
+    PROTOCOL_VERSION,
+    Envelope,
+    FrameDecoder,
+    encode_frame,
+    event_to_wire,
+    notification_from_envelope,
+)
+
+
+class RemoteSubscriptionHandle:
+    """A live reference to one subscription registered over the wire.
+
+    Mirrors :class:`~repro.service.session.SubscriptionHandle`:
+    ``handle.id`` is the server-assigned global subscription id, and
+    the handle is the capability to :meth:`replace` or
+    :meth:`unsubscribe` — just asynchronously, because each is a wire
+    round trip.  Handles survive reconnects: the server-side session
+    (and its subscriptions) outlives the socket.
+    """
+
+    __slots__ = ("_client", "_id", "_tree", "_active")
+
+    def __init__(self, client: "PubSubClient", subscription_id: int, tree: Node) -> None:
+        self._client = client
+        self._id = subscription_id
+        self._tree = tree
+        self._active = True
+
+    @property
+    def id(self) -> int:
+        """The server-assigned global subscription id."""
+        return self._id
+
+    @property
+    def tree(self) -> Node:
+        """The filter tree most recently sent for this subscription."""
+        return self._tree
+
+    @property
+    def active(self) -> bool:
+        """``False`` once unsubscribed."""
+        return self._active
+
+    async def replace(self, tree: Node) -> None:
+        """Swap the subscription's filter tree, keeping its id."""
+        self._require_active()
+        await self._client._request(
+            {
+                "type": "replace",
+                "subscription": self._id,
+                "tree": node_to_dict(tree),
+            }
+        )
+        self._tree = tree
+
+    async def unsubscribe(self) -> None:
+        """Withdraw the subscription from the whole network."""
+        self._require_active()
+        await self._client._request(
+            {"type": "unsubscribe", "subscription": self._id}
+        )
+        self._active = False
+
+    def _require_active(self) -> None:
+        if not self._active:
+            raise TransportError(
+                "subscription handle %d is no longer active" % self._id,
+                code="inactive-handle",
+            )
+
+    def __repr__(self) -> str:
+        return "RemoteSubscriptionHandle(id=%d, client=%r, active=%s)" % (
+            self._id,
+            self._client.client,
+            self._active,
+        )
+
+
+class PubSubClient:
+    """One remote pub/sub session over a TCP connection.
+
+    ``client`` names the session (the server enforces one open session
+    per ``(broker, client)`` pair); ``broker`` picks the attachment
+    broker (server default when omitted); ``auth`` is the shared secret
+    checked against the server's ``auth_tokens``; ``queue_capacity`` /
+    ``policy`` configure the server-side send buffer for this session.
+    ``on_event`` (if given) is called synchronously with each fresh
+    :class:`~repro.service.sinks.Notification` as it is decoded.
+
+    The client tracks :attr:`last_seen` (highest ``delivery_seq``
+    folded into :attr:`notifications`) and :attr:`duplicates` (replayed
+    deliveries it dropped), and keeps its session :attr:`token` across
+    :meth:`abort`/:meth:`reconnect` cycles.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        client: str,
+        *,
+        broker: Optional[str] = None,
+        auth: Optional[str] = None,
+        queue_capacity: Optional[int] = None,
+        policy: Optional[str] = None,
+        on_event: Optional[Callable[[Notification], None]] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.client = client
+        self.broker: Optional[str] = broker
+        self.auth = auth
+        self.queue_capacity = queue_capacity
+        self.policy = policy
+        self.token: Optional[str] = None
+        #: Every fresh delivery, in arrival order (exactly-once).
+        self.notifications: List[Notification] = []
+        #: Highest ``delivery_seq`` in :attr:`notifications`.
+        self.last_seen = -1
+        #: Replayed deliveries dropped by the dedup filter.
+        self.duplicates = 0
+        #: Recoverable protocol errors the *server* sent us (rare).
+        self.protocol_errors: List[ProtocolError] = []
+        #: ``goodbye`` reason received from the server, if any.
+        self.goodbye_reason: Optional[str] = None
+        self._on_event = on_event
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._reader_task: Optional["asyncio.Task[None]"] = None
+        self._pending: Dict[int, "asyncio.Future[Envelope]"] = {}
+        self._welcome: Optional["asyncio.Future[Envelope]"] = None
+        self._notified: Optional[asyncio.Event] = None
+        self._goodbye_seen: Optional[asyncio.Event] = None
+        self._next_id = 0
+        self._connected = False
+
+    # -- connection lifecycle ------------------------------------------------
+
+    async def connect(self) -> Envelope:
+        """Dial and open a fresh session; returns the ``welcome``."""
+        if self.token is not None:
+            raise TransportError(
+                "client already has a session token; use reconnect()"
+            )
+        return await self._dial(resume=False)
+
+    async def reconnect(self) -> int:
+        """Dial again and resume the session under the stored token.
+
+        Returns the number of deliveries the server replayed (the
+        unacknowledged tail; already-seen ones are deduplicated into
+        :attr:`duplicates`).
+        """
+        if self.token is None:
+            raise TransportError("no session token to resume; call connect()")
+        welcome = await self._dial(resume=True)
+        replayed = welcome["replayed"]
+        assert isinstance(replayed, int)
+        return replayed
+
+    async def _dial(self, resume: bool) -> Envelope:
+        if self._connected:
+            raise TransportError("client is already connected")
+        loop = asyncio.get_running_loop()
+        self._notified = asyncio.Event()
+        self._goodbye_seen = asyncio.Event()
+        self.goodbye_reason = None
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        self._welcome = loop.create_future()
+        self._connected = True
+        self._reader_task = loop.create_task(self._read_loop())
+        hello: Envelope = {
+            "type": "hello",
+            "client": self.client,
+            "version": PROTOCOL_VERSION,
+        }
+        if self.auth is not None:
+            hello["auth"] = self.auth
+        if resume:
+            assert self.token is not None
+            hello["token"] = self.token
+            hello["last_seen"] = self.last_seen
+        else:
+            if self.broker is not None:
+                hello["broker"] = self.broker
+            if self.queue_capacity is not None:
+                hello["queue_capacity"] = self.queue_capacity
+            if self.policy is not None:
+                hello["policy"] = self.policy
+        self._send(hello)
+        try:
+            welcome = await self._welcome
+        except TransportError:
+            await self.close()
+            raise
+        token = welcome["token"]
+        broker = welcome["broker"]
+        assert isinstance(token, str) and isinstance(broker, str)
+        self.token = token
+        self.broker = broker
+        return welcome
+
+    @property
+    def connected(self) -> bool:
+        """``True`` while the socket is up and the reader is running."""
+        return self._connected
+
+    async def close(self) -> None:
+        """Say goodbye (if still connected) and tear the socket down.
+
+        Graceful: the server retires the session, so the token cannot
+        be resumed afterwards.  Use :meth:`abort` to keep it resumable.
+        """
+        if self._connected and self._writer is not None:
+            try:
+                self._send({"type": "goodbye", "reason": "client-close"})
+                await self._writer.drain()
+            except (ConnectionError, OSError, RuntimeError):
+                pass
+            goodbye = self._goodbye_seen
+            if goodbye is not None:
+                try:
+                    await asyncio.wait_for(goodbye.wait(), timeout=1.0)
+                except asyncio.TimeoutError:
+                    pass
+        await self._teardown()
+
+    async def abort(self) -> None:
+        """Kill the socket with no goodbye — simulates a client crash.
+
+        The server detaches the session but keeps it resumable; the
+        token and :attr:`last_seen` survive for :meth:`reconnect`.
+        """
+        if self._writer is not None:
+            transport = self._writer.transport
+            transport.abort()
+        await self._teardown()
+
+    async def _teardown(self) -> None:
+        self._connected = False
+        task = self._reader_task
+        self._reader_task = None
+        if task is not None and task is not asyncio.current_task():
+            task.cancel()
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        if self._writer is not None:
+            try:
+                self._writer.close()
+            except (ConnectionError, OSError, RuntimeError):
+                pass
+            self._writer = None
+        self._reader = None
+        self._fail_pending(TransportError("connection closed", code="closed"))
+
+    async def __aenter__(self) -> "PubSubClient":
+        if not self._connected and self.token is None:
+            await self.connect()
+        return self
+
+    async def __aexit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        traceback: Optional[object],
+    ) -> None:
+        await self.close()
+
+    # -- requests ------------------------------------------------------------
+
+    async def subscribe(self, tree: Node) -> RemoteSubscriptionHandle:
+        """Register a filter tree; returns the remote handle."""
+        reply = await self._request(
+            {"type": "subscribe", "tree": node_to_dict(tree)}
+        )
+        subscription_id = reply["subscription"]
+        assert isinstance(subscription_id, int)
+        return RemoteSubscriptionHandle(self, subscription_id, tree)
+
+    async def publish(self, event: Event) -> bool:
+        """Submit one event through the server's ingress.
+
+        Returns ``True`` when the submission triggered a flush (the
+        micro-batching semantics of
+        :meth:`repro.service.session.Session.publish`).
+        """
+        reply = await self._request(
+            {"type": "publish", "event": event_to_wire(event)}
+        )
+        flushed = reply["flushed"]
+        assert isinstance(flushed, bool)
+        return flushed
+
+    async def ping(self) -> None:
+        """One liveness round trip."""
+        await self._request({"type": "ping"})
+
+    async def _request(self, envelope: Envelope) -> Envelope:
+        """Send one correlated request and await its response."""
+        if not self._connected:
+            raise TransportError("client is not connected", code="closed")
+        loop = asyncio.get_running_loop()
+        request_id = self._next_id
+        self._next_id += 1
+        envelope["id"] = request_id
+        future: "asyncio.Future[Envelope]" = loop.create_future()
+        self._pending[request_id] = future
+        self._send(envelope)
+        try:
+            return await future
+        finally:
+            self._pending.pop(request_id, None)
+
+    def _send(self, envelope: Envelope) -> None:
+        writer = self._writer
+        if writer is None:
+            raise TransportError("client is not connected", code="closed")
+        writer.write(encode_frame(envelope))
+
+    def _try_send(self, envelope: Envelope) -> None:
+        """Best-effort send for acks/pongs on a possibly-dying socket."""
+        try:
+            self._send(envelope)
+        except (TransportError, ConnectionError, OSError, RuntimeError):
+            pass
+
+    # -- waiting helpers -----------------------------------------------------
+
+    async def wait_for_notifications(
+        self, count: int, timeout: float = 10.0
+    ) -> List[Notification]:
+        """Wait until at least ``count`` notifications have arrived.
+
+        Returns a snapshot of the log.  Raises
+        :class:`~repro.errors.TransportError` on timeout or if the
+        connection drops first.
+        """
+        deadline = asyncio.get_running_loop().time() + timeout
+        while len(self.notifications) < count:
+            if not self._connected:
+                raise TransportError(
+                    "connection lost after %d/%d notifications"
+                    % (len(self.notifications), count),
+                    code="closed",
+                )
+            notified = self._notified
+            assert notified is not None
+            remaining = deadline - asyncio.get_running_loop().time()
+            if remaining <= 0:
+                raise TransportError(
+                    "timed out with %d/%d notifications"
+                    % (len(self.notifications), count),
+                    code="timeout",
+                )
+            try:
+                await asyncio.wait_for(notified.wait(), timeout=remaining)
+            except asyncio.TimeoutError:
+                continue
+            notified.clear()
+        return list(self.notifications)
+
+    # -- the reader ----------------------------------------------------------
+
+    async def _read_loop(self) -> None:
+        reader = self._reader
+        assert reader is not None
+        decoder = FrameDecoder()
+        try:
+            while True:
+                data = await reader.read(65536)
+                if not data:
+                    break
+                try:
+                    messages = decoder.feed(data)
+                except ProtocolError as error:
+                    self._fail_pending(error)
+                    break
+                before = self.last_seen
+                for message in messages:
+                    if isinstance(message, ProtocolError):
+                        self.protocol_errors.append(message)
+                        continue
+                    self._handle(message)
+                if self.last_seen > before:
+                    # One ack per read batch: trims the server-side
+                    # retransmit buffer without an ack-per-event storm.
+                    self._try_send(
+                        {"type": "ack", "delivery_seq": self.last_seen}
+                    )
+        except (ConnectionError, OSError):
+            pass
+        except asyncio.CancelledError:
+            raise
+        finally:
+            self._connected = False
+            self._fail_pending(
+                TransportError("connection lost", code="connection-lost")
+            )
+            notified = self._notified
+            if notified is not None:
+                notified.set()
+
+    def _handle(self, message: Envelope) -> None:
+        kind = message["type"]
+        if kind == "event":
+            sequence = message["delivery_seq"]
+            assert isinstance(sequence, int)
+            if sequence <= self.last_seen:
+                self.duplicates += 1
+                return
+            assert self.broker is not None
+            notification = notification_from_envelope(
+                message, self.client, self.broker
+            )
+            self.notifications.append(notification)
+            self.last_seen = sequence
+            if self._on_event is not None:
+                self._on_event(notification)
+            notified = self._notified
+            if notified is not None:
+                notified.set()
+            return
+        if kind == "welcome":
+            welcome = self._welcome
+            if welcome is not None and not welcome.done():
+                welcome.set_result(message)
+            return
+        if kind == "error":
+            request_id = message.get("id")
+            code = message["code"]
+            text = message["message"]
+            assert isinstance(code, str) and isinstance(text, str)
+            error = TransportError(text, code=code)
+            if request_id is not None:
+                future = self._pending.get(request_id)
+                if future is not None and not future.done():
+                    future.set_exception(error)
+                return
+            welcome = self._welcome
+            if welcome is not None and not welcome.done():
+                welcome.set_exception(error)
+            return
+        if kind == "ping":
+            self._try_send({"type": "pong", "id": message["id"]})
+            return
+        if kind == "goodbye":
+            reason = message.get("reason")
+            assert reason is None or isinstance(reason, str)
+            self.goodbye_reason = reason
+            goodbye = self._goodbye_seen
+            if goodbye is not None:
+                goodbye.set()
+            return
+        request_id = message.get("id")
+        if request_id is not None:
+            future = self._pending.get(request_id)
+            if future is not None and not future.done():
+                future.set_result(message)
+
+    def _fail_pending(self, error: TransportError) -> None:
+        for future in list(self._pending.values()):
+            if not future.done():
+                future.set_exception(error)
+        self._pending.clear()
+        welcome = self._welcome
+        if welcome is not None and not welcome.done():
+            welcome.set_exception(error)
+
+    def __repr__(self) -> str:
+        return "PubSubClient(%r@%s:%d, %s, seen=%d)" % (
+            self.client,
+            self.host,
+            self.port,
+            "connected" if self._connected else "disconnected",
+            len(self.notifications),
+        )

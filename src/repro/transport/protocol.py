@@ -1,0 +1,328 @@
+"""The wire protocol: length-prefixed JSON frames and typed envelopes.
+
+Every message on a transport connection is one **frame**: a 4-byte
+big-endian length prefix followed by that many bytes of UTF-8 JSON.
+The JSON object is an **envelope** — a dict with a ``"type"`` field
+naming one of :data:`ENVELOPE_TYPES` and the per-type fields listed in
+the schema table below.  Subscription filter trees ride the existing
+dict codec (:func:`repro.subscriptions.serialize.node_to_dict` /
+:func:`~repro.subscriptions.serialize.node_from_dict`), and events are
+their plain attribute-value dicts (all four value kinds — ``str``,
+``int``, ``float``, ``bool`` — are JSON-native, so the round trip is
+exact).
+
+Request/response pairs carry a client-chosen correlation ``id``:
+
+====================  =====================================================
+``hello``             client → server: open or resume a session
+``welcome``           server → client: session token, broker, resume stats
+``subscribe(d)``      register a filter tree; response carries the
+                      server-assigned subscription id
+``unsubscribe(d)``    withdraw one subscription
+``replace(d)``        swap a subscription's tree, keeping its id
+``publish(ed)``       submit one event through the service ingress
+``event``             server → client: one matched delivery (sequence,
+                      subscription id, gapless per-session delivery_seq)
+``ack``               client → server: highest ``delivery_seq`` seen, lets
+                      the server trim its retransmit buffer
+``error``             structured failure; carries the request ``id`` when
+                      it answers one
+``ping``/``pong``     liveness probe (either direction)
+``goodbye``           orderly close (either direction)
+====================  =====================================================
+
+Decoding is **resynchronizing where possible**: a frame whose payload
+is not valid JSON (or not a valid envelope) is consumed and surfaced as
+an in-band :class:`~repro.errors.ProtocolError` — the framing layer is
+intact, so the peer can answer with an ``error`` envelope and keep the
+connection.  Only framing-layer violations (an oversized length prefix)
+raise, because after one of those the byte stream cannot be trusted
+again.  Both directions are property-tested in
+``tests/test_transport_protocol.py`` (split/partial/concatenated reads,
+every envelope type, malformed-frame rejection).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Callable, Dict, List, Mapping, Tuple, Union
+
+from repro.errors import ProtocolError
+from repro.events import Event
+from repro.service.sinks import Notification
+
+#: Version the ``hello`` envelope announces; the server refuses others.
+PROTOCOL_VERSION = 1
+
+#: Hard upper bound on one frame's JSON payload, in bytes.  A length
+#: prefix above this is treated as stream corruption, not a large
+#: message: the connection cannot resynchronize and must close.
+MAX_FRAME_BYTES = 1 << 20
+
+_LENGTH = struct.Struct("!I")
+
+#: One decoded wire message: a JSON object with a ``"type"`` field.
+Envelope = Dict[str, Any]
+
+_Check = Tuple[str, Callable[[object], bool]]
+
+
+def _is_str(value: object) -> bool:
+    return isinstance(value, str)
+
+
+def _is_int(value: object) -> bool:
+    # bool is a subclass of int; an envelope field declared int must
+    # not accept true/false.
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _is_bool(value: object) -> bool:
+    return isinstance(value, bool)
+
+
+def _is_dict(value: object) -> bool:
+    return isinstance(value, dict)
+
+
+_STR: _Check = ("string", _is_str)
+_INT: _Check = ("integer", _is_int)
+_BOOL: _Check = ("boolean", _is_bool)
+_DICT: _Check = ("object", _is_dict)
+
+#: ``type`` → (required fields, optional fields); each field maps to a
+#: (human-readable kind, checker) pair.  Unknown extra fields are
+#: tolerated (ignored) for forward compatibility.
+ENVELOPE_SCHEMA: Dict[str, Tuple[Dict[str, _Check], Dict[str, _Check]]] = {
+    "hello": (
+        {"client": _STR, "version": _INT},
+        {
+            "auth": _STR,
+            "broker": _STR,
+            "token": _STR,
+            "last_seen": _INT,
+            "queue_capacity": _INT,
+            "policy": _STR,
+        },
+    ),
+    "welcome": (
+        {
+            "token": _STR,
+            "broker": _STR,
+            "client": _STR,
+            "resumed": _BOOL,
+            "replayed": _INT,
+        },
+        {},
+    ),
+    "subscribe": ({"id": _INT, "tree": _DICT}, {}),
+    "subscribed": ({"id": _INT, "subscription": _INT}, {}),
+    "unsubscribe": ({"id": _INT, "subscription": _INT}, {}),
+    "unsubscribed": ({"id": _INT, "subscription": _INT}, {}),
+    "replace": ({"id": _INT, "subscription": _INT, "tree": _DICT}, {}),
+    "replaced": ({"id": _INT, "subscription": _INT}, {}),
+    "publish": ({"id": _INT, "event": _DICT}, {}),
+    "published": ({"id": _INT, "flushed": _BOOL}, {}),
+    "event": (
+        {
+            "event": _DICT,
+            "sequence": _INT,
+            "subscription": _INT,
+            "delivery_seq": _INT,
+        },
+        {},
+    ),
+    "ack": ({"delivery_seq": _INT}, {}),
+    "error": ({"code": _STR, "message": _STR}, {"id": _INT}),
+    "ping": ({"id": _INT}, {}),
+    "pong": ({"id": _INT}, {}),
+    "goodbye": ({}, {"reason": _STR}),
+}
+
+#: All envelope types the protocol speaks, in schema order.
+ENVELOPE_TYPES: Tuple[str, ...] = tuple(ENVELOPE_SCHEMA)
+
+
+def validate_envelope(data: object) -> Envelope:
+    """Check ``data`` against :data:`ENVELOPE_SCHEMA` and return it.
+
+    Raises a *recoverable* :class:`~repro.errors.ProtocolError` (code
+    ``"bad-envelope"``) when ``data`` is not an object, names no known
+    type, misses a required field, or carries a field of the wrong
+    JSON kind.
+    """
+    if not isinstance(data, dict):
+        raise ProtocolError(
+            "envelope must be a JSON object, got %s" % type(data).__name__,
+            code="bad-envelope",
+        )
+    kind = data.get("type")
+    if not isinstance(kind, str) or kind not in ENVELOPE_SCHEMA:
+        raise ProtocolError(
+            "unknown envelope type %r" % (kind,), code="bad-envelope"
+        )
+    required, optional = ENVELOPE_SCHEMA[kind]
+    for field, (expected, check) in required.items():
+        if field not in data:
+            raise ProtocolError(
+                "%s envelope requires field %r" % (kind, field),
+                code="bad-envelope",
+            )
+        if not check(data[field]):
+            raise ProtocolError(
+                "%s field %r must be a JSON %s" % (kind, field, expected),
+                code="bad-envelope",
+            )
+    for field, (expected, check) in optional.items():
+        if field in data and not check(data[field]):
+            raise ProtocolError(
+                "%s field %r must be a JSON %s" % (kind, field, expected),
+                code="bad-envelope",
+            )
+    return data
+
+
+def encode_frame(envelope: Envelope) -> bytes:
+    """One wire frame: length prefix + compact JSON of ``envelope``.
+
+    The envelope is validated first, so a malformed message fails at
+    the sender (a :class:`~repro.errors.ProtocolError`) instead of on
+    the peer.
+    """
+    validate_envelope(envelope)
+    payload = json.dumps(
+        envelope, separators=(",", ":"), sort_keys=True
+    ).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            "frame payload of %d bytes exceeds the %d-byte limit"
+            % (len(payload), MAX_FRAME_BYTES),
+            code="frame-too-large",
+            recoverable=False,
+        )
+    return _LENGTH.pack(len(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental frame decoder tolerant of arbitrary read boundaries.
+
+    Feed it whatever the socket produced — half a frame, three frames
+    and a prefix, one byte at a time — and it returns every message
+    completed so far, in order.  Malformed *payloads* come back in-band
+    as recoverable :class:`~repro.errors.ProtocolError` items (the
+    frame is consumed, the stream stays synchronized); an oversized
+    length prefix raises an unrecoverable one.
+
+    >>> decoder = FrameDecoder()
+    >>> frame = encode_frame({"type": "ping", "id": 7})
+    >>> decoder.feed(frame[:3])
+    []
+    >>> [m["id"] for m in decoder.feed(frame[3:] + frame)]
+    [7, 7]
+    """
+
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+        self.max_frame_bytes = max_frame_bytes
+        self._buffer = bytearray()
+
+    @property
+    def buffered(self) -> int:
+        """Bytes received but not yet part of a complete frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> List[Union[Envelope, ProtocolError]]:
+        """Buffer ``data`` and return every message it completed."""
+        self._buffer.extend(data)
+        messages: List[Union[Envelope, ProtocolError]] = []
+        while len(self._buffer) >= _LENGTH.size:
+            (length,) = _LENGTH.unpack_from(self._buffer)
+            if length > self.max_frame_bytes:
+                raise ProtocolError(
+                    "frame length prefix of %d bytes exceeds the %d-byte "
+                    "limit; stream cannot resynchronize"
+                    % (length, self.max_frame_bytes),
+                    code="frame-too-large",
+                    recoverable=False,
+                )
+            end = _LENGTH.size + length
+            if len(self._buffer) < end:
+                break
+            payload = bytes(self._buffer[_LENGTH.size : end])
+            del self._buffer[:end]
+            try:
+                decoded = json.loads(payload.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError) as error:
+                messages.append(
+                    ProtocolError(
+                        "frame payload is not valid JSON: %s" % error,
+                        code="bad-json",
+                    )
+                )
+                continue
+            try:
+                messages.append(validate_envelope(decoded))
+            except ProtocolError as error:
+                messages.append(error)
+        return messages
+
+
+# ---------------------------------------------------------------------------
+# event / notification codecs
+# ---------------------------------------------------------------------------
+
+
+def event_to_wire(event: Event) -> Dict[str, Any]:
+    """The JSON-safe attribute-value dict of ``event``."""
+    return event.to_dict()
+
+
+def event_from_wire(data: object) -> Event:
+    """Rebuild an :class:`~repro.events.Event` from its wire dict.
+
+    Raises a recoverable :class:`~repro.errors.ProtocolError` (code
+    ``"bad-event"``) for non-object payloads and for attribute names or
+    value types the event model refuses.
+    """
+    if not isinstance(data, Mapping):
+        raise ProtocolError(
+            "event payload must be a JSON object, got %s"
+            % type(data).__name__,
+            code="bad-event",
+        )
+    try:
+        return Event(data)
+    except TypeError as error:
+        raise ProtocolError(str(error), code="bad-event")
+
+
+def event_envelope(notification: Notification) -> Envelope:
+    """The ``event`` envelope announcing one delivery to a client."""
+    return {
+        "type": "event",
+        "event": event_to_wire(notification.event),
+        "sequence": notification.sequence,
+        "subscription": notification.subscription_id,
+        "delivery_seq": notification.delivery_seq,
+    }
+
+
+def notification_from_envelope(
+    envelope: Envelope, client: str, broker_id: str
+) -> Notification:
+    """Rebuild the :class:`~repro.service.sinks.Notification` an
+    ``event`` envelope carries.
+
+    ``client``/``broker_id`` come from the connection's session (the
+    wire omits them — a connection only ever receives its own
+    deliveries), so client-side records are field-for-field comparable
+    with what an in-process sink would have seen.
+    """
+    return Notification(
+        event_from_wire(envelope["event"]),
+        envelope["sequence"],
+        client,
+        broker_id,
+        envelope["subscription"],
+        envelope["delivery_seq"],
+    )

@@ -400,3 +400,111 @@ class TestAsyncDeliverySink:
 
         asyncio.run(main())
         assert received == [0, 1, 2]
+
+
+class TestSinkCloseDuringFlight:
+    """Satellite-6 regression: a session (or its async sink) torn down
+    while a flush is still in flight must surface as a clean
+    dead-letter record in the flusher — never as an exception."""
+
+    def test_deliver_after_aclose_dead_letters(self):
+        async def main():
+            sink = AsyncDeliverySink(lambda n: None)
+            sink.start()
+            await sink.aclose()
+            assert sink.closed
+            sink.deliver(note(0))  # late flusher: no raise
+            letters = sink.dead_letter.letters
+            assert [l.reason for l in letters] == ["sink_closed"]
+            assert letters[0].notification.sequence == 0
+
+        asyncio.run(main())
+
+    def test_deliver_after_loop_shutdown_dead_letters(self):
+        sink = AsyncDeliverySink(lambda n: None)
+
+        async def main():
+            sink.start()
+
+        asyncio.run(main())  # the loop the sink bound to is gone now
+        sink.deliver(note(1))
+        assert [l.reason for l in sink.dead_letter.letters] == ["loop_closed"]
+
+    def test_shared_dead_letter_sink_is_honored(self):
+        shared = DeadLetterSink()
+
+        async def main():
+            sink = AsyncDeliverySink(lambda n: None, dead_letter=shared)
+            sink.start()
+            await sink.aclose()
+            sink.deliver(note(2))
+
+        asyncio.run(main())
+        assert len(shared) == 1
+
+    @pytest.mark.timeout(30)
+    def test_session_close_mid_flush_stays_exception_free(self):
+        """The sink closes its own session from the drain handler while
+        the flush that fed it is still dispatching: the flush must
+        complete normally, with the tail dead-lettered, not raise."""
+
+        received = []
+
+        async def main():
+            service = PubSubService(topology=line_topology(2), max_batch=100)
+            session_box = {}
+
+            async def handler(notification):
+                received.append(notification.event["x"])
+                # Tear the session down after the first delivery, while
+                # the flusher thread is still mid-dispatch.
+                session_box["session"].close()
+
+            sink = AsyncDeliverySink(handler)
+            sink.start()
+            session = service.connect("b1", "alice", sink=sink)
+            session_box["session"] = session
+            session.subscribe(P("x") >= 0)
+            for x in range(50):
+                service.publish("b0", Event({"x": x}))
+            # Run the flush in a worker thread (like the transport
+            # does) so the loop stays free for the drain task.
+            flushed = await asyncio.get_running_loop().run_in_executor(
+                None, service.flush
+            )
+            assert flushed == 50
+            await sink.aclose()
+            # Deliveries that raced the close were dead-lettered by the
+            # sink, not raised into the flusher.
+            assert received[0] == 0
+            assert len(received) + len(sink.dead_letter) >= 1
+            assert all(
+                letter.reason in ("sink_closed", "loop_closed")
+                for letter in sink.dead_letter.letters
+            )
+
+        asyncio.run(main())
+
+    @pytest.mark.timeout(30)
+    def test_concurrent_session_close_is_idempotent(self):
+        service = PubSubService(topology=line_topology(2), max_batch=4)
+        session = service.connect("b1", "alice", queue_capacity=4)
+        session.subscribe(P("x") >= 0)
+        start = threading.Barrier(5)
+        errors = []
+
+        def closer():
+            start.wait()
+            try:
+                session.close()
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=closer) for _ in range(5)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert session.closed
+        assert service.sessions == ()

@@ -39,3 +39,26 @@ def test_exports_are_not_modules():
     # Exporting a submodule by accident would leak the internal layout.
     for name in repro.__all__:
         assert not inspect.ismodule(getattr(repro, name)), name
+
+
+def test_transport_surface_is_exported():
+    import repro.transport
+
+    assert list(repro.transport.__all__) == sorted(
+        repro.transport.__all__, key=lambda name: (name.lower(), name)
+    )
+    for name in repro.transport.__all__:
+        assert getattr(repro.transport, name, None) is not None, name
+    # The headline transport names are re-exported at the top level.
+    for name in (
+        "PubSubServer",
+        "PubSubClient",
+        "RemoteSubscriptionHandle",
+        "FrameDecoder",
+        "encode_frame",
+        "ENVELOPE_TYPES",
+        "PROTOCOL_VERSION",
+        "TransportError",
+        "ProtocolError",
+    ):
+        assert name in repro.__all__, name

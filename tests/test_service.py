@@ -542,3 +542,43 @@ class TestDeliveryContainment:
         assert service.flush() == 1
         assert seen == [(7, "RuntimeError")]
         assert [n.event["x"] for n in good.notifications] == [7]
+
+
+class TestSessionTokens:
+    """The resume registry: ``connect(token=...)`` + ``resume(token)``.
+
+    This is the service-side hook the network transport uses to
+    reattach a reconnecting client to its still-open session.
+    """
+
+    def test_resume_returns_the_registered_session(self):
+        service = make_service()
+        session = service.connect("b0", "alice", token="tok-a")
+        assert session.token == "tok-a"
+        assert service.resume("tok-a") is session
+
+    def test_duplicate_token_is_refused(self):
+        service = make_service()
+        service.connect("b0", "alice", token="tok-a")
+        with pytest.raises(ServiceError):
+            service.connect("b1", "bob", token="tok-a")
+
+    def test_unknown_token_is_refused(self):
+        service = make_service()
+        with pytest.raises(ServiceError):
+            service.resume("never-issued")
+
+    def test_closed_session_cannot_be_resumed(self):
+        service = make_service()
+        session = service.connect("b0", "alice", token="tok-a")
+        session.close()
+        with pytest.raises(ServiceError):
+            service.resume("tok-a")
+        # The token is free again after the session closed.
+        other = service.connect("b0", "alice", token="tok-a")
+        assert service.resume("tok-a") is other
+
+    def test_tokenless_sessions_stay_unregistered(self):
+        service = make_service()
+        session = service.connect("b0", "alice")
+        assert session.token is None
