@@ -1,0 +1,171 @@
+"""Micro-benchmark: what fault tolerance costs, and how fast it heals.
+
+Two questions, answered on one loopback topology (one subscriber
+matching every event, one clean publisher):
+
+* **Overhead** — the guarded configuration (heartbeats on both sides
+  plus a *disarmed* fault-plan stream wrapper on the subscriber) versus
+  the bare PR-8 transport.  The wrapper is a pass-through and the
+  heartbeat tasks sleep between pings, so the throughput ratio should
+  be ≈ 1.
+* **Recovery** — under a time-scheduled plan injecting roughly one
+  connection reset per second, an ``auto_reconnect`` subscriber's
+  measured drop→resume latencies (its ``recovery_latencies``), reported
+  as p50/p95 alongside the reconnect count and a lossless-delivery
+  check.
+
+Results land in ``BENCH_matching.json`` under the ``transport_faults``
+key (schema in ``docs/BENCHMARKS.md``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+
+from repro.events import Event
+from repro.faults import BackoffSchedule, FaultPlan, faulty_stream
+from repro.routing.topology import line_topology
+from repro.service import PubSubService
+from repro.subscriptions.builder import P
+from repro.transport import PubSubClient, PubSubServer
+
+EVENT_COUNT = int(os.environ.get("REPRO_BENCH_TRANSPORT_EVENTS", "200"))
+FAULTED_EVENT_COUNT = int(
+    os.environ.get("REPRO_BENCH_FAULT_EVENTS", str(EVENT_COUNT))
+)
+
+
+def _quantile(sorted_values, q):
+    if not sorted_values:
+        return None
+    index = min(len(sorted_values) - 1, int(q * (len(sorted_values) - 1)))
+    return sorted_values[index]
+
+
+async def _run_throughput(guarded):
+    """Publish EVENT_COUNT events through one subscriber; seconds taken."""
+    service = PubSubService(topology=line_topology(1), max_batch=8)
+    server_options = {}
+    client_options = {}
+    if guarded:
+        plan = FaultPlan(0)
+        plan.disarm()
+        server_options = dict(heartbeat_interval=5.0, idle_timeout=30.0)
+        client_options = dict(
+            heartbeat_interval=5.0,
+            liveness_timeout=30.0,
+            auto_reconnect=True,
+            stream_wrapper=faulty_stream(plan, "sub"),
+        )
+    async with PubSubServer(service, "b0", **server_options) as server:
+        subscriber = PubSubClient(
+            "127.0.0.1",
+            server.port,
+            "sub",
+            queue_capacity=512,
+            **client_options,
+        )
+        await subscriber.connect()
+        await subscriber.subscribe(P("i") >= 0)
+        publisher = PubSubClient("127.0.0.1", server.port, "pub")
+        await publisher.connect()
+
+        started = time.perf_counter()
+        for i in range(EVENT_COUNT):
+            await publisher.publish(Event({"i": i}))
+        await subscriber.wait_for_notifications(EVENT_COUNT, timeout=60)
+        seconds = time.perf_counter() - started
+
+        assert [n.event["i"] for n in subscriber.notifications] == list(
+            range(EVENT_COUNT)
+        )
+        await publisher.close()
+        await subscriber.close()
+    service.close()
+    return seconds
+
+
+async def _run_recovery():
+    """Soak one subscriber under ~1 reset/s; recovery latency stats."""
+    plan = FaultPlan(
+        5,
+        wire_kinds=("reset",),
+        mean_gap_seconds=1.0,
+    )
+    plan.disarm()  # setup runs clean; armed once the wiring is up
+    service = PubSubService(topology=line_topology(1), max_batch=8)
+    async with PubSubServer(
+        service, "b0", heartbeat_interval=0.25, idle_timeout=5.0
+    ) as server:
+        subscriber = PubSubClient(
+            "127.0.0.1",
+            server.port,
+            "sub",
+            queue_capacity=512,
+            heartbeat_interval=0.25,
+            liveness_timeout=2.0,
+            auto_reconnect=True,
+            max_reconnect_attempts=50,
+            backoff=BackoffSchedule(seed=5, label="sub", base=0.02, cap=0.2),
+            stream_wrapper=faulty_stream(plan, "sub"),
+        )
+        await subscriber.connect()
+        await subscriber.subscribe(P("i") >= 0)
+        publisher = PubSubClient("127.0.0.1", server.port, "pub")
+        await publisher.connect()
+
+        plan.arm()
+        started = time.perf_counter()
+        for i in range(FAULTED_EVENT_COUNT):
+            await publisher.publish(Event({"i": i}))
+            await asyncio.sleep(0.01)  # spread traffic over the schedule
+        plan.disarm()
+        await subscriber.wait_for_notifications(
+            FAULTED_EVENT_COUNT, timeout=60
+        )
+        seconds = time.perf_counter() - started
+
+        # Exactly-once through every reset.
+        assert [n.event["i"] for n in subscriber.notifications] == list(
+            range(FAULTED_EVENT_COUNT)
+        )
+        latencies = sorted(subscriber.recovery_latencies)
+        result = {
+            "events": FAULTED_EVENT_COUNT,
+            "seconds": seconds,
+            "resets_injected": plan.counts().get("reset", 0),
+            "reconnects": subscriber.reconnects,
+            "liveness_expiries": subscriber.liveness_expiries,
+            "recovery_p50_ms": (
+                _quantile(latencies, 0.50) * 1e3 if latencies else None
+            ),
+            "recovery_p95_ms": (
+                _quantile(latencies, 0.95) * 1e3 if latencies else None
+            ),
+        }
+        await publisher.close()
+        await subscriber.close()
+    service.close()
+    return result
+
+
+def test_transport_fault_overhead_and_recovery(bench_results):
+    bare = asyncio.run(_run_throughput(guarded=False))
+    guarded = asyncio.run(_run_throughput(guarded=True))
+    recovery = asyncio.run(_run_recovery())
+    overhead = guarded / bare if bare else None
+    bench_results["transport_faults"] = {
+        "events": EVENT_COUNT,
+        "bare_seconds": bare,
+        "guarded_seconds": guarded,
+        "guarded_overhead_ratio": overhead,
+        "recovery": recovery,
+    }
+    # The guard rails are near-free when nothing is failing (generous
+    # bound: CI boxes are noisy).
+    assert overhead is not None and overhead < 2.0
+    # Under ~1 reset/s the client kept healing and lost nothing.
+    assert recovery["reconnects"] >= 1
+    assert recovery["recovery_p50_ms"] is not None

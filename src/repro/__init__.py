@@ -59,12 +59,21 @@ from repro.errors import (
 )
 from repro.events import Event, EventBatch
 from repro.experiments.centralized import CentralizedExperiment
+from repro.faults import (
+    BackoffSchedule,
+    FaultPlan,
+    FaultyReader,
+    FaultyWriter,
+    WorkerFaultInjector,
+    faulty_stream,
+    worker_injector,
+)
 from repro.experiments.config import ExperimentConfig, config_for_scale
 from repro.experiments.context import ExperimentContext
 from repro.experiments.distributed import DistributedExperiment
 from repro.matching.counting import CountingMatcher
 from repro.matching.naive import NaiveMatcher
-from repro.matching.sharded import ShardedMatcher
+from repro.matching.sharded import PoolHealth, ShardedMatcher
 from repro.matching.stats import MatchStatistics
 from repro.routing.broker import Broker, Interface
 from repro.routing.metrics import CostModel
@@ -77,6 +86,7 @@ from repro.routing.topology import (
 )
 from repro.selectivity.estimator import SelectivityEstimate, SelectivityEstimator
 from repro.service import (
+    DEAD_LETTER_REASONS,
     POLICIES,
     AsyncDeliverySink,
     BoundedDeliveryQueue,
@@ -102,11 +112,13 @@ from repro.subscriptions.builder import And, Not, Or, P, attr
 from repro.transport import (
     ENVELOPE_TYPES,
     PROTOCOL_VERSION,
+    RESUMABLE_GOODBYE_REASONS,
     FrameDecoder,
     PubSubClient,
     PubSubServer,
     RemoteSubscriptionHandle,
     encode_frame,
+    resumable_disconnect,
 )
 from repro.subscriptions.normalize import normalize
 from repro.subscriptions.predicates import Operator, Predicate
@@ -127,6 +139,7 @@ __all__ = [
     "attr",
     "AuctionWorkload",
     "AuctionWorkloadConfig",
+    "BackoffSchedule",
     "BoundedDeliveryQueue",
     "Broker",
     "BrokerNetwork",
@@ -139,6 +152,7 @@ __all__ = [
     "CostModel",
     "CountingMatcher",
     "CountingSink",
+    "DEAD_LETTER_REASONS",
     "DeadLetter",
     "DeadLetterSink",
     "DeliveryError",
@@ -156,6 +170,10 @@ __all__ = [
     "ExperimentConfig",
     "ExperimentContext",
     "ExperimentError",
+    "FaultPlan",
+    "faulty_stream",
+    "FaultyReader",
+    "FaultyWriter",
     "FrameDecoder",
     "HeuristicVector",
     "Ingress",
@@ -172,6 +190,7 @@ __all__ = [
     "Or",
     "P",
     "POLICIES",
+    "PoolHealth",
     "Predicate",
     "PROTOCOL_VERSION",
     "ProtocolError",
@@ -185,6 +204,8 @@ __all__ = [
     "PubSubService",
     "RemoteSubscriptionHandle",
     "ReproError",
+    "resumable_disconnect",
+    "RESUMABLE_GOODBYE_REASONS",
     "RoutingError",
     "SelectivityError",
     "SelectivityEstimate",
@@ -202,5 +223,7 @@ __all__ = [
     "TopologyError",
     "TransportError",
     "tree_topology",
+    "worker_injector",
+    "WorkerFaultInjector",
     "WorkloadError",
 ]

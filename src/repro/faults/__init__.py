@@ -1,0 +1,55 @@
+"""repro.faults — seeded fault injection and the chaos-test surface.
+
+Brokers and links fail as a matter of course at the scale this system
+targets; this package makes failure a *first-class, reproducible
+input* instead of a test-only accident.  One :class:`FaultPlan`
+(seeded through :mod:`repro.util.rng`) drives:
+
+* **wire faults** — :func:`faulty_stream` builds a ``stream_wrapper``
+  for :class:`~repro.transport.server.PubSubServer` /
+  :class:`~repro.transport.client.PubSubClient` whose
+  :class:`FaultyReader`/:class:`FaultyWriter` pair injects connection
+  resets, short writes, stalled reads, and split/merged frame
+  boundaries at planned offsets;
+* **worker faults** — a :class:`WorkerFaultInjector` kills shard
+  worker processes mid-``match_batch`` and fails shared-memory packs,
+  exercising the pool supervisor and its crash-loop circuit breaker in
+  :class:`~repro.matching.sharded.ShardedMatcher`.
+
+:class:`BackoffSchedule` is the healing-side counterpart: the capped,
+fully-jittered, seed-deterministic reconnect schedule the client's
+``auto_reconnect`` machinery takes via ``backoff=``.
+
+The package only ever *wraps* the production stack — nothing in the
+happy path imports it — and a disarmed plan is a pass-through, so the
+same wrapped topology serves both the chaos soak and its quiesced
+verification phase (``tests/test_chaos.py``).  See
+``docs/ARCHITECTURE.md`` ("Fault tolerance").
+"""
+
+from repro.faults.backoff import BackoffSchedule
+from repro.faults.plan import (
+    READ_FAULT_KINDS,
+    WIRE_FAULT_KINDS,
+    WORKER_FAULT_KINDS,
+    WRITE_FAULT_KINDS,
+    FaultLane,
+    FaultPlan,
+)
+from repro.faults.wire import FaultyReader, FaultyWriter, faulty_stream
+from repro.faults.workers import WorkerFaultInjector, worker_injector
+
+__all__ = [
+    "BackoffSchedule",
+    "FaultLane",
+    "FaultPlan",
+    "faulty_stream",
+    "FaultyReader",
+    "FaultyWriter",
+    "READ_FAULT_KINDS",
+    "WIRE_FAULT_KINDS",
+    "WORKER_FAULT_KINDS",
+    "worker_injector",
+    "WorkerFaultInjector",
+    "WRITE_FAULT_KINDS",
+]

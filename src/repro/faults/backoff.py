@@ -1,0 +1,95 @@
+"""Capped exponential backoff with full jitter, deterministic per seed.
+
+The reconnect schedule of a client that just lost its broker is a
+thundering-herd problem: if every client retries on the same clock,
+the broker takes the whole fleet back at once, falls over again, and
+the fleet synchronizes harder.  The standard cure is **capped
+exponential backoff with full jitter**: the *envelope* grows
+exponentially up to a cap, and the actual delay is drawn uniformly
+from ``[0, envelope]`` — decorrelating clients while keeping the mean
+load on the broker bounded.
+
+:class:`BackoffSchedule` packages that policy with the library's
+seeded-rng discipline: ``delay(attempt)`` is a pure function of
+``(seed, label, attempt)`` — independent of call order, process, or
+platform — so chaos tests can assert exact reconnect schedules, while
+production use just picks a per-client label.  The schedule is a
+plain ``Callable[[int], float]``, which is exactly the ``backoff=``
+shape :class:`~repro.transport.client.PubSubClient` accepts.
+
+Properties (hypothesis-tested in ``tests/test_backoff_property.py``):
+every delay lies in ``[0, cap]``; the envelope is monotone
+nondecreasing in the attempt and bounded by the cap; fixed seeds give
+fixed schedules.
+"""
+
+from __future__ import annotations
+
+from repro.util.rng import make_rng
+
+#: The envelope stops growing after this many doublings — far beyond
+#: any real retry count, and it keeps ``multiplier ** attempt`` finite.
+_MAX_GROWTH_STEPS = 64
+
+
+class BackoffSchedule:
+    """``delay(attempt) = U(0, min(cap, base * multiplier**attempt))``.
+
+    ``base`` is the attempt-0 envelope (seconds), ``multiplier`` the
+    per-attempt growth factor (>= 1), ``cap`` the envelope ceiling.
+    ``seed``/``label`` fix the jitter stream.
+
+    >>> schedule = BackoffSchedule(base=0.1, cap=2.0, seed=42)
+    >>> schedule.delay(3) == schedule.delay(3)  # deterministic
+    True
+    >>> all(0.0 <= schedule.delay(a) <= 2.0 for a in range(20))
+    True
+    """
+
+    def __init__(
+        self,
+        *,
+        base: float = 0.05,
+        multiplier: float = 2.0,
+        cap: float = 5.0,
+        seed: int = 0,
+        label: str = "backoff",
+    ) -> None:
+        if base < 0:
+            raise ValueError("base must be >= 0, got %r" % base)
+        if multiplier < 1:
+            raise ValueError("multiplier must be >= 1, got %r" % multiplier)
+        if cap < 0:
+            raise ValueError("cap must be >= 0, got %r" % cap)
+        self.base = float(base)
+        self.multiplier = float(multiplier)
+        self.cap = float(cap)
+        self.seed = seed
+        self.label = label
+
+    def envelope(self, attempt: int) -> float:
+        """The jitter ceiling for ``attempt``: ``min(cap, base * m^a)``."""
+        if attempt < 0:
+            raise ValueError("attempt must be >= 0, got %d" % attempt)
+        value = self.base
+        for _ in range(min(attempt, _MAX_GROWTH_STEPS)):
+            if value >= self.cap:
+                return self.cap
+            value *= self.multiplier
+        return min(value, self.cap)
+
+    def delay(self, attempt: int) -> float:
+        """The jittered delay for ``attempt`` — pure in (seed, label,
+        attempt), so out-of-order or repeated calls see one schedule."""
+        rng = make_rng(self.seed, "backoff", self.label, attempt)
+        return float(rng.uniform(0.0, self.envelope(attempt)))
+
+    def __call__(self, attempt: int) -> float:
+        return self.delay(attempt)
+
+    def __repr__(self) -> str:
+        return (
+            "BackoffSchedule(base=%g, multiplier=%g, cap=%g, seed=%d, "
+            "label=%r)"
+            % (self.base, self.multiplier, self.cap, self.seed, self.label)
+        )

@@ -1,0 +1,304 @@
+"""Deterministic, seeded fault schedules for the wire and the workers.
+
+A :class:`FaultPlan` is the single source of truth for one chaos run:
+*what* can go wrong (the fault kinds), *how often* (mean gaps, drawn
+from seeded exponentials via :mod:`repro.util.rng`), and *how much*
+(an optional total budget).  Everything that injects a fault — the
+:class:`~repro.faults.wire.FaultyReader`/:class:`~repro.faults.wire.
+FaultyWriter` stream wrappers, the :class:`~repro.faults.workers.
+WorkerFaultInjector` — draws its schedule from the plan, and reports
+every injected fault back through :meth:`FaultPlan.take`, so a chaos
+soak can assert "at least N faults, spanning these kinds, actually
+happened" from one thread-safe counter surface.
+
+Determinism: each wrapped connection gets two **lanes** (one per
+direction) whose rngs are derived from ``(seed, "wire", label,
+attempt, direction)`` — the per-label attempt counter increments on
+every reconnect, so a client that dials five times replays five fixed,
+independent fault schedules regardless of how the event loop
+interleaves them.  Positions are byte offsets into the lane's stream
+(or, with ``mean_gap_seconds``, wall-clock gaps — useful for "one
+fault per second" soak rates), so the *schedule* is a pure function of
+the seed even though the *placement* of a time-based fault depends on
+traffic.
+
+:meth:`disarm` ends the chaos phase: lanes keep accounting bytes but
+inject nothing further, which is how a soak quiesces before comparing
+against its oracle.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, FrozenSet, Optional, Tuple
+
+import numpy as np
+
+from repro.util.rng import make_rng
+
+#: Every wire fault kind a plan can schedule.  ``reset`` kills the
+#: connection; ``short_write`` emits a prefix now and the remainder a
+#: beat later; ``merge`` holds a chunk back so it coalesces with the
+#: next write; ``split`` returns a partial read now and the tail on the
+#: next read; ``stall`` sleeps before the bytes move.
+WIRE_FAULT_KINDS: Tuple[str, ...] = (
+    "reset",
+    "short_write",
+    "stall",
+    "split",
+    "merge",
+)
+
+#: Worker-pool fault kinds: ``worker_kill`` terminates a shard worker
+#: process mid-``match_batch``; ``pack_fail`` fails the parent-side
+#: shared-memory packing of the batch.
+WORKER_FAULT_KINDS: Tuple[str, ...] = ("worker_kill", "pack_fail")
+
+#: Wire kinds applicable on the read side of a connection.
+READ_FAULT_KINDS: FrozenSet[str] = frozenset({"reset", "stall", "split"})
+
+#: Wire kinds applicable on the write side of a connection.
+WRITE_FAULT_KINDS: FrozenSet[str] = frozenset(
+    {"reset", "short_write", "merge", "stall"}
+)
+
+
+class FaultLane:
+    """One direction of one wrapped connection: a seeded fault stream.
+
+    The lane advances a byte counter as traffic passes and fires a
+    fault whenever the counter crosses the next scheduled offset
+    (``mean_gap_bytes`` mode) or the clock passes the next scheduled
+    instant (``mean_gap_seconds`` mode).  Each firing is reported to
+    the owning plan, which may veto it (disarmed, or budget spent).
+
+    Only ever touched from the event loop of its connection — no lock.
+    """
+
+    def __init__(
+        self,
+        plan: "FaultPlan",
+        rng: np.random.Generator,
+        kinds: Tuple[str, ...],
+    ) -> None:
+        self._plan = plan
+        self._rng = rng
+        self._kinds = kinds
+        self._consumed = 0
+        self._next_kind = self._draw_kind()
+        if plan.mean_gap_seconds is not None:
+            self._next_at: float = -1.0  # armed on the first poll
+        else:
+            self._next_at = float(plan.min_first_gap_bytes + self._draw_gap())
+
+    @property
+    def stall_seconds(self) -> float:
+        """How long a ``stall`` fault sleeps."""
+        return self._plan.stall_seconds
+
+    @property
+    def holdback_seconds(self) -> float:
+        """How long ``short_write``/``merge`` hold residual bytes."""
+        return self._plan.holdback_seconds
+
+    def _draw_gap(self) -> int:
+        return max(1, int(self._rng.exponential(self._plan.mean_gap_bytes)))
+
+    def _draw_gap_seconds(self) -> float:
+        mean = self._plan.mean_gap_seconds
+        assert mean is not None
+        return float(self._rng.exponential(mean))
+
+    def _draw_kind(self) -> str:
+        if not self._kinds:
+            return ""
+        return self._kinds[int(self._rng.integers(len(self._kinds)))]
+
+    def poll(self, nbytes: int, now: float) -> Optional[Tuple[str, int]]:
+        """Account ``nbytes`` about to pass; the fault to apply, if any.
+
+        Returns ``(kind, offset)`` where ``offset`` is the byte offset
+        inside the chunk at which the fault lands (byte mode; time mode
+        returns offset 0), or ``None``.  At most one fault fires per
+        chunk.
+        """
+        if not self._kinds or not self._plan.armed:
+            self._consumed += nbytes
+            return None
+        if self._plan.mean_gap_seconds is not None:
+            if self._next_at < 0.0:
+                self._next_at = now + self._draw_gap_seconds()
+            self._consumed += nbytes
+            if now < self._next_at:
+                return None
+            kind = self._next_kind
+            self._next_at = now + self._draw_gap_seconds()
+            self._next_kind = self._draw_kind()
+            if not self._plan.take(kind):
+                return None
+            return kind, 0
+        offset = int(self._next_at) - self._consumed
+        self._consumed += nbytes
+        if offset >= nbytes:
+            return None
+        kind = self._next_kind
+        self._next_at = float(self._consumed + self._draw_gap())
+        self._next_kind = self._draw_kind()
+        if not self._plan.take(kind):
+            return None
+        return kind, max(0, offset)
+
+
+class FaultPlan:
+    """A seeded, bounded, queryable schedule of faults.
+
+    ``seed`` drives every draw through :func:`repro.util.rng.make_rng`,
+    so two runs with the same seed schedule the same faults.
+    ``wire_kinds`` selects which wire faults may fire (each lane keeps
+    only the kinds its direction supports); ``mean_gap_bytes`` /
+    ``min_first_gap_bytes`` shape the byte-offset schedule (the first
+    gap floor lets handshakes usually complete); ``mean_gap_seconds``,
+    when set, switches lanes to wall-clock scheduling instead (for
+    "about one fault per second" soak rates).  ``stall_seconds`` and
+    ``holdback_seconds`` parameterize the stall and partial-write
+    faults.  ``max_faults`` caps the total injected across all lanes
+    and injectors; ``None`` is unbounded.
+
+    ``worker_kinds`` / ``worker_mean_gap_calls`` configure the
+    :class:`~repro.faults.workers.WorkerFaultInjector` call-count
+    schedule (gaps in units of pool requests).
+
+    The plan is thread-safe where it must be: lanes live on event
+    loops, worker injectors fire from service threads, and both funnel
+    through :meth:`take`.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        *,
+        wire_kinds: Tuple[str, ...] = WIRE_FAULT_KINDS,
+        mean_gap_bytes: float = 8192.0,
+        min_first_gap_bytes: int = 2048,
+        mean_gap_seconds: Optional[float] = None,
+        stall_seconds: float = 0.05,
+        holdback_seconds: float = 0.02,
+        max_faults: Optional[int] = None,
+        worker_kinds: Tuple[str, ...] = (),
+        worker_mean_gap_calls: float = 0.0,
+    ) -> None:
+        for kind in wire_kinds:
+            if kind not in WIRE_FAULT_KINDS:
+                raise ValueError(
+                    "unknown wire fault kind %r (choose from %s)"
+                    % (kind, ", ".join(WIRE_FAULT_KINDS))
+                )
+        for kind in worker_kinds:
+            if kind not in WORKER_FAULT_KINDS:
+                raise ValueError(
+                    "unknown worker fault kind %r (choose from %s)"
+                    % (kind, ", ".join(WORKER_FAULT_KINDS))
+                )
+        if mean_gap_bytes <= 0:
+            raise ValueError("mean_gap_bytes must be positive")
+        if mean_gap_seconds is not None and mean_gap_seconds <= 0:
+            raise ValueError("mean_gap_seconds must be positive")
+        self.seed = seed
+        self.wire_kinds = tuple(wire_kinds)
+        self.mean_gap_bytes = float(mean_gap_bytes)
+        self.min_first_gap_bytes = int(min_first_gap_bytes)
+        self.mean_gap_seconds = mean_gap_seconds
+        self.stall_seconds = float(stall_seconds)
+        self.holdback_seconds = float(holdback_seconds)
+        self.max_faults = max_faults
+        self.worker_kinds = tuple(worker_kinds)
+        self.worker_mean_gap_calls = float(worker_mean_gap_calls)
+        self._lock = threading.Lock()
+        self._armed = True
+        self._total = 0
+        self._counts: Dict[str, int] = {}
+        self._attempts: Dict[str, int] = {}
+
+    # -- lane / injector construction ---------------------------------------
+
+    def next_attempt(self, label: str) -> int:
+        """The 0-based attempt index for the next connection of ``label``."""
+        with self._lock:
+            attempt = self._attempts.get(label, 0)
+            self._attempts[label] = attempt + 1
+            return attempt
+
+    def wire_lane(self, label: str, attempt: int, direction: str) -> FaultLane:
+        """One direction's fault lane for connection ``(label, attempt)``.
+
+        ``direction`` is ``"read"`` or ``"write"``; the lane keeps only
+        the plan kinds that direction can express.
+        """
+        side = READ_FAULT_KINDS if direction == "read" else WRITE_FAULT_KINDS
+        kinds = tuple(kind for kind in self.wire_kinds if kind in side)
+        rng = make_rng(self.seed, "wire", label, attempt, direction)
+        return FaultLane(self, rng, kinds)
+
+    # -- arming / accounting -------------------------------------------------
+
+    @property
+    def armed(self) -> bool:
+        """Whether lanes and injectors may still fire."""
+        with self._lock:
+            return self._armed
+
+    def disarm(self) -> None:
+        """Stop injecting (quiesce); accounting continues."""
+        with self._lock:
+            self._armed = False
+
+    def arm(self) -> None:
+        """Re-enable injection after a :meth:`disarm`."""
+        with self._lock:
+            self._armed = True
+
+    def take(self, kind: str) -> bool:
+        """Claim one fault of ``kind``; ``False`` vetoes the injection.
+
+        A fault is vetoed when the plan is disarmed or the
+        ``max_faults`` budget is spent.  A granted fault is counted
+        immediately, so :meth:`counts` never under-reports what was
+        actually injected.
+        """
+        with self._lock:
+            if not self._armed:
+                return False
+            if self.max_faults is not None and self._total >= self.max_faults:
+                return False
+            self._total += 1
+            self._counts[kind] = self._counts.get(kind, 0) + 1
+            return True
+
+    @property
+    def injected(self) -> int:
+        """Total faults injected so far, across every lane and injector."""
+        with self._lock:
+            return self._total
+
+    def counts(self) -> Dict[str, int]:
+        """Snapshot of injected-fault counts per kind."""
+        with self._lock:
+            return dict(self._counts)
+
+    def kinds_injected(self) -> FrozenSet[str]:
+        """The set of fault kinds that have fired at least once."""
+        with self._lock:
+            return frozenset(
+                kind for kind, count in self._counts.items() if count
+            )
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return "FaultPlan(seed=%d, %s, injected=%d%s)" % (
+                self.seed,
+                "armed" if self._armed else "disarmed",
+                self._total,
+                ""
+                if self.max_faults is None
+                else "/%d" % self.max_faults,
+            )

@@ -1,0 +1,216 @@
+"""Fault-injecting stream wrappers for the TCP transport.
+
+:func:`faulty_stream` builds a :data:`~repro.transport.streams.
+StreamWrapper` from a :class:`~repro.faults.plan.FaultPlan`: plug it
+into ``PubSubServer(stream_wrapper=...)`` or
+``PubSubClient(stream_wrapper=...)`` and every connection's byte
+streams are interposed by a :class:`FaultyReader`/:class:`FaultyWriter`
+pair that misbehaves exactly where the plan's seeded lanes say to.
+The happy path is untouched: without a wrapper, the transport uses the
+raw asyncio streams, and a wrapped connection with a disarmed plan is
+a pass-through.
+
+Fault semantics (all at real stream boundaries, so they exercise the
+same code paths genuine network weather does):
+
+``reset``
+    *Write side*: the transport is aborted — the peer sees a
+    connection reset, this side's later writes are swallowed.
+    *Read side*: raises ``ConnectionResetError`` out of ``read`` —
+    a one-way failure; the socket itself may linger half-open, exactly
+    like a real asymmetric partition, until a reconnect supersedes it.
+
+``short_write``
+    A prefix of the chunk is written now; the remainder is held back
+    and flushed ``holdback_seconds`` later (or coalesced into the next
+    write).  The peer's :class:`~repro.transport.protocol.FrameDecoder`
+    sees a frame cut at an arbitrary byte.
+
+``merge``
+    The whole chunk is held back briefly so it coalesces with the next
+    write — several frames arrive in one read on the peer.
+
+``split``
+    A read returns only a prefix; the tail arrives on the *next* read.
+
+``stall``
+    The bytes move only after ``stall_seconds`` of silence — long
+    enough, under an aggressive plan, to trip heartbeat liveness.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional, Tuple
+
+from repro.faults.plan import FaultLane, FaultPlan
+from repro.transport.streams import (
+    StreamWrapper,
+    TransportReader,
+    TransportWriter,
+)
+
+
+class FaultyReader:
+    """A :class:`~repro.transport.streams.TransportReader` that injects
+    read-side faults (``reset``, ``stall``, ``split``) per its lane."""
+
+    def __init__(self, inner: TransportReader, lane: FaultLane) -> None:
+        self._inner = inner
+        self._lane = lane
+        self._held = b""
+
+    async def read(self, n: int = -1) -> bytes:
+        if self._held:
+            # The tail of a split chunk arrives on its own read, so the
+            # decoder sees the frame boundary the fault manufactured.
+            data, self._held = self._held, b""
+            return data
+        data = await self._inner.read(n)
+        if not data:
+            return data
+        loop = asyncio.get_running_loop()
+        fault = self._lane.poll(len(data), loop.time())
+        if fault is None:
+            return data
+        kind, offset = fault
+        if kind == "reset":
+            raise ConnectionResetError("fault injection: connection reset")
+        if kind == "stall":
+            await asyncio.sleep(self._lane.stall_seconds)
+            return data
+        # split: deliver a strict prefix now when the chunk allows one.
+        if len(data) > 1:
+            cut = min(max(1, offset), len(data) - 1)
+            self._held = data[cut:]
+            return data[:cut]
+        return data
+
+
+class FaultyWriter:
+    """A :class:`~repro.transport.streams.TransportWriter` that injects
+    write-side faults (``reset``, ``short_write``, ``merge``,
+    ``stall``) per its lane.
+
+    Held-back bytes (``short_write`` tails, ``merge`` chunks) are
+    always either coalesced into the next write or flushed by a
+    ``holdback_seconds`` timer — the wrapper delays and re-chunks, but
+    never loses, bytes the transport asked it to send.  Only ``reset``
+    drops data, as a real reset would.
+    """
+
+    def __init__(
+        self,
+        inner: TransportWriter,
+        lane: FaultLane,
+        loop: asyncio.AbstractEventLoop,
+    ) -> None:
+        self._inner = inner
+        self._lane = lane
+        self._loop = loop
+        self._pending = bytearray()
+        self._flush_handle: Optional[asyncio.TimerHandle] = None
+        self._stall = 0.0
+        self._reset = False
+
+    @property
+    def transport(self) -> asyncio.WriteTransport:
+        return self._inner.transport
+
+    def write(self, data: bytes) -> None:
+        if self._reset:
+            return
+        if self._pending:
+            data = bytes(self._pending) + data
+            self._pending.clear()
+            self._cancel_flush()
+        fault = self._lane.poll(len(data), self._loop.time())
+        if fault is None:
+            self._inner.write(data)
+            return
+        kind, offset = fault
+        if kind == "reset":
+            self._reset = True
+            self._cancel_flush()
+            try:
+                self._inner.transport.abort()
+            except (ConnectionError, OSError, RuntimeError):
+                pass
+            return
+        if kind == "stall":
+            self._stall = self._lane.stall_seconds
+            self._inner.write(data)
+            return
+        if kind == "short_write":
+            head, tail = data[:offset], data[offset:]
+            if head:
+                self._inner.write(head)
+            if tail:
+                self._pending.extend(tail)
+                self._arm_flush()
+            return
+        # merge: hold the whole chunk for coalescing with the next one.
+        self._pending.extend(data)
+        self._arm_flush()
+
+    async def drain(self) -> None:
+        stall, self._stall = self._stall, 0.0
+        if stall:
+            await asyncio.sleep(stall)
+        await self._inner.drain()
+
+    def close(self) -> None:
+        self._cancel_flush()
+        self._flush_pending()
+        self._inner.close()
+
+    # -- holdback plumbing ---------------------------------------------------
+
+    def _arm_flush(self) -> None:
+        if self._flush_handle is None:
+            self._flush_handle = self._loop.call_later(
+                self._lane.holdback_seconds, self._fire_flush
+            )
+
+    def _cancel_flush(self) -> None:
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+
+    def _fire_flush(self) -> None:
+        self._flush_handle = None
+        self._flush_pending()
+
+    def _flush_pending(self) -> None:
+        if self._reset or not self._pending:
+            return
+        data = bytes(self._pending)
+        self._pending.clear()
+        try:
+            self._inner.write(data)
+        except (ConnectionError, OSError, RuntimeError):
+            pass
+
+
+def faulty_stream(plan: FaultPlan, label: str) -> StreamWrapper:
+    """A :data:`~repro.transport.streams.StreamWrapper` driven by ``plan``.
+
+    Every invocation (one per connection) claims the next attempt index
+    for ``label``, so each reconnect runs fresh, independent — but
+    still seed-determined — read and write fault lanes.
+
+    >>> plan = FaultPlan(7, mean_gap_bytes=64.0, min_first_gap_bytes=0)
+    >>> wrapper = faulty_stream(plan, "alice")  # pass to PubSubClient
+    """
+
+    def wrap(
+        reader: TransportReader, writer: TransportWriter
+    ) -> Tuple[TransportReader, TransportWriter]:
+        attempt = plan.next_attempt(label)
+        loop = asyncio.get_running_loop()
+        return (
+            FaultyReader(reader, plan.wire_lane(label, attempt, "read")),
+            FaultyWriter(writer, plan.wire_lane(label, attempt, "write"), loop),
+        )
+
+    return wrap

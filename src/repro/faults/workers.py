@@ -1,0 +1,123 @@
+"""Fault injection for the process-shard worker pool.
+
+A :class:`WorkerFaultInjector` turns a :class:`~repro.faults.plan.
+FaultPlan`'s worker schedule into concrete pool failures:
+
+* ``worker_kill`` — terminate the target shard's worker process right
+  before a ``match`` request is sent, so the in-flight ``match_batch``
+  sees exactly what a crashed worker produces (a dead pipe and a
+  liveness-poll failure in :meth:`~repro.matching.process_pool.
+  ShardWorkerPool.recv`);
+* ``pack_fail`` — fail the parent-side shared-memory packing of the
+  batch (an allocation failure), before any worker is involved.
+
+Hook points: :class:`~repro.matching.process_pool.ShardWorkerPool`
+calls :meth:`before_send` from ``send`` when an injector is installed,
+and :class:`~repro.matching.sharded.ShardedMatcher` calls
+:meth:`before_pack` just before ``pack_columns`` — i.e. the injector
+sits inside the real request path, so the retry/circuit-breaker
+machinery it exercises is the same machinery genuine crashes hit.
+
+Each kind runs its own seeded call-count schedule (gaps drawn from an
+exponential with mean ``plan.worker_mean_gap_calls``, floored at one
+call), so ``worker_mean_gap_calls=1.0`` is a crash loop — every
+request dies — and larger means give sporadic, recoverable failures.
+Every injected fault is claimed from the plan's budget via
+:meth:`~repro.faults.plan.FaultPlan.take`, sharing the counters the
+wire lanes report into.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.errors import MatchingError
+from repro.faults.plan import FaultPlan
+from repro.util.rng import make_rng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.matching.process_pool import ShardWorkerPool
+
+
+class _CallSchedule:
+    """A seeded every-N-calls trigger (N ~ max(1, Exp(mean)))."""
+
+    def __init__(self, rng: np.random.Generator, mean_gap_calls: float) -> None:
+        self._rng = rng
+        self._mean = mean_gap_calls
+        self._calls = 0
+        self._next_at = self._draw() if mean_gap_calls > 0 else -1
+
+    def _draw(self) -> int:
+        return self._calls + max(1, int(self._rng.exponential(self._mean)))
+
+    def fires(self) -> bool:
+        if self._next_at < 0:
+            return False
+        self._calls += 1
+        if self._calls < self._next_at:
+            return False
+        self._next_at = self._draw()
+        return True
+
+
+class WorkerFaultInjector:
+    """Seeded worker-pool faults, driven by a plan's worker schedule.
+
+    ``label`` separates the rng streams of injectors sharing one plan
+    (one injector per matcher, say); the plan's counters and budget
+    stay shared.  Thread-safe: the matching path may be driven from
+    any number of service threads.
+    """
+
+    def __init__(self, plan: FaultPlan, label: str = "pool") -> None:
+        self._plan = plan
+        self._lock = threading.Lock()
+        mean = plan.worker_mean_gap_calls
+        kinds = plan.worker_kinds
+        self._kill = _CallSchedule(
+            make_rng(plan.seed, "workers", label, "kill"),
+            mean if "worker_kill" in kinds else 0.0,
+        )
+        self._pack = _CallSchedule(
+            make_rng(plan.seed, "workers", label, "pack"),
+            mean if "pack_fail" in kinds else 0.0,
+        )
+
+    def before_pack(self) -> None:
+        """Called by the matcher before packing a batch; may raise."""
+        with self._lock:
+            fire = self._pack.fires() and self._plan.take("pack_fail")
+        if fire:
+            raise MatchingError(
+                "fault injection: shared-memory packing failed"
+            )
+
+    def before_send(
+        self, pool: "ShardWorkerPool", shard: int, command: str
+    ) -> None:
+        """Called by the pool before dispatching ``command`` to ``shard``.
+
+        Only ``match`` requests are eligible — introspection and
+        lifecycle traffic stays reliable, as the issue's fault model
+        (kill mid-``match_batch``) specifies.
+        """
+        if command != "match":
+            return
+        with self._lock:
+            fire = self._kill.fires() and self._plan.take("worker_kill")
+        if fire:
+            pool.kill_worker(shard)
+
+
+def worker_injector(
+    plan: FaultPlan, label: str = "pool"
+) -> Optional[WorkerFaultInjector]:
+    """An injector for ``plan``, or ``None`` if it schedules no worker
+    faults — convenient for wiring optional chaos into a matcher."""
+    if not plan.worker_kinds or plan.worker_mean_gap_calls <= 0:
+        return None
+    return WorkerFaultInjector(plan, label)

@@ -176,12 +176,17 @@ class ShardWorkerPool:
         shard_count: int,
         compact_free_fraction: Optional[float] = 0.5,
         start_method: Optional[str] = None,
+        fault_injector: Any = None,
     ) -> None:
         method = start_method or os.environ.get(START_METHOD_ENV) or None
         context = multiprocessing.get_context(method)
         self._processes: List[multiprocessing.process.BaseProcess] = []
         self._connections: List[Connection] = []
         self._closed = False
+        #: Optional chaos hook (``before_send(pool, shard, command)``),
+        #: e.g. :class:`repro.faults.WorkerFaultInjector`; consulted on
+        #: every dispatch so injected crashes ride the real request path.
+        self.fault_injector = fault_injector
         for index in range(shard_count):
             parent_end, child_end = context.Pipe()
             process = context.Process(
@@ -215,6 +220,8 @@ class ShardWorkerPool:
         """Dispatch a request to one shard worker (non-blocking)."""
         if self._closed:
             raise MatchingError("shard worker pool is closed")
+        if self.fault_injector is not None:
+            self.fault_injector.before_send(self, shard, command)
         try:
             self._connections[shard].send((command, list(ops), payload))
         except (OSError, ValueError, BrokenPipeError) as exc:
@@ -241,6 +248,17 @@ class ShardWorkerPool:
         if status == "error":
             raise MatchingError("shard worker %d failed: %s" % (shard, result))
         return result
+
+    def kill_worker(self, shard: int) -> None:
+        """Terminate one shard's worker process, as a crash would.
+
+        The pipe stays open on the parent side; the next :meth:`recv`
+        for the shard reports the death via its liveness poll.  Used by
+        fault injection; harmless on an already-dead worker.
+        """
+        process = self._processes[shard]
+        process.terminate()
+        process.join(5.0)
 
     def request(
         self,

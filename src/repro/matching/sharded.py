@@ -26,8 +26,13 @@ Three executors fan a batch out:
   (:func:`repro.subscriptions.serialize.op_to_dict`) to the shard's
   pending log, drained with the next request.  A fresh or restarted
   pool is seeded by replaying the full table into the log — the broker
-  restart/migration machinery — and a worker failure tears the pool
-  down so the next match transparently rebuilds it.
+  restart/migration machinery.  A worker failure tears the pool down
+  and the *same* ``match_batch`` call retries on a fresh pool; a crash
+  loop (``crash_loop_threshold`` failures inside a trailing
+  ``crash_loop_window``) trips a circuit breaker that degrades the
+  matcher to the in-process ``"threads"`` executor with bit-identical
+  results (:meth:`ShardedMatcher.health_report` tells the story;
+  ``crash_loop_threshold=None`` restores raise-on-failure).
 
 Design invariants:
 
@@ -65,8 +70,21 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from concurrent.futures import Executor, ThreadPoolExecutor
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar, Union
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+    Union,
+)
 
 from repro.errors import MatchingError
 from repro.events import Event, EventBatch
@@ -88,6 +106,30 @@ _MASK64 = (1 << 64) - 1
 #: processes fed shared-memory batches), or any
 #: ``concurrent.futures.Executor`` instance (treated like threads).
 ExecutorSpec = Union[str, Executor]
+
+
+class PoolHealth(NamedTuple):
+    """Snapshot of a :class:`ShardedMatcher`'s self-healing state.
+
+    ``executor`` is the mode currently serving matches (``"processes"``
+    until the crash-loop breaker trips, ``"threads"`` after a
+    degradation); ``crashes`` counts every worker-pool failure observed,
+    ``recent_crashes`` only those within the trailing
+    ``crash_loop_window`` seconds, and ``rebuilds`` how many times a
+    fresh pool was built beyond the first.  ``degraded_reason`` records
+    why the breaker tripped (``None`` while healthy); ``last_crash`` is
+    a ``time.monotonic()`` stamp.
+    """
+
+    executor: str
+    degraded: bool
+    crashes: int
+    rebuilds: int
+    recent_crashes: int
+    crash_loop_threshold: Optional[int]
+    crash_loop_window: float
+    degraded_reason: Optional[str]
+    last_crash: Optional[float]
 
 
 def shard_of(subscription_id: int, shard_count: int) -> int:
@@ -137,14 +179,40 @@ class ShardedMatcher(Matcher):
         executor: ExecutorSpec = "threads",
         compact_free_fraction: Optional[float] = 0.5,
         start_method: Optional[str] = None,
+        crash_loop_threshold: Optional[int] = 3,
+        crash_loop_window: float = 30.0,
     ) -> None:
         if shards < 1:
             raise MatchingError("shard count must be >= 1, got %d" % shards)
+        if crash_loop_threshold is not None and crash_loop_threshold < 1:
+            raise MatchingError(
+                "crash_loop_threshold must be >= 1 or None, got %d"
+                % crash_loop_threshold
+            )
+        if crash_loop_window <= 0:
+            raise MatchingError(
+                "crash_loop_window must be > 0, got %r" % crash_loop_window
+            )
         self._shard_count = shards
         self._compact_free_fraction = compact_free_fraction
         self._start_method = start_method
         self.statistics = MatchStatistics()
         self._lock = threading.Lock()
+        # Self-healing state ("processes" mode): worker-pool failures
+        # tear the pool down and retry on fresh workers; the crash-loop
+        # circuit breaker counts failures in a trailing window and, at
+        # the threshold, degrades to the in-process thread executor
+        # (``None`` disables both — failures raise, as diagnostics
+        # sometimes want).
+        self._crash_loop_threshold = crash_loop_threshold
+        self._crash_loop_window = crash_loop_window
+        self._fault_injector: Any = None
+        self._crash_times: Deque[float] = deque()
+        self._crashes = 0
+        self._pools_built = 0
+        self._degraded = False
+        self._degraded_reason: Optional[str] = None
+        self._last_crash: Optional[float] = None
         self._executor: Optional[Executor] = None
         self._owns_executor = False
         self._threaded = False
@@ -383,7 +451,9 @@ class ShardedMatcher(Matcher):
                 self._shard_count,
                 self._compact_free_fraction,
                 self._start_method,
+                fault_injector=self._fault_injector,
             )
+            self._pools_built += 1
             for shard, table in enumerate(self._tables):
                 self._pending[shard] = [
                     op_to_dict("register", subscription)
@@ -406,48 +476,143 @@ class ShardedMatcher(Matcher):
             if self._tables[shard] or self._pending[shard]
         ]
 
+    def set_fault_injector(self, injector: Any) -> None:
+        """Install (or clear, with ``None``) a chaos hook.
+
+        ``injector`` duck-types :class:`repro.faults.WorkerFaultInjector`
+        — ``before_pack()`` runs ahead of each batch's shared-memory
+        packing, ``before_send(pool, shard, command)`` ahead of each
+        worker dispatch.  Applies to the live pool immediately.
+        """
+        with self._lock:
+            self._fault_injector = injector
+            if self._pool is not None:
+                self._pool.fault_injector = injector
+
+    def _note_crash(self) -> int:
+        """Record one worker-pool failure; returns the in-window count.
+
+        Caller holds the lock.
+        """
+        now = time.monotonic()
+        self._crashes += 1
+        self._last_crash = now
+        self._crash_times.append(now)
+        cutoff = now - self._crash_loop_window
+        while self._crash_times and self._crash_times[0] < cutoff:
+            self._crash_times.popleft()
+        return len(self._crash_times)
+
+    def _degrade_to_threads(self, reason: str) -> None:
+        """Trip the breaker: rebuild in-process shard engines and leave
+        ``"processes"`` mode for good (this matcher's lifetime).
+
+        Caller holds the lock.  The engines are rebuilt from the
+        authority tables in sorted id order — the same replay order that
+        seeds worker replicas — so results stay bit-identical to what
+        the pool produced.
+        """
+        matchers = tuple(
+            CountingMatcher(self._compact_free_fraction)
+            for _ in range(self._shard_count)
+        )
+        for shard, table in enumerate(self._tables):
+            for _, subscription in sorted(table.items()):
+                matchers[shard].register(subscription)
+        self._matchers = matchers
+        self._processes = False
+        self._threaded = True
+        self._degraded = True
+        self._degraded_reason = reason
+        self._pending = [[] for _ in range(self._shard_count)]
+
+    def _dispatch_match(
+        self, columns: object, count: int
+    ) -> Tuple[List[List[int]], Tuple[int, int, int, int]]:
+        """One pool round trip (caller holds the lock); may raise
+        :class:`~repro.errors.MatchingError` on any worker failure."""
+        pool = self._ensure_pool()
+        merged: List[List[int]] = [[] for _ in range(count)]
+        deltas = (0, 0, 0, 0)
+        if self._fault_injector is not None:
+            self._fault_injector.before_pack()
+        packed = pack_columns(columns)
+        try:
+            targets = self._sync_targets()
+            for shard in targets:
+                ops = self._pending[shard]
+                self._pending[shard] = []
+                pool.send(shard, "match", ops, packed)
+            for shard in targets:
+                matched, shard_deltas = pool.recv(shard)
+                deltas = tuple(
+                    total + delta
+                    for total, delta in zip(deltas, shard_deltas)
+                )
+                for row, ids in enumerate(matched):
+                    if ids:
+                        merged[row].extend(ids)
+        finally:
+            release_columns(packed)
+        return merged, deltas
+
     def _match_batch_remote(self, batch: EventBatch) -> List[List[int]]:
         count = len(batch.events)
         columns = batch.columns()
         with self._lock:
             started = time.perf_counter()
-            pool = self._ensure_pool()
-            merged: List[List[int]] = [[] for _ in range(count)]
+            merged: List[List[int]] = []
             deltas = (0, 0, 0, 0)
-            packed = pack_columns(columns)
-            try:
-                targets = self._sync_targets()
+            while self._processes:
                 try:
-                    for shard in targets:
-                        ops = self._pending[shard]
-                        self._pending[shard] = []
-                        pool.send(shard, "match", ops, packed)
-                    for shard in targets:
-                        matched, shard_deltas = pool.recv(shard)
-                        deltas = tuple(
-                            total + delta
-                            for total, delta in zip(deltas, shard_deltas)
-                        )
-                        for row, ids in enumerate(matched):
-                            if ids:
-                                merged[row].extend(ids)
-                except MatchingError:
+                    merged, deltas = self._dispatch_match(columns, count)
+                    break
+                except MatchingError as error:
                     # A failed worker invalidates the replicas: drop the
-                    # pool; the next call replays the tables into a
-                    # fresh one.
+                    # pool.  With the breaker enabled the *same call*
+                    # retries on a fresh pool (tables replayed), and a
+                    # crash loop — threshold failures inside the window
+                    # — degrades to the in-process thread executor
+                    # below, with bit-identical results.
                     self._teardown_pool()
-                    raise
-            finally:
-                release_columns(packed)
-            results = [sorted(ids) for ids in merged]
-            stats = self.statistics
-            stats.events += count
-            stats.matches += deltas[0]
-            stats.candidates += deltas[1]
-            stats.tree_evaluations += deltas[2]
-            stats.fulfilled_predicates += deltas[3]
-            stats.elapsed_seconds += time.perf_counter() - started
-        return results
+                    recent = self._note_crash()
+                    if self._crash_loop_threshold is None:
+                        raise
+                    if recent >= self._crash_loop_threshold:
+                        self._degrade_to_threads(
+                            "crash loop: %d worker-pool failures within "
+                            "%.6gs window (last: %s)"
+                            % (recent, self._crash_loop_window, error)
+                        )
+            if self._processes:
+                results = [sorted(ids) for ids in merged]
+                stats = self.statistics
+                stats.events += count
+                stats.matches += deltas[0]
+                stats.candidates += deltas[1]
+                stats.tree_evaluations += deltas[2]
+                stats.fulfilled_predicates += deltas[3]
+                stats.elapsed_seconds += time.perf_counter() - started
+                return results
+            # Degraded (this call or a concurrent one): the in-process
+            # shard engines serve the batch.
+            before = self._counter_totals()
+            per_shard = self._map(
+                lambda matcher: matcher.match_batch(batch)
+                if matcher.subscription_count
+                else None
+            )
+            results = [
+                sorted(
+                    sub_id
+                    for matched in per_shard
+                    if matched is not None
+                    for sub_id in matched[row]
+                )
+                for row in range(count)
+            ]
+            self._account(count, before, started)
+            return results
 
     def _remote_counts(self) -> Tuple[int, int, int, int]:
         """Summed worker introspection (subs, entries, trees, negated).
@@ -468,6 +633,7 @@ class ShardedMatcher(Matcher):
                 totals = [total + count for total, count in zip(totals, counts)]
         except MatchingError:
             self._teardown_pool()
+            self._note_crash()
             raise
         return totals[0], totals[1], totals[2], totals[3]
 
@@ -535,6 +701,30 @@ class ShardedMatcher(Matcher):
                 matcher.negated_entry_count for matcher in self._matchers
             )
 
+    def health_report(self) -> PoolHealth:
+        """The matcher's self-healing state (see :class:`PoolHealth`)."""
+        with self._lock:
+            now = time.monotonic()
+            cutoff = now - self._crash_loop_window
+            recent = sum(1 for stamp in self._crash_times if stamp >= cutoff)
+            if self._processes:
+                executor = "processes"
+            elif self._threaded:
+                executor = "threads"
+            else:
+                executor = "serial"
+            return PoolHealth(
+                executor=executor,
+                degraded=self._degraded,
+                crashes=self._crashes,
+                rebuilds=max(0, self._pools_built - 1),
+                recent_crashes=recent,
+                crash_loop_threshold=self._crash_loop_threshold,
+                crash_loop_window=self._crash_loop_window,
+                degraded_reason=self._degraded_reason,
+                last_crash=self._last_crash,
+            )
+
     @property
     def shard_populations(self) -> List[int]:
         """Registered subscriptions per shard (balance diagnostics)."""
@@ -559,6 +749,7 @@ class ShardedMatcher(Matcher):
                         merged.update(pool.recv(shard))
                 except MatchingError:
                     self._teardown_pool()
+                    self._note_crash()
                     raise
                 return merged
             for matcher in self._matchers:
@@ -593,7 +784,7 @@ class ShardedMatcher(Matcher):
         if self._processes:
             mode = "processes"
         elif self._threaded:
-            mode = "threaded"
+            mode = "threaded (degraded)" if self._degraded else "threaded"
         else:
             mode = "serial"
         return "ShardedMatcher(%d shards, %d subscriptions, %s)" % (

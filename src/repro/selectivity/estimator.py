@@ -71,12 +71,15 @@ NEVER = SelectivityEstimate(0.0, 0.0, 0.0)
 def _ordered(lower: float, avg: float, upper: float) -> SelectivityEstimate:
     """Clamp into [0, 1] and project avg into [lower, upper].
 
-    The independence average lies within the Fréchet bounds analytically,
-    but float round-off can break the ordering for extreme probabilities
-    (e.g. ``1 - (1 - 1e-300) == 0.0``); projecting restores the invariant.
+    The Fréchet bounds are ordered and the independence average lies
+    between them analytically, but float round-off can break either
+    invariant for extreme probabilities (``1 - (1 - 1e-300) == 0.0``;
+    ``1.0 + (1 - 2**-53)`` rounds up to ``2.0``, pushing the AND lower
+    bound above its upper bound); projecting restores both.
     """
     lower = min(1.0, max(0.0, lower))
     upper = min(1.0, max(0.0, upper))
+    lower = min(lower, upper)
     avg = min(upper, max(lower, avg))
     return SelectivityEstimate(lower, avg, upper)
 

@@ -27,6 +27,7 @@ backpressure") for the dataflow and locking discipline.
 """
 
 from repro.service.backpressure import (
+    DEAD_LETTER_REASONS,
     POLICIES,
     BoundedDeliveryQueue,
     DeadLetter,
@@ -50,6 +51,7 @@ __all__ = [
     "CallbackSink",
     "CollectingSink",
     "CountingSink",
+    "DEAD_LETTER_REASONS",
     "DeadLetter",
     "DeadLetterSink",
     "DeliverySink",

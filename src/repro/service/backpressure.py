@@ -41,7 +41,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Deque, List, NamedTuple, Optional, Tuple
+from typing import Deque, Dict, List, NamedTuple, Optional, Tuple
 
 from repro.errors import ServiceError
 from repro.service.sinks import Notification
@@ -57,6 +57,21 @@ REASON_CLOSED = "closed"                 #: arrived after (or while) the queue c
 REASON_BLOCK_TIMEOUT = "block_timeout"   #: a bounded ``block`` wait expired
 REASON_SINK_CLOSED = "sink_closed"       #: delivered to an :class:`~repro.service.sinks.AsyncDeliverySink` after ``aclose``
 REASON_LOOP_CLOSED = "loop_closed"       #: the async sink's event loop had shut down
+
+#: The complete dead-letter reason taxonomy, in declaration order.
+#: Every ``DeadLetterSink.record`` call site in the library passes one
+#: of these constants (enforced by ``tests/test_backpressure.py``), so
+#: dashboards and tests can switch on reasons without string drift;
+#: :meth:`DeadLetterSink.counters` is keyed by it.
+DEAD_LETTER_REASONS: Tuple[str, ...] = (
+    REASON_DROP_OLDEST,
+    REASON_DISCONNECT,
+    REASON_DISCONNECTED,
+    REASON_CLOSED,
+    REASON_BLOCK_TIMEOUT,
+    REASON_SINK_CLOSED,
+    REASON_LOOP_CLOSED,
+)
 
 
 class DeadLetter(NamedTuple):
@@ -96,6 +111,24 @@ class DeadLetterSink:
     def notifications(self) -> List[Notification]:
         """The dropped notifications only, in drop order."""
         return [letter.notification for letter in self.letters]
+
+    def counters(self) -> Dict[str, int]:
+        """Drop counts per reason, zero-filled over the full taxonomy.
+
+        Every name in :data:`DEAD_LETTER_REASONS` is present (0 when
+        nothing was dropped for it), so callers can difference two
+        snapshots without key-existence bookkeeping.  Reasons outside
+        the taxonomy (user code can pass any string) appear only when
+        recorded.
+
+        >>> DeadLetterSink().counters()[REASON_DROP_OLDEST]
+        0
+        """
+        counts = {reason: 0 for reason in DEAD_LETTER_REASONS}
+        with self._lock:
+            for letter in self._letters:
+                counts[letter.reason] = counts.get(letter.reason, 0) + 1
+        return counts
 
     def clear(self) -> None:
         """Forget everything recorded so far."""

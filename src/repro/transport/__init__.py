@@ -7,16 +7,33 @@ TCP server (:class:`~repro.transport.server.PubSubServer`) and client
 JSON frames (:mod:`repro.transport.protocol`).  The PR-7 bounded
 delivery queues become per-connection send buffers, disconnected
 clients resume their session by token with no loss or duplication, and
-the remote API mirrors the in-process session surface.  See
-``docs/ARCHITECTURE.md`` ("Transport").
+the remote API mirrors the in-process session surface.  Both sides can
+heartbeat (``ping``/``pong``) — the server reaps dead peers into
+resumable detached sessions, the client aborts unresponsive
+connections and, with ``auto_reconnect``, heals them under capped
+jittered backoff; every ``goodbye`` carries a reason from the
+``GOODBYE_*`` taxonomy that :func:`~repro.transport.protocol.
+resumable_disconnect` classifies.  See ``docs/ARCHITECTURE.md``
+("Transport" and "Fault tolerance").
 """
 
 from repro.transport.client import PubSubClient, RemoteSubscriptionHandle
 from repro.transport.protocol import (
     ENVELOPE_SCHEMA,
     ENVELOPE_TYPES,
+    GOODBYE_ACK_OVERDUE,
+    GOODBYE_AUTH,
+    GOODBYE_BAD_VERSION,
+    GOODBYE_CLIENT_CLOSE,
+    GOODBYE_CLIENT_GOODBYE,
+    GOODBYE_IDLE_TIMEOUT,
+    GOODBYE_PROTOCOL_ERROR,
+    GOODBYE_SERVER_SHUTDOWN,
+    GOODBYE_SLOW_CONSUMER,
+    GOODBYE_UNKNOWN_TOKEN,
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
+    RESUMABLE_GOODBYE_REASONS,
     Envelope,
     FrameDecoder,
     encode_frame,
@@ -24,9 +41,15 @@ from repro.transport.protocol import (
     event_from_wire,
     event_to_wire,
     notification_from_envelope,
+    resumable_disconnect,
     validate_envelope,
 )
 from repro.transport.server import PubSubServer
+from repro.transport.streams import (
+    StreamWrapper,
+    TransportReader,
+    TransportWriter,
+)
 
 __all__ = [
     "encode_frame",
@@ -37,11 +60,26 @@ __all__ = [
     "event_from_wire",
     "event_to_wire",
     "FrameDecoder",
+    "GOODBYE_ACK_OVERDUE",
+    "GOODBYE_AUTH",
+    "GOODBYE_BAD_VERSION",
+    "GOODBYE_CLIENT_CLOSE",
+    "GOODBYE_CLIENT_GOODBYE",
+    "GOODBYE_IDLE_TIMEOUT",
+    "GOODBYE_PROTOCOL_ERROR",
+    "GOODBYE_SERVER_SHUTDOWN",
+    "GOODBYE_SLOW_CONSUMER",
+    "GOODBYE_UNKNOWN_TOKEN",
     "MAX_FRAME_BYTES",
     "notification_from_envelope",
     "PROTOCOL_VERSION",
     "PubSubClient",
     "PubSubServer",
     "RemoteSubscriptionHandle",
+    "resumable_disconnect",
+    "RESUMABLE_GOODBYE_REASONS",
+    "StreamWrapper",
+    "TransportReader",
+    "TransportWriter",
     "validate_envelope",
 ]

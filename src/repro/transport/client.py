@@ -32,6 +32,7 @@ replays the unacknowledged tail.  Use as an async context manager::
 from __future__ import annotations
 
 import asyncio
+import random
 from typing import Any, Callable, Dict, List, Optional, Type
 
 from repro.errors import ProtocolError, TransportError
@@ -40,13 +41,35 @@ from repro.service.sinks import Notification
 from repro.subscriptions.nodes import Node
 from repro.subscriptions.serialize import node_to_dict
 from repro.transport.protocol import (
+    GOODBYE_CLIENT_CLOSE,
     PROTOCOL_VERSION,
     Envelope,
     FrameDecoder,
     encode_frame,
     event_to_wire,
     notification_from_envelope,
+    resumable_disconnect,
 )
+from repro.transport.streams import (
+    StreamWrapper,
+    TransportReader,
+    TransportWriter,
+)
+
+#: Attempt-0 envelope of the default reconnect backoff (seconds).
+RECONNECT_BASE = 0.05
+#: Envelope ceiling of the default reconnect backoff (seconds).
+RECONNECT_CAP = 5.0
+
+#: ``hello``-refusal codes after which retrying the token is pointless.
+_TERMINAL_DIAL_CODES = frozenset({"unknown-token", "auth", "bad-version"})
+
+
+def _default_backoff(attempt: int) -> float:
+    """Capped exponential backoff with full jitter (not seeded — for a
+    deterministic schedule pass ``backoff=repro.faults.BackoffSchedule``)."""
+    envelope = min(RECONNECT_CAP, RECONNECT_BASE * (2.0 ** min(attempt, 32)))
+    return random.uniform(0.0, envelope)
 
 
 class RemoteSubscriptionHandle:
@@ -133,6 +156,25 @@ class PubSubClient:
     folded into :attr:`notifications`) and :attr:`duplicates` (replayed
     deliveries it dropped), and keeps its session :attr:`token` across
     :meth:`abort`/:meth:`reconnect` cycles.
+
+    Self-healing knobs (all off by default):
+
+    * ``heartbeat_interval`` — ping the server after that many quiet
+      seconds; ``liveness_timeout`` — declare the connection dead (abort
+      the socket, counted in :attr:`liveness_expiries`) after that many
+      seconds with *nothing* inbound.
+    * ``auto_reconnect`` — when an established connection drops for a
+      resumable reason (network fault, or a goodbye in
+      :data:`~repro.transport.protocol.RESUMABLE_GOODBYE_REASONS`), a
+      supervisor task redials with ``backoff`` delays (capped
+      exponential, full jitter by default; any ``Callable[[int], float]``
+      works, e.g. :class:`repro.faults.BackoffSchedule`), resuming by
+      token for up to ``max_reconnect_attempts`` tries per outage.
+      Successful recoveries are counted in :attr:`reconnects` and timed
+      in :attr:`recovery_latencies`; terminal goodbyes (auth, unknown
+      token, shutdown) stop the supervisor for good.
+    * ``stream_wrapper`` — interpose the connection's byte streams
+      (chaos testing; see :func:`repro.faults.faulty_stream`).
     """
 
     def __init__(
@@ -146,6 +188,12 @@ class PubSubClient:
         queue_capacity: Optional[int] = None,
         policy: Optional[str] = None,
         on_event: Optional[Callable[[Notification], None]] = None,
+        heartbeat_interval: Optional[float] = None,
+        liveness_timeout: Optional[float] = None,
+        auto_reconnect: bool = False,
+        backoff: Optional[Callable[[int], float]] = None,
+        max_reconnect_attempts: int = 8,
+        stream_wrapper: Optional[StreamWrapper] = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -165,16 +213,40 @@ class PubSubClient:
         self.protocol_errors: List[ProtocolError] = []
         #: ``goodbye`` reason received from the server, if any.
         self.goodbye_reason: Optional[str] = None
+        if heartbeat_interval is not None and heartbeat_interval <= 0:
+            raise TransportError("heartbeat_interval must be > 0")
+        if liveness_timeout is not None and liveness_timeout <= 0:
+            raise TransportError("liveness_timeout must be > 0")
+        if max_reconnect_attempts < 1:
+            raise TransportError("max_reconnect_attempts must be >= 1")
+        self.heartbeat_interval = heartbeat_interval
+        self.liveness_timeout = liveness_timeout
+        self.auto_reconnect = auto_reconnect
+        self.backoff: Callable[[int], float] = (
+            backoff if backoff is not None else _default_backoff
+        )
+        self.max_reconnect_attempts = max_reconnect_attempts
+        self.stream_wrapper = stream_wrapper
+        #: Successful automatic session resumes.
+        self.reconnects = 0
+        #: Seconds from each connection drop to its successful resume.
+        self.recovery_latencies: List[float] = []
+        #: Times the liveness timeout declared the connection dead.
+        self.liveness_expiries = 0
         self._on_event = on_event
-        self._reader: Optional[asyncio.StreamReader] = None
-        self._writer: Optional[asyncio.StreamWriter] = None
+        self._reader: Optional[TransportReader] = None
+        self._writer: Optional[TransportWriter] = None
         self._reader_task: Optional["asyncio.Task[None]"] = None
+        self._heartbeat_task: Optional["asyncio.Task[None]"] = None
+        self._reconnect_task: Optional["asyncio.Task[None]"] = None
         self._pending: Dict[int, "asyncio.Future[Envelope]"] = {}
         self._welcome: Optional["asyncio.Future[Envelope]"] = None
         self._notified: Optional[asyncio.Event] = None
         self._goodbye_seen: Optional[asyncio.Event] = None
         self._next_id = 0
         self._connected = False
+        self._closing = False
+        self._last_inbound = 0.0
 
     # -- connection lifecycle ------------------------------------------------
 
@@ -204,14 +276,35 @@ class PubSubClient:
         if self._connected:
             raise TransportError("client is already connected")
         loop = asyncio.get_running_loop()
+        self._closing = False
+        # Clear out the corpse of a previous connection, if any: a
+        # completed (or stuck-in-a-stall) reader task and a half-open
+        # writer must not outlive the socket they belonged to.
+        stale = self._reader_task
+        self._reader_task = None
+        if stale is not None and stale is not asyncio.current_task():
+            stale.cancel()
+            try:
+                await stale
+            except (asyncio.CancelledError, Exception):
+                pass
+        if self._writer is not None:
+            try:
+                self._writer.close()
+            except (ConnectionError, OSError, RuntimeError):
+                pass
+            self._writer = None
         self._notified = asyncio.Event()
         self._goodbye_seen = asyncio.Event()
         self.goodbye_reason = None
-        self._reader, self._writer = await asyncio.open_connection(
-            self.host, self.port
-        )
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        if self.stream_wrapper is not None:
+            self._reader, self._writer = self.stream_wrapper(reader, writer)
+        else:
+            self._reader, self._writer = reader, writer
         self._welcome = loop.create_future()
         self._connected = True
+        self._last_inbound = loop.time()
         self._reader_task = loop.create_task(self._read_loop())
         hello: Envelope = {
             "type": "hello",
@@ -235,14 +328,54 @@ class PubSubClient:
         try:
             welcome = await self._welcome
         except TransportError:
-            await self.close()
+            await self._teardown()
             raise
         token = welcome["token"]
         broker = welcome["broker"]
         assert isinstance(token, str) and isinstance(broker, str)
         self.token = token
         self.broker = broker
+        if (
+            self.heartbeat_interval is not None
+            or self.liveness_timeout is not None
+        ):
+            self._heartbeat_task = loop.create_task(self._heartbeat())
         return welcome
+
+    async def _heartbeat(self) -> None:
+        """Ping a quiet server; abort a dead connection.
+
+        Anything inbound counts as liveness.  A missed liveness window
+        aborts the socket, which fails the read loop — and with
+        ``auto_reconnect`` that is precisely what hands the outage to
+        the backoff supervisor.
+        """
+        interval = self.heartbeat_interval
+        liveness = self.liveness_timeout
+        candidates = [t for t in (interval, liveness) if t is not None]
+        tick = max(min(candidates) / 4.0, 0.005) if candidates else 1.0
+        loop = asyncio.get_running_loop()
+        while self._connected:
+            await asyncio.sleep(tick)
+            if not self._connected:
+                return
+            idle = loop.time() - self._last_inbound
+            if liveness is not None and idle >= liveness:
+                self.liveness_expiries += 1
+                writer = self._writer
+                if writer is not None:
+                    try:
+                        writer.transport.abort()
+                    except (ConnectionError, OSError, RuntimeError):
+                        pass
+                return
+            if interval is not None and idle >= interval:
+                # Fire-and-forget: the pong is not correlated with a
+                # pending future; its arrival alone refreshes
+                # ``_last_inbound``.
+                request_id = self._next_id
+                self._next_id += 1
+                self._try_send({"type": "ping", "id": request_id})
 
     @property
     def connected(self) -> bool:
@@ -255,9 +388,11 @@ class PubSubClient:
         Graceful: the server retires the session, so the token cannot
         be resumed afterwards.  Use :meth:`abort` to keep it resumable.
         """
+        self._closing = True
+        await self._cancel_reconnect()
         if self._connected and self._writer is not None:
             try:
-                self._send({"type": "goodbye", "reason": "client-close"})
+                self._send({"type": "goodbye", "reason": GOODBYE_CLIENT_CLOSE})
                 await self._writer.drain()
             except (ConnectionError, OSError, RuntimeError):
                 pass
@@ -273,15 +408,35 @@ class PubSubClient:
         """Kill the socket with no goodbye — simulates a client crash.
 
         The server detaches the session but keeps it resumable; the
-        token and :attr:`last_seen` survive for :meth:`reconnect`.
+        token and :attr:`last_seen` survive for :meth:`reconnect` —
+        any auto-reconnect supervisor is stopped, so resuming is the
+        caller's explicit move.
         """
+        self._closing = True
+        await self._cancel_reconnect()
         if self._writer is not None:
-            transport = self._writer.transport
-            transport.abort()
+            try:
+                self._writer.transport.abort()
+            except (ConnectionError, OSError, RuntimeError):
+                pass
         await self._teardown()
+
+    async def _cancel_reconnect(self) -> None:
+        task = self._reconnect_task
+        self._reconnect_task = None
+        if task is not None and task is not asyncio.current_task():
+            task.cancel()
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
 
     async def _teardown(self) -> None:
         self._connected = False
+        if self._heartbeat_task is not None:
+            if self._heartbeat_task is not asyncio.current_task():
+                self._heartbeat_task.cancel()
+            self._heartbeat_task = None
         task = self._reader_task
         self._reader_task = None
         if task is not None and task is not asyncio.current_task():
@@ -383,7 +538,7 @@ class PubSubClient:
         """
         deadline = asyncio.get_running_loop().time() + timeout
         while len(self.notifications) < count:
-            if not self._connected:
+            if not self._connected and self._reconnect_task is None:
                 raise TransportError(
                     "connection lost after %d/%d notifications"
                     % (len(self.notifications), count),
@@ -411,11 +566,13 @@ class PubSubClient:
         reader = self._reader
         assert reader is not None
         decoder = FrameDecoder()
+        cancelled = False
         try:
             while True:
                 data = await reader.read(65536)
                 if not data:
                     break
+                self._last_inbound = asyncio.get_running_loop().time()
                 try:
                     messages = decoder.feed(data)
                 except ProtocolError as error:
@@ -436,12 +593,76 @@ class PubSubClient:
         except (ConnectionError, OSError):
             pass
         except asyncio.CancelledError:
+            cancelled = True
             raise
         finally:
-            self._connected = False
-            self._fail_pending(
-                TransportError("connection lost", code="connection-lost")
-            )
+            if self._reader_task is asyncio.current_task():
+                # Only the *current* connection's reader may mutate the
+                # client: a superseded reader (a reconnect already
+                # replaced it) must not clobber the new connection.
+                self._reader_task = None
+                self._connected = False
+                if self._heartbeat_task is not None:
+                    self._heartbeat_task.cancel()
+                    self._heartbeat_task = None
+                if (
+                    self.auto_reconnect
+                    and not cancelled
+                    and not self._closing
+                    and self.token is not None
+                    and self._reconnect_task is None
+                    and resumable_disconnect(self.goodbye_reason)
+                ):
+                    # Spawn the supervisor before waking any waiters so
+                    # wait_for_notifications sees recovery in flight.
+                    loop = asyncio.get_running_loop()
+                    self._reconnect_task = loop.create_task(
+                        self._reconnect_loop(loop.time())
+                    )
+                self._fail_pending(
+                    TransportError("connection lost", code="connection-lost")
+                )
+                notified = self._notified
+                if notified is not None:
+                    notified.set()
+
+    async def _reconnect_loop(self, dropped_at: float) -> None:
+        """Supervisor: redial with backoff until resumed or hopeless."""
+        loop = asyncio.get_running_loop()
+        try:
+            for attempt in range(self.max_reconnect_attempts):
+                await asyncio.sleep(self.backoff(attempt))
+                if self._closing:
+                    return
+                try:
+                    await self._dial(resume=True)
+                except TransportError as error:
+                    if error.code in _TERMINAL_DIAL_CODES:
+                        # The session is gone for good; rejoining means
+                        # a fresh hello + resubscribe, which only the
+                        # application can decide to do.
+                        return
+                    continue
+                except (ConnectionError, OSError):
+                    continue
+                if not self._connected:
+                    # The welcome arrived but the connection died again
+                    # before we could adopt it.  Its read loop could not
+                    # spawn a supervisor (this one still holds the
+                    # slot), so the outage is still ours to heal.
+                    if not resumable_disconnect(self.goodbye_reason):
+                        return
+                    continue
+                # Success.  Vacate the supervisor slot *before* anything
+                # can await: if this very connection drops again, its
+                # read loop must be able to spawn a fresh supervisor.
+                self._reconnect_task = None
+                self.reconnects += 1
+                self.recovery_latencies.append(loop.time() - dropped_at)
+                return
+        finally:
+            if self._reconnect_task is asyncio.current_task():
+                self._reconnect_task = None
             notified = self._notified
             if notified is not None:
                 notified.set()

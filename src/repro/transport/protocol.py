@@ -143,6 +143,69 @@ ENVELOPE_SCHEMA: Dict[str, Tuple[Dict[str, _Check], Dict[str, _Check]]] = {
 #: All envelope types the protocol speaks, in schema order.
 ENVELOPE_TYPES: Tuple[str, ...] = tuple(ENVELOPE_SCHEMA)
 
+# ---------------------------------------------------------------------------
+# goodbye reasons
+# ---------------------------------------------------------------------------
+#
+# Every ``goodbye`` a peer sends carries one of these reasons, and the
+# reason is *load-bearing*: a reconnecting client must know whether its
+# session token is still resumable (rejoin with ``hello.token``) or the
+# session is gone for good (reconnect means resubscribing from scratch).
+# The constants below are the complete taxonomy; the split into
+# resumable vs terminal is what :func:`resumable_disconnect` answers.
+
+#: Server detached a client whose retransmit buffer overflowed
+#: (``max_unacked``); the session is parked, resumable by token.
+GOODBYE_ACK_OVERDUE = "ack-overdue"
+#: Server reaped a dead/idle peer (no inbound traffic within
+#: ``idle_timeout``); the session is parked, resumable by token.
+GOODBYE_IDLE_TIMEOUT = "idle-timeout"
+#: Framing-layer corruption forced the connection closed; the byte
+#: stream was the casualty, not the session — resumable by token.
+GOODBYE_PROTOCOL_ERROR = "protocol-error"
+#: Handshake refused: protocol version mismatch.  Terminal.
+GOODBYE_BAD_VERSION = "bad-version"
+#: Handshake refused: authentication failure.  Terminal.
+GOODBYE_AUTH = "auth"
+#: Resume refused: the token names no live session.  Terminal.
+GOODBYE_UNKNOWN_TOKEN = "unknown-token"
+#: The client said goodbye; the server retired the session.  Terminal.
+GOODBYE_CLIENT_GOODBYE = "client-goodbye"
+#: Reason a client sends with its own orderly goodbye.
+GOODBYE_CLIENT_CLOSE = "client-close"
+#: The ``disconnect`` backpressure policy dropped the consumer.
+#: Terminal.
+GOODBYE_SLOW_CONSUMER = "slow-consumer"
+#: The server is shutting down; nothing can resume after.  Terminal.
+GOODBYE_SERVER_SHUTDOWN = "server-shutdown"
+
+#: Server-sent goodbye reasons after which the session token remains
+#: valid: reconnect with ``hello.token`` and the unacked tail replays.
+RESUMABLE_GOODBYE_REASONS = frozenset(
+    {GOODBYE_ACK_OVERDUE, GOODBYE_IDLE_TIMEOUT, GOODBYE_PROTOCOL_ERROR}
+)
+
+
+def resumable_disconnect(reason: Optional[str]) -> bool:
+    """Whether a disconnect that surfaced ``reason`` can resume by token.
+
+    ``reason`` is the ``goodbye.reason`` received before the drop, or
+    ``None`` when the connection died without one — a network fault,
+    which is always worth a resume attempt (the server parks ungraceful
+    disconnects).  A structured terminal reason (auth, unknown token,
+    shutdown, ...) means backoff-reconnect should stop retrying the
+    token: the session is gone, and coming back means a fresh ``hello``
+    and resubscription.
+
+    >>> resumable_disconnect(None)
+    True
+    >>> resumable_disconnect(GOODBYE_ACK_OVERDUE)
+    True
+    >>> resumable_disconnect(GOODBYE_SERVER_SHUTDOWN)
+    False
+    """
+    return reason is None or reason in RESUMABLE_GOODBYE_REASONS
+
 
 def validate_envelope(data: object) -> Envelope:
     """Check ``data`` against :data:`ENVELOPE_SCHEMA` and return it.

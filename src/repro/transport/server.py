@@ -63,12 +63,26 @@ from repro.service.session import Session, SubscriptionHandle
 from repro.service.sinks import AsyncDeliverySink, CountingSink, Notification
 from repro.subscriptions.serialize import node_from_dict
 from repro.transport.protocol import (
+    GOODBYE_ACK_OVERDUE,
+    GOODBYE_AUTH,
+    GOODBYE_BAD_VERSION,
+    GOODBYE_CLIENT_GOODBYE,
+    GOODBYE_IDLE_TIMEOUT,
+    GOODBYE_PROTOCOL_ERROR,
+    GOODBYE_SERVER_SHUTDOWN,
+    GOODBYE_SLOW_CONSUMER,
+    GOODBYE_UNKNOWN_TOKEN,
     PROTOCOL_VERSION,
     Envelope,
     FrameDecoder,
     encode_frame,
     event_envelope,
     event_from_wire,
+)
+from repro.transport.streams import (
+    StreamWrapper,
+    TransportReader,
+    TransportWriter,
 )
 
 #: How many notifications the pump may stage in the loop bridge ahead
@@ -106,8 +120,8 @@ class _Connection:
     def __init__(
         self,
         server: "PubSubServer",
-        reader: asyncio.StreamReader,
-        writer: asyncio.StreamWriter,
+        reader: TransportReader,
+        writer: TransportWriter,
     ) -> None:
         self._server = server
         self._reader = reader
@@ -117,8 +131,10 @@ class _Connection:
         self._pump_thread: Optional[threading.Thread] = None
         self._pump_stop = threading.Event()
         self._detach_task: Optional["asyncio.Task[None]"] = None
+        self._heartbeat_task: Optional["asyncio.Task[None]"] = None
         self._retired = False
         self._finished = False
+        self._last_inbound = 0.0
 
     # -- outbound ------------------------------------------------------------
 
@@ -162,7 +178,7 @@ class _Connection:
             # the retransmit buffer stops growing.  goodbye is best
             # effort — the client may be gone already.
             if self._detach_task is None:
-                self._write({"type": "goodbye", "reason": "ack-overdue"})
+                self._write({"type": "goodbye", "reason": GOODBYE_ACK_OVERDUE})
                 self.begin_detach()
 
     def _pump(self) -> None:
@@ -193,7 +209,7 @@ class _Connection:
 
     def _begin_slow_consumer_close(self) -> None:
         if not self._retired and self._detach_task is None:
-            asyncio.ensure_future(self._retire("slow-consumer"))
+            asyncio.ensure_future(self._retire(GOODBYE_SLOW_CONSUMER))
 
     # -- attach / detach / retire --------------------------------------------
 
@@ -210,6 +226,39 @@ class _Connection:
             daemon=True,
         )
         self._pump_thread.start()
+        if (
+            self._server.heartbeat_interval is not None
+            or self._server.idle_timeout is not None
+        ):
+            self._heartbeat_task = asyncio.ensure_future(self._heartbeat())
+
+    async def _heartbeat(self) -> None:
+        """Ping idle peers; reap dead ones (detach — the session stays
+        resumable, so a client that was merely partitioned comes back
+        by token).  Any inbound frame counts as liveness, so a busy
+        publisher is never pinged and a responsive client costs one
+        pong per quiet interval."""
+        server = self._server
+        interval = server.heartbeat_interval
+        idle_timeout = server.idle_timeout
+        candidates = [t for t in (interval, idle_timeout) if t is not None]
+        tick = max(min(candidates) / 4.0, 0.005) if candidates else 1.0
+        loop = asyncio.get_running_loop()
+        while not self._finished:
+            await asyncio.sleep(tick)
+            idle = loop.time() - self._last_inbound
+            if idle_timeout is not None and idle >= idle_timeout:
+                # Dead-peer reaping: nothing inbound for the whole
+                # timeout (pings included, if enabled).  goodbye is
+                # best effort — the peer is presumed gone.
+                await self._send(
+                    {"type": "goodbye", "reason": GOODBYE_IDLE_TIMEOUT}
+                )
+                self.begin_detach()
+                return
+            if interval is not None and idle >= interval:
+                server._ping_serial += 1
+                await self._send({"type": "ping", "id": server._ping_serial})
 
     def begin_detach(self) -> "asyncio.Task[None]":
         """Start (or join) the idempotent detach; returns its task."""
@@ -222,6 +271,10 @@ class _Connection:
         notification into the unacked buffer; the session stays open
         and resumable."""
         self._finished = True
+        if self._heartbeat_task is not None:
+            if self._heartbeat_task is not asyncio.current_task():
+                self._heartbeat_task.cancel()
+            self._heartbeat_task = None
         self._pump_stop.set()
         if self._pump_thread is not None:
             await asyncio.to_thread(self._pump_thread.join)
@@ -258,11 +311,13 @@ class _Connection:
 
     async def run(self) -> None:
         decoder = FrameDecoder()
+        self._last_inbound = asyncio.get_running_loop().time()
         try:
             while not self._finished:
                 data = await self._reader.read(65536)
                 if not data:
                     break
+                self._last_inbound = asyncio.get_running_loop().time()
                 try:
                     messages = decoder.feed(data)
                 except ProtocolError as error:
@@ -271,7 +326,7 @@ class _Connection:
                     # the connection (session stays resumable).
                     await self._send_error(error.code, str(error))
                     await self._send(
-                        {"type": "goodbye", "reason": "protocol-error"}
+                        {"type": "goodbye", "reason": GOODBYE_PROTOCOL_ERROR}
                     )
                     break
                 for message in messages:
@@ -297,7 +352,7 @@ class _Connection:
             await self._send({"type": "pong", "id": message["id"]})
             return
         if kind == "goodbye":
-            await self._retire("client-goodbye")
+            await self._retire(GOODBYE_CLIENT_GOODBYE)
             return
         if self._state is None:
             await self._send_error(
@@ -341,7 +396,7 @@ class _Connection:
                 "server speaks protocol %d, client sent %r"
                 % (PROTOCOL_VERSION, message["version"]),
             )
-            await self._send({"type": "goodbye", "reason": "bad-version"})
+            await self._send({"type": "goodbye", "reason": GOODBYE_BAD_VERSION})
             self._finished = True
             return
         client = message["client"]
@@ -349,7 +404,7 @@ class _Connection:
             await self._send_error(
                 "auth", "invalid auth token for client %r" % client
             )
-            await self._send({"type": "goodbye", "reason": "auth"})
+            await self._send({"type": "goodbye", "reason": GOODBYE_AUTH})
             self._finished = True
             return
         token = message.get("token")
@@ -401,14 +456,16 @@ class _Connection:
                 "unknown-token",
                 "no resumable session for the presented token",
             )
-            await self._send({"type": "goodbye", "reason": "unknown-token"})
+            await self._send(
+                {"type": "goodbye", "reason": GOODBYE_UNKNOWN_TOKEN}
+            )
             self._finished = True
             return
         if state.session.client != message["client"]:
             await self._send_error(
                 "auth", "token does not belong to client %r" % message["client"]
             )
-            await self._send({"type": "goodbye", "reason": "auth"})
+            await self._send({"type": "goodbye", "reason": GOODBYE_AUTH})
             self._finished = True
             return
         superseded = state.connection
@@ -543,7 +600,18 @@ class PubSubServer:
     ``policy`` are the per-connection send-buffer defaults (a client's
     ``hello`` may override them); ``max_unacked`` bounds the retransmit
     buffer of a client that stops acknowledging (the connection is
-    detached — resumable — when it overflows).  ``flush_linger`` is the
+    detached — resumable — when it overflows).
+
+    ``heartbeat_interval`` pings connections quiet for that many
+    seconds; ``idle_timeout`` reaps connections with *no* inbound
+    traffic (pongs included) for that many seconds — a resumable
+    detach with goodbye reason ``"idle-timeout"``, so a partitioned
+    client rejoins by token.  Both default to ``None`` (off).
+    ``stream_wrapper`` interposes every accepted connection's byte
+    streams (see :mod:`repro.transport.streams`; used by
+    :func:`repro.faults.faulty_stream` for chaos testing).
+
+    ``flush_linger`` is the
     idle-tail deadline: a wire publish that leaves the ingress batch
     partially filled arms a timer that flushes it once no further
     publish arrives within that many seconds (remote publishers have no
@@ -574,6 +642,9 @@ class PubSubServer:
         bridge_window: int = DEFAULT_BRIDGE_WINDOW,
         max_unacked: Optional[int] = None,
         flush_linger: float = 0.01,
+        heartbeat_interval: Optional[float] = None,
+        idle_timeout: Optional[float] = None,
+        stream_wrapper: Optional[StreamWrapper] = None,
     ) -> None:
         if broker_id not in service.network.brokers:
             raise TransportError(
@@ -591,6 +662,14 @@ class PubSubServer:
             else max(4 * queue_capacity, 4 * bridge_window)
         )
         self.flush_linger = flush_linger
+        if heartbeat_interval is not None and heartbeat_interval <= 0:
+            raise TransportError("heartbeat_interval must be > 0")
+        if idle_timeout is not None and idle_timeout <= 0:
+            raise TransportError("idle_timeout must be > 0")
+        self.heartbeat_interval = heartbeat_interval
+        self.idle_timeout = idle_timeout
+        self.stream_wrapper = stream_wrapper
+        self._ping_serial = 0
         self.loop: Optional[asyncio.AbstractEventLoop] = None
         self._requested_port = port
         self._auth_tokens = dict(auth_tokens) if auth_tokens is not None else None
@@ -655,7 +734,7 @@ class PubSubServer:
                 ):
                     break
                 await asyncio.sleep(0.005)
-            await connection._retire("server-shutdown")
+            await connection._retire(GOODBYE_SERVER_SHUTDOWN)
         for connection in list(self._connections):
             await connection.begin_detach()
         self._connections.clear()
@@ -687,7 +766,11 @@ class PubSubServer:
         task = asyncio.current_task()
         if task is not None:
             self._connection_tasks.add(task)
-        connection = _Connection(self, reader, writer)
+        t_reader: TransportReader = reader
+        t_writer: TransportWriter = writer
+        if self.stream_wrapper is not None:
+            t_reader, t_writer = self.stream_wrapper(t_reader, t_writer)
+        connection = _Connection(self, t_reader, t_writer)
         self._connections.append(connection)
         try:
             await connection.run()

@@ -1,0 +1,47 @@
+"""Structural stream types: what the transport needs from a socket.
+
+:class:`~repro.transport.server.PubSubServer` and
+:class:`~repro.transport.client.PubSubClient` use only a narrow slice of
+the asyncio stream API — ``read`` on the reader; ``write``/``drain``/
+``close`` and the ``transport`` handle on the writer.  These protocols
+name that slice, so anything satisfying them can stand in for the real
+streams.  That is the seam the fault-injection layer plugs into: a
+``stream_wrapper`` callable handed to the server or client receives the
+freshly opened ``(reader, writer)`` pair and returns the pair actually
+used — identity on the happy path, a :class:`~repro.faults.wire.
+FaultyReader`/:class:`~repro.faults.wire.FaultyWriter` pair under a
+chaos plan.  The wrapped connection speaks the same protocol; only the
+byte stream misbehaves.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Protocol, Tuple
+
+
+class TransportReader(Protocol):
+    """The reader surface the transport consumes (``StreamReader``-shaped)."""
+
+    async def read(self, n: int = -1) -> bytes: ...
+
+
+class TransportWriter(Protocol):
+    """The writer surface the transport consumes (``StreamWriter``-shaped)."""
+
+    @property
+    def transport(self) -> asyncio.WriteTransport: ...
+
+    def write(self, data: bytes) -> None: ...
+
+    async def drain(self) -> None: ...
+
+    def close(self) -> None: ...
+
+
+#: A connection interposer: receives the freshly opened stream pair,
+#: returns the pair the transport will actually use.
+StreamWrapper = Callable[
+    [TransportReader, TransportWriter],
+    Tuple[TransportReader, TransportWriter],
+]

@@ -1,0 +1,95 @@
+"""Property tests for the reconnect backoff schedule.
+
+:class:`~repro.faults.backoff.BackoffSchedule` is the client's defense
+against reconnect thundering herds; the properties that make it safe
+are exactly the ones hypothesis can state directly:
+
+* every jittered delay lies in ``[0, cap]`` — no schedule, however
+  deep into its retry sequence, waits longer than the cap;
+* the *envelope* (the jitter ceiling) is monotone nondecreasing in the
+  attempt, bounded by the cap, and starts at ``min(base, cap)``;
+* ``delay`` is a pure function of ``(seed, label, attempt)`` —
+  independent instances, call order, and repetition all agree — while
+  different seeds or labels decorrelate;
+* astronomically large attempt numbers neither overflow nor escape the
+  cap (the growth loop is clamped).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import BackoffSchedule
+
+_BASES = st.floats(min_value=0.0, max_value=10.0, allow_nan=False)
+_MULTIPLIERS = st.floats(min_value=1.0, max_value=8.0, allow_nan=False)
+_CAPS = st.floats(min_value=0.0, max_value=60.0, allow_nan=False)
+_SEEDS = st.integers(min_value=0, max_value=2**31 - 1)
+_ATTEMPTS = st.integers(min_value=0, max_value=10_000)
+
+
+@given(base=_BASES, multiplier=_MULTIPLIERS, cap=_CAPS, seed=_SEEDS,
+       attempt=_ATTEMPTS)
+@settings(max_examples=200)
+def test_delay_is_bounded_by_cap(base, multiplier, cap, seed, attempt):
+    schedule = BackoffSchedule(
+        base=base, multiplier=multiplier, cap=cap, seed=seed
+    )
+    delay = schedule.delay(attempt)
+    assert 0.0 <= delay <= cap
+
+
+@given(base=_BASES, multiplier=_MULTIPLIERS, cap=_CAPS,
+       attempts=st.lists(_ATTEMPTS, min_size=2, max_size=20))
+@settings(max_examples=200)
+def test_envelope_is_monotone_and_capped(base, multiplier, cap, attempts):
+    schedule = BackoffSchedule(base=base, multiplier=multiplier, cap=cap)
+    assert schedule.envelope(0) == min(base, cap)
+    ordered = sorted(attempts)
+    envelopes = [schedule.envelope(a) for a in ordered]
+    for earlier, later in zip(envelopes, envelopes[1:]):
+        assert earlier <= later
+    for envelope in envelopes:
+        assert 0.0 <= envelope <= cap
+
+
+@given(base=_BASES, multiplier=_MULTIPLIERS, cap=_CAPS, seed=_SEEDS,
+       label=st.text(min_size=0, max_size=8), attempt=_ATTEMPTS)
+@settings(max_examples=200)
+def test_delay_is_pure_in_seed_label_attempt(
+    base, multiplier, cap, seed, label, attempt
+):
+    options = dict(base=base, multiplier=multiplier, cap=cap)
+    first = BackoffSchedule(seed=seed, label=label, **options)
+    second = BackoffSchedule(seed=seed, label=label, **options)
+    # Independent instances agree; disturbing one's call history with
+    # other attempts must not shift the schedule.
+    expected = first.delay(attempt)
+    first.delay(attempt + 1)
+    first.delay(0)
+    assert first.delay(attempt) == expected
+    assert second.delay(attempt) == expected
+    assert second(attempt) == expected  # __call__ is the same schedule
+
+
+@given(seed=_SEEDS, attempt=st.integers(min_value=0, max_value=100))
+@settings(max_examples=100)
+def test_different_seeds_and_labels_decorrelate(seed, attempt):
+    options = dict(base=0.05, multiplier=2.0, cap=5.0)
+    baseline = BackoffSchedule(seed=seed, **options)
+    other_seed = BackoffSchedule(seed=seed + 1, **options)
+    other_label = BackoffSchedule(seed=seed, label="other", **options)
+    disagreements = sum(
+        1
+        for a in range(attempt, attempt + 8)
+        if baseline.delay(a) != other_seed.delay(a)
+        or baseline.delay(a) != other_label.delay(a)
+    )
+    assert disagreements >= 1  # u(0, x) collisions are measure-zero
+
+
+@given(attempt=st.integers(min_value=0, max_value=2**63 - 1))
+@settings(max_examples=50)
+def test_huge_attempts_never_overflow(attempt):
+    schedule = BackoffSchedule(base=0.05, multiplier=2.0, cap=5.0, seed=1)
+    assert schedule.envelope(attempt) <= 5.0
+    assert 0.0 <= schedule.delay(attempt) <= 5.0

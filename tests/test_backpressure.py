@@ -508,3 +508,89 @@ class TestSinkCloseDuringFlight:
         assert errors == []
         assert session.closed
         assert service.sessions == ()
+
+
+class TestDeadLetterTaxonomy:
+    """The ``DEAD_LETTER_REASONS`` taxonomy and its counter surface."""
+
+    def test_taxonomy_is_complete_and_stable(self):
+        from repro.service import DEAD_LETTER_REASONS
+        from repro.service.backpressure import (
+            REASON_LOOP_CLOSED,
+            REASON_SINK_CLOSED,
+        )
+
+        assert DEAD_LETTER_REASONS == (
+            REASON_DROP_OLDEST,
+            REASON_DISCONNECT,
+            REASON_DISCONNECTED,
+            REASON_CLOSED,
+            REASON_BLOCK_TIMEOUT,
+            REASON_SINK_CLOSED,
+            REASON_LOOP_CLOSED,
+        )
+        assert len(set(DEAD_LETTER_REASONS)) == len(DEAD_LETTER_REASONS)
+
+    def test_counters_zero_fill_and_count(self):
+        from repro.service import DEAD_LETTER_REASONS
+
+        sink = DeadLetterSink()
+        assert sink.counters() == {reason: 0 for reason in DEAD_LETTER_REASONS}
+        sink.record(note(0), REASON_DROP_OLDEST)
+        sink.record(note(1), REASON_DROP_OLDEST)
+        sink.record(note(2), REASON_CLOSED)
+        counts = sink.counters()
+        assert counts[REASON_DROP_OLDEST] == 2
+        assert counts[REASON_CLOSED] == 1
+        assert counts[REASON_DISCONNECT] == 0
+        assert sum(counts.values()) == 3
+        # Reasons outside the taxonomy still count (forward compat).
+        sink.record(note(3), "martian")
+        assert sink.counters()["martian"] == 1
+
+    def test_every_record_call_site_uses_a_constant(self):
+        """No ``dead_letter.record(..., "literal")`` anywhere in src —
+        reasons must come from the ``REASON_*`` constants so the
+        taxonomy in ``DEAD_LETTER_REASONS`` stays the single source."""
+        import ast
+        from pathlib import Path
+
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        call_sites = 0
+        for path in sorted(root.rglob("*.py")):
+            tree = ast.parse(path.read_text(encoding="utf-8"), str(path))
+            for node in ast.walk(tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if not (
+                    isinstance(func, ast.Attribute) and func.attr == "record"
+                ):
+                    continue
+                target = func.value
+                named = (
+                    isinstance(target, ast.Attribute)
+                    and target.attr == "dead_letter"
+                ) or (
+                    isinstance(target, ast.Name)
+                    and target.id == "dead_letter"
+                )
+                if not named:
+                    continue
+                call_sites += 1
+                assert len(node.args) == 2, (
+                    "%s:%d: dead_letter.record() needs (notification, "
+                    "reason)" % (path, node.lineno)
+                )
+                reason = node.args[1]
+                assert not (
+                    isinstance(reason, ast.Constant)
+                    and isinstance(reason.value, str)
+                ), (
+                    "%s:%d: dead_letter.record() called with a string "
+                    "literal reason; use a REASON_* constant"
+                    % (path, node.lineno)
+                )
+        assert call_sites >= 4  # the audit actually saw the call sites

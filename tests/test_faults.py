@@ -1,0 +1,349 @@
+"""Unit tests for ``repro.faults``: plans, lanes, wrappers, injectors.
+
+The chaos soak (``tests/test_chaos.py``) proves the system heals under
+randomized fault storms; this module pins down the *injection
+machinery* itself — seeded determinism, budget/disarm vetoes, byte
+conservation of the stream wrappers, and the worker-injector hooks —
+with small deterministic fixtures.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import MatchingError
+from repro.faults import (
+    READ_FAULT_KINDS,
+    WIRE_FAULT_KINDS,
+    WRITE_FAULT_KINDS,
+    BackoffSchedule,
+    FaultPlan,
+    FaultyReader,
+    FaultyWriter,
+    WorkerFaultInjector,
+    faulty_stream,
+    worker_injector,
+)
+
+
+# -- plan ------------------------------------------------------------------
+
+
+def test_plan_rejects_unknown_kinds_and_bad_gaps():
+    with pytest.raises(ValueError):
+        FaultPlan(1, wire_kinds=("reset", "gamma-ray"))
+    with pytest.raises(ValueError):
+        FaultPlan(1, worker_kinds=("worker_kill", "oom"))
+    with pytest.raises(ValueError):
+        FaultPlan(1, mean_gap_bytes=0.0)
+    with pytest.raises(ValueError):
+        FaultPlan(1, mean_gap_seconds=-1.0)
+
+
+def test_plan_attempt_counter_is_per_label():
+    plan = FaultPlan(1)
+    assert plan.next_attempt("alice") == 0
+    assert plan.next_attempt("alice") == 1
+    assert plan.next_attempt("bob") == 0
+    assert plan.next_attempt("alice") == 2
+
+
+def test_lane_direction_filters_kinds():
+    plan = FaultPlan(1, wire_kinds=WIRE_FAULT_KINDS)
+    read_lane = plan.wire_lane("c", 0, "read")
+    write_lane = plan.wire_lane("c", 0, "write")
+    assert set(read_lane._kinds) <= READ_FAULT_KINDS
+    assert set(write_lane._kinds) <= WRITE_FAULT_KINDS
+
+
+def _drain_lane(plan, label, chunks, direction="read"):
+    lane = plan.wire_lane(label, 0, direction)
+    fired = []
+    for size in chunks:
+        fault = lane.poll(size, 0.0)
+        if fault is not None:
+            fired.append(fault)
+    return fired
+
+
+def test_lane_schedule_is_deterministic_per_seed():
+    chunks = [64] * 200
+    first = _drain_lane(
+        FaultPlan(42, mean_gap_bytes=128.0, min_first_gap_bytes=0),
+        "alice",
+        chunks,
+    )
+    second = _drain_lane(
+        FaultPlan(42, mean_gap_bytes=128.0, min_first_gap_bytes=0),
+        "alice",
+        chunks,
+    )
+    other_label = _drain_lane(
+        FaultPlan(42, mean_gap_bytes=128.0, min_first_gap_bytes=0),
+        "bob",
+        chunks,
+    )
+    assert first and first == second
+    assert first != other_label
+    for _, offset in first:
+        assert 0 <= offset < 64
+
+
+def test_lane_respects_budget_and_disarm():
+    plan = FaultPlan(7, mean_gap_bytes=16.0, min_first_gap_bytes=0, max_faults=3)
+    lane = plan.wire_lane("c", 0, "read")
+    for _ in range(500):
+        lane.poll(64, 0.0)
+    assert plan.injected == 3
+    assert sum(plan.counts().values()) == 3
+    plan2 = FaultPlan(7, mean_gap_bytes=16.0, min_first_gap_bytes=0)
+    plan2.disarm()
+    lane2 = plan2.wire_lane("c", 0, "read")
+    assert all(lane2.poll(64, 0.0) is None for _ in range(100))
+    assert plan2.injected == 0
+    plan2.arm()
+    assert any(lane2.poll(64, 0.0) is not None for _ in range(100))
+
+
+def test_lane_time_mode_fires_on_the_clock():
+    plan = FaultPlan(3, wire_kinds=("reset",), mean_gap_seconds=0.5)
+    lane = plan.wire_lane("c", 0, "read")
+    assert lane.poll(10, 0.0) is None  # first poll only arms the timer
+    assert lane.poll(10, 1.0e9) == ("reset", 0)
+    assert plan.kinds_injected() == frozenset({"reset"})
+
+
+def test_min_first_gap_lets_the_handshake_through():
+    plan = FaultPlan(5, mean_gap_bytes=1.0, min_first_gap_bytes=10_000)
+    lane = plan.wire_lane("c", 0, "read")
+    assert lane.poll(4096, 0.0) is None  # below the first-gap floor
+    assert any(lane.poll(4096, 0.0) is not None for _ in range(10))
+
+
+# -- stream wrappers -------------------------------------------------------
+
+
+class _ChunkReader:
+    def __init__(self, chunks):
+        self._chunks = list(chunks)
+
+    async def read(self, n=-1):
+        return self._chunks.pop(0) if self._chunks else b""
+
+
+class _FakeTransport:
+    def __init__(self):
+        self.aborted = False
+
+    def abort(self):
+        self.aborted = True
+
+
+class _CaptureWriter:
+    def __init__(self):
+        self.chunks = []
+        self.closed = False
+        self._transport = _FakeTransport()
+
+    @property
+    def transport(self):
+        return self._transport
+
+    def write(self, data):
+        self.chunks.append(bytes(data))
+
+    async def drain(self):
+        pass
+
+    def close(self):
+        self.closed = True
+
+
+def _single_kind_plan(kind, **overrides):
+    options = dict(
+        wire_kinds=(kind,),
+        mean_gap_bytes=8.0,
+        min_first_gap_bytes=0,
+        stall_seconds=0.001,
+        holdback_seconds=0.01,
+    )
+    options.update(overrides)
+    return FaultPlan(11, **options)
+
+
+def test_faulty_reader_split_conserves_bytes():
+    async def main():
+        plan = _single_kind_plan("split")
+        reader = FaultyReader(
+            _ChunkReader([b"a" * 64, b"b" * 64]), plan.wire_lane("c", 0, "read")
+        )
+        out = []
+        while True:
+            data = await reader.read(65536)
+            if not data:
+                break
+            out.append(data)
+        assert b"".join(out) == b"a" * 64 + b"b" * 64
+        assert len(out) > 2  # at least one chunk actually split
+        assert plan.counts()["split"] >= 1
+
+    asyncio.run(main())
+
+
+def test_faulty_reader_reset_raises():
+    async def main():
+        plan = _single_kind_plan("reset")
+        reader = FaultyReader(
+            _ChunkReader([b"x" * 64]), plan.wire_lane("c", 0, "read")
+        )
+        with pytest.raises(ConnectionResetError):
+            for _ in range(10):
+                await reader.read(65536)
+
+    asyncio.run(main())
+
+
+def test_faulty_writer_short_write_conserves_bytes():
+    async def main():
+        plan = _single_kind_plan("short_write")
+        inner = _CaptureWriter()
+        writer = FaultyWriter(
+            inner, plan.wire_lane("c", 0, "write"), asyncio.get_running_loop()
+        )
+        payload = bytes(range(256)) * 4
+        writer.write(payload)
+        await asyncio.sleep(0.05)  # holdback flush timer
+        assert b"".join(inner.chunks) == payload
+        assert plan.counts()["short_write"] >= 1
+
+    asyncio.run(main())
+
+
+def test_faulty_writer_merge_coalesces_but_conserves_bytes():
+    async def main():
+        plan = _single_kind_plan("merge")
+        inner = _CaptureWriter()
+        writer = FaultyWriter(
+            inner, plan.wire_lane("c", 0, "write"), asyncio.get_running_loop()
+        )
+        for index in range(8):
+            writer.write(bytes([index]) * 16)
+        await asyncio.sleep(0.05)
+        assert b"".join(inner.chunks) == b"".join(
+            bytes([index]) * 16 for index in range(8)
+        )
+        assert plan.counts()["merge"] >= 1
+
+    asyncio.run(main())
+
+
+def test_faulty_writer_reset_aborts_and_swallows():
+    async def main():
+        plan = _single_kind_plan("reset", mean_gap_bytes=1.0)
+        inner = _CaptureWriter()
+        writer = FaultyWriter(
+            inner, plan.wire_lane("c", 0, "write"), asyncio.get_running_loop()
+        )
+        for _ in range(10):
+            writer.write(b"y" * 64)
+        assert inner.transport.aborted
+        # Everything after the reset is swallowed, like a dead socket.
+        written = sum(len(chunk) for chunk in inner.chunks)
+        assert written < 10 * 64
+
+    asyncio.run(main())
+
+
+def test_faulty_stream_claims_one_attempt_per_connection():
+    async def main():
+        plan = FaultPlan(9)
+        wrapper = faulty_stream(plan, "alice")
+        wrapper(_ChunkReader([]), _CaptureWriter())
+        wrapper(_ChunkReader([]), _CaptureWriter())
+        assert plan.next_attempt("alice") == 2
+
+    asyncio.run(main())
+
+
+def test_disarmed_wrapper_is_a_pass_through():
+    async def main():
+        plan = _single_kind_plan("split")
+        plan.disarm()
+        reader = FaultyReader(
+            _ChunkReader([b"q" * 64]), plan.wire_lane("c", 0, "read")
+        )
+        assert await reader.read(65536) == b"q" * 64
+        assert plan.injected == 0
+
+    asyncio.run(main())
+
+
+# -- worker injector -------------------------------------------------------
+
+
+class _FakePool:
+    def __init__(self):
+        self.killed = []
+
+    def kill_worker(self, shard):
+        self.killed.append(shard)
+
+
+def test_worker_injector_none_without_worker_faults():
+    assert worker_injector(FaultPlan(1)) is None
+    assert worker_injector(FaultPlan(1, worker_kinds=("worker_kill",))) is None
+    assert (
+        worker_injector(
+            FaultPlan(1, worker_kinds=("worker_kill",), worker_mean_gap_calls=2.0)
+        )
+        is not None
+    )
+
+
+def test_worker_injector_pack_fail_raises_on_schedule():
+    plan = FaultPlan(2, worker_kinds=("pack_fail",), worker_mean_gap_calls=1.0)
+    injector = WorkerFaultInjector(plan)
+    raised = 0
+    for _ in range(10):
+        try:
+            injector.before_pack()
+        except MatchingError:
+            raised += 1
+    assert raised >= 1
+    assert plan.counts()["pack_fail"] == raised
+    plan.disarm()
+    for _ in range(10):
+        injector.before_pack()  # vetoed: must not raise
+
+
+def test_worker_injector_kills_only_match_commands():
+    plan = FaultPlan(4, worker_kinds=("worker_kill",), worker_mean_gap_calls=1.0)
+    injector = WorkerFaultInjector(plan)
+    pool = _FakePool()
+    for _ in range(10):
+        injector.before_send(pool, 1, "sync")
+        injector.before_send(pool, 1, "introspect")
+    assert pool.killed == []
+    for _ in range(10):
+        injector.before_send(pool, 3, "match")
+    assert pool.killed and set(pool.killed) == {3}
+    assert plan.counts()["worker_kill"] == len(pool.killed)
+
+
+# -- backoff basics (properties live in test_backoff_property.py) ----------
+
+
+def test_backoff_validation_and_determinism():
+    with pytest.raises(ValueError):
+        BackoffSchedule(base=-0.1)
+    with pytest.raises(ValueError):
+        BackoffSchedule(multiplier=0.5)
+    with pytest.raises(ValueError):
+        BackoffSchedule(cap=-1.0)
+    schedule = BackoffSchedule(base=0.1, cap=2.0, seed=3, label="alice")
+    assert schedule(5) == schedule.delay(5)
+    assert schedule.delay(5) == BackoffSchedule(
+        base=0.1, cap=2.0, seed=3, label="alice"
+    ).delay(5)
+    assert schedule.envelope(0) == 0.1
+    assert schedule.envelope(10_000) == 2.0

@@ -55,6 +55,14 @@ class TestCombinators:
         result = combine_or(estimate([0.8, 0.7]))
         assert result.max == 1.0
 
+    def test_and_bounds_survive_rounding_inversion(self):
+        # 1.0 + (1 - 2**-53) rounds up to exactly 2.0, so the Fréchet
+        # lower bound computes to 1.0 — above the min-of-components
+        # upper bound of 1 - 2**-53.  _ordered must repair the
+        # inversion, not just project the average.
+        result = combine_and(estimate([1.0, 1.0 - 2.0**-53]))
+        assert 0.0 <= result.min <= result.avg <= result.max <= 1.0
+
     @given(st.lists(st.floats(0, 1), min_size=1, max_size=5))
     @settings(max_examples=80)
     def test_components_stay_ordered(self, probabilities):

@@ -351,11 +351,39 @@ def test_process_pool_restart_replays_the_table(workload):
 
 
 def test_process_executor_recovers_from_killed_workers(workload):
-    """A dead worker fails the in-flight call, then the pool self-heals."""
+    """Dead workers are healed *inside* the failing call: the pool is
+    torn down, the tables replay into fresh workers, and the same
+    ``match_batch`` answers correctly (the crash is only visible in the
+    health report)."""
     subscriptions = workload.generate_subscriptions(20)
     events = workload.generate_events(16)
     plain = CountingMatcher()
     with ShardedMatcher(2, executor="processes") as sharded:
+        for subscription in subscriptions:
+            plain.register(subscription)
+            sharded.register(subscription)
+        expected = plain.match_batch(events)
+        assert sharded.match_batch(events) == expected
+        for process in sharded._pool._processes:
+            process.terminate()
+            process.join(5.0)
+        assert sharded.match_batch(events) == expected
+        health = sharded.health_report()
+        assert health.executor == "processes"
+        assert not health.degraded
+        assert health.crashes >= 1
+        assert health.rebuilds >= 1
+
+
+def test_process_executor_raises_with_breaker_disabled(workload):
+    """``crash_loop_threshold=None`` restores the old contract: a dead
+    worker fails the in-flight call, and the *next* call heals."""
+    subscriptions = workload.generate_subscriptions(20)
+    events = workload.generate_events(16)
+    plain = CountingMatcher()
+    with ShardedMatcher(
+        2, executor="processes", crash_loop_threshold=None
+    ) as sharded:
         for subscription in subscriptions:
             plain.register(subscription)
             sharded.register(subscription)
@@ -369,6 +397,7 @@ def test_process_executor_recovers_from_killed_workers(workload):
         # The failed call tore the pool down; the next one replays the
         # tables into fresh workers and answers correctly again.
         assert sharded.match_batch(events) == expected
+        assert sharded.health_report().crashes == 1
 
 
 def test_process_executor_leaves_no_shared_segments(workload):

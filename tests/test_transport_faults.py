@@ -1,0 +1,233 @@
+"""Heartbeats, reaping, liveness, and the goodbye-reason taxonomy.
+
+Targeted regression tests for each self-healing mechanism, one at a
+time (the combined storm lives in ``tests/test_chaos.py``):
+
+* ``resumable_disconnect`` classifies every ``GOODBYE_*`` constant the
+  way the reconnect supervisor expects;
+* a client that stops acknowledging is detached with
+  ``"ack-overdue"`` — and the session resumes by token with nothing
+  lost;
+* a silent client is reaped by the server's ``idle_timeout`` with
+  ``"idle-timeout"`` — same resumable contract;
+* heartbeat ping/pong keeps a quiet-but-healthy connection attached
+  straight through that same idle window;
+* a stalled read trips the *client's* liveness timeout, which aborts
+  the socket and lets ``auto_reconnect`` heal the session.
+
+Each scenario checks the delivered stream against an in-process oracle
+session (same broker, same filters): identical fingerprints, gapless
+``delivery_seq``.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.events import Event
+from repro.faults import FaultPlan, faulty_stream
+from repro.routing.topology import line_topology
+from repro.service import CollectingSink, PubSubService
+from repro.subscriptions.builder import P
+from repro.transport import (
+    GOODBYE_ACK_OVERDUE,
+    GOODBYE_AUTH,
+    GOODBYE_BAD_VERSION,
+    GOODBYE_CLIENT_CLOSE,
+    GOODBYE_CLIENT_GOODBYE,
+    GOODBYE_IDLE_TIMEOUT,
+    GOODBYE_PROTOCOL_ERROR,
+    GOODBYE_SERVER_SHUTDOWN,
+    GOODBYE_SLOW_CONSUMER,
+    GOODBYE_UNKNOWN_TOKEN,
+    RESUMABLE_GOODBYE_REASONS,
+    PubSubClient,
+    PubSubServer,
+    resumable_disconnect,
+)
+
+from tests.test_transport_e2e import (
+    _Oracle,
+    _pump_until,
+    assert_gapless,
+    fingerprint,
+)
+
+
+def test_resumable_disconnect_classification():
+    # A reason-less drop (network fault) is exactly what resume is for.
+    assert resumable_disconnect(None)
+    assert RESUMABLE_GOODBYE_REASONS == frozenset(
+        {GOODBYE_ACK_OVERDUE, GOODBYE_IDLE_TIMEOUT, GOODBYE_PROTOCOL_ERROR}
+    )
+    for reason in RESUMABLE_GOODBYE_REASONS:
+        assert resumable_disconnect(reason)
+    for reason in (
+        GOODBYE_AUTH,
+        GOODBYE_BAD_VERSION,
+        GOODBYE_CLIENT_CLOSE,
+        GOODBYE_CLIENT_GOODBYE,
+        GOODBYE_SERVER_SHUTDOWN,
+        GOODBYE_SLOW_CONSUMER,
+        GOODBYE_UNKNOWN_TOKEN,
+    ):
+        assert not resumable_disconnect(reason)
+    assert not resumable_disconnect("anything-unrecognized")
+
+
+class TestGoodbyeTaxonomy:
+    @pytest.mark.timeout(120)
+    def test_ack_overdue_detach_is_resumable(self):
+        async def main():
+            service = PubSubService(topology=line_topology(1), max_batch=1)
+            async with PubSubServer(service, "b0", max_unacked=8) as server:
+                client = PubSubClient("127.0.0.1", server.port, "alice")
+                await client.connect()
+                await client.subscribe(P("price") >= 0.0)
+                oracle = _Oracle(service, "b0", "oracle-alice")
+                oracle.subscribe(P("price") >= 0.0)
+
+                publisher = PubSubClient(
+                    "127.0.0.1", server.port, "publisher"
+                )
+                await publisher.connect()
+
+                # Ack blackout: deliveries keep flowing, acks stop.
+                # (12 events: enough to blow the max_unacked=8 budget,
+                # while the leftover backlog still fits it on resume.)
+                client._try_send = lambda envelope: None
+                for i in range(12):
+                    await publisher.publish(Event({"price": float(i)}))
+                await _pump_until(lambda: client.goodbye_reason is not None)
+                assert client.goodbye_reason == GOODBYE_ACK_OVERDUE
+                assert resumable_disconnect(client.goodbye_reason)
+                await _pump_until(lambda: not client.connected)
+
+                # Restore acking and resume under the same token.
+                del client.__dict__["_try_send"]
+                await client.reconnect()
+                await client.wait_for_notifications(12)
+                assert fingerprint(client.notifications) == fingerprint(
+                    oracle.notifications
+                )
+                assert_gapless(client)
+                await client.close()
+                await publisher.close()
+
+        asyncio.run(main())
+
+    @pytest.mark.timeout(120)
+    def test_idle_timeout_reaps_silent_client_resumably(self):
+        async def main():
+            service = PubSubService(topology=line_topology(1), max_batch=1)
+            async with PubSubServer(
+                service, "b0", idle_timeout=0.4
+            ) as server:
+                client = PubSubClient("127.0.0.1", server.port, "alice")
+                await client.connect()
+                await client.subscribe(P("price") >= 0.0)
+                oracle = _Oracle(service, "b0", "oracle-alice")
+                oracle.subscribe(P("price") >= 0.0)
+
+                # No heartbeats configured: the client falls silent and
+                # the server reaps it into a detached, resumable state.
+                await _pump_until(lambda: not client.connected, timeout=5.0)
+                assert client.goodbye_reason == GOODBYE_IDLE_TIMEOUT
+                assert resumable_disconnect(client.goodbye_reason)
+
+                publisher = PubSubClient(
+                    "127.0.0.1", server.port, "publisher"
+                )
+                await publisher.connect()
+                for i in range(5):
+                    await publisher.publish(Event({"price": float(i)}))
+
+                await client.reconnect()
+                await client.wait_for_notifications(5)
+                assert fingerprint(client.notifications) == fingerprint(
+                    oracle.notifications
+                )
+                assert_gapless(client)
+                await client.close()
+                await publisher.close()
+
+        asyncio.run(main())
+
+    @pytest.mark.timeout(120)
+    def test_heartbeat_keeps_idle_connection_alive(self):
+        async def main():
+            service = PubSubService(topology=line_topology(1), max_batch=1)
+            async with PubSubServer(
+                service, "b0", heartbeat_interval=0.1, idle_timeout=0.5
+            ) as server:
+                client = PubSubClient("127.0.0.1", server.port, "alice")
+                await client.connect()
+                await client.subscribe(P("price") >= 0.0)
+
+                # Well past the idle window: server pings, the client
+                # auto-pongs, and the connection must survive.
+                await asyncio.sleep(1.3)
+                assert client.connected
+                assert client.goodbye_reason is None
+
+                await client.publish(Event({"price": 1.0}))
+                await client.wait_for_notifications(1)
+                assert_gapless(client)
+                await client.close()
+
+        asyncio.run(main())
+
+    @pytest.mark.timeout(120)
+    def test_client_liveness_abort_and_auto_reconnect(self):
+        async def main():
+            service = PubSubService(topology=line_topology(1), max_batch=1)
+            # One stall, longer than the liveness timeout, placed by a
+            # plan armed only once the handshake is done.
+            plan = FaultPlan(
+                21,
+                wire_kinds=("stall",),
+                mean_gap_bytes=1.0,
+                min_first_gap_bytes=0,
+                stall_seconds=1.5,
+                max_faults=1,
+            )
+            plan.disarm()
+            async with PubSubServer(service, "b0") as server:
+                client = PubSubClient(
+                    "127.0.0.1",
+                    server.port,
+                    "alice",
+                    heartbeat_interval=0.2,
+                    liveness_timeout=0.5,
+                    auto_reconnect=True,
+                    stream_wrapper=faulty_stream(plan, "alice"),
+                )
+                await client.connect()
+                await client.subscribe(P("price") >= 0.0)
+                oracle = _Oracle(service, "b0", "oracle-alice")
+                oracle.subscribe(P("price") >= 0.0)
+
+                publisher = PubSubClient(
+                    "127.0.0.1", server.port, "publisher"
+                )
+                await publisher.connect()
+
+                plan.arm()  # the next inbound chunk stalls for 1.5s
+                await publisher.publish(Event({"price": 1.0}))
+                await _pump_until(
+                    lambda: client.liveness_expiries >= 1, timeout=5.0
+                )
+                await _pump_until(lambda: client.reconnects >= 1, timeout=10.0)
+                assert plan.counts().get("stall") == 1
+
+                await publisher.publish(Event({"price": 2.0}))
+                await client.wait_for_notifications(2)
+                assert fingerprint(client.notifications) == fingerprint(
+                    oracle.notifications
+                )
+                assert_gapless(client)
+                assert len(client.recovery_latencies) == client.reconnects
+                await client.close()
+                await publisher.close()
+
+        asyncio.run(main())
