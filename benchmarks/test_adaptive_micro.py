@@ -1,0 +1,147 @@
+"""Micro-benchmark of the adaptive pruning loop in the serving path.
+
+Runs the same auction → tree-heavy drift through a controller-off oracle
+service and an adaptive twin (memory budget at half the exact table
+size, so the loop must prune) and records what the controller cost and
+reclaimed: routing-table bytes, forwarded event bytes (pruned forwarding
+is *more* permissive, so this delta is the paper's network-load price),
+measured filter seconds, and the pure observe/probe overhead of a
+controller that never prunes.  Results land in ``BENCH_matching.json``
+under the ``adaptive`` key (schema in ``docs/BENCHMARKS.md``).
+
+Delivery equality with the oracle is asserted, not assumed.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.adaptive import AdaptiveConfig
+from repro.core.adaptive import SystemConditions
+from repro.routing.topology import line_topology
+from repro.service import CountingSink, PubSubService
+from repro.workloads.tree_heavy import TreeHeavyConfig, TreeHeavyWorkload
+
+
+@pytest.fixture(scope="module")
+def drift_events(bench_workload, bench_config):
+    """Phase A auction events, phase B tree-heavy events (the drift)."""
+    count = max(40, bench_config.event_count)
+    tree_heavy = TreeHeavyWorkload(
+        TreeHeavyConfig(seed=bench_config.seed, attribute_count=6, depth=1)
+    )
+    return (
+        list(bench_workload.generate_events(count, stream=7)),
+        list(tree_heavy.generate_events(count)),
+    )
+
+
+def _run(bench_subscriptions, drift_events, adaptive_factory):
+    """One full drift scenario; returns timing, report, network metrics."""
+    with PubSubService(
+        topology=line_topology(4), max_batch=16, adaptive=None
+    ) as probe_service:
+        subscriber = probe_service.connect("b3", "subscriber")
+        for subscription in bench_subscriptions:
+            subscriber.subscribe(subscription.tree)
+        exact_table_bytes = probe_service.network.table_size_bytes
+    adaptive = adaptive_factory(exact_table_bytes)
+    with PubSubService(
+        topology=line_topology(4), max_batch=16, adaptive=adaptive
+    ) as service:
+        subscriber = service.connect("b3", "subscriber", sink=CountingSink())
+        for subscription in bench_subscriptions:
+            subscriber.subscribe(subscription.tree)
+        publisher = service.connect("b0", "publisher")
+        started = time.perf_counter()
+        for phase in drift_events:
+            for event in phase:
+                publisher.publish(event)
+            service.flush()
+        seconds = time.perf_counter() - started
+        if service.adaptive is not None:
+            # Deterministic dimension switch: a bandwidth-stressed cycle
+            # after the memory-driven phases.  The verification stream
+            # below re-checks delivery equality *after* the switch.
+            service.adaptive.run_cycle(
+                SystemConditions(0, 1, bandwidth_utilization=0.95, filter_saturation=0.0)
+            )
+        for event in drift_events[0]:
+            publisher.publish(event)
+        service.flush()
+        report = service.adaptive.report() if service.adaptive else None
+        network_report = service.network.report()
+        return {
+            "seconds": seconds,
+            "deliveries": subscriber.sink.total,
+            "event_bytes": network_report.event_bytes,
+            "event_messages": network_report.event_messages,
+            "filter_seconds": network_report.filter_seconds,
+            "table_bytes_exact": exact_table_bytes,
+            "table_bytes_end": service.network.table_size_bytes,
+            "report": report,
+        }
+
+
+def test_adaptive_loop_under_drift(bench_subscriptions, drift_events, bench_results):
+    oracle = _run(bench_subscriptions, drift_events, lambda _bytes: None)
+
+    def stressed(table_bytes):
+        return AdaptiveConfig(
+            cycle_events=32,
+            batch_size=16,
+            memory_budget_bytes=max(1, table_bytes // 2),
+            min_observations=16,
+            stop_degradation=None,
+        )
+
+    def observe_only(_table_bytes):
+        # Statistics + probe run every cycle, but the warm-up gate never
+        # opens: this run prices the controller's pure overhead.
+        return AdaptiveConfig(cycle_events=32, min_observations=10**9)
+
+    adaptive = _run(bench_subscriptions, drift_events, stressed)
+    overhead = _run(bench_subscriptions, drift_events, observe_only)
+
+    # The tentpole invariant: adaptive delivery is exactly the oracle's.
+    assert adaptive["deliveries"] == oracle["deliveries"]
+    assert overhead["deliveries"] == oracle["deliveries"]
+    report = adaptive["report"]
+    assert report["prunings_applied"] > 0
+    assert report["bytes_reclaimed_total"] > 0
+    assert overhead["report"]["prunings_applied"] == 0
+    # The history must show the live memory phase AND the forced switch
+    # to network-based pruning, with delivery still exactly the oracle's.
+    assert {"mem", "sel"} <= {dim for dim, _count in report["dimension_history"]}
+
+    events = sum(len(phase) for phase in drift_events)
+    bench_results["adaptive"] = {
+        "events": events,
+        "subscriptions": len(bench_subscriptions),
+        "memory_budget_bytes": max(1, adaptive["table_bytes_exact"] // 2),
+        "table_bytes_exact": adaptive["table_bytes_exact"],
+        "table_bytes_end": adaptive["table_bytes_end"],
+        "bytes_reclaimed_end": report["bytes_reclaimed"],
+        "bytes_reclaimed_total": report["bytes_reclaimed_total"],
+        "prunings_applied": report["prunings_applied"],
+        "prunings_reverted": report["prunings_reverted"],
+        "cycles": report["cycles"],
+        "dimension_history": report["dimension_history"],
+        "deliveries": adaptive["deliveries"],
+        # Network price of pruned (more permissive) forwarding.
+        "baseline_event_bytes": oracle["event_bytes"],
+        "adaptive_event_bytes": adaptive["event_bytes"],
+        "baseline_event_messages": oracle["event_messages"],
+        "adaptive_event_messages": adaptive["event_messages"],
+        # Filtering time under drift, measured not modelled.
+        "baseline_filter_seconds": oracle["filter_seconds"],
+        "adaptive_filter_seconds": adaptive["filter_seconds"],
+        "baseline_seconds": oracle["seconds"],
+        "adaptive_seconds": adaptive["seconds"],
+        "observe_only_seconds": overhead["seconds"],
+        "controller_overhead_ratio": (
+            overhead["seconds"] / oracle["seconds"] if oracle["seconds"] else None
+        ),
+    }

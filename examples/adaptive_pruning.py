@@ -70,7 +70,8 @@ def main() -> None:
         print("  remaining associations: %d\n" % pruner.engine.association_count)
 
     print("dimension history: %s"
-          % " -> ".join(d.value for d in pruner.dimension_history))
+          % " -> ".join("%s x%d" % (dimension.value, count)
+                        for dimension, count in pruner.dimension_history))
 
 
 if __name__ == "__main__":

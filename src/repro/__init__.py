@@ -37,6 +37,14 @@ See README.md for the architecture overview and DESIGN.md for the mapping
 from paper sections to modules.
 """
 
+from repro.adaptive import (
+    AdaptiveConfig,
+    AdaptiveController,
+    OnlineEventStatistics,
+    StreamingHistogram,
+    SystemConditionsProbe,
+    TopKCounter,
+)
 from repro.core.adaptive import AdaptivePruner, SystemConditions
 from repro.core.engine import PruningEngine, PruningRecord
 from repro.core.heuristics import DIMENSION_ORDERS, Dimension, HeuristicVector
@@ -132,6 +140,8 @@ from repro.workloads.auction import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdaptiveConfig",
+    "AdaptiveController",
     "AdaptivePruner",
     "And",
     "apply_pruning",
@@ -186,6 +196,7 @@ __all__ = [
     "normalize",
     "Not",
     "Notification",
+    "OnlineEventStatistics",
     "Operator",
     "Or",
     "P",
@@ -214,11 +225,14 @@ __all__ = [
     "Session",
     "ShardedMatcher",
     "star_topology",
+    "StreamingHistogram",
     "Subscription",
     "SubscriptionClassMix",
     "SubscriptionError",
     "SubscriptionHandle",
     "SystemConditions",
+    "SystemConditionsProbe",
+    "TopKCounter",
     "Topology",
     "TopologyError",
     "TransportError",

@@ -1,0 +1,44 @@
+"""Adaptive dimension pruning driven by live statistics.
+
+This package closes the feedback loop the paper sketches in its
+introduction — "if the number of subscriptions increases strongly, we use
+memory-based pruning; bandwidth limitations suggest to apply
+network-based pruning" — at *runtime*, against the production service
+layer, instead of in offline experiment mode:
+
+* :mod:`repro.adaptive.statistics` — :class:`OnlineEventStatistics`, a
+  thread-safe, bounded-memory accumulator fed from the dispatch path
+  (top-K categorical frequency sketches + streaming numeric histograms)
+  whose snapshots are drop-in
+  :class:`~repro.selectivity.statistics.EventStatistics`;
+* :mod:`repro.adaptive.probe` — :class:`SystemConditionsProbe`, which
+  assembles the :class:`~repro.core.adaptive.SystemConditions` the
+  dimension policy consumes from real substrate signals (routing-table
+  bytes vs budget, busiest-link utilization, filter saturation);
+* :mod:`repro.adaptive.controller` — :class:`AdaptiveController`, the
+  periodic re-prune cycle on :class:`~repro.service.PubSubService`
+  (opt-in via ``adaptive=AdaptiveConfig(...)``): snapshot conditions →
+  select dimension → prune a batch → apply to inner-broker forwarding
+  tables only, plus the un-prune path and an observability report.
+
+See ``docs/ARCHITECTURE.md`` ("Adaptive pruning") for the dataflow
+diagram and the forwarding-only invariant that keeps the whole loop
+observationally invisible to subscribers.
+"""
+
+from repro.adaptive.controller import AdaptiveConfig, AdaptiveController
+from repro.adaptive.probe import SystemConditionsProbe
+from repro.adaptive.statistics import (
+    OnlineEventStatistics,
+    StreamingHistogram,
+    TopKCounter,
+)
+
+__all__ = [
+    "AdaptiveConfig",
+    "AdaptiveController",
+    "OnlineEventStatistics",
+    "StreamingHistogram",
+    "SystemConditionsProbe",
+    "TopKCounter",
+]

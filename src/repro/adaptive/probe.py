@@ -1,0 +1,96 @@
+"""Deriving :class:`SystemConditions` from live substrate counters.
+
+The dimension policy consumes three pressures — memory, bandwidth, and
+filter CPU.  The substrate exposes only cumulative counters, so the probe
+keeps the previous snapshot and reads *rates* off the deltas:
+
+* **memory pressure** is instantaneous: the network's routing-table byte
+  estimate against the configured budget;
+* **bandwidth utilization** is the busiest directed link's modelled busy
+  seconds (messages × overhead + bytes / bandwidth, per
+  :meth:`~repro.routing.metrics.NetworkReport.link_busy_seconds`) accrued
+  since the last snapshot, divided by the wall-clock window;
+* **filter saturation** is the network-wide measured filtering seconds
+  accrued over the same window, divided by the window — an aggregate-CPU
+  share that can exceed 1.0 on multi-broker networks.
+
+The clock is injectable so tests can drive deterministic windows.
+Counter resets (``reset_statistics``) make deltas negative; the probe
+clamps them to zero instead of reporting phantom load.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.adaptive import SystemConditions
+from repro.errors import PruningError
+from repro.routing.network import BrokerNetwork
+
+
+class SystemConditionsProbe:
+    """Assembles :class:`SystemConditions` snapshots from a live network.
+
+    Parameters
+    ----------
+    network:
+        The substrate to observe.
+    memory_budget_bytes:
+        The routing-table budget; ``None`` disables memory pressure
+        (``memory_pressure`` reads 0, matching ``SystemConditions``'s
+        no-budget convention).
+    clock:
+        Monotonic-seconds source; injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        network: BrokerNetwork,
+        memory_budget_bytes: Optional[int] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if memory_budget_bytes is not None and memory_budget_bytes <= 0:
+            raise PruningError("memory_budget_bytes must be positive")
+        self._network = network
+        self.memory_budget_bytes = memory_budget_bytes
+        self._clock = clock
+        self._last_time: Optional[float] = None
+        self._last_filter_seconds = 0.0
+        self._last_link_busy: Dict[Tuple[str, str], float] = {}
+
+    def snapshot(self) -> SystemConditions:
+        """Read current conditions and advance the delta window.
+
+        The first snapshot has no window to rate over, so both rate
+        signals report 0.0 — callers warm the probe with an initial
+        snapshot before trusting its utilization figures.
+        """
+        now = self._clock()
+        report = self._network.report()
+        busy: Dict[Tuple[str, str], float] = {
+            link: report.link_busy_seconds(link) for link in report.per_link_bytes
+        }
+        filter_seconds = report.filter_seconds
+        utilization = 0.0
+        saturation = 0.0
+        if self._last_time is not None and now > self._last_time:
+            window = now - self._last_time
+            busiest = max(
+                (
+                    busy[link] - self._last_link_busy.get(link, 0.0)
+                    for link in busy
+                ),
+                default=0.0,
+            )
+            utilization = max(0.0, busiest) / window
+            saturation = max(0.0, filter_seconds - self._last_filter_seconds) / window
+        self._last_time = now
+        self._last_link_busy = busy
+        self._last_filter_seconds = filter_seconds
+        return SystemConditions(
+            memory_used_bytes=self._network.table_size_bytes,
+            memory_budget_bytes=self.memory_budget_bytes or 0,
+            bandwidth_utilization=utilization,
+            filter_saturation=saturation,
+        )

@@ -1,0 +1,333 @@
+"""Bounded-memory online event statistics for the adaptive loop.
+
+The offline estimator builds :class:`~repro.selectivity.statistics.EventStatistics`
+from a stored event sample.  A broker cannot afford that: the dispatch
+path sees an unbounded stream and must keep per-attribute state in O(1)
+memory.  :class:`OnlineEventStatistics` accumulates two classic sketches
+per attribute:
+
+* a **space-saving top-K counter** (:class:`TopKCounter`) for discrete
+  frequencies — the K heaviest values keep (over-)estimated counts whose
+  total always equals the number of observations, so categorical
+  probabilities come out of the sketch directly;
+* a **streaming histogram** (:class:`StreamingHistogram`, in the style of
+  Ben-Haim & Tom-Toub) for numeric ranges — at most ``bins`` centroids,
+  merging the closest adjacent pair on overflow, read back as CDF samples
+  for :class:`~repro.selectivity.statistics.ContinuousStatistics`.
+
+``snapshot()`` freezes the sketches into a drop-in
+:class:`~repro.selectivity.statistics.EventStatistics`, so the shared
+:class:`~repro.selectivity.estimator.SelectivityEstimator` and the whole
+pruning stack run unchanged on live traffic.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+import threading
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SelectivityError
+from repro.events import Event, Value
+from repro.selectivity.estimator import SelectivityEstimator
+from repro.selectivity.statistics import (
+    AttributeStatistics,
+    CategoricalStatistics,
+    ContinuousStatistics,
+    EventStatistics,
+)
+
+#: Tag spelling shared with ``EmpiricalStatistics._key``: booleans, numerics
+#: and strings live in disjoint namespaces even when Python would hash them
+#: equal (``True == 1``).
+_Key = Tuple[str, Value]
+
+
+def _key(value: Value) -> _Key:
+    if isinstance(value, bool):
+        return ("b", value)
+    if isinstance(value, (int, float)):
+        return ("n", float(value))
+    return ("s", value)
+
+
+class TopKCounter:
+    """Space-saving frequency sketch over at most ``capacity`` values.
+
+    When a new value arrives at capacity, the lightest tracked value is
+    evicted and the newcomer inherits its count plus one — the standard
+    space-saving over-estimate.  By construction the counts always sum to
+    the number of observations, so normalising them yields a probability
+    model with full coverage.  ``exact`` reports whether any eviction ever
+    happened; until then the sketch is a perfect frequency table.
+
+    >>> counter = TopKCounter(2)
+    >>> for value in ("a", "a", "b", "c"):
+    ...     counter.observe(("s", value))
+    >>> counter.exact
+    False
+    >>> sorted(counter.counts.items())
+    [(('s', 'a'), 2), (('s', 'c'), 2)]
+    """
+
+    __slots__ = ("capacity", "counts", "evictions")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise SelectivityError("top-K capacity must be positive")
+        self.capacity = capacity
+        self.counts: Dict[_Key, int] = {}
+        self.evictions = 0
+
+    def observe(self, key: _Key) -> None:
+        """Count one occurrence of ``key``."""
+        counts = self.counts
+        current = counts.get(key)
+        if current is not None:
+            counts[key] = current + 1
+            return
+        if len(counts) < self.capacity:
+            counts[key] = 1
+            return
+        victim = min(counts, key=counts.__getitem__)
+        floor = counts.pop(victim)
+        counts[key] = floor + 1
+        self.evictions += 1
+
+    @property
+    def exact(self) -> bool:
+        """``True`` while no value has ever been evicted."""
+        return self.evictions == 0
+
+
+class StreamingHistogram:
+    """Mergeable histogram with at most ``capacity`` centroids.
+
+    Inserting an unseen value adds a unit-weight centroid; on overflow the
+    two closest adjacent centroids merge into their weighted mean.  While
+    no merge has occurred the histogram is an exact frequency table of the
+    stream.  ``cdf()`` reads the centroids back as ascending
+    ``(support, cumulative)`` samples ready for
+    :class:`~repro.selectivity.statistics.ContinuousStatistics`.
+
+    >>> histogram = StreamingHistogram(capacity=4)
+    >>> for value in (1.0, 2.0, 2.0, 5.0):
+    ...     histogram.observe(value)
+    >>> histogram.cdf()
+    ([1.0, 2.0, 5.0], [0.25, 0.75, 1.0])
+    """
+
+    __slots__ = ("capacity", "merges", "_values", "_counts")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 2:
+            raise SelectivityError("histogram capacity must be at least 2")
+        self.capacity = capacity
+        self.merges = 0
+        self._values: List[float] = []
+        self._counts: List[float] = []
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def observe(self, value: float) -> None:
+        """Fold one numeric observation into the histogram."""
+        values = self._values
+        index = bisect.bisect_left(values, value)
+        if index < len(values) and values[index] == value:
+            self._counts[index] += 1.0
+            return
+        values.insert(index, value)
+        self._counts.insert(index, 1.0)
+        if len(values) > self.capacity:
+            self._merge_closest()
+
+    def _merge_closest(self) -> None:
+        values, counts = self._values, self._counts
+        best = 0
+        best_gap = values[1] - values[0]
+        for i in range(1, len(values) - 1):
+            gap = values[i + 1] - values[i]
+            if gap < best_gap:
+                best_gap = gap
+                best = i
+        total = counts[best] + counts[best + 1]
+        merged = (values[best] * counts[best] + values[best + 1] * counts[best + 1]) / total
+        values[best : best + 2] = [merged]
+        counts[best : best + 2] = [total]
+        self.merges += 1
+
+    def cdf(self) -> Tuple[List[float], List[float]]:
+        """``(support, cumulative)`` with ``cdf[i] = P(X <= support[i])``.
+
+        Each centroid's mass is attributed at (or below) its mean — exact
+        when no merge has happened, a ±half-bin approximation otherwise.
+        """
+        total = sum(self._counts)
+        support: List[float] = []
+        cumulative: List[float] = []
+        running = 0.0
+        for value, count in zip(self._values, self._counts):
+            running += count
+            support.append(value)
+            cumulative.append(running / total)
+        return support, cumulative
+
+
+class _AttributeAccumulator:
+    """Sketch state of one attribute: presence, top-K, numeric histogram."""
+
+    __slots__ = ("present", "numeric", "counter", "histogram")
+
+    def __init__(self, top_k: int, histogram_bins: int) -> None:
+        self.present = 0
+        self.numeric = 0
+        self.counter = TopKCounter(top_k)
+        self.histogram = StreamingHistogram(histogram_bins)
+
+    def observe(self, value: Value) -> None:
+        self.present += 1
+        self.counter.observe(_key(value))
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            self.numeric += 1
+            self.histogram.observe(float(value))
+
+    def model(self, observed: int) -> Optional[AttributeStatistics]:
+        """Freeze this accumulator into an :class:`AttributeStatistics`.
+
+        Low-cardinality attributes (no eviction yet) become exact
+        categorical models.  High-cardinality numeric attributes fall back
+        to the streaming histogram's CDF; high-cardinality strings keep
+        the (over-estimating but fully covering) top-K frequencies.
+        """
+        if not self.present:
+            return None
+        presence = self.present / observed
+        numeric_share = self.numeric / self.present
+        if not self.counter.exact and numeric_share >= 0.5 and len(self.histogram) >= 2:
+            support, cumulative = self.histogram.cdf()
+            return ContinuousStatistics(
+                support, cumulative, presence=presence * numeric_share
+            )
+        probabilities: Dict[Value, float] = {}
+        for (_, value), count in self.counter.counts.items():
+            probabilities[value] = probabilities.get(value, 0.0) + float(count)
+        return CategoricalStatistics(probabilities, presence=presence)
+
+
+class OnlineEventStatistics:
+    """Thread-safe bounded-memory statistics over a live event stream.
+
+    Parameters
+    ----------
+    top_k, histogram_bins:
+        Per-attribute sketch sizes (values tracked exactly / CDF
+        centroids kept).
+    sample_rate:
+        Fraction of offered events folded into the sketches.  Sampling is
+        pseudo-random but seeded, so a replayed stream yields identical
+        statistics.
+    recent_capacity:
+        How many sampled events to retain verbatim for realized-
+        selectivity measurements (a bounded deque, not a growing log).
+    default_probability:
+        Fallback for predicates on attributes the stream has not shown.
+
+    >>> online = OnlineEventStatistics(top_k=4)
+    >>> _ = online.observe_batch([Event({"category": "fiction"})] * 3)
+    >>> online.snapshot().attribute("category").prob_eq("fiction")
+    1.0
+    """
+
+    def __init__(
+        self,
+        top_k: int = 32,
+        histogram_bins: int = 64,
+        sample_rate: float = 1.0,
+        recent_capacity: int = 256,
+        default_probability: float = 0.5,
+        seed: int = 2006,
+    ) -> None:
+        if not 0.0 < sample_rate <= 1.0:
+            raise SelectivityError("sample_rate must be within (0, 1]")
+        if recent_capacity < 1:
+            raise SelectivityError("recent_capacity must be positive")
+        self._top_k = top_k
+        self._histogram_bins = histogram_bins
+        self._sample_rate = sample_rate
+        self._default_probability = default_probability
+        self._lock = threading.Lock()
+        self._rng = random.Random(seed)
+        self._attributes: Dict[str, _AttributeAccumulator] = {}
+        self._recent: Deque[Event] = deque(maxlen=recent_capacity)
+        self._seen = 0
+        self._observed = 0
+
+    @property
+    def seen(self) -> int:
+        """Events offered to the accumulator (sampled or not)."""
+        with self._lock:
+            return self._seen
+
+    @property
+    def observed(self) -> int:
+        """Events actually folded into the sketches."""
+        with self._lock:
+            return self._observed
+
+    def observe(self, event: Event) -> bool:
+        """Offer one event; returns whether it was sampled in."""
+        with self._lock:
+            return self._observe_locked(event)
+
+    def observe_batch(self, events: Sequence[Event]) -> int:
+        """Offer a batch under one lock acquisition; returns sampled count."""
+        sampled = 0
+        with self._lock:
+            for event in events:
+                if self._observe_locked(event):
+                    sampled += 1
+        return sampled
+
+    def _observe_locked(self, event: Event) -> bool:
+        self._seen += 1
+        if self._sample_rate < 1.0 and self._rng.random() >= self._sample_rate:
+            return False
+        self._observed += 1
+        self._recent.append(event)
+        for attribute, value in event.items():
+            accumulator = self._attributes.get(attribute)
+            if accumulator is None:
+                accumulator = _AttributeAccumulator(
+                    self._top_k, self._histogram_bins
+                )
+                self._attributes[attribute] = accumulator
+            accumulator.observe(value)
+        return True
+
+    def recent_events(self) -> List[Event]:
+        """The retained tail of sampled events (newest last)."""
+        with self._lock:
+            return list(self._recent)
+
+    def snapshot(self) -> EventStatistics:
+        """Freeze the sketches into an :class:`EventStatistics`.
+
+        With no observations yet, the snapshot knows no attributes and
+        every predicate estimate falls back to ``default_probability``.
+        """
+        with self._lock:
+            models: Dict[str, AttributeStatistics] = {}
+            for attribute, accumulator in self._attributes.items():
+                model = accumulator.model(self._observed)
+                if model is not None:
+                    models[attribute] = model
+            return EventStatistics(
+                models, default_probability=self._default_probability
+            )
+
+    def estimator(self) -> SelectivityEstimator:
+        """A fresh :class:`SelectivityEstimator` over :meth:`snapshot`."""
+        return SelectivityEstimator(self.snapshot())

@@ -12,10 +12,10 @@ points survive dimension switches).
 
 from __future__ import annotations
 
-from typing import List, NamedTuple, Optional, Sequence
+from typing import Callable, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.core.engine import PruningEngine, PruningRecord
-from repro.core.heuristics import Dimension
+from repro.core.heuristics import Dimension, HeuristicVector
 from repro.errors import PruningError
 from repro.selectivity.estimator import SelectivityEstimator
 from repro.subscriptions.subscription import Subscription
@@ -85,7 +85,11 @@ class AdaptivePruner:
         self.memory_threshold = memory_threshold
         self.bandwidth_threshold = bandwidth_threshold
         self.filter_threshold = filter_threshold
-        self.dimension_history: List[Dimension] = [initial_dimension]
+        #: One ``(dimension, prunings executed)`` entry per batch that
+        #: actually executed at least one pruning.  An exhausted engine
+        #: (or a batch stopped before its first step) records nothing —
+        #: the history describes *activity*, not attempts.
+        self.dimension_history: List[Tuple[Dimension, int]] = []
 
     def select_dimension(self, conditions: SystemConditions) -> Dimension:
         """The dimension this policy picks under ``conditions``."""
@@ -123,12 +127,16 @@ class AdaptivePruner:
         dimension = self.select_dimension(conditions)
         if dimension is not self.engine.dimension:
             self.engine.switch_dimension(dimension)
-        self.dimension_history.append(dimension)
-        stop_before = None
+        stop_before: Optional[Callable[[HeuristicVector], bool]] = None
         if stop_degradation is not None:
             limit = stop_degradation
             stop_before = lambda vector: vector.sel > limit  # noqa: E731
-        return self.engine.run(max_steps=batch_size, stop_before=stop_before)
+        records = self.engine.run(max_steps=batch_size, stop_before=stop_before)
+        # Record the batch only after it executed: an exhausted engine (or
+        # a raising run) must not claim a pruning round it never performed.
+        if records:
+            self.dimension_history.append((dimension, len(records)))
+        return records
 
     @property
     def current_dimension(self) -> Dimension:

@@ -120,7 +120,7 @@ class PruningEngine:
             )
         else:
             original_estimate, original_pmin = self._references[sub_id]
-        best_key = None
+        best_key: Optional[Tuple[float, float, float]] = None
         best_entry: Optional[_QueueEntry] = None
         for op in ops:
             vector, pruned = self.heuristics.vector(
@@ -162,7 +162,7 @@ class PruningEngine:
         for component in order:
             if component not in ("sel", "eff", "mem"):
                 raise PruningError("unknown heuristic component %r" % (component,))
-        self.heuristics.order = tuple(order)
+        self.heuristics.order = (order[0], order[1], order[2])
         self._rebuild_queue()
 
     def _rebuild_queue(self) -> None:
@@ -179,7 +179,8 @@ class PruningEngine:
 
     def peek_key(self) -> Optional[Tuple[float, float, float]]:
         """Priority key of the next pruning, or ``None`` when exhausted."""
-        return self._heap.peek_key()
+        key: Optional[Tuple[float, float, float]] = self._heap.peek_key()
+        return key
 
     def peek_vector(self) -> Optional[HeuristicVector]:
         """Heuristic vector of the next pruning, or ``None`` when exhausted."""

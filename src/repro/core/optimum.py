@@ -139,11 +139,11 @@ def weighted_cost(
 
     def cost(pruned: Dict[int, Subscription], _count: int) -> float:
         value = 0.0
-        if time_weight:
+        if time_weight and measure_time is not None:
             value += time_weight * measure_time(pruned)
-        if network_weight:
+        if network_weight and measure_network is not None:
             value += network_weight * measure_network(pruned)
-        if memory_weight:
+        if memory_weight and initial_associations is not None:
             associations = sum(s.leaf_count for s in pruned.values())
             value += memory_weight * (associations / initial_associations)
         return value

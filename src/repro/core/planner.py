@@ -10,6 +10,7 @@ static workload statistics, never on measurements, so replay is exact).
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import PruningError
@@ -56,13 +57,30 @@ class PruningSchedule:
         return len(self.records)
 
     def prefix_count(self, proportion: float) -> int:
-        """Number of prunings corresponding to an x-axis proportion."""
+        """Number of prunings corresponding to an x-axis proportion.
+
+        Midpoints round half *up* (explicitly — Python's built-in
+        ``round`` applies banker's rounding, under which ``round(0.5)``
+        is 0 and odd-total midpoints bias low), so the mapping is
+        monotone in ``proportion`` and hits ``0``/``total`` exactly at
+        the endpoints.
+        """
         if not 0.0 <= proportion <= 1.0:
             raise PruningError("proportion must be within [0, 1]")
-        return round(proportion * self.total)
+        return min(self.total, math.floor(proportion * self.total + 0.5))
 
     def replay(self, count: int) -> Dict[int, Subscription]:
-        """Subscriptions after the first ``count`` prunings of the run."""
+        """Subscriptions after the first ``count`` prunings of the run.
+
+        ``count`` must lie within ``[0, total]`` — the same contract
+        :meth:`sweep` enforces.  (Out-of-range counts used to slip
+        through Python slicing silently: a negative count returned a
+        nonsense ``records[:-n]`` prefix and an overlarge one clamped.)
+        """
+        if not 0 <= count <= self.total:
+            raise PruningError(
+                "replay count %d outside [0, %d]" % (count, self.total)
+            )
         states = self._fresh_states()
         self._apply(states, self.records[:count])
         return {

@@ -14,7 +14,7 @@ counting engine does real work.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 
 class CostModel:
@@ -77,16 +77,36 @@ class NetworkReport:
         events_published: int,
         filter_seconds: float,
         cost_model: CostModel,
+        per_link_bytes: Optional[Dict[Tuple[str, str], int]] = None,
     ) -> None:
         self.event_messages = event_messages
         self.event_bytes = event_bytes
         self.subscription_messages = subscription_messages
         self.subscription_bytes = subscription_bytes
         self.per_link_messages = per_link_messages
+        #: Directed-link byte counters (all traffic, events plus
+        #: subscription forwarding); the adaptive probe derives busiest-
+        #: link utilization from these.  Empty when a caller predating
+        #: the field built the report by hand.
+        self.per_link_bytes = per_link_bytes if per_link_bytes is not None else {}
         self.deliveries = deliveries
         self.events_published = events_published
         self.filter_seconds = filter_seconds
         self.cost_model = cost_model
+
+    def link_busy_seconds(self, link: Tuple[str, str]) -> float:
+        """Modelled seconds this directed link spent transmitting.
+
+        ``messages × per-message overhead + bytes × 8 / bandwidth`` — the
+        same model :meth:`transmission_seconds` applies network-wide,
+        resolved per link so utilization can be read off the busiest one.
+        """
+        messages = self.per_link_messages.get(link, 0)
+        link_bytes = self.per_link_bytes.get(link, 0)
+        return (
+            messages * self.cost_model.per_message_overhead_s
+            + (link_bytes * 8.0) / self.cost_model.bandwidth_bps
+        )
 
     @property
     def transmission_seconds(self) -> float:

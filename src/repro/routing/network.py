@@ -109,12 +109,38 @@ class BrokerNetwork:
         self._reserved_ids: Set[int] = set()
         self._delivery_hook: Optional[DeliveryHook] = None
         self._home: Dict[int, Tuple[str, str]] = {}
+        self._table_version = 0
         self._subscription_messages = 0
         self._subscription_bytes = 0
         self._events_published = 0
         self._deliveries = 0
 
     # -- subscriptions -------------------------------------------------------------
+
+    @property
+    def table_version(self) -> int:
+        """Monotone counter bumped by every subscription churn operation.
+
+        Subscribe, unsubscribe, and replace each increment it; applied
+        *prunings* do not (they change trees, not which subscriptions
+        exist).  Consumers that cache per-subscription plans — the
+        adaptive pruning controller above all — compare versions to
+        detect that their snapshot of the subscription set went stale.
+        """
+        return self._table_version
+
+    def registered_subscriptions(self) -> Dict[int, Subscription]:
+        """All live subscriptions with their exact *registered* trees.
+
+        Read from each subscription's home-broker entry, which is never
+        pruned, so the returned trees are the delivery-correct originals
+        regardless of any pruning applied to forwarding tables.
+        """
+        subscriptions: Dict[int, Subscription] = {}
+        for subscription_id, (broker_id, _client) in self._home.items():
+            entry = self.brokers[broker_id].entries[subscription_id]
+            subscriptions[subscription_id] = entry.original
+        return subscriptions
 
     def allocate_subscription_id(self) -> int:
         """Reserve and return the next globally unique subscription id.
@@ -164,6 +190,7 @@ class BrokerNetwork:
         subscription = Subscription(subscription_id, tree, owner=client)
         home.add_entry(subscription, Interface.client(client))
         self._home[subscription.id] = (broker_id, client)
+        self._table_version += 1
         wire_size = len(encode_node(subscription.tree)) + _SUBSCRIPTION_MESSAGE_OVERHEAD
         self._flood(
             broker_id,
@@ -203,6 +230,7 @@ class BrokerNetwork:
         if subscription_id not in self._home:
             raise RoutingError("unknown subscription id %d" % subscription_id)
         origin, _client = self._home.pop(subscription_id)
+        self._table_version += 1
         self._broker(origin).remove_entry(subscription_id)
         self._flood(
             origin,
@@ -224,6 +252,7 @@ class BrokerNetwork:
             raise RoutingError("unknown subscription id %d" % subscription_id)
         origin, client = home
         subscription = Subscription(subscription_id, tree, owner=client)
+        self._table_version += 1
         self.brokers[origin].replace_entry(subscription)
         wire_size = len(encode_node(subscription.tree)) + _SUBSCRIPTION_MESSAGE_OVERHEAD
         self._flood(
@@ -430,8 +459,10 @@ class BrokerNetwork:
         event_messages = 0
         event_bytes = 0
         per_link: Dict[Tuple[str, str], int] = {}
+        per_link_bytes: Dict[Tuple[str, str], int] = {}
         for key, link in self._links.items():
             per_link[key] = link.messages
+            per_link_bytes[key] = link.bytes
             event_messages += link.messages
             event_bytes += link.bytes
         event_messages -= self._subscription_messages
@@ -449,6 +480,7 @@ class BrokerNetwork:
             events_published=self._events_published,
             filter_seconds=filter_seconds,
             cost_model=self.cost_model,
+            per_link_bytes=per_link_bytes,
         )
 
     def close(self) -> None:

@@ -18,13 +18,24 @@ Three implementations cover the library's needs:
 from __future__ import annotations
 
 import bisect
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Literal,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeGuard,
+    Union,
+)
 
 import numpy as np
 
 from repro.errors import SelectivityError
 from repro.events import Event, Value
-from repro.subscriptions.predicates import Operator, Predicate
+from repro.subscriptions.predicates import Operator, Predicate, PredicateValue
 
 
 class AttributeStatistics:
@@ -33,7 +44,7 @@ class AttributeStatistics:
     #: Probability that an event carries this attribute at all.
     presence = 1.0
 
-    def predicate_probability(self, operator: Operator, value) -> float:
+    def predicate_probability(self, operator: Operator, value: PredicateValue) -> float:
         """Probability that a random event fulfils ``attribute op value``."""
         positive = self._positive_probability(operator, value)
         if positive is not None:
@@ -45,12 +56,18 @@ class AttributeStatistics:
             raise SelectivityError("unsupported operator %r" % operator)
         return max(0.0, self.presence - min(positive, self.presence))
 
-    def _positive_probability(self, operator: Operator, value) -> Optional[float]:
+    def _positive_probability(
+        self, operator: Operator, value: PredicateValue
+    ) -> Optional[float]:
         """Probability for non-negated operators; ``None`` for negated ones."""
+        if isinstance(value, frozenset):
+            # Predicate validation pairs set values with the set operators
+            # only; the negated one resolves through the complement above.
+            if operator is Operator.IN_SET:
+                return min(1.0, sum(self.prob_eq(member) for member in value))
+            return None
         if operator is Operator.EQ:
             return self.prob_eq(value)
-        if operator is Operator.IN_SET:
-            return min(1.0, sum(self.prob_eq(member) for member in value))
         if operator is Operator.LT:
             return self.prob_less(value, inclusive=False)
         if operator is Operator.LE:
@@ -59,9 +76,9 @@ class AttributeStatistics:
             return max(0.0, self.presence - self.prob_less(value, inclusive=True))
         if operator is Operator.GE:
             return max(0.0, self.presence - self.prob_less(value, inclusive=False))
-        if operator is Operator.PREFIX:
+        if operator is Operator.PREFIX and isinstance(value, str):
             return self.prob_prefix(value)
-        if operator is Operator.CONTAINS:
+        if operator is Operator.CONTAINS and isinstance(value, str):
             return self.prob_contains(value)
         return None
 
@@ -81,7 +98,7 @@ class AttributeStatistics:
         raise NotImplementedError
 
 
-def _is_numeric(value: object) -> bool:
+def _is_numeric(value: object) -> TypeGuard[Union[int, float]]:
     return isinstance(value, (int, float)) and not isinstance(value, bool)
 
 
@@ -93,7 +110,9 @@ class CategoricalStatistics(AttributeStatistics):
     0.6
     """
 
-    def __init__(self, probabilities: Mapping[Value, float], presence: float = 1.0):
+    def __init__(
+        self, probabilities: Mapping[Value, float], presence: float = 1.0
+    ) -> None:
         if not probabilities:
             raise SelectivityError("categorical statistics need at least one value")
         total = float(sum(probabilities.values()))
@@ -107,12 +126,12 @@ class CategoricalStatistics(AttributeStatistics):
             value: presence * (probability / total)
             for value, probability in probabilities.items()
         }
-        self._sorted_numeric = sorted(
+        self._sorted_numeric: List[Tuple[Union[int, float], float]] = sorted(
             (value, probability)
             for value, probability in self._probs.items()
             if _is_numeric(value)
         )
-        self._sorted_strings = sorted(
+        self._sorted_strings: List[Tuple[str, float]] = sorted(
             (value, probability)
             for value, probability in self._probs.items()
             if isinstance(value, str)
@@ -130,19 +149,22 @@ class CategoricalStatistics(AttributeStatistics):
         return self._probs.get(value, 0.0)
 
     def prob_less(self, value: Value, inclusive: bool) -> float:
-        if _is_numeric(value):
-            pool: Sequence[Tuple[Value, float]] = self._sorted_numeric
-        elif isinstance(value, str):
-            pool = self._sorted_strings
-        else:
-            return 0.0
         total = 0.0
-        for candidate, probability in pool:
-            if candidate < value or (inclusive and candidate == value):
-                total += probability
-            else:
-                break
-        return total
+        if _is_numeric(value):
+            for number, probability in self._sorted_numeric:
+                if number < value or (inclusive and number == value):
+                    total += probability
+                else:
+                    break
+            return total
+        if isinstance(value, str):
+            for text, probability in self._sorted_strings:
+                if text < value or (inclusive and text == value):
+                    total += probability
+                else:
+                    break
+            return total
+        return 0.0
 
     def prob_prefix(self, prefix: str) -> float:
         return sum(
@@ -196,9 +218,9 @@ class ContinuousStatistics(AttributeStatistics):
             return 0.0
         x = float(value)
         if x <= self._support[0]:
-            cdf = self._cdf[0] if x == self._support[0] else 0.0
+            cdf = float(self._cdf[0]) if x == self._support[0] else 0.0
         elif x >= self._support[-1]:
-            cdf = self._cdf[-1]
+            cdf = float(self._cdf[-1])
         else:
             cdf = float(np.interp(x, self._support, self._cdf))
         return self.presence * min(1.0, cdf)
@@ -255,7 +277,7 @@ class EmpiricalStatistics(AttributeStatistics):
 
     def prob_less(self, value: Value, inclusive: bool) -> float:
         if _is_numeric(value):
-            side = "right" if inclusive else "left"
+            side: Literal["left", "right"] = "right" if inclusive else "left"
             count = int(np.searchsorted(self._numeric, float(value), side=side))
         elif isinstance(value, str):
             if inclusive:

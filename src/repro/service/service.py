@@ -36,6 +36,7 @@ import threading
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.adaptive.controller import AdaptiveConfig, AdaptiveController
 from repro.errors import DeliveryError, RoutingError, ServiceError
 from repro.events import Event, EventBatch
 from repro.matching.sharded import ExecutorSpec
@@ -63,6 +64,12 @@ class PubSubService:
     batches (see :mod:`repro.matching.sharded`); results are identical
     to the unsharded default.  Use the service as a context manager (or
     call :meth:`close`) so worker pools are torn down.
+    ``adaptive=AdaptiveConfig(...)`` switches on the runtime pruning
+    loop (see :mod:`repro.adaptive`): the dispatch path feeds live event
+    statistics, and every ``cycle_events`` events the controller —
+    exposed as ``service.adaptive`` — re-prunes or un-prunes the
+    inner-broker forwarding tables.  Delivery to subscribers is
+    unaffected: home brokers always keep exact trees.
 
     >>> from repro.routing.topology import line_topology
     >>> from repro.subscriptions import P
@@ -88,6 +95,7 @@ class PubSubService:
         shards: Optional[int] = None,
         executor: Optional[ExecutorSpec] = None,
         on_sink_error: Optional[Callable[[Notification, BaseException], None]] = None,
+        adaptive: Optional[AdaptiveConfig] = None,
     ) -> None:
         if network is None:
             if topology is None:
@@ -133,6 +141,12 @@ class PubSubService:
         self._sequence = 0
         self._expected_sequences: Deque[int] = deque()
         self._closed = False
+        #: The adaptive pruning loop (``None`` unless ``adaptive=`` was
+        #: passed).  Fed from :meth:`_dispatch`; its cycles run under the
+        #: publish lock, so they serialize with churn and flushes.
+        self.adaptive: Optional[AdaptiveController] = (
+            AdaptiveController(self, adaptive) if adaptive is not None else None
+        )
         network.set_delivery_hook(self._dispatch)
 
     # -- introspection -------------------------------------------------------
@@ -413,6 +427,8 @@ class PubSubService:
                         sink.deliver(notification)
                     except Exception as error:
                         failures.append((notification, error))
+            if self.adaptive is not None:
+                self.adaptive._after_dispatch(list(events))
             if failures:
                 if self._on_sink_error is not None:
                     for notification, error in failures:

@@ -60,7 +60,33 @@ class TestOptimize:
         pruner = AdaptivePruner(subscriptions, simple_estimator)
         pruner.optimize(conditions(memory=0.99), batch_size=1)
         assert pruner.current_dimension is Dimension.MEMORY
-        assert pruner.dimension_history[-1] is Dimension.MEMORY
+        assert pruner.dimension_history[-1] == (Dimension.MEMORY, 1)
+
+    def test_history_counts_prunings_per_batch(self, subscriptions, simple_estimator):
+        pruner = AdaptivePruner(subscriptions, simple_estimator)
+        records = pruner.optimize(conditions(), batch_size=2)
+        assert pruner.dimension_history == [(Dimension.NETWORK, len(records))]
+
+    def test_exhausted_engine_records_no_history(self, subscriptions, simple_estimator):
+        """Regression: a batch that executes nothing must not append to the
+        dimension history (the old code recorded the dimension before running
+        the batch, so draining the engine kept logging phantom rounds)."""
+        pruner = AdaptivePruner(subscriptions, simple_estimator)
+        while pruner.optimize(conditions(), batch_size=10):
+            pass
+        assert pruner.engine.exhausted
+        depth = len(pruner.dimension_history)
+        assert pruner.optimize(conditions(memory=0.99), batch_size=3) == []
+        assert len(pruner.dimension_history) == depth
+        assert all(count > 0 for _dimension, count in pruner.dimension_history)
+
+    def test_stopped_before_first_step_records_no_history(
+        self, subscriptions, simple_estimator
+    ):
+        pruner = AdaptivePruner(subscriptions, simple_estimator)
+        records = pruner.optimize(conditions(), batch_size=5, stop_degradation=-1.0)
+        assert records == []
+        assert pruner.dimension_history == []
 
     def test_optimize_executes_batch(self, subscriptions, simple_estimator):
         pruner = AdaptivePruner(subscriptions, simple_estimator)

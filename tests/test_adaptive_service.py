@@ -1,0 +1,264 @@
+"""End-to-end equivalence and lifecycle of the adaptive service loop.
+
+The adaptive controller may only change what *inner brokers forward* —
+never what subscribers receive.  These tests run identical workloads
+through a controller-off oracle service and an adaptive twin and require
+bit-identical delivery streams, under subscription churn and a mid-run
+drift from auction traffic to tree-heavy traffic.  Lifecycle tests drive
+:meth:`AdaptiveController.run_cycle` with explicit conditions to pin the
+dimension policy, the un-prune path, and the churn-restore path.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adaptive import AdaptiveConfig
+from repro.core.adaptive import SystemConditions
+from repro.events import Event
+from repro.routing.topology import line_topology
+from repro.service import PubSubService
+from repro.subscriptions.builder import And, P
+from repro.workloads.auction import AuctionWorkload, AuctionWorkloadConfig
+from repro.workloads.tree_heavy import TreeHeavyConfig, TreeHeavyWorkload
+
+from tests.strategies import events as event_strategy
+from tests.strategies import trees
+
+
+def _adaptive_config(**overrides):
+    """A config that keeps the memory signal permanently stressed, so the
+    controller prunes as soon as the estimator is warm."""
+    settings_ = dict(
+        cycle_events=40,
+        batch_size=4,
+        memory_budget_bytes=1,
+        min_observations=20,
+    )
+    settings_.update(overrides)
+    return AdaptiveConfig(**settings_)
+
+
+def _stream(session):
+    """One session's delivery stream, bit-for-bit."""
+    return [
+        (
+            notification.sequence,
+            notification.subscription_id,
+            notification.delivery_seq,
+            tuple(sorted(notification.event.items())),
+        )
+        for notification in session.sink.notifications
+    ]
+
+
+def _run_scenario(adaptive):
+    """Auction phase → churn → tree-heavy phase, on one fresh service.
+
+    Returns ``(per-client streams, controller report or None)``.  Every
+    non-deterministic input is seeded, so two runs differ only in the
+    ``adaptive`` argument.
+    """
+    auction = AuctionWorkload(AuctionWorkloadConfig(seed=1234))
+    tree_heavy = TreeHeavyWorkload(TreeHeavyConfig(seed=99, attribute_count=6, depth=1))
+    with PubSubService(
+        topology=line_topology(4), max_batch=16, adaptive=adaptive
+    ) as service:
+        publisher = service.connect("b0", "publisher")
+        clients = [
+            service.connect("b%d" % (1 + index), "client%d" % index)
+            for index in range(3)
+        ]
+        handles = []
+        for index, subscription in enumerate(auction.generate_subscriptions(30)):
+            handles.append(clients[index % 3].subscribe(subscription.tree))
+        for event in auction.generate_events(240):
+            publisher.publish(event)
+        service.flush()
+        # Churn: retire a third of the handles, register tree-heavy ones.
+        for handle in handles[::3]:
+            handle.unsubscribe()
+        for index, subscription in enumerate(
+            tree_heavy.generate_subscriptions(9)
+        ):
+            clients[index % 3].subscribe(subscription.tree)
+        for event in tree_heavy.generate_events(240):
+            publisher.publish(event)
+        service.flush()
+        streams = {client.client: _stream(client) for client in clients}
+        report = service.adaptive.report() if service.adaptive is not None else None
+    return streams, report
+
+
+class TestDeliveryEquivalence:
+    def test_streams_identical_under_churn_and_drift(self):
+        oracle, none_report = _run_scenario(adaptive=None)
+        adaptive, report = _run_scenario(adaptive=_adaptive_config())
+        assert none_report is None
+        assert report is not None
+        # The controller must have actually done something, or the
+        # equivalence below is vacuous.
+        assert report["prunings_applied"] > 0
+        assert report["bytes_reclaimed_total"] > 0
+        assert adaptive == oracle
+
+    def test_delivery_seq_gapless(self):
+        streams, report = _run_scenario(adaptive=_adaptive_config())
+        assert report["prunings_applied"] > 0
+        for stream in streams.values():
+            assert [entry[2] for entry in stream] == list(range(len(stream)))
+
+    def test_controller_absent_without_config(self):
+        with PubSubService(topology=line_topology(2)) as service:
+            assert service.adaptive is None
+
+
+def _warm_service(adaptive=None, subscription_count=12, event_count=80):
+    """An adaptive service with registered subscriptions and warm statistics."""
+    auction = AuctionWorkload(AuctionWorkloadConfig(seed=1234))
+    service = PubSubService(
+        topology=line_topology(3),
+        max_batch=16,
+        adaptive=adaptive
+        or _adaptive_config(cycle_events=10**9, stop_degradation=None),
+    )
+    subscriber = service.connect("b2", "alice")
+    for subscription in auction.generate_subscriptions(subscription_count):
+        subscriber.subscribe(subscription.tree)
+    publisher = service.connect("b0", "publisher")
+    for event in auction.generate_events(event_count):
+        publisher.publish(event)
+    service.flush()
+    return service
+
+
+def _conditions(memory=0.0, bandwidth=0.0, cpu=0.0):
+    return SystemConditions(
+        memory_used_bytes=int(memory * 1000),
+        memory_budget_bytes=1000,
+        bandwidth_utilization=bandwidth,
+        filter_saturation=cpu,
+    )
+
+
+class TestCycleLifecycle:
+    def test_dimension_switch_shows_in_history(self):
+        """Memory pressure then filter pressure: the history must show the
+        controller switching dimensions mid-flight."""
+        with _warm_service() as service:
+            controller = service.adaptive
+            assert controller.run_cycle(_conditions(memory=0.95))
+            assert controller.run_cycle(_conditions(cpu=0.95))
+            dimensions = [dimension for dimension, _count in controller._history]
+            assert dimensions[:2] == ["mem", "eff"]
+
+    def test_calm_system_prunes_nothing(self):
+        with _warm_service() as service:
+            assert service.adaptive.run_cycle(_conditions()) == []
+            report = service.adaptive.report()
+            assert report["prunings_applied"] == 0
+            assert report["cycles"] == 1
+
+    def test_cold_statistics_prune_nothing(self):
+        with PubSubService(
+            topology=line_topology(2), adaptive=_adaptive_config(min_observations=10**9)
+        ) as service:
+            session = service.connect("b1", "alice")
+            session.subscribe(And(P("x") == 1, P("y") == 2))
+            assert service.adaptive.run_cycle(_conditions(memory=0.95)) == []
+
+    def test_unprune_restores_exact_tables(self):
+        with _warm_service() as service:
+            exact_bytes = service.network.table_size_bytes
+            controller = service.adaptive
+            assert controller.run_cycle(_conditions(memory=0.95))
+            assert service.network.table_size_bytes < exact_bytes
+            applied = controller.report()["prunings_applied"]
+            # Still above the release low-water mark: pruning stays.
+            assert controller.run_cycle(_conditions(memory=0.6)) == []
+            assert service.network.table_size_bytes < exact_bytes
+            # Fully becalmed: forwarding tables return to exact.
+            assert controller.run_cycle(_conditions()) == []
+            report = controller.report()
+            assert service.network.table_size_bytes == exact_bytes
+            assert report["prunings_reverted"] == applied
+            assert report["subscriptions_pruned"] == 0
+            assert report["bytes_reclaimed"] == 0
+            assert report["bytes_reclaimed_total"] > 0
+
+    def test_churn_restores_then_replans(self):
+        """Table churn invalidates the plan: the next stressed cycle first
+        un-prunes the stale application, then prunes the new table."""
+        with _warm_service() as service:
+            controller = service.adaptive
+            assert controller.run_cycle(_conditions(memory=0.95))
+            first_applied = controller.report()["prunings_applied"]
+            session = service.connect("b1", "bob")
+            session.subscribe(And(P("category") == "coins", P("price") <= 10.0))
+            assert controller.run_cycle(_conditions(memory=0.95))
+            report = controller.report()
+            assert report["prunings_reverted"] == first_applied
+            assert report["prunings_applied"] > first_applied
+
+    def test_report_estimated_and_realized_deltas(self):
+        with _warm_service() as service:
+            controller = service.adaptive
+            assert controller.run_cycle(_conditions(memory=0.95))
+            report = controller.report()
+            estimated = report["estimated_delta_sel"]
+            realized = report["realized_delta_sel"]
+            assert set(estimated) == set(realized)
+            assert estimated  # at least one pruned subscription
+            for sub_id, delta in realized.items():
+                # Pruning generalizes: realized selectivity can only grow.
+                assert delta >= 0.0
+                assert estimated[sub_id] >= 0.0
+
+    def test_run_cycle_records_conditions(self):
+        with _warm_service() as service:
+            service.adaptive.run_cycle(_conditions(bandwidth=0.3))
+            conditions = service.adaptive.report()["last_conditions"]
+            assert conditions["bandwidth_utilization"] == 0.3
+
+
+@given(
+    trees_=st.lists(trees(max_leaves=6), min_size=1, max_size=5),
+    events_=st.lists(event_strategy(), min_size=1, max_size=30),
+)
+@settings(max_examples=15, deadline=None)
+def test_random_workload_equivalence(trees_, events_):
+    """House equivalence property: for random trees and events, adaptive-on
+    delivery is bit-identical to the controller-off oracle."""
+
+    def run(adaptive):
+        with PubSubService(
+            topology=line_topology(3),
+            max_batch=4,
+            adaptive=adaptive,
+        ) as service:
+            subscriber = service.connect("b2", "alice")
+            for tree in trees_:
+                subscriber.subscribe(tree)
+            publisher = service.connect("b0", "publisher")
+            for event in events_:
+                publisher.publish(event)
+            service.flush()
+            if service.adaptive is not None:
+                # Force at least one stressed cycle regardless of volume.
+                service.adaptive.run_cycle(
+                    SystemConditions(1, 1, 0.0, 0.0)
+                )
+                for event in events_:
+                    publisher.publish(event)
+                service.flush()
+                return _stream(subscriber)
+            for event in events_:
+                publisher.publish(event)
+            service.flush()
+            return _stream(subscriber)
+
+    oracle = run(None)
+    adaptive = run(_adaptive_config(cycle_events=8, min_observations=1))
+    assert adaptive == oracle

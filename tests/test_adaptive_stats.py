@@ -1,0 +1,266 @@
+"""Unit tests for the online statistics sketches and the conditions probe.
+
+The online accumulator must agree with the offline
+``EventStatistics.from_events`` on the same sample whenever its sketches
+have not saturated (no top-K eviction, no histogram merge), and stay a
+close approximation once they have.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.adaptive import (
+    OnlineEventStatistics,
+    StreamingHistogram,
+    SystemConditionsProbe,
+    TopKCounter,
+)
+from repro.errors import PruningError, SelectivityError
+from repro.events import Event
+from repro.routing.network import BrokerNetwork
+from repro.routing.topology import line_topology
+from repro.selectivity.statistics import EventStatistics
+from repro.subscriptions.builder import And, P
+from repro.util.rng import make_rng
+
+
+class TestTopKCounter:
+    def test_exact_below_capacity(self):
+        counter = TopKCounter(8)
+        for value in ["a", "b", "a", "c", "a", "b"]:
+            counter.observe(("s", value))
+        assert counter.exact
+        assert counter.counts == {("s", "a"): 3, ("s", "b"): 2, ("s", "c"): 1}
+
+    def test_counts_total_preserved_across_evictions(self):
+        counter = TopKCounter(4)
+        for index in range(100):
+            counter.observe(("n", float(index % 13)))
+        assert not counter.exact
+        assert len(counter.counts) <= 4
+        assert sum(counter.counts.values()) == 100
+
+    def test_heavy_hitter_survives(self):
+        counter = TopKCounter(3)
+        values = ["hot"] * 50 + [str(index) for index in range(30)]
+        for value in values:
+            counter.observe(("s", value))
+        assert ("s", "hot") in counter.counts
+        assert counter.counts[("s", "hot")] >= 50
+
+    def test_capacity_validated(self):
+        with pytest.raises(SelectivityError):
+            TopKCounter(0)
+
+
+class TestStreamingHistogram:
+    def test_exact_below_capacity(self):
+        histogram = StreamingHistogram(capacity=8)
+        for value in [1.0, 3.0, 3.0, 7.0]:
+            histogram.observe(value)
+        assert histogram.merges == 0
+        assert histogram.cdf() == ([1.0, 3.0, 7.0], [0.25, 0.75, 1.0])
+
+    def test_bounded_and_monotone_after_merges(self):
+        histogram = StreamingHistogram(capacity=16)
+        rng = make_rng(7, "histogram")
+        for value in rng.uniform(0.0, 100.0, size=500):
+            histogram.observe(float(value))
+        assert len(histogram) <= 16
+        assert histogram.merges > 0
+        support, cumulative = histogram.cdf()
+        assert support == sorted(support)
+        assert cumulative == sorted(cumulative)
+        assert cumulative[-1] == pytest.approx(1.0)
+
+    def test_approximates_uniform_cdf(self):
+        histogram = StreamingHistogram(capacity=64)
+        rng = make_rng(11, "histogram-uniform")
+        sample = sorted(float(v) for v in rng.uniform(0.0, 1.0, size=2000))
+        for value in sample:
+            histogram.observe(value)
+        support, cumulative = histogram.cdf()
+        for point, mass in zip(support, cumulative):
+            exact = sum(1 for v in sample if v <= point) / len(sample)
+            assert abs(mass - exact) < 0.05
+
+    def test_capacity_validated(self):
+        with pytest.raises(SelectivityError):
+            StreamingHistogram(capacity=1)
+
+
+class TestOnlineVsOffline:
+    """With unsaturated sketches, online == offline on the same sample."""
+
+    @pytest.fixture()
+    def sample(self, auction_events):
+        return list(auction_events)
+
+    @pytest.fixture()
+    def offline(self, sample):
+        return EventStatistics.from_events(sample)
+
+    @pytest.fixture()
+    def online(self, sample):
+        statistics = OnlineEventStatistics(top_k=1024, histogram_bins=256)
+        statistics.observe_batch(sample)
+        return statistics.snapshot()
+
+    def test_same_attributes(self, online, offline):
+        assert online.attribute_names() == offline.attribute_names()
+
+    def test_presence_matches(self, online, offline):
+        for name in offline.attribute_names():
+            assert online.attribute(name).presence == pytest.approx(
+                offline.attribute(name).presence
+            )
+
+    def test_point_probabilities_match(self, online, offline, sample):
+        for event in sample[:25]:
+            for name, value in event.items():
+                assert online.attribute(name).prob_eq(value) == pytest.approx(
+                    offline.attribute(name).prob_eq(value)
+                ), name
+
+    def test_range_probabilities_match(self, online, offline, sample):
+        for event in sample[:25]:
+            for name, value in event.items():
+                if isinstance(value, bool) or isinstance(value, str):
+                    continue
+                assert online.attribute(name).prob_less(
+                    value, inclusive=True
+                ) == pytest.approx(
+                    offline.attribute(name).prob_less(value, inclusive=True)
+                ), name
+
+    def test_saturated_numeric_attribute_approximates(self):
+        rng = make_rng(3, "online-saturated")
+        sample = [Event({"x": float(v)}) for v in rng.uniform(0.0, 100.0, size=1000)]
+        online = OnlineEventStatistics(top_k=16, histogram_bins=64)
+        online.observe_batch(sample)
+        offline = EventStatistics.from_events(sample)
+        model = online.snapshot().attribute("x")
+        exact = offline.attribute("x")
+        for threshold in (10.0, 25.0, 50.0, 75.0, 90.0):
+            assert abs(
+                model.prob_less(threshold, inclusive=True)
+                - exact.prob_less(threshold, inclusive=True)
+            ) < 0.05
+
+
+class TestOnlineEventStatistics:
+    def test_empty_snapshot_falls_back_to_default(self):
+        online = OnlineEventStatistics(default_probability=0.37)
+        estimate = online.estimator().estimate(And(P("a") == 1, P("b") == 2))
+        assert estimate.avg == pytest.approx(0.37 * 0.37)
+
+    def test_sampling_is_seeded(self):
+        events = [Event({"x": index}) for index in range(200)]
+        first = OnlineEventStatistics(sample_rate=0.5, seed=5)
+        second = OnlineEventStatistics(sample_rate=0.5, seed=5)
+        assert first.observe_batch(events) == second.observe_batch(events)
+        assert 0 < first.observed < first.seen == 200
+
+    def test_recent_events_bounded(self):
+        online = OnlineEventStatistics(recent_capacity=16)
+        events = [Event({"x": index}) for index in range(100)]
+        online.observe_batch(events)
+        recent = online.recent_events()
+        assert len(recent) == 16
+        assert recent[-1] == events[-1]
+
+    def test_concurrent_observers(self):
+        online = OnlineEventStatistics()
+        chunks = [
+            [Event({"x": worker, "y": index}) for index in range(200)]
+            for worker in range(4)
+        ]
+        threads = [
+            threading.Thread(target=online.observe_batch, args=(chunk,))
+            for chunk in chunks
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert online.seen == online.observed == 800
+        snapshot = online.snapshot()
+        assert snapshot.attribute("x").presence == 1.0
+
+    def test_validation(self):
+        with pytest.raises(SelectivityError):
+            OnlineEventStatistics(sample_rate=0.0)
+        with pytest.raises(SelectivityError):
+            OnlineEventStatistics(sample_rate=1.5)
+        with pytest.raises(SelectivityError):
+            OnlineEventStatistics(recent_capacity=0)
+
+
+class _FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestSystemConditionsProbe:
+    @pytest.fixture()
+    def network(self):
+        with BrokerNetwork(line_topology(2)) as network:
+            network.subscribe("b1", "alice", And(P("x") >= 0, P("y") >= 0))
+            yield network
+
+    def test_first_snapshot_reports_zero_rates(self, network):
+        probe = SystemConditionsProbe(network, clock=_FakeClock())
+        conditions = probe.snapshot()
+        assert conditions.bandwidth_utilization == 0.0
+        assert conditions.filter_saturation == 0.0
+
+    def test_rates_derive_from_window_deltas(self, network):
+        clock = _FakeClock()
+        probe = SystemConditionsProbe(network, clock=clock)
+        probe.snapshot()
+        for index in range(50):
+            network.publish("b0", Event({"x": index, "y": 1}))
+        clock.now = 2.0
+        report = network.report()
+        link_busy = report.link_busy_seconds(("b0", "b1"))
+        conditions = probe.snapshot()
+        assert conditions.bandwidth_utilization == pytest.approx(link_busy / 2.0)
+        assert conditions.filter_saturation == pytest.approx(
+            report.filter_seconds / 2.0
+        )
+        # A quiet window rates back down to zero.
+        clock.now = 3.0
+        quiet = probe.snapshot()
+        assert quiet.bandwidth_utilization == 0.0
+        assert quiet.filter_saturation == pytest.approx(0.0, abs=1e-9)
+
+    def test_counter_reset_clamps_to_zero(self, network):
+        clock = _FakeClock()
+        probe = SystemConditionsProbe(network, clock=clock)
+        for index in range(20):
+            network.publish("b0", Event({"x": index, "y": 1}))
+        clock.now = 1.0
+        probe.snapshot()
+        network.reset_statistics()
+        clock.now = 2.0
+        conditions = probe.snapshot()
+        assert conditions.bandwidth_utilization == 0.0
+        assert conditions.filter_saturation == 0.0
+
+    def test_memory_pressure_against_budget(self, network):
+        probe = SystemConditionsProbe(
+            network, memory_budget_bytes=network.table_size_bytes
+        )
+        assert probe.snapshot().memory_pressure == pytest.approx(1.0)
+        unbudgeted = SystemConditionsProbe(network)
+        assert unbudgeted.snapshot().memory_pressure == 0.0
+
+    def test_budget_validated(self, network):
+        with pytest.raises(PruningError):
+            SystemConditionsProbe(network, memory_budget_bytes=0)

@@ -9,6 +9,7 @@ import doctest
 import pytest
 
 import repro
+import repro.adaptive.statistics
 import repro.core.engine
 import repro.events
 import repro.matching.batch
@@ -33,6 +34,7 @@ import repro.baselines.covering
 
 MODULES = [
     repro,
+    repro.adaptive.statistics,
     repro.core.engine,
     repro.events,
     repro.matching.batch,

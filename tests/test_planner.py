@@ -1,6 +1,8 @@
 """Tests for pruning schedules and prefix replay."""
 
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.core.heuristics import Dimension
 from repro.core.planner import PruningSchedule, replay_prefix
@@ -36,6 +38,34 @@ class TestBuild:
     def test_prefix_count_validates(self, schedule):
         with pytest.raises(PruningError):
             schedule.prefix_count(1.5)
+        with pytest.raises(PruningError):
+            schedule.prefix_count(-0.1)
+
+    def test_prefix_count_rounds_half_up(self, schedule):
+        """Regression: ``round()`` rounds half to even, so with ``total=3``
+        a 0.5 proportion was fine but even totals mapped .5 boundaries
+        down (``round(0.5 * 5)`` is 2, not 3).  Half-up is the documented
+        behaviour."""
+        assert schedule.total == 3
+        assert schedule.prefix_count(0.5) == 2  # 1.5 rounds up, not to even
+        assert schedule.prefix_count(1 / 6) == 1  # 0.5 rounds up to 1
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=20))
+    @settings(
+        max_examples=60,
+        deadline=None,
+        # prefix_count never mutates the schedule, so sharing the
+        # function-scoped fixture across examples is sound.
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_prefix_count_monotone(self, schedule, proportions):
+        """Non-decreasing proportions yield non-decreasing counts, pinned to
+        0 and ``total`` at the endpoints."""
+        counts = [schedule.prefix_count(p) for p in sorted(proportions)]
+        assert all(0 <= count <= schedule.total for count in counts)
+        assert counts == sorted(counts)
+        assert schedule.prefix_count(0.0) == 0
+        assert schedule.prefix_count(1.0) == schedule.total
 
     def test_build_is_deterministic(self, subscriptions, simple_estimator):
         a = PruningSchedule.build(subscriptions, simple_estimator, Dimension.NETWORK)
@@ -59,6 +89,19 @@ class TestReplay:
     def test_replay_prefix_helper(self, schedule):
         replayed = replay_prefix(schedule, 1.0)
         assert replayed[0].leaf_count == 1
+
+    def test_replay_rejects_negative_count(self, schedule):
+        """Regression: ``replay(-1)`` used to slice ``records[:-1]`` and
+        silently replay everything but the last pruning."""
+        with pytest.raises(PruningError):
+            schedule.replay(-1)
+
+    def test_replay_rejects_count_beyond_total(self, schedule):
+        """Regression: counts beyond ``total`` used to clamp silently; the
+        caller asked for more prunings than the schedule holds and must
+        hear about it."""
+        with pytest.raises(PruningError):
+            schedule.replay(schedule.total + 1)
 
     def test_sweep_matches_individual_replays(self, schedule):
         counts = [0, 1, 2, schedule.total]
